@@ -1,0 +1,80 @@
+"""EXPR-PA / EXPR-PN: the expressiveness comparison material.
+
+RP ≡ PA (language equality on the structured fragment, checked as bounded
+trace equality) and the RP-vs-Petri-net witness systems.
+"""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.pa import traces_agree, translate_program
+from repro.petri import (
+    anbncn_completed_words,
+    anbncn_net,
+    backward_coverable,
+    is_bounded,
+    nested_anbn_scheme,
+    scheme_terminated_words,
+    token_counting_abstraction,
+)
+from repro.zoo import spawner_loop
+
+NESTED = """
+program main { pcall p; wait; done; end; }
+procedure p { if t then { a; pcall p; wait; b; } end; }
+"""
+
+
+def test_translate_to_pa(benchmark):
+    program = parse_program(NESTED)
+    system = benchmark(translate_program, program)
+    assert system.definitions
+
+
+@pytest.mark.parametrize("length", [4, 6])
+def test_rp_pa_trace_equality(benchmark, length):
+    program = parse_program(NESTED)
+    result = benchmark(traces_agree, program, length)
+    assert result
+
+
+def test_anbncn_language_generation(benchmark):
+    net = anbncn_net()
+    words = benchmark(anbncn_completed_words, net, 9)
+    assert tuple("aabbcc") in words
+
+
+def test_nested_anbn_language_generation(benchmark):
+    scheme = nested_anbn_scheme()
+    words = benchmark(scheme_terminated_words, scheme, 8)
+    assert tuple("aaabbb") in words
+
+
+def test_counting_abstraction_boundedness(benchmark):
+    net = token_counting_abstraction(spawner_loop())
+    result = benchmark(is_bounded, net)
+    assert not result
+
+
+def test_petri_backward_coverability(benchmark):
+    net = anbncn_net()
+    target = net.marking(count_ab=4)
+    result = benchmark(backward_coverable, net, [target])
+    assert result
+
+
+def test_bpp_embedding_traces(benchmark):
+    from repro.petri import traces_match
+    from repro.petri.net import PetriNet
+
+    net = PetriNet(
+        places=["root", "left", "right"],
+        transitions=[
+            {"name": "split", "pre": {"root": 1}, "post": {"left": 1, "right": 1}},
+            {"name": "lwork", "pre": {"left": 1}, "post": {}},
+            {"name": "rwork", "pre": {"right": 1}, "post": {"right": 1}},
+        ],
+        initial={"root": 1},
+    )
+    result = benchmark(traces_match, net, 4)
+    assert result

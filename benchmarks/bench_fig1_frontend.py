@@ -1,0 +1,37 @@
+"""FIG-1 / FIG-2: the language front-end on the paper's program.
+
+Regenerates Fig. 1 → Fig. 2: parsing the program text, pretty-printing it
+back, compiling it to the scheme, and checking isomorphism against the
+hand-built Fig. 2 reconstruction.
+"""
+
+from repro.core.isomorphism import isomorphic
+from repro.lang import compile_source, parse_program, render_program
+from repro.zoo import FIG1_PROGRAM, fig2_scheme
+
+
+def test_parse_fig1(benchmark):
+    program = benchmark(parse_program, FIG1_PROGRAM)
+    assert program.main.name == "main"
+
+
+def test_pretty_roundtrip_fig1(benchmark):
+    program = parse_program(FIG1_PROGRAM)
+
+    def roundtrip():
+        return parse_program(render_program(program))
+
+    again = benchmark(roundtrip)
+    assert again == program
+
+
+def test_compile_fig1(benchmark):
+    compiled = benchmark(compile_source, FIG1_PROGRAM)
+    assert len(compiled.scheme) == 13
+
+
+def test_fig2_isomorphism_check(benchmark):
+    compiled = compile_source(FIG1_PROGRAM)
+    reference = fig2_scheme()
+    result = benchmark(isomorphic, compiled.scheme, reference)
+    assert result

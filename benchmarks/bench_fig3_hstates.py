@@ -1,0 +1,56 @@
+"""FIG-3 / FIG-4: hierarchical-state construction, notation, algebra,
+and the embedding ⪯ that Section 3 builds on."""
+
+import pytest
+
+from repro.core.embedding import embeds
+from repro.core.hstate import HState
+
+SIGMA1 = "q1,{q9,{q11},q12,{q10}}"
+
+
+def _wide_state(width: int) -> HState:
+    return HState.of(*[("q1", ["q9", ("q12", ["q10"])]) for _ in range(width)])
+
+
+def test_parse_sigma1(benchmark):
+    state = benchmark(HState.parse, SIGMA1)
+    assert state.size == 5
+
+
+def test_notation_roundtrip(benchmark, sigma1_state):
+    def roundtrip():
+        return HState.parse(sigma1_state.to_notation())
+
+    assert benchmark(roundtrip) == sigma1_state
+
+
+def test_multiset_addition(benchmark, sigma1_state):
+    other = HState.parse("q2,{q7},q7")
+
+    result = benchmark(lambda: sigma1_state + other)
+    assert result.size == 8
+
+
+def test_marking_view(benchmark, sigma1_state):
+    counts = benchmark(sigma1_state.node_multiset)
+    assert sum(counts.values()) == 5
+
+
+@pytest.mark.parametrize("width", [2, 6, 12])
+def test_embedding_width(benchmark, width):
+    small = _wide_state(width - 1)
+    big = _wide_state(width)
+    assert benchmark(embeds, small, big)
+
+
+def test_embedding_negative(benchmark):
+    small = HState.parse("q1,{q9},q1,{q12}")
+    big = HState.parse("q1,{q9,q12},q2")
+    assert not benchmark(embeds, small, big)
+
+
+def test_embedding_deep_chain(benchmark):
+    deep_small = HState.parse("a,{a,{a,{a}}}")
+    deep_big = HState.parse("a,{x,{a,{y,{a,{a,{z}}}}}}")
+    assert benchmark(embeds, deep_small, deep_big)

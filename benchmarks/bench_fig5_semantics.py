@@ -1,0 +1,46 @@
+"""FIG-5 / PROP-3: the operational semantics M_G.
+
+Regenerates the σ1 → σ2 → σ3 → σ4 evolution as a descriptor replay and
+measures successor generation on states of growing width/depth.
+"""
+
+import pytest
+
+from repro.core.hstate import HState
+from repro.core.semantics import AbstractSemantics
+from repro.zoo import fig5_states
+
+
+def test_successors_of_sigma1(benchmark, fig2, sigma1_state):
+    semantics = AbstractSemantics(fig2)
+    transitions = benchmark(semantics.successors, sigma1_state)
+    assert transitions  # Prop. 3: non-empty states have successors
+
+
+def test_fig5_replay(benchmark, fig2):
+    semantics = AbstractSemantics(fig2)
+    states = fig5_states()
+    descriptors = [("q10", "call", 0), ("q1", "call", 0), ("q9", "end", None)]
+
+    def replay():
+        return semantics.replay(states[0], descriptors)
+
+    trace = benchmark(replay)
+    assert trace[-1].target == states[3]
+
+
+@pytest.mark.parametrize("width", [1, 8, 32])
+def test_successor_generation_scales_with_width(benchmark, fig2, width):
+    semantics = AbstractSemantics(fig2)
+    state = HState.of(*(["q7"] * width))
+    transitions = benchmark(semantics.successors, state)
+    assert len(transitions) == 2 * width  # each test token has 2 branches
+
+
+@pytest.mark.parametrize("depth", [2, 8, 24])
+def test_successor_generation_scales_with_depth(benchmark, fig2, depth):
+    semantics = AbstractSemantics(fig2)
+    state = HState.parse("q12," + "{q12," * (depth - 1) + "{q7}" + "}" * (depth - 1))
+    transitions = benchmark(semantics.successors, state)
+    # only the innermost token (q7, childless) and no blocked wait can move
+    assert all(t.node == "q7" for t in transitions)

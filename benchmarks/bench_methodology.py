@@ -1,0 +1,74 @@
+"""Methodology layer: CTL checking, layered safety verification,
+profiling — the §5-style applications built on the framework."""
+
+import pytest
+
+from repro.analysis import analyze, check_ctl
+from repro.analysis.ctl import AF, AG, EF, Not, node, terminated
+from repro.interp import ProgramInterpretation, profile_run, verify_safety
+from repro.lang import compile_source
+from repro.lts import never_follows, never_occurs
+from repro.programs import BARRIER_ROUNDS, FAN_OUT_SUM
+from repro.zoo import bounded_spawner, terminating_chain
+
+
+@pytest.fixture(scope="module")
+def fan_out():
+    return compile_source(FAN_OUT_SUM.source)
+
+
+@pytest.fixture(scope="module")
+def barrier():
+    return compile_source(BARRIER_ROUNDS.source)
+
+
+def test_ctl_af_terminated(benchmark, barrier):
+    result = benchmark(check_ctl, barrier.scheme, AF(terminated()))
+    assert result.holds
+
+
+def test_ctl_nested_ag_ef(benchmark, barrier):
+    formula = AG(EF(terminated()))
+    result = benchmark(check_ctl, barrier.scheme, formula)
+    assert result.holds
+
+
+@pytest.mark.parametrize("children", [2, 4])
+def test_ctl_scaling(benchmark, children):
+    scheme = bounded_spawner(children)
+    formula = AG(Not(node("mend")) | AF(terminated()))
+    result = benchmark(check_ctl, scheme, formula)
+    assert result.holds
+
+
+def test_verify_safety_abstract_layer(benchmark, fan_out):
+    verdict = benchmark(verify_safety, fan_out.scheme, never_occurs("crash"))
+    assert verdict.holds and verdict.layer == "abstract"
+
+
+def test_verify_safety_concrete_layer(benchmark, fan_out):
+    prop = never_follows("acc:=(acc*10)", "acc:=(acc+1)")
+    interpretation = ProgramInterpretation(fan_out)
+
+    def check():
+        return verify_safety(fan_out.scheme, prop, interpretation=interpretation)
+
+    verdict = benchmark(check)
+    assert verdict.holds
+
+
+def test_profile_run(benchmark, barrier):
+    interpretation = ProgramInterpretation(barrier)
+
+    def run():
+        return profile_run(barrier.scheme, interpretation)
+
+    profile, final = benchmark(run)
+    assert final.is_terminated()
+    assert profile.waits_fired == 2
+
+
+def test_analyze_battery(benchmark):
+    scheme = terminating_chain(6)
+    report = benchmark(analyze, scheme)
+    assert report.conclusive

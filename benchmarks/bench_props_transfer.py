@@ -1,0 +1,36 @@
+"""PROP-13..17: the completeness constructions (trace steering).
+
+Measures building a steering interpretation from an abstract witness and
+replaying the witness inside ``M_I_G``, plus the Prop. 16 pump transfer.
+"""
+
+from repro.analysis import boundedness, node_reachable
+from repro.interp import mimic_pump_forever, mimic_run, steering_interpretation
+from repro.zoo import fig2_scheme, spawner_loop
+
+
+def test_steering_construction(benchmark, fig2):
+    witness = node_reachable(fig2, "q5").certificate
+    interp = benchmark(steering_interpretation, witness.transitions)
+    assert interp.is_finite()
+
+
+def test_mimic_node_witness(benchmark, fig2):
+    witness = node_reachable(fig2, "q12").certificate
+
+    def mimic():
+        return mimic_run(fig2, witness.transitions)
+
+    run = benchmark(mimic)
+    assert run[-1].target.forget().contains_node("q12")
+
+
+def test_pump_transfer(benchmark):
+    scheme = spawner_loop()
+    cert = boundedness(scheme).certificate
+
+    def pump():
+        return mimic_pump_forever(scheme, cert.prefix, cert.pump, iterations=5)
+
+    final = benchmark(pump)
+    assert final.state.size > cert.pumped.size

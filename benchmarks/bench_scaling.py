@@ -1,0 +1,73 @@
+"""SCALE: cost profiles of the core engines on parametric families.
+
+The paper has no measurement tables (it is a theory paper); this sweep is
+the evaluation a tool-paper companion would report: how exploration,
+embedding checks, boundedness and the machine model scale with instance
+size.
+"""
+
+import pytest
+
+from repro.analysis import boundedness
+from repro.analysis.explore import Explorer
+from repro.core.embedding import embeds
+from repro.core.hstate import HState
+from repro.interp import TrivialInterpretation, explore_machine
+from repro.zoo import bounded_spawner, call_ladder
+
+
+class TestExplorationScaling:
+    @pytest.mark.parametrize("children", [3, 6, 9])
+    def test_spawner_state_space(self, benchmark, children):
+        scheme = bounded_spawner(children)
+
+        def explore():
+            return Explorer(scheme, max_states=500_000).explore_or_raise()
+
+        graph = benchmark(explore)
+        assert graph.complete
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_ladder_state_space(self, benchmark, depth):
+        scheme = call_ladder(depth)
+
+        def explore():
+            return Explorer(scheme, max_states=500_000).explore_or_raise()
+
+        graph = benchmark(explore)
+        assert graph.complete
+
+
+class TestEmbeddingScaling:
+    @pytest.mark.parametrize("size", [8, 16, 32])
+    def test_chain_embedding(self, benchmark, size):
+        small = HState.parse("a," + "{a," * (size - 2) + "{a}" + "}" * (size - 2))
+        big = HState.parse("a," + "{x,{a," * (size - 2) + "{a}" + "}}" * (size - 2))
+        assert benchmark(embeds, small, big)
+
+    @pytest.mark.parametrize("width", [4, 8, 12])
+    def test_multiset_embedding(self, benchmark, width):
+        small = HState.of(*(["a"] * width))
+        big = HState.of(*(["a"] * width + ["b"] * width))
+        assert benchmark(embeds, small, big)
+
+
+class TestBoundednessScaling:
+    @pytest.mark.parametrize("children", [3, 5, 7])
+    def test_bounded_family(self, benchmark, children):
+        scheme = bounded_spawner(children)
+        verdict = benchmark(boundedness, scheme, None, 500_000)
+        assert verdict.holds
+
+
+class TestMachineScaling:
+    @pytest.mark.parametrize("processors", [1, 2, 4])
+    def test_machine_exploration(self, benchmark, processors):
+        scheme = bounded_spawner(3)
+        interpretation = TrivialInterpretation()
+
+        def explore():
+            return explore_machine(scheme, interpretation, processors)
+
+        lts, complete = benchmark(explore)
+        assert complete

@@ -1,0 +1,68 @@
+"""THM-10 / PROP-12: the Preservation Theorem machinery.
+
+Measures exploration of ``M_I_G``, computation of the divergence-
+preserving simulation ``⊑_d`` between concrete and abstract fragments,
+and a full Prop. 12 safety transfer.
+"""
+
+from repro.analysis.explore import Explorer
+from repro.interp import InterpretedExplorer, ProgramInterpretation
+from repro.lang import compile_source
+from repro.lts import d_simulates, map_lts, never_occurs, transfer_safety
+
+SOURCE = """
+global credit := 2;
+program main {
+    pcall worker;
+    if credit > 0 then { credit := credit - 1; } else { log_empty; }
+    wait;
+    end;
+}
+procedure worker {
+    credit := credit + 1;
+    end;
+}
+"""
+
+
+def _fragments():
+    compiled = compile_source(SOURCE)
+    interpretation = ProgramInterpretation(compiled)
+    concrete = InterpretedExplorer(
+        compiled.scheme, interpretation, max_states=50_000
+    ).explore_or_raise()
+    abstract = Explorer(compiled.scheme, max_states=50_000).explore_or_raise().to_lts()
+    return concrete, abstract
+
+
+def test_interpreted_exploration(benchmark):
+    compiled = compile_source(SOURCE)
+    interpretation = ProgramInterpretation(compiled)
+
+    def explore():
+        return InterpretedExplorer(
+            compiled.scheme, interpretation, max_states=50_000
+        ).explore_or_raise()
+
+    lts = benchmark(explore)
+    assert lts.states
+
+
+def test_d_simulation_concrete_below_abstract(benchmark):
+    concrete, abstract = _fragments()
+    result = benchmark(d_simulates, concrete, abstract)
+    assert result
+
+
+def test_d_simulation_projection(benchmark):
+    concrete, _ = _fragments()
+    projected = map_lts(concrete, lambda g: g.forget())
+    result = benchmark(d_simulates, concrete, projected)
+    assert result
+
+
+def test_safety_transfer(benchmark):
+    concrete, abstract = _fragments()
+    prop = never_occurs("crash")
+    transferred, _why = benchmark(transfer_safety, concrete, abstract, prop)
+    assert transferred

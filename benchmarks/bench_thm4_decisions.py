@@ -1,0 +1,92 @@
+"""THM-4: the four decision problems — reachability, node reachability,
+mutual exclusion and boundedness — on bounded and unbounded schemes."""
+
+import pytest
+
+from repro.analysis import (
+    boundedness,
+    mutually_exclusive,
+    node_reachable,
+    state_reachable,
+)
+from repro.core.hstate import HState
+from repro.zoo import (
+    bounded_spawner,
+    call_ladder,
+    deep_recursion,
+    fig2_scheme,
+    mutex_pair,
+    racing_writers,
+    spawner_loop,
+)
+
+
+class TestReachability:
+    def test_state_reachability_positive(self, benchmark, fig2):
+        target = HState.parse("q2,{q7,q7}")
+        verdict = benchmark(state_reachable, fig2, target)
+        assert verdict.holds
+
+    def test_state_reachability_negative_bounded(self, benchmark):
+        scheme = bounded_spawner(3)
+        target = HState.parse("c0,{c0}")
+        verdict = benchmark(state_reachable, scheme, target)
+        assert not verdict.holds
+
+
+class TestNodeReachability:
+    def test_node_reachable_on_fig2(self, benchmark, fig2):
+        verdict = benchmark(node_reachable, fig2, "q5")
+        assert verdict.holds
+
+    def test_node_unreachable_backward(self, benchmark):
+        from repro.core.builder import SchemeBuilder
+
+        b = SchemeBuilder()
+        b.test("m0", "b", then="m1", orelse="m2")
+        b.pcall("m1", invoked="c0", succ="m0")
+        b.end("m2")
+        b.action("c0", "work", "c1")
+        b.end("c1")
+        b.end("ghost")
+        scheme = b.build(root="m0")
+        verdict = benchmark(node_reachable, scheme, "ghost", max_states=300)
+        assert not verdict.holds and verdict.exact
+
+
+class TestMutualExclusion:
+    def test_exclusive_pair(self, benchmark):
+        scheme = mutex_pair()
+        verdict = benchmark(mutually_exclusive, scheme, "m0", "c0")
+        assert verdict.holds
+
+    def test_conflicting_pair(self, benchmark):
+        scheme = racing_writers()
+        verdict = benchmark(mutually_exclusive, scheme, "m1", "c0")
+        assert not verdict.holds
+
+
+class TestBoundedness:
+    @pytest.mark.parametrize("children", [2, 4, 6])
+    def test_bounded_family(self, benchmark, children):
+        scheme = bounded_spawner(children)
+        verdict = benchmark(boundedness, scheme)
+        assert verdict.holds
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_ladder_family(self, benchmark, depth):
+        scheme = call_ladder(depth)
+        verdict = benchmark(boundedness, scheme)
+        assert verdict.holds
+
+    def test_unbounded_wait_free(self, benchmark):
+        verdict = benchmark(boundedness, spawner_loop())
+        assert not verdict.holds and verdict.exact
+
+    def test_unbounded_with_wait_replay(self, benchmark):
+        verdict = benchmark(boundedness, deep_recursion())
+        assert not verdict.holds
+
+    def test_unbounded_fig2(self, benchmark, fig2):
+        verdict = benchmark(boundedness, fig2, None, 20_000)
+        assert not verdict.holds

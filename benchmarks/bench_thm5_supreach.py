@@ -1,0 +1,41 @@
+"""THM-5 / §5.2: sup-reachability bases and persistence.
+
+The domination-pruned forward search terminates on every scheme
+(bounded or not); the sweep shows its cost profile across the zoo.
+"""
+
+import pytest
+
+from repro.analysis import minimal_reachable_states, persistent, sup_reachability
+from repro.zoo import (
+    ZOO_ALL,
+    bounded_spawner,
+    persistent_server,
+    spawner_loop,
+)
+
+
+@pytest.mark.parametrize("name,factory", ZOO_ALL, ids=[n for n, _ in ZOO_ALL])
+def test_basis_over_zoo(benchmark, name, factory):
+    scheme = factory()
+    basis = benchmark(minimal_reachable_states, scheme)
+    assert basis
+
+
+@pytest.mark.parametrize("children", [2, 5, 8])
+def test_basis_scaling(benchmark, children):
+    scheme = bounded_spawner(children)
+    verdict = benchmark(sup_reachability, scheme)
+    assert verdict.holds
+
+
+def test_persistence_positive(benchmark):
+    scheme = persistent_server()
+    verdict = benchmark(persistent, scheme, ["s0", "s1"])
+    assert verdict.holds
+
+
+def test_persistence_negative_on_unbounded(benchmark):
+    scheme = spawner_loop()
+    verdict = benchmark(persistent, scheme, ["m0", "m1", "m2"])
+    assert not verdict.holds

@@ -1,0 +1,60 @@
+"""THM-6 / COR-7: inevitability (⋆-embedding upward closures) and halting."""
+
+import pytest
+
+from repro.analysis import halting_via_inevitability, halts, inevitability
+from repro.core.embedding import GapEmbedding
+from repro.core.hstate import HState
+from repro.zoo import (
+    bounded_spawner,
+    call_ladder,
+    diverging_loop,
+    terminating_chain,
+)
+
+
+def test_inevitability_holds(benchmark):
+    scheme = terminating_chain(6)
+    basis = [HState.parse("q0"), HState.parse("q1"), HState.parse("q2")]
+    verdict = benchmark(inevitability, scheme, basis)
+    assert verdict.holds
+
+
+def test_inevitability_violated_by_lasso(benchmark):
+    scheme = diverging_loop()
+    basis = [HState.parse("d0"), HState.parse("d1")]
+    verdict = benchmark(inevitability, scheme, basis)
+    assert not verdict.holds
+
+
+def test_inevitability_with_gap_embedding(benchmark):
+    scheme = diverging_loop()
+    embedding = GapEmbedding([])
+    verdict = benchmark(
+        inevitability, scheme, [HState.parse("d0")], None, embedding
+    )
+    assert verdict.holds
+
+
+@pytest.mark.parametrize("length", [4, 16, 64])
+def test_halting_chain_family(benchmark, length):
+    scheme = terminating_chain(length)
+    verdict = benchmark(halts, scheme)
+    assert verdict.holds
+
+
+@pytest.mark.parametrize("children", [2, 4])
+def test_halting_via_inevitability(benchmark, children):
+    scheme = bounded_spawner(children)
+    verdict = benchmark(halting_via_inevitability, scheme)
+    assert verdict.holds
+
+
+def test_halting_agreement(benchmark):
+    scheme = call_ladder(2)
+
+    def both():
+        return halts(scheme).holds, halting_via_inevitability(scheme).holds
+
+    direct, via = benchmark(both)
+    assert direct == via

@@ -1,0 +1,34 @@
+"""THM-9: Turing power — counter machines through the RP encoding.
+
+Measures the encoding construction and the end-to-end simulation of small
+machines through ``M_I_G``, against direct simulation as the baseline.
+"""
+
+import pytest
+
+from repro.minsky import adder_machine, doubler_machine, encode, simulate_via_rp
+
+
+def test_encoding_construction(benchmark):
+    machine = adder_machine()
+    encoded = benchmark(encode, machine)
+    assert encoded.interpretation.is_finite()
+
+
+def test_direct_simulation_baseline(benchmark):
+    machine = adder_machine()
+    result = benchmark(machine.run, {"a": 3, "b": 2})
+    assert result == {"a": 0, "b": 5}
+
+
+@pytest.mark.parametrize("a", [1, 2])
+def test_adder_via_rp(benchmark, a):
+    machine = adder_machine()
+    result = benchmark(simulate_via_rp, machine, {"a": a, "b": 1}, 400_000)
+    assert result == {"a": 0, "b": a + 1}
+
+
+def test_doubler_via_rp(benchmark):
+    machine = doubler_machine()
+    result = benchmark(simulate_via_rp, machine, {"a": 2}, 400_000)
+    assert result == {"a": 0, "b": 4}

@@ -1,0 +1,70 @@
+"""Tooling layer: optimiser, bisimulation quotient, normedness,
+serialisation, isomorphism — the engineering around the paper's theory."""
+
+import pytest
+
+from repro.analysis import normed, race_report
+from repro.analysis.explore import Explorer
+from repro.core import scheme_from_json, scheme_to_json
+from repro.core.isomorphism import find_isomorphism
+from repro.lang import compile_source, optimize
+from repro.lts import quotient
+from repro.zoo import FIG1_PROGRAM, bounded_spawner, fig2_scheme, terminating_chain
+
+DUPLICATED = """
+program main {
+    if b then { a1; a2; a3; } else { a1; a2; a3; }
+    if c then { a1; a2; a3; } else { a1; a2; a3; }
+    end;
+}
+"""
+
+
+def test_optimizer_on_duplicated_branches(benchmark):
+    scheme = compile_source(DUPLICATED).scheme
+    report = benchmark(optimize, scheme)
+    assert report.merged >= 3
+
+
+def test_quotient_of_explored_fragment(benchmark):
+    lts = Explorer(bounded_spawner(4)).explore().to_lts()
+
+    def minimise():
+        return quotient(lts)
+
+    small, _ = benchmark(minimise)
+    assert len(small.states) <= len(lts.states)
+
+
+@pytest.mark.parametrize("length", [8, 32])
+def test_normedness_chain(benchmark, length):
+    scheme = terminating_chain(length)
+    verdict = benchmark(normed, scheme)
+    assert verdict.holds
+
+
+def test_serialization_roundtrip(benchmark, fig2):
+    text = scheme_to_json(fig2)
+
+    def roundtrip():
+        return scheme_from_json(text)
+
+    again = benchmark(roundtrip)
+    assert len(again) == len(fig2)
+
+
+def test_isomorphism_search(benchmark, fig2):
+    other = compile_source(FIG1_PROGRAM).scheme
+    mapping = benchmark(find_isomorphism, other, fig2)
+    assert mapping is not None
+
+
+def test_race_report(benchmark):
+    source = """
+    global x := 0;
+    program main { pcall w; x := x + 1; wait; end; }
+    procedure w { x := x * 2; end; }
+    """
+    compiled = compile_source(source)
+    report = benchmark(race_report, compiled)
+    assert not report.is_safe

@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Each benchmark file regenerates one paper artefact (figure or theorem —
+see DESIGN.md §4 and EXPERIMENTS.md); the fixtures here keep scheme
+construction out of the measured regions.
+"""
+
+import pytest
+
+from repro.zoo import fig2_scheme, sigma1
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    return fig2_scheme()
+
+
+@pytest.fixture(scope="session")
+def sigma1_state():
+    return sigma1()

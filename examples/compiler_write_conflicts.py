@@ -1,0 +1,96 @@
+"""§5.3 application: write-conflict detection for an RP compiler.
+
+"Listing all nodes of G where a given global variable is assigned new
+values, and checking that these nodes cannot occur simultaneously in a
+hierarchical state, we know there will be no write-conflict in the
+machine hardware."
+
+This example compiles a small concurrent logging service, collects the
+nodes assigning each global variable, and runs the mutual-exclusion
+analysis pairwise per variable.  One variable is written safely (the
+writers are separated by a wait join); another is racy.
+
+Run with::
+
+    python examples/compiler_write_conflicts.py
+"""
+
+from collections import defaultdict
+
+from repro.analysis import mutually_exclusive
+from repro.lang import compile_source
+
+SERVICE = """
+global log_size := 0;
+global status := 0;
+
+program main {
+    status := 1;            // safe: before any worker exists
+    pcall writer;
+    pcall writer;
+    log_size := log_size + 1;   // RACY: concurrent with the writers
+    wait;
+    status := 2;            // safe: all writers joined
+    end;
+}
+
+procedure writer {
+    log_size := log_size + 1;
+    end;
+}
+"""
+
+
+def writer_nodes_by_variable(compiled):
+    """Map each global variable to the scheme nodes assigning it."""
+    writers = defaultdict(list)
+    for node in compiled.scheme:
+        if node.label is None:
+            continue
+        definition = compiled.actions.get(node.label)
+        if definition is not None and definition.kind == "assign":
+            if definition.scope == "global":
+                writers[definition.target].append(node.id)
+    return dict(writers)
+
+
+def main() -> None:
+    compiled = compile_source(SERVICE)
+    writers = writer_nodes_by_variable(compiled)
+    print("global-variable writers:")
+    for variable, nodes in sorted(writers.items()):
+        print(f"  {variable:<10} assigned at {nodes}")
+
+    print("\nwrite-conflict analysis (pairwise mutual exclusion):")
+    any_conflict = False
+    for variable, nodes in sorted(writers.items()):
+        if len(nodes) < 2:
+            print(f"  {variable:<10} single writer — trivially safe")
+            continue
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                verdict = mutually_exclusive(compiled.scheme, a, b)
+                if verdict.holds:
+                    print(f"  {variable:<10} {a} vs {b}: exclusive — safe")
+                else:
+                    any_conflict = True
+                    witness = verdict.certificate
+                    print(f"  {variable:<10} {a} vs {b}: CONFLICT — "
+                          f"witness run of {len(witness)} steps reaching "
+                          f"{witness.final.to_notation()}")
+    # self-conflicts: two invocations at the *same* assignment node
+    from repro.analysis import nodes_never_cooccur
+
+    for variable, nodes in sorted(writers.items()):
+        for node in nodes:
+            verdict = nodes_never_cooccur(compiled.scheme, [node, node])
+            if not verdict.holds:
+                any_conflict = True
+                print(f"  {variable:<10} {node} vs {node}: CONFLICT — two "
+                      f"parallel invocations can both be at the writer")
+
+    print(f"\nverdict: {'UNSAFE — fix the racy writes' if any_conflict else 'safe'}")
+
+
+if __name__ == "__main__":
+    main()

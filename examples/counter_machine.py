@@ -1,0 +1,52 @@
+"""Theorem 9: running a counter machine through its RP encoding.
+
+Encodes Minsky machines as RP schemes with a *finite* interpretation
+(counters = families of child invocations; the global memory is a small
+control word; the blocking zero-test uses ``wait``), runs them through the
+interpreted semantics ``M_I_G``, and compares against direct simulation.
+
+Run with::
+
+    python examples/counter_machine.py
+"""
+
+from repro.minsky import (
+    adder_machine,
+    doubler_machine,
+    encode,
+    simulate_via_rp,
+    zero_test_machine,
+)
+
+
+def show(machine_name, machine, initial) -> None:
+    direct = machine.run(dict(initial))
+    via_rp = simulate_via_rp(machine, initial, max_states=400_000)
+    status = "OK" if direct == via_rp else "MISMATCH"
+    print(f"  {machine_name:<12} {dict(initial)!s:<22} direct={direct}  "
+          f"via-RP={via_rp}  [{status}]")
+
+
+def main() -> None:
+    encoded = encode(adder_machine())
+    print("the encoding of the adder machine:")
+    print(f"  scheme nodes        : {len(encoded.scheme)}")
+    print(f"  procedures          : {sorted(encoded.scheme.procedures)}")
+    print(f"  finite interpretation: {encoded.interpretation.is_finite()}")
+    print(f"  halt node           : {encoded.halt_node}")
+
+    print("\nmachine runs, direct vs through M_I_G of the encoding:")
+    show("adder", adder_machine(), {"a": 2, "b": 1})
+    show("adder", adder_machine(), {"a": 0, "b": 3})
+    show("doubler", doubler_machine(), {"a": 2})
+    show("zero-test", zero_test_machine(), {"a": 0})
+    show("zero-test", zero_test_machine(), {"a": 1})
+
+    print("\nwhy this matters: RP schemes alone have decidable reachability,")
+    print("boundedness, … (Theorems 4-6); adding a finite memory colouring")
+    print("makes them Turing-powerful (Theorem 9), so the abstract analyses")
+    print("are the best one can decide — exactly the paper's trade-off.")
+
+
+if __name__ == "__main__":
+    main()

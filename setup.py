@@ -1,0 +1,7 @@
+"""Legacy setup shim (the environment has no `wheel` package, so editable
+installs go through ``setup.py develop``).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

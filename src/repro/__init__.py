@@ -1,0 +1,90 @@
+"""repro — a formal framework for the analysis of recursive-parallel programs.
+
+Reproduction of O. Kouchnarenko and Ph. Schnoebelen, *A Formal Framework
+for the Analysis of Recursive-Parallel Programs*, PACT 1997.
+
+The package provides:
+
+* :mod:`repro.core` — RP schemes, hierarchical states, the abstract
+  semantics ``M_G``, tree and gap embeddings;
+* :mod:`repro.lang` — the RP programming language front-end (lexer, parser,
+  compiler to schemes, pretty-printer);
+* :mod:`repro.analysis` — the decision procedures of Section 3
+  (reachability, node reachability, mutual exclusion, boundedness,
+  sup-reachability, persistence, inevitability, halting, coverability);
+* :mod:`repro.interp` — the interpreted semantics ``M_I_G`` of Section 4
+  (memories, interpretations, executors, the ``P_G`` machine model, trace
+  steering);
+* :mod:`repro.lts` — generic labelled transition systems, simulations and
+  the divergence-preserving simulation ``⊑_d`` of Theorem 10;
+* :mod:`repro.wqo` — well-quasi-ordering utilities (Higman, Kruskal,
+  antichains and finite bases);
+* :mod:`repro.petri` and :mod:`repro.pa` — the Petri-net and PA substrates
+  the paper compares RP schemes against;
+* :mod:`repro.minsky` — counter machines and the Theorem 9 encoding.
+"""
+
+from .core import (
+    EMPTY,
+    TAU,
+    AbstractSemantics,
+    Alphabet,
+    GapEmbedding,
+    HState,
+    Node,
+    NodeKind,
+    RPScheme,
+    SchemeBuilder,
+    Transition,
+    embeds,
+    hstate_to_dot,
+    scheme_to_dot,
+    strictly_embeds,
+)
+from .errors import (
+    AnalysisBudgetExceeded,
+    AnalysisError,
+    ExecutionError,
+    InterpretationError,
+    LanguageError,
+    LexError,
+    NotationError,
+    ParseError,
+    RPError,
+    SchemeError,
+    SemanticError,
+    StateError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EMPTY",
+    "TAU",
+    "AbstractSemantics",
+    "Alphabet",
+    "GapEmbedding",
+    "HState",
+    "Node",
+    "NodeKind",
+    "RPScheme",
+    "SchemeBuilder",
+    "Transition",
+    "embeds",
+    "hstate_to_dot",
+    "scheme_to_dot",
+    "strictly_embeds",
+    "AnalysisBudgetExceeded",
+    "AnalysisError",
+    "ExecutionError",
+    "InterpretationError",
+    "LanguageError",
+    "LexError",
+    "NotationError",
+    "ParseError",
+    "RPError",
+    "SchemeError",
+    "SemanticError",
+    "StateError",
+    "__version__",
+]

@@ -1,0 +1,179 @@
+"""The Boundedness Problem (Theorem 4, last item).
+
+*Input:* a scheme ``G`` and a state ``σ ∈ M(G)``.
+*Output:* true iff ``Reach(σ)`` is finite.
+
+The paper's proof of Proposition 16 describes how unboundedness always
+shows up as one of two pump shapes along a run — sibling growth
+(``C[q,ω] →* C[q, ω+ω']``) or depth growth (``C[q,ω] →* C[ω'[q,ω]]``) —
+both of which are instances of a *strict self-covering*: a run
+``σ_k →* σ_l`` with ``σ_k ≺ σ_l`` (strict embedding).  The procedure here
+is the Karp–Miller-style forward search for such self-coverings, combined
+with exhaustive saturation:
+
+* **bounded** verdicts come from saturation: the whole of ``Reach(σ)`` was
+  enumerated (always a proof);
+* **unbounded** verdicts come from a strict self-covering on a search path.
+  For *wait-free* schemes this is a proof: plain embedding is strongly
+  compatible with the transition relation (the extra invocations are
+  inert), so the covering run can be iterated forever, producing ever
+  larger states.  With ``wait`` nodes extra invocations can block a wait,
+  so the certificate is additionally *verified by replay*: the pump's
+  firing-descriptor sequence is re-fired from the covering state the
+  requested number of times, demanding strictly growing results each time.
+  Replay-verified verdicts are flagged ``exact=False`` (see DESIGN.md for
+  the substitution note — the paper's exact algorithm is in the
+  unpublished [Sch96]).
+
+If neither saturation nor a self-covering occurs within the state budget,
+:class:`~repro.errors.AnalysisBudgetExceeded` is raised rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+from ..core.embedding import strictly_embeds
+from ..core.hstate import HState
+from ..core.scheme import RPScheme
+from ..core.semantics import AbstractSemantics, Transition
+from ..errors import AnalysisBudgetExceeded
+from .certificates import AnalysisVerdict, PumpCertificate, SaturationCertificate
+from .explore import DEFAULT_MAX_STATES
+
+
+def boundedness(
+    scheme: RPScheme,
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+    replays: int = 2,
+) -> AnalysisVerdict:
+    """Decide whether ``Reach(initial)`` is finite.
+
+    Returns a verdict whose certificate is a
+    :class:`~repro.analysis.certificates.SaturationCertificate` (bounded)
+    or a :class:`~repro.analysis.certificates.PumpCertificate` (unbounded).
+    """
+    semantics = AbstractSemantics(scheme)
+    start = initial if initial is not None else semantics.initial_state
+    # BFS with parent pointers; ancestors along the BFS tree are checked
+    # for strict self-covering.
+    parent: dict = {start: None}
+    queue: deque = deque([start])
+    transitions_seen = 0
+    while queue:
+        state = queue.popleft()
+        for transition in semantics.successors(state):
+            transitions_seen += 1
+            target = transition.target
+            if target in parent:
+                continue
+            parent[target] = transition
+            pump = _covering_ancestor(parent, transition)
+            if pump is not None:
+                certificate = _certify_pump(scheme, semantics, parent, pump, replays)
+                if certificate is not None:
+                    return AnalysisVerdict(
+                        holds=False,
+                        method="self-covering",
+                        certificate=certificate,
+                        exact=certificate.proof,
+                        details={"explored": len(parent)},
+                    )
+            if len(parent) >= max_states:
+                raise AnalysisBudgetExceeded(
+                    f"boundedness: no saturation and no verifiable self-covering "
+                    f"within {max_states} states",
+                    explored=len(parent),
+                )
+            queue.append(target)
+    return AnalysisVerdict(
+        holds=True,
+        method="saturation",
+        certificate=SaturationCertificate(
+            states=len(parent), transitions=transitions_seen
+        ),
+        exact=True,
+        details={"explored": len(parent)},
+    )
+
+
+def _covering_ancestor(parent: dict, last: Transition) -> Optional[List[Transition]]:
+    """The pump segment ending in *last* whose start is strictly covered.
+
+    Walks the BFS-tree ancestors of ``last.target``; returns the transition
+    segment from the covered ancestor to ``last.target`` when one strictly
+    embeds into it.
+    """
+    target = last.target
+    segment: List[Transition] = [last]
+    via = parent[last.source]
+    current = last.source
+    while True:
+        if current.size < target.size and strictly_embeds(current, target):
+            segment.reverse()
+            return segment
+        if via is None:
+            return None
+        segment.append(via)
+        current = via.source
+        via = parent[current]
+
+
+def _certify_pump(
+    scheme: RPScheme,
+    semantics: AbstractSemantics,
+    parent: dict,
+    pump: List[Transition],
+    replays: int,
+) -> Optional[PumpCertificate]:
+    """Build (and for wait-bearing schemes, replay-verify) a pump certificate."""
+    base = pump[0].source
+    pumped = pump[-1].target
+    prefix: List[Transition] = []
+    via = parent[base]
+    current = base
+    while via is not None:
+        prefix.append(via)
+        current = via.source
+        via = parent[current]
+    prefix.reverse()
+    if scheme.is_wait_free:
+        return PumpCertificate(
+            prefix=tuple(prefix),
+            pump=tuple(pump),
+            base=base,
+            pumped=pumped,
+            replays=0,
+            proof=True,
+        )
+    descriptors = [t.descriptor for t in pump]
+    state = pumped
+    for _ in range(replays):
+        trace = _replay_growing(semantics, state, descriptors)
+        if trace is None:
+            return None
+        state = trace[-1].target
+    return PumpCertificate(
+        prefix=tuple(prefix),
+        pump=tuple(pump),
+        base=base,
+        pumped=pumped,
+        replays=replays,
+        proof=False,
+    )
+
+
+def _replay_growing(
+    semantics: AbstractSemantics, state: HState, descriptors
+) -> Optional[List[Transition]]:
+    """Re-fire *descriptors* from *state* demanding a strictly bigger result."""
+    trace = semantics.replay(state, descriptors)
+    if trace is None:
+        return None
+    final = trace[-1].target
+    if final.size <= state.size or not strictly_embeds(state, final):
+        return None
+    return trace

@@ -1,0 +1,124 @@
+"""Verdicts and certificates for the analysis procedures.
+
+Every decision procedure in :mod:`repro.analysis` returns an
+:class:`AnalysisVerdict` carrying, besides the boolean answer, *evidence*
+that the test-suite re-checks independently against the raw semantics:
+
+* :class:`WitnessPath` — a concrete transition sequence (reachability,
+  mutual-exclusion violations, ...);
+* :class:`PumpCertificate` — a self-covering run plus its verified replays
+  (unboundedness);
+* :class:`SaturationCertificate` — the exhaustively explored state space
+  (boundedness, non-reachability, exclusion, halting);
+* :class:`LassoCertificate` — a cycle reachable from the initial state
+  (non-termination, inevitability violations);
+* :class:`BasisCertificate` — a finite basis of minimal reachable states
+  (sup-reachability, persistence).
+
+``exact`` records whether the verdict is a *proof* under the documented
+completeness envelope, or a replay-verified semi-decision (only
+unboundedness of schemes with ``wait`` nodes falls in the second class —
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.hstate import HState
+from ..core.semantics import Descriptor, Transition
+
+
+@dataclass(frozen=True)
+class WitnessPath:
+    """A concrete run ``initial →* final`` as a transition list."""
+
+    transitions: Tuple[Transition, ...]
+
+    @property
+    def initial(self) -> HState:
+        return self.transitions[0].source if self.transitions else None  # type: ignore
+
+    @property
+    def final(self) -> HState:
+        return self.transitions[-1].target if self.transitions else None  # type: ignore
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(t.label for t in self.transitions)
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+
+@dataclass(frozen=True)
+class PumpCertificate:
+    """Evidence of unboundedness: a strictly self-covering run.
+
+    ``prefix`` drives the initial state to ``base``; ``pump`` drives
+    ``base`` to ``pumped`` with ``base ≺ pumped`` (strict embedding).  For
+    wait-free schemes strict self-covering is a proof by strong
+    compatibility; otherwise ``replays`` records how many times the pump
+    descriptor sequence was re-fired with strictly growing results.
+    """
+
+    prefix: Tuple[Transition, ...]
+    pump: Tuple[Transition, ...]
+    base: HState
+    pumped: HState
+    replays: int
+    proof: bool
+
+    @property
+    def pump_descriptors(self) -> Tuple[Descriptor, ...]:
+        return tuple(t.descriptor for t in self.pump)
+
+
+@dataclass(frozen=True)
+class SaturationCertificate:
+    """Evidence by exhaustion: the full finite reachable state space."""
+
+    states: int
+    transitions: int
+
+
+@dataclass(frozen=True)
+class LassoCertificate:
+    """An infinite run: a stem to ``loop_state`` plus a cycle back to it."""
+
+    stem: Tuple[Transition, ...]
+    loop: Tuple[Transition, ...]
+
+    @property
+    def loop_state(self) -> HState:
+        return self.loop[0].source
+
+
+@dataclass(frozen=True)
+class BasisCertificate:
+    """A finite basis (antichain of minimal reachable states)."""
+
+    basis: Tuple[HState, ...]
+    ordering: str = "⪯"
+
+
+@dataclass(frozen=True)
+class AnalysisVerdict:
+    """The outcome of a decision procedure.
+
+    ``holds`` answers the question as posed by the procedure's docstring;
+    ``exact`` is ``True`` when the verdict is a proof; ``certificate``
+    carries re-checkable evidence; ``method`` names the algorithm that
+    produced the verdict; ``details`` holds free-form diagnostics
+    (state counts, iteration counts...).
+    """
+
+    holds: bool
+    method: str
+    certificate: Optional[object] = None
+    exact: bool = True
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds

@@ -1,0 +1,236 @@
+"""The Inevitability Problem (Theorem 6) and its halting corollary.
+
+*Input:* a scheme ``G``, a state ``σ``, and a finite basis ``I ⊆ M(G)``.
+*Output:* true iff **all** computations starting from ``σ`` eventually
+reach a state **not** in the upward closure of ``I`` w.r.t. the
+⋆-embedding (:class:`~repro.core.embedding.GapEmbedding`).
+
+A computation is a maximal run (infinite, or ending in the unique terminal
+state ``∅``).  Inevitability fails exactly when some maximal run stays in
+``↑I`` forever, which can happen in three ways:
+
+1. a finite maximal run entirely inside ``↑I`` — possible only when
+   ``∅ ∈ ↑I`` (i.e. ``∅ ∈ I``), since ``∅`` is the only terminal state;
+2. a cycle inside the ``↑I``-restricted reachable graph (a concrete lasso,
+   always a proof of violation);
+3. unbounded growth inside ``↑I`` (an infinite acyclic run, by König's
+   lemma applied to the restricted finitely-branching system).
+
+The procedure explores the restriction of ``M_G`` to ``↑I``.  When the
+restricted system saturates, the answer is exact: inevitability holds iff
+the restricted graph is acyclic and no in-``↑I`` terminated run exists.
+Case 3 on non-saturating systems is detected by the same
+strict-self-covering machinery as boundedness, additionally demanding that
+the replayed pump stay inside ``↑I`` (flagged ``exact=False`` for schemes
+with ``wait`` nodes, as in :mod:`repro.analysis.boundedness`).
+
+Corollary 7 falls out by instantiating ``I`` with all single-invocation
+states: ``↑I`` is then "not yet terminated" and inevitability is halting —
+see :func:`halting_via_inevitability`, cross-checked in the tests against
+:mod:`repro.analysis.termination`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.embedding import GapEmbedding, PLAIN_EMBEDDING, strictly_embeds
+from ..core.hstate import HState
+from ..core.scheme import RPScheme
+from ..core.semantics import AbstractSemantics, Transition
+from ..errors import AnalysisBudgetExceeded
+from .boundedness import _certify_pump, _covering_ancestor
+from .certificates import (
+    AnalysisVerdict,
+    LassoCertificate,
+    SaturationCertificate,
+    WitnessPath,
+)
+from .explore import DEFAULT_MAX_STATES
+
+
+def inevitability(
+    scheme: RPScheme,
+    basis: Sequence[HState],
+    initial: Optional[HState] = None,
+    embedding: Optional[GapEmbedding] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+    replays: int = 2,
+) -> AnalysisVerdict:
+    """Decide whether all computations eventually leave ``↑basis``.
+
+    *embedding* selects the ⋆-embedding variant; the default is the
+    unrestricted embedding (``GapEmbedding(None)``).
+    """
+    ordering = embedding if embedding is not None else PLAIN_EMBEDDING
+    semantics = AbstractSemantics(scheme)
+    start = initial if initial is not None else semantics.initial_state
+
+    def inside(state: HState) -> bool:
+        return ordering.dominates(state, basis)
+
+    if not inside(start):
+        return AnalysisVerdict(
+            holds=True, method="initial-outside", certificate=None, exact=True
+        )
+
+    # Restricted exploration: BFS over in-↑I states, recording the in-↑I
+    # subgraph for exact lasso detection at saturation, and watching for
+    # strict self-coverings (the unbounded-inside case).
+    parent: Dict[HState, Optional[Transition]] = {start: None}
+    edges: Dict[HState, List[Transition]] = {}
+    queue: deque = deque([start])
+    transitions_seen = 0
+    while queue:
+        state = queue.popleft()
+        successors = semantics.successors(state)
+        edges[state] = []
+        if not successors:
+            # a maximal run terminates inside ↑I (state is ∅ by Prop 3)
+            return AnalysisVerdict(
+                holds=False,
+                method="terminating-run-inside",
+                certificate=WitnessPath(tuple(_path(parent, state))),
+                exact=True,
+                details={"explored": len(parent)},
+            )
+        for transition in successors:
+            transitions_seen += 1
+            target = transition.target
+            if not inside(target):
+                continue
+            edges[state].append(transition)
+            if target in parent:
+                continue
+            parent[target] = transition
+            pump = _covering_ancestor(parent, transition)
+            if pump is not None:
+                certificate = _certify_pump(scheme, semantics, parent, pump, replays)
+                if certificate is not None and _pump_stays_inside(
+                    semantics, certificate, inside, replays
+                ):
+                    return AnalysisVerdict(
+                        holds=False,
+                        method="self-covering-inside",
+                        certificate=certificate,
+                        exact=False,
+                        details={"explored": len(parent)},
+                    )
+            if len(parent) >= max_states:
+                raise AnalysisBudgetExceeded(
+                    f"inevitability: restricted system did not saturate "
+                    f"within {max_states} states",
+                    explored=len(parent),
+                )
+            queue.append(target)
+    lasso = _find_lasso(start, edges)
+    if lasso is not None:
+        return AnalysisVerdict(
+            holds=False,
+            method="lasso-inside",
+            certificate=lasso,
+            exact=True,
+            details={"explored": len(parent)},
+        )
+    return AnalysisVerdict(
+        holds=True,
+        method="restricted-saturation",
+        certificate=SaturationCertificate(len(parent), transitions_seen),
+        exact=True,
+        details={"explored": len(parent)},
+    )
+
+
+def halting_via_inevitability(
+    scheme: RPScheme,
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> AnalysisVerdict:
+    """Corollary 7: halting as inevitability of leaving "non-terminated".
+
+    ``I`` = all single-invocation states ``{(q,∅)}``: ``↑I`` is exactly the
+    set of non-empty states, so "eventually leave ``↑I``" means "eventually
+    reach ∅" — i.e. every computation terminates.  Cross-checked in the
+    tests against the direct bounded-and-acyclic characterisation of
+    :mod:`repro.analysis.termination`.
+    """
+    basis = [HState.leaf(node) for node in scheme.node_ids]
+    return inevitability(scheme, basis, initial=initial, max_states=max_states)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _path(parent: Dict, state: HState) -> List[Transition]:
+    path: List[Transition] = []
+    current = state
+    while parent[current] is not None:
+        path.append(parent[current])
+        current = parent[current].source
+    path.reverse()
+    return path
+
+
+def _find_lasso(
+    start: HState, edges: Dict[HState, List[Transition]]
+) -> Optional[LassoCertificate]:
+    """A (stem, loop) witness of a cycle in the restricted graph, if any.
+
+    Iterative DFS with an explicit trail so arbitrarily deep graphs are
+    handled without recursion limits.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[HState, int] = {state: WHITE for state in edges}
+    trail: List[Transition] = []
+    stack: List[Tuple[HState, int]] = [(start, 0)]
+    colour[start] = GREY
+    while stack:
+        state, position = stack[-1]
+        out = edges.get(state, [])
+        if position < len(out):
+            stack[-1] = (state, position + 1)
+            transition = out[position]
+            target = transition.target
+            status = colour.get(target, BLACK)
+            if status == GREY:
+                # close the loop at `target`
+                trail.append(transition)
+                split = 0
+                for index, step in enumerate(trail):
+                    if step.source == target:
+                        split = index
+                return LassoCertificate(
+                    stem=tuple(trail[:split]), loop=tuple(trail[split:])
+                )
+            if status == WHITE:
+                colour[target] = GREY
+                trail.append(transition)
+                stack.append((target, 0))
+        else:
+            colour[state] = BLACK
+            stack.pop()
+            if trail:
+                trail.pop()
+    return None
+
+
+def _pump_stays_inside(semantics, certificate, inside, replays: int) -> bool:
+    """Check the pump's replayed iterations remain in ``↑I`` throughout."""
+    for transition in certificate.pump:
+        if not inside(transition.target):
+            return False
+    state = certificate.pumped
+    descriptors = list(certificate.pump_descriptors)
+    for _ in range(max(1, replays)):
+        trace = semantics.replay(state, descriptors)
+        if trace is None:
+            return False
+        if any(not inside(t.target) for t in trace):
+            return False
+        previous, state = state, trace[-1].target
+        if state.size <= previous.size or not strictly_embeds(previous, state):
+            return False
+    return True

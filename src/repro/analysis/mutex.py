@@ -1,0 +1,95 @@
+"""The Mutual Exclusion Problem (Theorem 4, third item).
+
+*Input:* a scheme ``G``, two nodes ``q, q'`` and a state ``σ``.
+*Output:* true iff from ``σ`` we **never** reach a state where both ``q``
+and ``q'`` occur.
+
+§5.3 motivates the problem: listing the nodes where a given global
+variable is assigned and checking they cannot occur simultaneously proves
+the compiled program free of write conflicts on the machine hardware.
+
+Co-occurrence of a node multiset ``P`` is an upward-closed property whose
+basis is the finite set of *arrangements* of ``P`` into a forest
+(:func:`repro.analysis.coverability.arrangements`), so mutual exclusion is
+the complement of a coverability question and inherits the layered
+engine's exactness envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.hstate import HState
+from ..core.scheme import RPScheme
+from .certificates import AnalysisVerdict
+from .coverability import arrangements
+from .explore import DEFAULT_MAX_STATES
+from .reachability import covers
+
+
+def mutually_exclusive(
+    scheme: RPScheme,
+    first: str,
+    second: str,
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> AnalysisVerdict:
+    """Decide whether nodes *first* and *second* can never co-occur.
+
+    ``holds=True`` means the nodes are mutually exclusive.  When they are
+    not, the certificate is a witness path to a state containing both.
+    """
+    return nodes_never_cooccur(
+        scheme, [first, second], initial=initial, max_states=max_states
+    )
+
+
+def nodes_never_cooccur(
+    scheme: RPScheme,
+    nodes: Sequence[str],
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> AnalysisVerdict:
+    """Generalised exclusion: can the node multiset *nodes* never be
+    simultaneously live?  (Two equal entries ask for two distinct
+    invocations at the same node.)"""
+    for node in nodes:
+        scheme.node(node)  # validate early
+    wanted = list(nodes)
+    cover = covers(
+        scheme,
+        targets=arrangements(wanted),
+        predicate=lambda s: s.contains_all_nodes(wanted),
+        initial=initial,
+        max_states=max_states,
+        what=f"co-occurrence of {sorted(wanted)}",
+    )
+    return AnalysisVerdict(
+        holds=not cover.holds,
+        method=cover.method,
+        certificate=cover.certificate,
+        exact=cover.exact,
+        details=cover.details,
+    )
+
+
+def write_conflicts(
+    scheme: RPScheme,
+    writer_nodes: Sequence[str],
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> dict:
+    """The §5.3 compiler check: which pairs of writer nodes may conflict?
+
+    Returns a mapping from each unordered pair of distinct nodes in
+    *writer_nodes* to its :func:`mutually_exclusive` verdict; pairs whose
+    verdict does not hold are potential hardware write conflicts.
+    """
+    verdicts = {}
+    distinct = sorted(set(writer_nodes))
+    for i, a in enumerate(distinct):
+        for b in distinct[i + 1 :]:
+            verdicts[(a, b)] = mutually_exclusive(
+                scheme, a, b, initial=initial, max_states=max_states
+            )
+    return verdicts

@@ -1,0 +1,164 @@
+"""Normedness of RP schemes.
+
+A state is *normed* when it can reach the terminated state ``∅``; a scheme
+is normed when every reachable state is.  The paper singles normedness out
+as a property **not** compatible with ``⊑_d`` (end of Section 4): it is
+"mostly interesting if one wants to analyze the uninterpreted model,
+without aiming at transferring the information to the interpreted model".
+The incompatibility itself is demonstrated in the test-suite on explicit
+LTSs.
+
+Decision structure:
+
+* ``∅``-reachability from a single state is plain reachability
+  (semi-decision, exact under saturation);
+* scheme normedness is decided exactly on bounded schemes by a backward
+  sweep over the saturated graph (the co-reachable set of ``∅``);
+* on unbounded schemes a *non-normed witness* search is available: a
+  reachable state from which the (bounded) exploration saturates without
+  meeting ``∅`` is a proof of non-normedness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..core.hstate import EMPTY, HState
+from ..core.scheme import RPScheme
+from ..errors import AnalysisBudgetExceeded
+from .certificates import AnalysisVerdict, SaturationCertificate, WitnessPath
+from .explore import DEFAULT_MAX_STATES, Explorer
+
+
+def state_is_normed(
+    scheme: RPScheme,
+    state: HState,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> AnalysisVerdict:
+    """Can *state* reach ``∅``?
+
+    Positive answers come from a size-greedy best-first search (states
+    shrink towards ∅, so expanding the smallest frontier state first finds
+    terminating runs in near-linear time where breadth-first search would
+    drown); negative answers are exact when the search saturates.
+    """
+    from heapq import heappop, heappush
+
+    from ..core.semantics import AbstractSemantics
+
+    semantics = AbstractSemantics(scheme)
+    seen = {state}
+    counter = 0  # tie-breaker: heap entries must never compare HStates
+    frontier = [(state.size, 0, state)]
+    while frontier:
+        _size, _tick, current = heappop(frontier)
+        if current.is_empty():
+            return AnalysisVerdict(
+                holds=True,
+                method="greedy-termination-search",
+                certificate=None,
+                exact=True,
+                details={"explored": len(seen)},
+            )
+        for transition in semantics.successors(current):
+            target = transition.target
+            if target in seen:
+                continue
+            if len(seen) >= max_states:
+                raise AnalysisBudgetExceeded(
+                    f"state_is_normed: {max_states} states searched without "
+                    f"reaching ∅ or saturating",
+                    explored=len(seen),
+                )
+            seen.add(target)
+            counter += 1
+            heappush(frontier, (target.size, counter, target))
+    return AnalysisVerdict(
+        holds=False,
+        method="greedy-termination-search",
+        certificate=SaturationCertificate(len(seen), 0),
+        exact=True,
+        details={"explored": len(seen)},
+    )
+
+
+def normed(
+    scheme: RPScheme,
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+    max_witness_checks: int = 10,
+) -> AnalysisVerdict:
+    """Is every reachable state normed?
+
+    Exact on bounded schemes (backward sweep from ``∅`` over the saturated
+    graph); on unbounded schemes the procedure tests up to
+    *max_witness_checks* explored states for non-normedness (each test is
+    itself a reachability search) and raises
+    :class:`~repro.errors.AnalysisBudgetExceeded` when neither a witness
+    nor saturation materialises.
+    """
+    explorer = Explorer(scheme, max_states=max_states)
+    graph = explorer.explore(initial)
+    if graph.complete:
+        conormed = _co_reachable(graph)
+        for state in graph.states:
+            if state not in conormed:
+                return AnalysisVerdict(
+                    holds=False,
+                    method="backward-sweep",
+                    certificate=WitnessPath(tuple(graph.path_to(state))),
+                    exact=True,
+                    details={"explored": len(graph)},
+                )
+        return AnalysisVerdict(
+            holds=True,
+            method="backward-sweep",
+            certificate=SaturationCertificate(len(graph), graph.num_transitions),
+            exact=True,
+            details={"explored": len(graph)},
+        )
+    # unbounded fragment: look for an expanded state provably not normed,
+    # preferring the largest explored states (blocked waits accumulate
+    # there) and capping the number of expensive per-state searches
+    pending = set(graph.unexpanded)
+    candidates = sorted(
+        (s for s in graph.states if s not in pending),
+        key=lambda s: -s.size,
+    )[:max_witness_checks]
+    for state in candidates:
+        try:
+            verdict = state_is_normed(scheme, state, max_states=max_states)
+        except AnalysisBudgetExceeded:
+            continue
+        if not verdict.holds:
+            return AnalysisVerdict(
+                holds=False,
+                method="non-normed-witness",
+                certificate=WitnessPath(tuple(graph.path_to(state))),
+                exact=True,
+                details={"witness": state.to_notation()},
+            )
+    raise AnalysisBudgetExceeded(
+        f"normedness: no saturation and no non-normed witness within "
+        f"{max_states} states",
+        explored=len(graph),
+    )
+
+
+def _co_reachable(graph) -> Set[HState]:
+    """States of a saturated graph from which ``∅`` is reachable."""
+    predecessors = {}
+    for state in graph.states:
+        for transition in graph.successors(state):
+            predecessors.setdefault(transition.target, []).append(state)
+    if EMPTY not in graph.index:
+        return set()
+    conormed = {EMPTY}
+    frontier: List[HState] = [EMPTY]
+    while frontier:
+        state = frontier.pop()
+        for predecessor in predecessors.get(state, ()):
+            if predecessor not in conormed:
+                conormed.add(predecessor)
+                frontier.append(predecessor)
+    return conormed

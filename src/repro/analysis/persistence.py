@@ -1,0 +1,89 @@
+"""Persistent node sets (§5.2, a corollary of Theorem 5).
+
+A set of nodes ``P = {q1..qn}`` is *persistent* (from a given initial
+state) iff every reachable state has at least one occurrence of one node
+of ``P`` — e.g. the nodes of a procedure that is never terminated, or the
+nodes in which a resource is held forever.
+
+Persistence is decided from the sup-reachability basis: "contains no
+``P``-node" is a downward-closed property (deleting invocations cannot
+create ``P``-nodes), so some reachable state is ``P``-free iff some
+*minimal* reachable state is ``P``-free.  The minimal-reachable-state
+engine of :mod:`repro.analysis.sup_reachability` terminates on every
+scheme, making this procedure exact unconditionally — exactly the shape of
+the paper's Proposition 14.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.hstate import HState
+from ..core.scheme import RPScheme
+from .certificates import AnalysisVerdict, BasisCertificate
+from .sup_reachability import DEFAULT_MAX_KEPT, reaches_downward_closed, sup_reachability
+
+
+def persistent(
+    scheme: RPScheme,
+    nodes: Sequence[str],
+    initial: Optional[HState] = None,
+    max_kept: int = DEFAULT_MAX_KEPT,
+) -> AnalysisVerdict:
+    """Decide whether the node set *nodes* is persistent from *initial*.
+
+    ``holds=True``: every reachable state contains some node of *nodes*.
+    Negative verdicts carry a reachable ``P``-free witness state.
+    """
+    for node in nodes:
+        scheme.node(node)  # validate early
+    wanted = frozenset(nodes)
+    witness = reaches_downward_closed(
+        scheme,
+        predicate=lambda s: not s.contains_any_node(wanted),
+        initial=initial,
+        max_kept=max_kept,
+    )
+    if witness is not None:
+        return AnalysisVerdict(
+            holds=False,
+            method="sup-reachability-basis",
+            certificate=witness,
+            exact=True,
+            details={"free_state": witness.to_notation()},
+        )
+    basis = sup_reachability(scheme, initial=initial, max_kept=max_kept)
+    return AnalysisVerdict(
+        holds=True,
+        method="sup-reachability-basis",
+        certificate=basis.certificate,
+        exact=True,
+        details=basis.details,
+    )
+
+
+def never_terminates_procedure(
+    scheme: RPScheme,
+    procedure: str,
+    initial: Optional[HState] = None,
+    max_kept: int = DEFAULT_MAX_KEPT,
+) -> AnalysisVerdict:
+    """Is some invocation of *procedure* alive in every reachable state?
+
+    Uses the scheme's procedure metadata to collect the procedure's nodes
+    (the graph region reachable from its entry without crossing other
+    procedure entries) and checks persistence of that set.
+    """
+    entry = scheme.procedures.get(procedure)
+    if entry is None:
+        raise KeyError(f"unknown procedure {procedure!r}")
+    other_entries = {e for p, e in scheme.procedures.items() if p != procedure}
+    region = {entry}
+    frontier = [entry]
+    while frontier:
+        node = scheme.node(frontier.pop())
+        for succ in node.successors:
+            if succ not in region and succ not in other_entries:
+                region.add(succ)
+                frontier.append(succ)
+    return persistent(scheme, sorted(region), initial=initial, max_kept=max_kept)

@@ -1,0 +1,106 @@
+"""Variable-level write-conflict analysis (§5.3, as a library API).
+
+"Listing all nodes of G where a given global variable is assigned new
+values, and checking that these nodes cannot occur simultaneously in a
+hierarchical state, we know there will be no write-conflict in the
+machine hardware."
+
+Given a compiled concrete program, :func:`race_report` collects, per
+global variable, the scheme nodes assigning it and decides pairwise
+simultaneity — including the *self* pair (two parallel invocations both
+at the same assignment node).  The verdicts come straight from the
+mutual-exclusion engine and inherit its certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.compiler import CompiledProgram
+from .certificates import AnalysisVerdict
+from .explore import DEFAULT_MAX_STATES
+from .mutex import nodes_never_cooccur
+
+
+def variable_writers(compiled: CompiledProgram) -> Dict[str, List[str]]:
+    """Per global variable, the scheme nodes assigning it."""
+    writers: Dict[str, List[str]] = {}
+    for node in compiled.scheme:
+        if node.label is None:
+            continue
+        definition = compiled.actions.get(node.label)
+        if (
+            definition is not None
+            and definition.kind == "assign"
+            and definition.scope == "global"
+        ):
+            writers.setdefault(definition.target, []).append(node.id)
+    return writers
+
+
+@dataclass(frozen=True)
+class VariableRaces:
+    """Conflict findings for one global variable."""
+
+    variable: str
+    writer_nodes: Tuple[str, ...]
+    conflicts: Tuple[Tuple[Tuple[str, str], AnalysisVerdict], ...]
+
+    @property
+    def is_safe(self) -> bool:
+        return not self.conflicts
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Whole-program write-conflict report."""
+
+    variables: Tuple[VariableRaces, ...]
+
+    @property
+    def is_safe(self) -> bool:
+        return all(entry.is_safe for entry in self.variables)
+
+    def conflicts(self) -> List[Tuple[str, Tuple[str, str]]]:
+        """Flat list of ``(variable, (node, node))`` conflicts."""
+        return [
+            (entry.variable, pair)
+            for entry in self.variables
+            for pair, _verdict in entry.conflicts
+        ]
+
+
+def race_report(
+    compiled: CompiledProgram,
+    variables: Optional[Sequence[str]] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> RaceReport:
+    """Check all (or the given) global variables for write conflicts.
+
+    A pair of writer nodes conflicts when they can occur simultaneously in
+    a reachable hierarchical state; the self pair ``(n, n)`` asks for two
+    distinct parallel invocations at the same node.
+    """
+    writers = variable_writers(compiled)
+    wanted = list(variables) if variables is not None else sorted(writers)
+    entries: List[VariableRaces] = []
+    for variable in wanted:
+        nodes = writers.get(variable, [])
+        conflicts: List[Tuple[Tuple[str, str], AnalysisVerdict]] = []
+        for i, a in enumerate(nodes):
+            for b in nodes[i:]:
+                pair_nodes = [a, b] if a != b else [a, a]
+                verdict = nodes_never_cooccur(
+                    compiled.scheme, pair_nodes, max_states=max_states
+                )
+                if not verdict.holds:
+                    conflicts.append(((a, b), verdict))
+        entries.append(
+            VariableRaces(
+                variable=variable,
+                writer_nodes=tuple(nodes),
+                conflicts=tuple(conflicts),
+            )
+        )
+    return RaceReport(variables=tuple(entries))

@@ -1,0 +1,137 @@
+"""The Reachability and Node Reachability Problems (Theorem 4).
+
+*Reachability*: given ``G`` and states ``σ, σ'``, is there a transition
+sequence of ``M_G`` from ``σ`` to ``σ'``?
+
+*Node Reachability*: given ``G``, a node ``q`` and a state ``σ``, can a
+state containing an occurrence of ``q`` be reached from ``σ``?
+
+The paper's exact algorithms live in the unpublished [Sch96]; this module
+layers the machinery available here (see DESIGN.md):
+
+* **forward search** — positive answers with concrete witness paths, on
+  every scheme (a semi-decision that is complete whenever the reachable
+  set is finite, where saturation also proves negatives);
+* **backward coverability** — for node reachability, negative answers are
+  exact on *every* scheme and positive answers on wait-free schemes
+  (:mod:`repro.analysis.coverability`).
+
+``state_reachable``/``node_reachable`` combine the layers automatically
+and raise :class:`~repro.errors.AnalysisBudgetExceeded` instead of
+guessing when no layer is conclusive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.hstate import HState
+from ..core.scheme import RPScheme
+from ..errors import AnalysisBudgetExceeded
+from .certificates import AnalysisVerdict, SaturationCertificate, WitnessPath
+from .coverability import backward_coverability
+from .explore import DEFAULT_MAX_STATES, Explorer
+
+
+def state_reachable(
+    scheme: RPScheme,
+    target: HState,
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> AnalysisVerdict:
+    """Decide whether *target* is reachable from *initial* (exactly).
+
+    Positive verdicts carry a :class:`WitnessPath`; negative verdicts are
+    produced by saturation and carry a :class:`SaturationCertificate`.
+    """
+    explorer = Explorer(scheme, max_states=max_states)
+    graph = explorer.explore(initial, stop_when=lambda s: s == target)
+    if target in graph:
+        return AnalysisVerdict(
+            holds=True,
+            method="forward-search",
+            certificate=WitnessPath(tuple(graph.path_to(target))),
+            exact=True,
+            details={"explored": len(graph)},
+        )
+    if graph.complete:
+        return AnalysisVerdict(
+            holds=False,
+            method="saturation",
+            certificate=SaturationCertificate(len(graph), graph.num_transitions),
+            exact=True,
+            details={"explored": len(graph)},
+        )
+    raise AnalysisBudgetExceeded(
+        f"reachability: target not found within {max_states} states and the "
+        f"scheme did not saturate",
+        explored=len(graph),
+    )
+
+
+def node_reachable(
+    scheme: RPScheme,
+    node: str,
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> AnalysisVerdict:
+    """Decide whether some reachable state contains an occurrence of *node*.
+
+    Layered strategy: forward search (positive answers with witnesses and
+    saturation-based negatives), then backward coverability of
+    ``↑{(node,∅)}`` — whose negative answers are exact on every scheme.
+    """
+    scheme.node(node)  # validate early
+    return covers(
+        scheme,
+        targets=[HState.leaf(node)],
+        predicate=lambda s: s.contains_node(node),
+        initial=initial,
+        max_states=max_states,
+        what=f"node reachability of {node!r}",
+    )
+
+
+def covers(
+    scheme: RPScheme,
+    targets: Sequence[HState],
+    predicate,
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+    what: str = "coverability",
+) -> AnalysisVerdict:
+    """Shared engine: can a state satisfying the upward-closed *predicate*
+    (with coverability basis *targets*) be reached from *initial*?
+
+    *predicate* must characterise ``↑targets`` (the callers guarantee it).
+    """
+    explorer = Explorer(scheme, max_states=max_states)
+    graph = explorer.explore(initial, stop_when=predicate)
+    hit = graph.find(predicate)
+    if hit is not None:
+        return AnalysisVerdict(
+            holds=True,
+            method="forward-search",
+            certificate=WitnessPath(tuple(graph.path_to(hit))),
+            exact=True,
+            details={"explored": len(graph)},
+        )
+    if graph.complete:
+        return AnalysisVerdict(
+            holds=False,
+            method="saturation",
+            certificate=SaturationCertificate(len(graph), graph.num_transitions),
+            exact=True,
+            details={"explored": len(graph)},
+        )
+    backward = backward_coverability(scheme, targets, initial=initial)
+    if not backward.holds:
+        return backward
+    if backward.exact:
+        return backward
+    raise AnalysisBudgetExceeded(
+        f"{what}: forward budget of {max_states} states exhausted and the "
+        f"backward answer is only an over-approximation on this scheme "
+        f"(wait nodes present)",
+        explored=len(graph),
+    )

@@ -1,0 +1,141 @@
+"""One-call analysis summary for a scheme.
+
+:func:`analyze` runs the standard battery — boundedness, halting, node
+reachability sweep, minimal-reachable basis, normedness — each guarded
+against budget exhaustion, and returns a structured
+:class:`SchemeReport` that renders to the ``rpcheck`` report text.
+Programmatic consumers get the raw verdicts; the CLI gets consistent
+formatting; tests get one object to assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.hstate import HState
+from ..core.scheme import RPScheme
+from ..errors import AnalysisBudgetExceeded
+from .boundedness import boundedness
+from .certificates import AnalysisVerdict
+from .explore import DEFAULT_MAX_STATES
+from .normedness import normed
+from .reachability import node_reachable
+from .sup_reachability import sup_reachability
+from .termination import halts
+
+
+@dataclass(frozen=True)
+class SchemeReport:
+    """The outcome of the standard analysis battery.
+
+    Each optional field is ``None`` when the corresponding procedure was
+    inconclusive within the budget (never silently wrong).
+    """
+
+    scheme_name: str
+    nodes: int
+    wait_free: bool
+    bounded: Optional[AnalysisVerdict]
+    halting: Optional[AnalysisVerdict]
+    normedness: Optional[AnalysisVerdict]
+    unreachable_nodes: Tuple[str, ...]
+    inconclusive_nodes: Tuple[str, ...]
+    basis: Optional[Tuple[HState, ...]]
+
+    def render(self) -> str:
+        """The human-readable report."""
+        lines = [
+            f"scheme    : {self.scheme_name}",
+            f"nodes     : {self.nodes}",
+            f"wait-free : {'yes' if self.wait_free else 'no'}",
+            "analyses:",
+            self._verdict_line("boundedness", self.bounded),
+            self._verdict_line("halting", self.halting),
+            self._verdict_line("normedness", self.normedness),
+        ]
+        unreachable = ", ".join(self.unreachable_nodes) or "(none)"
+        lines.append(f"  unreachable nodes  {unreachable}")
+        if self.inconclusive_nodes:
+            lines.append(
+                "  inconclusive nodes " + ", ".join(self.inconclusive_nodes)
+            )
+        if self.basis is not None:
+            rendered = ", ".join(state.to_notation() for state in self.basis)
+            lines.append(f"  min-reach basis    {rendered}")
+        else:
+            lines.append("  min-reach basis    inconclusive")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _verdict_line(name: str, verdict: Optional[AnalysisVerdict]) -> str:
+        if verdict is None:
+            return f"  {name:<18} inconclusive (budget exhausted)"
+        answer = "yes" if verdict.holds else "no"
+        exactness = "" if verdict.exact else " (replay-verified, not a proof)"
+        return f"  {name:<18} {answer:<4} [{verdict.method}]{exactness}"
+
+    @property
+    def conclusive(self) -> bool:
+        """The core battery produced verdicts.
+
+        Normedness is excluded: on unbounded schemes it is frequently
+        inconclusive by nature (see :mod:`repro.analysis.normedness`) and
+        is reported as extra information only.
+        """
+        return (
+            self.bounded is not None
+            and self.halting is not None
+            and not self.inconclusive_nodes
+            and self.basis is not None
+        )
+
+
+def analyze(
+    scheme: RPScheme,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> SchemeReport:
+    """Run the standard battery with graceful budget handling."""
+
+    def guarded(procedure) -> Optional[AnalysisVerdict]:
+        try:
+            return procedure()
+        except AnalysisBudgetExceeded:
+            return None
+
+    bounded = guarded(lambda: boundedness(scheme, max_states=max_states))
+    halting = guarded(lambda: halts(scheme, max_states=max_states))
+    # normedness multiplies exploration by per-witness searches on
+    # unbounded schemes; the battery caps its budget (it is reported as
+    # extra information and excluded from `conclusive`)
+    normedness = guarded(
+        lambda: normed(scheme, max_states=min(max_states, 1_500))
+    )
+
+    unreachable: List[str] = []
+    inconclusive: List[str] = []
+    for node in scheme.node_ids:
+        try:
+            if not node_reachable(scheme, node, max_states=max_states).holds:
+                unreachable.append(node)
+        except AnalysisBudgetExceeded:
+            inconclusive.append(node)
+
+    try:
+        basis: Optional[Tuple[HState, ...]] = tuple(
+            sup_reachability(scheme).certificate.basis
+        )
+    except AnalysisBudgetExceeded:
+        basis = None
+
+    return SchemeReport(
+        scheme_name=scheme.name,
+        nodes=len(scheme),
+        wait_free=scheme.is_wait_free,
+        bounded=bounded,
+        halting=halting,
+        normedness=normedness,
+        unreachable_nodes=tuple(unreachable),
+        inconclusive_nodes=tuple(inconclusive),
+        basis=basis,
+    )

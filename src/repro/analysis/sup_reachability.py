@@ -1,0 +1,162 @@
+"""The Sup-Reachability Problem (Theorem 5).
+
+*Input:* a scheme ``G`` and a state ``σ ∈ M(G)``.
+*Output:* a finite basis of the upward closure of ``Reach(σ)``.
+
+Since ``⪯`` is a well-quasi-ordering (Kruskal), ``↑Reach(σ)`` has a finite
+basis; the canonical one is the set of *minimal reachable states*.  The
+algorithm here is a forward search with **domination pruning**: a newly
+discovered state is discarded iff it embeds some already-kept state
+(``kept ⪯ new``); kept states form a bad sequence, hence — by the wqo
+property — the search terminates on *every* scheme, bounded or not.
+
+Correctness rests on a property of RP schemes proved in
+``DESIGN.md``/``EXPERIMENTS.md`` and property-tested in the test-suite:
+*(reflexive) downward compatibility*.  If ``σ ⪯ σ'`` and ``σ' → τ'`` then
+either ``σ ⪯ τ'`` already, or ``σ → τ`` for some ``τ ⪯ τ'`` — crucially
+this holds **including the wait rule** (a wait fired by a token whose
+embedding preimage exists forces the preimage childless too), which is the
+direction in which ``wait`` does *not* break compatibility.  By induction,
+anything reachable from a pruned state dominates something reachable from
+the kept state that pruned it, so pruning never loses minimal elements:
+
+    ↑Reach(σ)  =  ↑{kept states}.
+
+The returned basis is the antichain of minimal kept states.  This single
+engine also answers every *downward-closed* emptiness question about
+``Reach(σ)`` (is some reachable state P-free? is some reachable state of
+size ≤ k? ...) via :func:`reaches_downward_closed`, which is how
+persistence (§5.2) is decided.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+from ..core.embedding import embeds
+from ..core.hstate import HState
+from ..core.scheme import RPScheme
+from ..core.semantics import AbstractSemantics, Transition
+from ..errors import AnalysisBudgetExceeded
+from ..wqo.kruskal import tree_embedding_order
+from ..wqo.orderings import minimal_elements
+from .certificates import AnalysisVerdict, BasisCertificate
+
+#: Domination-pruned searches terminate by the wqo property; the budget is
+#: a safety net against pathological antichain growth, far above anything
+#: the scheme families in this repository produce.
+DEFAULT_MAX_KEPT = 200_000
+
+
+def sup_reachability(
+    scheme: RPScheme,
+    initial: Optional[HState] = None,
+    max_kept: int = DEFAULT_MAX_KEPT,
+) -> AnalysisVerdict:
+    """Compute a finite basis of ``↑Reach(initial)``.
+
+    The verdict always ``holds`` (the problem is a computation, not a
+    yes/no question); the basis is in the certificate.
+    """
+    basis, kept_count = _minimal_reach(scheme, initial, max_kept)
+    return AnalysisVerdict(
+        holds=True,
+        method="domination-pruned-search",
+        certificate=BasisCertificate(basis=tuple(basis)),
+        exact=True,
+        details={"kept": kept_count, "basis_size": len(basis)},
+    )
+
+
+def minimal_reachable_states(
+    scheme: RPScheme,
+    initial: Optional[HState] = None,
+    max_kept: int = DEFAULT_MAX_KEPT,
+) -> List[HState]:
+    """The minimal elements of ``Reach(initial)`` w.r.t. ``⪯``."""
+    basis, _ = _minimal_reach(scheme, initial, max_kept)
+    return basis
+
+
+def reaches_downward_closed(
+    scheme: RPScheme,
+    predicate: Callable[[HState], bool],
+    initial: Optional[HState] = None,
+    max_kept: int = DEFAULT_MAX_KEPT,
+) -> Optional[HState]:
+    """A reachable state satisfying a *downward-closed* predicate, or None.
+
+    The predicate must be downward-closed w.r.t. ``⪯`` (if it holds of σ
+    and σ' ⪯ σ then it holds of σ'); under that contract the answer is
+    exact on every scheme: ``Reach ∩ D ≠ ∅`` iff some kept state is in D.
+
+    The returned witness is a kept (hence genuinely reachable) state.
+    """
+    kept = _kept_states(scheme, initial, max_kept, stop_when=predicate)
+    for state in kept:
+        if predicate(state):
+            return state
+    return None
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+def _minimal_reach(
+    scheme: RPScheme, initial: Optional[HState], max_kept: int
+) -> Tuple[List[HState], int]:
+    kept = _kept_states(scheme, initial, max_kept)
+    order = tree_embedding_order()
+    return minimal_elements(order, sorted(kept, key=lambda s: (s.size, s.sort_key()))), len(kept)
+
+
+def _kept_states(
+    scheme: RPScheme,
+    initial: Optional[HState],
+    max_kept: int,
+    stop_when: Optional[Callable[[HState], bool]] = None,
+) -> List[HState]:
+    """Forward search keeping only non-dominated states.
+
+    A state is *kept* unless some earlier-kept state embeds into it; all
+    kept states are expanded.  Kept states are bucketed by their node
+    multiset's support to cut down embedding tests.
+    """
+    semantics = AbstractSemantics(scheme)
+    start = initial if initial is not None else semantics.initial_state
+    kept: List[HState] = []
+    queue: deque = deque()
+    seen = set()
+
+    def dominated(state: HState) -> bool:
+        return any(
+            low.size <= state.size and embeds(low, state) for low in kept
+        )
+
+    def offer(state: HState) -> bool:
+        """Keep *state* if new and undominated; return True when stopping."""
+        if state in seen:
+            return False
+        seen.add(state)
+        if dominated(state):
+            return False
+        kept.append(state)
+        queue.append(state)
+        if len(kept) > max_kept:
+            raise AnalysisBudgetExceeded(
+                f"sup-reachability: antichain budget of {max_kept} exceeded",
+                explored=len(kept),
+            )
+        return stop_when is not None and stop_when(state)
+
+    if offer(start):
+        return kept
+    while queue:
+        state = queue.popleft()
+        for transition in semantics.successors(state):
+            if offer(transition.target):
+                return kept
+    return kept

@@ -1,0 +1,83 @@
+"""The Halting Problem for RP schemes (Corollary 7).
+
+*Halting*: do **all** computations starting from a given state eventually
+terminate?  By Proposition 3 the only terminal state is ``∅``, so halting
+means every maximal run is finite and ends in ``∅``.
+
+The decision rests on König's lemma: ``M_G`` is finitely branching, so
+
+* if ``Reach(σ)`` is infinite there is an infinite run — not halting;
+* if ``Reach(σ)`` is finite, an infinite run exists iff the reachable
+  graph has a (reachable) cycle.
+
+Hence *halting = bounded ∧ acyclic*, and both ingredients are available:
+boundedness from :mod:`repro.analysis.boundedness` (with its pump
+certificates) and cycle detection on the saturated graph.  Non-halting
+verdicts carry a concrete :class:`LassoCertificate` (finite case) or
+:class:`PumpCertificate` (unbounded case).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.hstate import HState
+from ..core.scheme import RPScheme
+from .boundedness import boundedness
+from .certificates import AnalysisVerdict, LassoCertificate, SaturationCertificate
+from .explore import DEFAULT_MAX_STATES, Explorer
+
+
+def halts(
+    scheme: RPScheme,
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> AnalysisVerdict:
+    """Decide whether all computations from *initial* terminate."""
+    bounded = boundedness(scheme, initial=initial, max_states=max_states)
+    if not bounded.holds:
+        # an unbounded system has infinite runs by König's lemma; the pump
+        # certificate exhibits ever-growing reachable states
+        return AnalysisVerdict(
+            holds=False,
+            method="unbounded-implies-nonhalting",
+            certificate=bounded.certificate,
+            exact=bounded.exact,
+            details=bounded.details,
+        )
+    graph = Explorer(scheme, max_states=max_states).explore_or_raise(
+        initial, what="halting"
+    )
+    lasso = graph.find_lasso()
+    if lasso is not None:
+        stem, loop = lasso
+        return AnalysisVerdict(
+            holds=False,
+            method="reachable-cycle",
+            certificate=LassoCertificate(stem=tuple(stem), loop=tuple(loop)),
+            exact=True,
+            details={"explored": len(graph)},
+        )
+    return AnalysisVerdict(
+        holds=True,
+        method="bounded-acyclic",
+        certificate=SaturationCertificate(len(graph), graph.num_transitions),
+        exact=True,
+        details={"explored": len(graph)},
+    )
+
+
+def may_terminate(
+    scheme: RPScheme,
+    initial: Optional[HState] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> AnalysisVerdict:
+    """Decide whether **some** computation from *initial* terminates.
+
+    This is reachability of ``∅`` (the unique terminal state), a plain
+    forward question answered by the reachability procedure.
+    """
+    from ..core.hstate import EMPTY
+    from .reachability import state_reachable
+
+    return state_reachable(scheme, EMPTY, initial=initial, max_states=max_states)

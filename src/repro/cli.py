@@ -1,0 +1,189 @@
+"""``rpcheck`` — command-line analysis of RP programs.
+
+The stand-in for the tool layer the paper describes ("software tools for
+the analysis of RP programs … connected to the RP compiler"): parse a
+program, compile it to its scheme, and run the Section 3 analyses.
+
+Usage::
+
+    rpcheck PROGRAM.rp                  # full report
+    rpcheck PROGRAM.rp --dot out.dot    # also emit the scheme as DOT
+    rpcheck PROGRAM.rp --node q5        # node reachability for one node
+    rpcheck PROGRAM.rp --mutex q1,q2    # mutual exclusion of two nodes
+    rpcheck PROGRAM.rp --run            # execute (fully concrete programs)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import analyze, mutually_exclusive, node_reachable
+from .core.dot import scheme_to_dot
+from .errors import AnalysisBudgetExceeded, RPError
+from .interp import run_program
+from .lang import compile_source
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rpcheck",
+        description="analyse recursive-parallel (RP) programs",
+    )
+    parser.add_argument("program", help="path to an RP source file ('-' for stdin)")
+    parser.add_argument("--dot", metavar="FILE", help="write the scheme as DOT")
+    parser.add_argument("--node", metavar="NODE", help="check node reachability")
+    parser.add_argument(
+        "--mutex", metavar="A,B", help="check mutual exclusion of two nodes"
+    )
+    parser.add_argument(
+        "--run", action="store_true", help="execute a fully concrete program"
+    )
+    parser.add_argument(
+        "--races",
+        action="store_true",
+        help="report write conflicts per global variable (§5.3)",
+    )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="report the effect of the scheme optimiser",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="write the scheme as JSON"
+    )
+    parser.add_argument(
+        "--lint", action="store_true", help="run the static lints"
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="state budget for the semi-decision procedures (default 20000)",
+    )
+    return parser
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _verdict_line(name: str, verdict) -> str:
+    answer = "yes" if verdict.holds else "no"
+    exactness = "" if verdict.exact else " (replay-verified, not a proof)"
+    return f"  {name:<18} {answer:<4} [{verdict.method}]{exactness}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        source = _read_source(args.program)
+    except OSError as error:
+        print(f"rpcheck: {error}", file=sys.stderr)
+        return 2
+    try:
+        compiled = compile_source(source)
+    except RPError as error:
+        print(f"rpcheck: {error}", file=sys.stderr)
+        return 2
+    scheme = compiled.scheme
+    print(f"program   : {scheme.name}")
+    print(f"nodes     : {len(scheme)}  (procedures: {', '.join(scheme.procedures)})")
+    print(f"alphabet  : {', '.join(scheme.alphabet()) or '(none)'}")
+
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(scheme_to_dot(scheme))
+        print(f"dot       : written to {args.dot}")
+
+    report = analyze(scheme, max_states=args.max_states)
+    print(f"wait-free : {'yes' if report.wait_free else 'no'}")
+    print("analyses:")
+    # skip the scheme/nodes/wait-free header lines the report duplicates
+    print("\n".join(report.render().splitlines()[4:]))
+    exit_code = 0 if report.conclusive else 1
+
+    if args.node:
+        try:
+            verdict = node_reachable(scheme, args.node, max_states=args.max_states)
+            print(_verdict_line(f"reach {args.node}", verdict))
+        except (RPError, AnalysisBudgetExceeded) as error:
+            print(f"  reach {args.node}: {error}")
+            exit_code = 1
+
+    if args.mutex:
+        first, _, second = args.mutex.partition(",")
+        try:
+            verdict = mutually_exclusive(
+                scheme, first.strip(), second.strip(), max_states=args.max_states
+            )
+            print(_verdict_line(f"mutex {args.mutex}", verdict))
+        except (RPError, AnalysisBudgetExceeded) as error:
+            print(f"  mutex {args.mutex}: {error}")
+            exit_code = 1
+
+    if args.lint:
+        from .lang.lint import lint
+
+        findings = lint(compiled.program, compiled.scheme)
+        print("lints:")
+        if findings:
+            for warning in findings:
+                print(f"  {warning}")
+        else:
+            print("  (clean)")
+
+    if args.json:
+        from .core.serialize import scheme_to_json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(scheme_to_json(scheme))
+        print(f"json      : written to {args.json}")
+
+    if args.optimize:
+        from .lang.optimize import optimize as optimize_scheme
+
+        report = optimize_scheme(scheme)
+        print("optimizer:")
+        print(f"  dead nodes removed : {report.removed_dead}")
+        print(f"  nodes merged       : {report.merged}")
+        print(f"  size               : {len(scheme)} -> {len(report.scheme)}")
+
+    if args.races:
+        from .analysis.races import race_report
+
+        report = race_report(compiled, max_states=args.max_states)
+        print("write conflicts:")
+        if not report.variables:
+            print("  (no global-variable writers)")
+        for entry in report.variables:
+            if entry.is_safe:
+                print(f"  {entry.variable:<12} safe "
+                      f"(writers: {', '.join(entry.writer_nodes) or 'none'})")
+            else:
+                pairs = ", ".join(f"{a}~{b}" for (a, b), _ in entry.conflicts)
+                print(f"  {entry.variable:<12} CONFLICTS: {pairs}")
+                exit_code = 1
+
+    if args.run:
+        try:
+            memory, visible = run_program(compiled)
+            print("execution:")
+            print(f"  trace  : {' '.join(visible) or '(silent)'}")
+            print(f"  memory : {dict(memory)!r}")
+        except RPError as error:
+            print(f"rpcheck: execution failed: {error}", file=sys.stderr)
+            exit_code = 1
+
+    return exit_code
+
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Core model: hierarchical states, embeddings, RP schemes, semantics."""
+
+from .alphabet import TAU, Alphabet, is_silent, is_visible
+from .builder import SchemeBuilder
+from .dot import hstate_to_dot, scheme_to_dot
+from .embedding import (
+    PLAIN_EMBEDDING,
+    GapEmbedding,
+    embeds,
+    is_minimal_among,
+    strictly_embeds,
+)
+from .hstate import EMPTY, HState, Path
+from .scheme import Node, NodeKind, RPScheme
+from .semantics import AbstractSemantics, Descriptor, Transition
+from .generate import random_scheme, random_schemes
+from .isomorphism import find_isomorphism, isomorphic
+from .serialize import (hstate_from_json, hstate_to_json, scheme_from_dict, scheme_from_json, scheme_to_dict, scheme_to_json)
+
+__all__ = [
+    "random_scheme",
+    "random_schemes",
+    "find_isomorphism",
+    "isomorphic",
+    "hstate_from_json",
+    "hstate_to_json",
+    "scheme_from_dict",
+    "scheme_from_json",
+    "scheme_to_dict",
+    "scheme_to_json",
+
+    "TAU",
+    "Alphabet",
+    "is_silent",
+    "is_visible",
+    "SchemeBuilder",
+    "hstate_to_dot",
+    "scheme_to_dot",
+    "PLAIN_EMBEDDING",
+    "GapEmbedding",
+    "embeds",
+    "is_minimal_among",
+    "strictly_embeds",
+    "EMPTY",
+    "HState",
+    "Path",
+    "Node",
+    "NodeKind",
+    "RPScheme",
+    "AbstractSemantics",
+    "Descriptor",
+    "Transition",
+]

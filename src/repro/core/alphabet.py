@@ -1,0 +1,84 @@
+"""Action alphabets and transition labels.
+
+The paper works with an uninterpreted countable alphabet ``A`` of abstract
+action names (``a1``, ``b2``, ...) extended with a silent label ``τ``:
+
+    A_τ = A ∪ {τ}
+
+Transitions produced by the structural constructs (``pcall``, ``wait``,
+``end``) are labelled ``τ``; action and test nodes are labelled with their
+action name.  We represent labels as plain strings and reserve
+:data:`TAU` for the silent label, which keeps states and traces cheap to
+hash and compare.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+#: The silent (internal) label, written ``τ`` in the paper.
+TAU = "τ"
+
+
+def is_silent(label: str) -> bool:
+    """Return ``True`` iff *label* is the silent label ``τ``."""
+    return label == TAU
+
+
+def is_visible(label: str) -> bool:
+    """Return ``True`` iff *label* is an ordinary action name (not ``τ``)."""
+    return label != TAU
+
+
+class Alphabet:
+    """A finite action alphabet ``A`` (a set of visible action names).
+
+    The class is a thin, immutable wrapper over a frozenset that checks the
+    reserved ``τ`` label is never used as an ordinary action, and offers the
+    ``A_τ`` view used for labelling transition systems.
+    """
+
+    __slots__ = ("_names",)
+
+    def __init__(self, names: Iterable[str]) -> None:
+        names = frozenset(names)
+        if TAU in names:
+            raise ValueError("the silent label τ cannot be a visible action")
+        for name in names:
+            if not name:
+                raise ValueError("action names must be non-empty strings")
+        self._names = names
+
+    @property
+    def names(self) -> frozenset:
+        """The visible action names, as a frozenset."""
+        return self._names
+
+    def with_tau(self) -> frozenset:
+        """The full label set ``A_τ = A ∪ {τ}``."""
+        return self._names | {TAU}
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._names))
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __or__(self, other: "Alphabet") -> "Alphabet":
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return Alphabet(self._names | other._names)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({sorted(self._names)!r})"

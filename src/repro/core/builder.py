@@ -1,0 +1,97 @@
+"""Fluent construction of RP schemes.
+
+:class:`SchemeBuilder` offers a small declarative API for writing schemes
+by hand (the language front-end in :mod:`repro.lang` compiles programs to
+schemes through it as well)::
+
+    b = SchemeBuilder("fig2")
+    b.action("q0", "a1", "q1")
+    b.test("q1", "b2", then="q2", orelse="q3")
+    b.pcall("q2", invoked="q7", succ="q4")
+    b.wait("q4", "q5")
+    b.action("q5", "a3", "q6")
+    b.end("q6")
+    ...
+    scheme = b.build(root="q0")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SchemeError
+from .scheme import Node, NodeKind, RPScheme
+
+
+class SchemeBuilder:
+    """Incremental builder producing a validated :class:`RPScheme`."""
+
+    def __init__(self, name: str = "scheme") -> None:
+        self.name = name
+        self._nodes: List[Node] = []
+        self._ids: Dict[str, Node] = {}
+        self._procedures: Dict[str, str] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Node declarations (each returns the node id, for chaining)
+    # ------------------------------------------------------------------
+
+    def action(self, node_id: str, label: str, succ: str) -> str:
+        """Declare an action node performing *label* then moving to *succ*."""
+        return self._add(Node(node_id, NodeKind.ACTION, label=label, successors=(succ,)))
+
+    def test(self, node_id: str, label: str, then: str, orelse: str) -> str:
+        """Declare a test node branching on *label*."""
+        return self._add(
+            Node(node_id, NodeKind.TEST, label=label, successors=(then, orelse))
+        )
+
+    def pcall(self, node_id: str, invoked: str, succ: str) -> str:
+        """Declare a pcall node spawning a child at *invoked*."""
+        return self._add(
+            Node(node_id, NodeKind.PCALL, successors=(succ,), invoked=invoked)
+        )
+
+    def wait(self, node_id: str, succ: str) -> str:
+        """Declare a wait node joining all children before *succ*."""
+        return self._add(Node(node_id, NodeKind.WAIT, successors=(succ,)))
+
+    def end(self, node_id: str) -> str:
+        """Declare an end node terminating the invocation."""
+        return self._add(Node(node_id, NodeKind.END))
+
+    def procedure(self, name: str, entry: str) -> None:
+        """Record that procedure *name* starts at node *entry* (metadata)."""
+        if name in self._procedures:
+            raise SchemeError(f"duplicate procedure name {name!r}")
+        self._procedures[name] = entry
+
+    def fresh_id(self, prefix: str = "q") -> str:
+        """Return a node id not used so far (``q0``, ``q1``, ...)."""
+        while True:
+            candidate = f"{prefix}{self._counter}"
+            self._counter += 1
+            if candidate not in self._ids:
+                return candidate
+
+    def _add(self, node: Node) -> str:
+        if node.id in self._ids:
+            raise SchemeError(f"duplicate node id {node.id!r}")
+        self._ids[node.id] = node
+        self._nodes.append(node)
+        return node.id
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._ids
+
+    def build(self, root: str, name: Optional[str] = None) -> RPScheme:
+        """Validate and return the scheme rooted at *root*."""
+        return RPScheme(
+            self._nodes,
+            root=root,
+            name=name if name is not None else self.name,
+            procedures=self._procedures,
+        )

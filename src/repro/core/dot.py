@@ -1,0 +1,86 @@
+"""DOT (Graphviz) rendering of schemes and marked schemes.
+
+The paper draws schemes with shape-coded nodes (Fig. 2) and hierarchical
+states as markings with dotted parent-child links between tokens (Fig. 4).
+These functions produce textual DOT for both views; no Graphviz binary is
+required to generate the text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .hstate import HState
+from .scheme import NodeKind, RPScheme
+
+_SHAPES: Dict[NodeKind, str] = {
+    NodeKind.ACTION: "box",
+    NodeKind.TEST: "ellipse",
+    NodeKind.PCALL: "pentagon",
+    NodeKind.WAIT: "triangle",
+    NodeKind.END: "doublecircle",
+}
+
+
+def _node_caption(scheme: RPScheme, node_id: str) -> str:
+    node = scheme.node(node_id)
+    if node.label is not None:
+        return f"{node.id}\\n{node.label}"
+    if node.kind is NodeKind.PCALL:
+        return f"{node.id}\\npcall"
+    if node.kind is NodeKind.WAIT:
+        return f"{node.id}\\nwait"
+    return f"{node.id}\\nend"
+
+
+def scheme_to_dot(scheme: RPScheme, marking: Optional[HState] = None) -> str:
+    """Render *scheme* as DOT, optionally overlaying a hierarchical state.
+
+    With a *marking*, each node is annotated with its token count (the
+    Fig. 4 view) and the parent-child hierarchy between tokens is drawn as
+    dotted edges between the nodes hosting them.
+    """
+    lines: List[str] = [f'digraph "{scheme.name}" {{', "  rankdir=TB;"]
+    counts = marking.node_multiset() if marking is not None else {}
+    for node in scheme:
+        caption = _node_caption(scheme, node.id)
+        tokens = counts.get(node.id, 0)
+        if marking is not None and tokens:
+            caption += f"\\n● × {tokens}"
+        style = ' style=filled fillcolor="#ffe9a8"' if tokens else ""
+        lines.append(
+            f'  "{node.id}" [shape={_SHAPES[node.kind]} label="{caption}"{style}];'
+        )
+    lines.append(f'  init [shape=point]; init -> "{scheme.root}";')
+    for node in scheme:
+        if node.kind is NodeKind.TEST:
+            then_branch, else_branch = node.successors
+            lines.append(f'  "{node.id}" -> "{then_branch}" [label="then"];')
+            lines.append(f'  "{node.id}" -> "{else_branch}" [label="else"];')
+        else:
+            for succ in node.successors:
+                lines.append(f'  "{node.id}" -> "{succ}";')
+        if node.invoked is not None:
+            lines.append(f'  "{node.id}" -> "{node.invoked}" [style=dashed label="invokes"];')
+    if marking is not None:
+        for path, node_id, children in marking.positions():
+            for child_node, _ in children.items:
+                lines.append(
+                    f'  "{node_id}" -> "{child_node}" '
+                    f'[style=dotted constraint=false color="#888888"];'
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hstate_to_dot(state: HState, name: str = "hstate") -> str:
+    """Render a hierarchical state as a forest (the Fig. 3 view)."""
+    lines: List[str] = [f'digraph "{name}" {{', "  node [shape=circle];"]
+    for path, node_id, _children in state.positions():
+        token = "t" + "_".join(map(str, path))
+        lines.append(f'  {token} [label="{node_id}"];')
+        if len(path) > 1:
+            parent = "t" + "_".join(map(str, path[:-1]))
+            lines.append(f"  {parent} -> {token} [style=dotted];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Embeddings between hierarchical states.
+
+The paper orders hierarchical states by *forest embedding*: ``σ ⪯ σ'`` iff
+``σ`` can be obtained from ``σ'`` by deleting some invocations while
+preserving the (transitive) ancestor relationships between the remaining
+ones.  By Kruskal's Tree Theorem this is a well-quasi-ordering with the
+empty state ``∅`` as minimum, and it is the backbone of the decidability
+results of Section 3 (sup-reachability, boundedness).
+
+Section 3 also uses a finer *⋆-embedding* with gap conditions (defined in
+[KS96a], not reproduced in the paper text).  We implement a parameterised
+gap embedding: ``σ ⪯⋆ σ'`` iff there is an embedding of ``σ`` into ``σ'``
+such that every *deleted* invocation of ``σ'`` is at a node from a given
+``gap`` set.  With ``gap = all nodes`` this degenerates to plain embedding;
+with a restricted gap set it is strictly finer, which is what the
+inevitability procedure (Theorem 6) needs — see DESIGN.md for the
+substitution note.
+
+Deciding unordered-forest embedding is done by a memoised recursion.  Two
+distinct source trees may embed into the *same* target tree provided their
+images are incomparable (e.g. ``{a, b}`` embeds into ``{c,{a, b}}``); the
+algorithm therefore assigns *groups* of source trees to target trees, with
+a bipartite-matching fast path for the common injective case.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .hstate import HState
+
+#: One tree of a hierarchical state: an invocation with its children forest.
+Tree = Tuple[str, HState]
+
+
+def embeds(small: HState, big: HState) -> bool:
+    """Decide the paper's forest embedding ``small ⪯ big``.
+
+    >>> embeds(HState.parse("a,b"), HState.parse("c,{a,b}"))
+    True
+    >>> embeds(HState.parse("a,{b}"), HState.parse("b,{a}"))
+    False
+    """
+    return _Embedder().forest_embeds(small, big)
+
+
+def strictly_embeds(small: HState, big: HState) -> bool:
+    """``small ⪯ big`` and ``small ≠ big``."""
+    return small != big and embeds(small, big)
+
+
+def is_minimal_among(state: HState, others: Iterable[HState]) -> bool:
+    """``True`` iff no state in *others* strictly embeds into *state*."""
+    return not any(strictly_embeds(other, state) for other in others)
+
+
+class _Embedder:
+    """Memoised decision procedure for unordered forest embedding.
+
+    An optional *gap* predicate restricts which target invocations may be
+    deleted; ``None`` means every deletion is allowed (plain embedding).
+    """
+
+    def __init__(self, gap: Optional[Callable[[str], bool]] = None) -> None:
+        self._gap = gap
+        self._tree_memo: Dict[Tuple, bool] = {}
+        self._root_memo: Dict[Tuple, bool] = {}
+        self._forest_memo: Dict[Tuple, bool] = {}
+        self._deletable_memo: Dict[Tuple, bool] = {}
+
+    # -- public entry ---------------------------------------------------
+
+    def forest_embeds(self, small: HState, big: HState) -> bool:
+        """Decide whether forest *small* embeds into forest *big*."""
+        return self._forest(small.items, big.items)
+
+    # -- deletability (gap condition) ----------------------------------
+
+    def _tree_deletable(self, tree: Tree) -> bool:
+        """May the whole target *tree* be absent from the image?"""
+        if self._gap is None:
+            return True
+        key = (tree[0], tree[1].sort_key())
+        cached = self._deletable_memo.get(key)
+        if cached is None:
+            cached = self._gap(tree[0]) and all(
+                self._tree_deletable(child) for child in tree[1].items
+            )
+            self._deletable_memo[key] = cached
+        return cached
+
+    def _forest_deletable(self, forest: Sequence[Tree]) -> bool:
+        return all(self._tree_deletable(tree) for tree in forest)
+
+    # -- tree-level relations -------------------------------------------
+
+    def _tree(self, s: Tree, t: Tree) -> bool:
+        """Source tree *s* embeds into target tree *t* (image root anywhere)."""
+        key = (s[0], s[1].sort_key(), t[0], t[1].sort_key())
+        cached = self._tree_memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._root(s, t)
+        if not result and (self._gap is None or self._gap(t[0])):
+            # Drop the root of t and descend into one child; all sibling
+            # subtrees of that child must then be deletable.
+            children = t[1].items
+            for index, child in enumerate(children):
+                siblings = children[:index] + children[index + 1 :]
+                if self._forest_deletable(siblings) and self._tree(s, child):
+                    result = True
+                    break
+        self._tree_memo[key] = result
+        return result
+
+    def _root(self, s: Tree, t: Tree) -> bool:
+        """*s* embeds into *t* with root mapped to root."""
+        if s[0] != t[0]:
+            return False
+        key = (s[1].sort_key(), t[1].sort_key())
+        cached = self._root_memo.get(key)
+        if cached is None:
+            cached = self._forest(s[1].items, t[1].items)
+            self._root_memo[key] = cached
+        return cached
+
+    # -- forest-level relation ------------------------------------------
+
+    def _forest(self, sources: Sequence[Tree], targets: Sequence[Tree]) -> bool:
+        """Each source tree maps into targets with pairwise-incomparable images.
+
+        Unassigned target trees must be deletable under the gap condition.
+        """
+        if not sources:
+            return self._forest_deletable(targets)
+        if sum(1 + s[1].size for s in sources) > sum(1 + t[1].size for t in targets):
+            return False
+        key = (
+            tuple((s[0], s[1].sort_key()) for s in sources),
+            tuple((t[0], t[1].sort_key()) for t in targets),
+        )
+        cached = self._forest_memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._forest_matching(sources, targets) or self._forest_search(
+            sources, targets
+        )
+        self._forest_memo[key] = result
+        return result
+
+    def _forest_matching(self, sources: Sequence[Tree], targets: Sequence[Tree]) -> bool:
+        """Fast path: injective assignment via bipartite matching.
+
+        Sound but incomplete (two sources may legitimately share a target);
+        complete search is attempted when matching fails.  With a gap
+        condition the unmatched targets must additionally be deletable, so
+        the fast path is only used when all targets are deletable or the
+        matching is exact.
+        """
+        adjacency: List[List[int]] = []
+        for s in sources:
+            row = [j for j, t in enumerate(targets) if self._tree(s, t)]
+            if not row:
+                return False
+            adjacency.append(row)
+        match_of_target: Dict[int, int] = {}
+
+        def augment(i: int, seen: set) -> bool:
+            for j in adjacency[i]:
+                if j in seen:
+                    continue
+                seen.add(j)
+                if j not in match_of_target or augment(match_of_target[j], seen):
+                    match_of_target[j] = i
+                    return True
+            return False
+
+        for i in range(len(sources)):
+            if not augment(i, set()):
+                return False
+        if self._gap is not None:
+            leftovers = [t for j, t in enumerate(targets) if j not in match_of_target]
+            if not self._forest_deletable(leftovers):
+                return False
+        return True
+
+    def _forest_search(self, sources: Sequence[Tree], targets: Sequence[Tree]) -> bool:
+        """Complete search: assign a group of sources to each target tree.
+
+        A group of two or more sources assigned to one target must embed
+        entirely into that target's children forest (two roots inside one
+        tree cannot both sit on its root, and any node of a tree is
+        comparable with its root).
+        """
+        if not targets:
+            return not sources
+        first, rest = targets[0], targets[1:]
+        indices = list(range(len(sources)))
+        # Enumerate subsets of sources assigned to `first`; iterate by
+        # bitmask over at most a handful of sources (states are small).
+        n = len(sources)
+        if n > 16:  # pragma: no cover - guard against pathological blowup
+            return False
+        for mask in range(1 << n):
+            group = [sources[i] for i in indices if mask & (1 << i)]
+            others = [sources[i] for i in indices if not mask & (1 << i)]
+            if not self._fits(group, first):
+                continue
+            if self._forest(tuple(others), rest):
+                return True
+        return False
+
+    def _fits(self, group: Sequence[Tree], target: Tree) -> bool:
+        if not group:
+            return self._tree_deletable(target)
+        if len(group) == 1:
+            return self._tree(group[0], target)
+        # ≥ 2 incomparable images inside one tree: all strictly below the
+        # root, i.e. inside the children forest (root consumed as a gap).
+        if self._gap is not None and not self._gap(target[0]):
+            return False
+        return self._forest(tuple(group), target[1].items)
+
+
+class GapEmbedding:
+    """The parameterised ⋆-embedding ``⪯⋆`` (gap-condition embedding).
+
+    ``GapEmbedding(gap_nodes)`` allows only invocations at nodes from
+    *gap_nodes* to be deleted; ``GapEmbedding(None)`` allows everything and
+    coincides with plain embedding.  Any restriction yields a finer
+    ordering: ``σ ⪯⋆ σ'  ⟹  σ ⪯ σ'``.
+    """
+
+    def __init__(self, gap_nodes: Optional[Iterable[str]] = None) -> None:
+        self._gap_nodes: Optional[FrozenSet[str]] = (
+            None if gap_nodes is None else frozenset(gap_nodes)
+        )
+
+    @property
+    def gap_nodes(self) -> Optional[FrozenSet[str]]:
+        """The allowed gap nodes, or ``None`` for the unrestricted variant."""
+        return self._gap_nodes
+
+    def embeds(self, small: HState, big: HState) -> bool:
+        """Decide ``small ⪯⋆ big``."""
+        if self._gap_nodes is None:
+            return embeds(small, big)
+        gap_nodes = self._gap_nodes
+        return _Embedder(gap=lambda node: node in gap_nodes).forest_embeds(small, big)
+
+    def strictly_embeds(self, small: HState, big: HState) -> bool:
+        """``small ⪯⋆ big`` and ``small ≠ big``."""
+        return small != big and self.embeds(small, big)
+
+    def dominates(self, state: HState, basis: Iterable[HState]) -> bool:
+        """``True`` iff *state* is in the upward closure (w.r.t. ⪯⋆) of *basis*."""
+        return any(self.embeds(low, state) for low in basis)
+
+    def __repr__(self) -> str:
+        if self._gap_nodes is None:
+            return "GapEmbedding(None)"
+        return f"GapEmbedding({sorted(self._gap_nodes)!r})"
+
+
+#: The unrestricted embedding, exposed with the same interface as
+#: :class:`GapEmbedding` so analysis code can take either.
+PLAIN_EMBEDDING = GapEmbedding(None)

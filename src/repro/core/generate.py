@@ -1,0 +1,85 @@
+"""Random generation of well-formed RP schemes.
+
+Used by the property-based layer of the test-suite for *differential*
+validation: random schemes are fed to independent implementations of the
+same question (forward vs. backward coverability, saturation vs. pump
+detection, direct vs. inevitability-based halting) and the answers are
+required to agree.  The generator is seed-deterministic, so failures are
+reproducible.
+
+Generated schemes are always valid (`RPScheme` construction validates);
+procedures that happen never to be pcalled stay as graph-unreachable
+regions — deliberately kept, since unreachable nodes are exactly what the
+coverability refutation paths need to exercise.  Knobs control size, the
+number of procedures, and whether `wait` nodes appear (several procedures'
+completeness envelopes differ on wait-free schemes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .builder import SchemeBuilder
+from .scheme import RPScheme
+
+
+def random_scheme(
+    seed: int,
+    max_nodes: int = 10,
+    procedures: int = 2,
+    allow_wait: bool = True,
+    action_names: int = 3,
+) -> RPScheme:
+    """Generate a random scheme, deterministically from *seed*.
+
+    Each procedure is a random structured chain of nodes: actions, tests
+    (branching to random earlier-or-later nodes of the same procedure,
+    creating loops), pcalls (to a random procedure) and optional waits,
+    ending in an END node.
+    """
+    rng = random.Random(seed)
+    builder = SchemeBuilder(f"random{seed}")
+    per_procedure = max(2, max_nodes // procedures)
+
+    # first pass: reserve node ids per procedure so tests and pcalls can
+    # point anywhere
+    proc_nodes: List[List[str]] = []
+    for proc in range(procedures):
+        count = rng.randint(2, per_procedure)
+        proc_nodes.append([f"p{proc}n{i}" for i in range(count)])
+
+    for proc, nodes in enumerate(proc_nodes):
+        for index, node_id in enumerate(nodes):
+            is_last = index == len(nodes) - 1
+            succ = nodes[index + 1] if not is_last else None
+            if is_last:
+                builder.end(node_id)
+                continue
+            kind = rng.choice(
+                ["action", "action", "test", "pcall"]
+                + (["wait"] if allow_wait else [])
+            )
+            if kind == "action":
+                builder.action(node_id, f"a{rng.randrange(action_names)}", succ)
+            elif kind == "test":
+                other = rng.choice(nodes)
+                builder.test(
+                    node_id, f"b{rng.randrange(action_names)}", then=succ, orelse=other
+                )
+            elif kind == "pcall":
+                callee_proc = rng.randrange(procedures)
+                builder.pcall(node_id, invoked=proc_nodes[callee_proc][0], succ=succ)
+            else:
+                builder.wait(node_id, succ)
+        builder.procedure(f"proc{proc}", nodes[0])
+    return builder.build(root=proc_nodes[0][0])
+
+
+def random_schemes(
+    count: int,
+    base_seed: int = 0,
+    **kwargs,
+) -> List[RPScheme]:
+    """A reproducible batch of random schemes."""
+    return [random_scheme(base_seed + offset, **kwargs) for offset in range(count)]

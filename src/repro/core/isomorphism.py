@@ -1,0 +1,108 @@
+"""Scheme isomorphism — structural equality up to node renaming.
+
+Used to compare compiled schemes against hand-built references (e.g. the
+Fig. 2 reconstruction): two schemes are isomorphic when a bijection of
+node ids preserves kinds, labels, successor lists (order matters for TEST
+nodes: then/else branches), invocation edges and the root.
+
+The search is a straightforward backtracking matcher with degree/kind
+pruning — schemes are small control graphs, not arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .scheme import Node, RPScheme
+
+
+def _signature(scheme: RPScheme, node: Node) -> tuple:
+    return (node.kind, node.label, len(node.successors), node.invoked is not None)
+
+
+def find_isomorphism(left: RPScheme, right: RPScheme) -> Optional[Dict[str, str]]:
+    """A node bijection witnessing ``left ≅ right``, or ``None``.
+
+    The mapping is rooted: ``left.root ↦ right.root``.
+    """
+    if len(left) != len(right):
+        return None
+    left_nodes = {node.id: node for node in left}
+    right_nodes = {node.id: node for node in right}
+    # candidates by signature
+    candidates: Dict[str, List[str]] = {}
+    right_by_signature: Dict[tuple, List[str]] = {}
+    for node in right:
+        right_by_signature.setdefault(_signature(right, node), []).append(node.id)
+    for node in left:
+        matching = right_by_signature.get(_signature(left, node), [])
+        if not matching:
+            return None
+        candidates[node.id] = matching
+
+    mapping: Dict[str, str] = {}
+    used: Dict[str, str] = {}
+
+    def consistent(a: str, b: str) -> bool:
+        node_a, node_b = left_nodes[a], right_nodes[b]
+        for succ_a, succ_b in zip(node_a.successors, node_b.successors):
+            if succ_a in mapping and mapping[succ_a] != succ_b:
+                return False
+            if succ_b in used and used[succ_b] != succ_a:
+                return False
+        if node_a.invoked is not None:
+            if node_a.invoked in mapping and mapping[node_a.invoked] != node_b.invoked:
+                return False
+            if node_b.invoked in used and used[node_b.invoked] != node_a.invoked:
+                return False
+        return True
+
+    order = sorted(left_nodes, key=lambda n: len(candidates[n]))
+
+    def assign(index: int) -> bool:
+        if index == len(order):
+            return _verify(left, right, mapping)
+        a = order[index]
+        if a in mapping:
+            return assign(index + 1)
+        for b in candidates[a]:
+            if b in used:
+                continue
+            if a == left.root and b != right.root:
+                continue
+            if b == right.root and a != left.root:
+                continue
+            if not consistent(a, b):
+                continue
+            mapping[a] = b
+            used[b] = a
+            if assign(index + 1):
+                return True
+            del mapping[a]
+            del used[b]
+        return False
+
+    if assign(0):
+        return dict(mapping)
+    return None
+
+
+def _verify(left: RPScheme, right: RPScheme, mapping: Dict[str, str]) -> bool:
+    if mapping[left.root] != right.root:
+        return False
+    for node in left:
+        image = right.node(mapping[node.id])
+        if node.kind != image.kind or node.label != image.label:
+            return False
+        if tuple(mapping[s] for s in node.successors) != image.successors:
+            return False
+        if (node.invoked is None) != (image.invoked is None):
+            return False
+        if node.invoked is not None and mapping[node.invoked] != image.invoked:
+            return False
+    return True
+
+
+def isomorphic(left: RPScheme, right: RPScheme) -> bool:
+    """``True`` iff the schemes are isomorphic (rooted)."""
+    return find_isomorphism(left, right) is not None

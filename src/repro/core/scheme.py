@@ -1,0 +1,264 @@
+"""RP schemes — the abstract control graphs of RP programs (Section 1.2).
+
+An RP scheme over an alphabet ``A`` is a finite rooted graph whose nodes
+come in five kinds, drawn in the paper with distinctive shapes:
+
+========  =========== ====================================================
+kind      paper shape rôle
+========  =========== ====================================================
+ACTION    rectangle   an uninterpreted basic action ``a ∈ A``
+TEST      oval        a test ``b ∈ A`` with a *then* and an *else* branch
+PCALL     pentagon    spawn a child invocation at the invoked node
+WAIT      triangle    block until all children invocations terminated
+END       (end)       terminate this invocation
+========  =========== ====================================================
+
+The class :class:`RPScheme` is an immutable, validated container for such a
+graph; its behaviour is given by :mod:`repro.core.semantics`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SchemeError
+from .alphabet import TAU, Alphabet
+from .hstate import HState
+
+
+class NodeKind(enum.Enum):
+    """The five node kinds of an RP scheme."""
+
+    ACTION = "action"
+    TEST = "test"
+    PCALL = "pcall"
+    WAIT = "wait"
+    END = "end"
+
+
+class Node:
+    """One node of an RP scheme.
+
+    ``label`` is the action/test name for ACTION and TEST nodes and ``None``
+    otherwise.  ``successors`` lists control successors: one for ACTION,
+    PCALL and WAIT, two for TEST (then-branch first), none for END.
+    ``invoked`` is the entry node of the procedure spawned by a PCALL.
+    """
+
+    __slots__ = ("id", "kind", "label", "successors", "invoked")
+
+    def __init__(
+        self,
+        node_id: str,
+        kind: NodeKind,
+        label: Optional[str] = None,
+        successors: Sequence[str] = (),
+        invoked: Optional[str] = None,
+    ) -> None:
+        self.id = node_id
+        self.kind = kind
+        self.label = label
+        self.successors: Tuple[str, ...] = tuple(successors)
+        self.invoked = invoked
+
+    def __repr__(self) -> str:
+        parts = [f"{self.id}:{self.kind.value}"]
+        if self.label is not None:
+            parts.append(f"label={self.label}")
+        if self.successors:
+            parts.append("->" + ",".join(self.successors))
+        if self.invoked is not None:
+            parts.append(f"invokes={self.invoked}")
+        return f"Node({' '.join(parts)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return (
+            self.id == other.id
+            and self.kind == other.kind
+            and self.label == other.label
+            and self.successors == other.successors
+            and self.invoked == other.invoked
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.id, self.kind, self.label, self.successors, self.invoked))
+
+
+class RPScheme:
+    """A validated RP scheme (an element of the paper's class ``RPPS_A``).
+
+    Parameters
+    ----------
+    nodes:
+        The nodes of the graph, with distinct ids.
+    root:
+        The initial node ``q0`` of the main procedure.
+    name:
+        Optional display name.
+    procedures:
+        Optional mapping from procedure names to their entry node ids.  This
+        is metadata recorded by the language front-end; it does not affect
+        the behavioural semantics.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        root: str,
+        name: str = "scheme",
+        procedures: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        for node in nodes:
+            if node.id in self._nodes:
+                raise SchemeError(f"duplicate node id {node.id!r}")
+            self._nodes[node.id] = node
+        self.root = root
+        self.procedures: Dict[str, str] = dict(procedures or {})
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if self.root not in self._nodes:
+            raise SchemeError(f"root node {self.root!r} is not a node of the scheme")
+        for node in self._nodes.values():
+            self._validate_node(node)
+        for proc, entry in self.procedures.items():
+            if entry not in self._nodes:
+                raise SchemeError(f"procedure {proc!r} has unknown entry node {entry!r}")
+
+    def _validate_node(self, node: Node) -> None:
+        for succ in node.successors:
+            if succ not in self._nodes:
+                raise SchemeError(f"node {node.id!r} has unknown successor {succ!r}")
+        if node.kind is NodeKind.ACTION:
+            if node.label is None:
+                raise SchemeError(f"action node {node.id!r} has no action label")
+            if len(node.successors) < 1:
+                raise SchemeError(f"action node {node.id!r} needs at least one successor")
+            if node.invoked is not None:
+                raise SchemeError(f"action node {node.id!r} cannot invoke a procedure")
+        elif node.kind is NodeKind.TEST:
+            if node.label is None:
+                raise SchemeError(f"test node {node.id!r} has no test label")
+            if len(node.successors) != 2:
+                raise SchemeError(
+                    f"test node {node.id!r} needs exactly two successors (then, else)"
+                )
+            if node.invoked is not None:
+                raise SchemeError(f"test node {node.id!r} cannot invoke a procedure")
+        elif node.kind is NodeKind.PCALL:
+            if len(node.successors) != 1:
+                raise SchemeError(f"pcall node {node.id!r} needs exactly one successor")
+            if node.invoked is None:
+                raise SchemeError(f"pcall node {node.id!r} has no invoked node")
+            if node.invoked not in self._nodes:
+                raise SchemeError(
+                    f"pcall node {node.id!r} invokes unknown node {node.invoked!r}"
+                )
+            if node.label is not None:
+                raise SchemeError(f"pcall node {node.id!r} cannot carry an action label")
+        elif node.kind is NodeKind.WAIT:
+            if len(node.successors) != 1:
+                raise SchemeError(f"wait node {node.id!r} needs exactly one successor")
+            if node.label is not None or node.invoked is not None:
+                raise SchemeError(f"wait node {node.id!r} carries extraneous data")
+        elif node.kind is NodeKind.END:
+            if node.successors:
+                raise SchemeError(f"end node {node.id!r} cannot have successors")
+            if node.label is not None or node.invoked is not None:
+                raise SchemeError(f"end node {node.id!r} carries extraneous data")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: str) -> Node:
+        """The node with the given id (raises :class:`SchemeError` if absent)."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SchemeError(f"unknown node {node_id!r}") from None
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> Tuple[str, ...]:
+        """All node ids, in insertion order."""
+        return tuple(self._nodes)
+
+    def nodes_of_kind(self, kind: NodeKind) -> Tuple[Node, ...]:
+        """All nodes of the given kind."""
+        return tuple(node for node in self._nodes.values() if node.kind is kind)
+
+    @property
+    def is_wait_free(self) -> bool:
+        """``True`` iff the scheme has no WAIT node.
+
+        On wait-free schemes plain tree embedding is strongly compatible
+        with the transition relation, which widens the completeness
+        envelope of several analysis procedures (see DESIGN.md).
+        """
+        return not self.nodes_of_kind(NodeKind.WAIT)
+
+    def alphabet(self) -> Alphabet:
+        """The visible action alphabet used by ACTION and TEST nodes."""
+        return Alphabet(
+            node.label
+            for node in self._nodes.values()
+            if node.label is not None
+        )
+
+    def transition_label(self, node_id: str) -> str:
+        """The label of transitions fired from *node_id* (``τ`` for
+        PCALL/WAIT/END, the action name otherwise)."""
+        node = self.node(node_id)
+        return node.label if node.label is not None else TAU
+
+    def initial_state(self) -> HState:
+        """The initial hierarchical state ``σ0 = {(q0, ∅)}``."""
+        return HState.leaf(self.root)
+
+    def graph_reachable_nodes(self) -> FrozenSet[str]:
+        """Nodes reachable from the root in the *graph* (following successor
+        and invocation edges).
+
+        This is purely syntactic reachability; behavioural node
+        reachability (Theorem 4) is :mod:`repro.analysis.reachability`.
+        """
+        seen = {self.root}
+        frontier: List[str] = [self.root]
+        while frontier:
+            node = self._nodes[frontier.pop()]
+            targets = list(node.successors)
+            if node.invoked is not None:
+                targets.append(node.invoked)
+            for target in targets:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+    def unreachable_in_graph(self) -> FrozenSet[str]:
+        """Node ids not even graph-reachable from the root."""
+        return frozenset(self._nodes) - self.graph_reachable_nodes()
+
+    def __repr__(self) -> str:
+        return (
+            f"RPScheme(name={self.name!r}, nodes={len(self._nodes)}, "
+            f"root={self.root!r})"
+        )

@@ -1,0 +1,95 @@
+"""JSON (de)serialisation of schemes and hierarchical states.
+
+Round-trippable dictionary/JSON forms for tooling: saving analysis
+inputs, exchanging schemes with external tools, golden files in test
+fixtures.  The JSON shape is versioned and validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..errors import SchemeError, StateError
+from .hstate import HState
+from .scheme import Node, NodeKind, RPScheme
+
+FORMAT_VERSION = 1
+
+
+def scheme_to_dict(scheme: RPScheme) -> Dict[str, Any]:
+    """A plain-dict form of *scheme* (JSON-compatible)."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": scheme.name,
+        "root": scheme.root,
+        "procedures": dict(scheme.procedures),
+        "nodes": [
+            {
+                "id": node.id,
+                "kind": node.kind.value,
+                "label": node.label,
+                "successors": list(node.successors),
+                "invoked": node.invoked,
+            }
+            for node in scheme
+        ],
+    }
+
+
+def scheme_from_dict(data: Dict[str, Any]) -> RPScheme:
+    """Rebuild a scheme from its dict form (validating)."""
+    if data.get("format") != FORMAT_VERSION:
+        raise SchemeError(
+            f"unsupported scheme format {data.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        nodes: List[Node] = [
+            Node(
+                spec["id"],
+                NodeKind(spec["kind"]),
+                label=spec.get("label"),
+                successors=spec.get("successors", ()),
+                invoked=spec.get("invoked"),
+            )
+            for spec in data["nodes"]
+        ]
+        return RPScheme(
+            nodes,
+            root=data["root"],
+            name=data.get("name", "scheme"),
+            procedures=data.get("procedures", {}),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise SchemeError(f"malformed scheme data: {error}") from error
+
+
+def scheme_to_json(scheme: RPScheme, indent: int = 2) -> str:
+    """Serialise to a JSON string."""
+    return json.dumps(scheme_to_dict(scheme), indent=indent, sort_keys=True)
+
+
+def scheme_from_json(text: str) -> RPScheme:
+    """Deserialise from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SchemeError(f"invalid JSON: {error}") from error
+    return scheme_from_dict(data)
+
+
+def hstate_to_json(state: HState) -> str:
+    """Serialise a hierarchical state (as its canonical notation)."""
+    return json.dumps({"format": FORMAT_VERSION, "state": state.to_notation()})
+
+
+def hstate_from_json(text: str) -> HState:
+    """Deserialise a hierarchical state."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise StateError(f"invalid JSON: {error}") from error
+    if data.get("format") != FORMAT_VERSION:
+        raise StateError(f"unsupported state format {data.get('format')!r}")
+    return HState.parse(data["state"])

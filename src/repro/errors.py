@@ -1,0 +1,80 @@
+"""Exception hierarchy for the RP framework.
+
+Every error raised by the library derives from :class:`RPError`, so client
+code can catch a single base class.  Sub-hierarchies mirror the package
+layout: scheme construction, language front-end, analysis and interpretation
+each have their own family.
+"""
+
+from __future__ import annotations
+
+
+class RPError(Exception):
+    """Base class of all errors raised by the RP framework."""
+
+
+class SchemeError(RPError):
+    """An RP scheme is structurally ill-formed."""
+
+
+class StateError(RPError):
+    """A hierarchical state is malformed or used inconsistently."""
+
+
+class NotationError(StateError):
+    """A textual hierarchical-state description could not be parsed."""
+
+
+class LanguageError(RPError):
+    """Base class for RP language front-end errors."""
+
+
+class LexError(LanguageError):
+    """The lexer met an unexpected character."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LanguageError):
+    """The parser met an unexpected token."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(LanguageError):
+    """A program is syntactically valid but semantically ill-formed.
+
+    Examples: duplicate procedure names, ``goto`` to an undefined label,
+    ``pcall`` of an unknown procedure.
+    """
+
+
+class AnalysisError(RPError):
+    """Base class for analysis-engine errors."""
+
+
+class AnalysisBudgetExceeded(AnalysisError):
+    """A semi-decision procedure exhausted its exploration budget.
+
+    The procedures of :mod:`repro.analysis` are exact on their documented
+    completeness envelope; outside it they terminate with this exception
+    instead of returning an unsound verdict.
+    """
+
+    def __init__(self, message: str, explored: int = 0) -> None:
+        super().__init__(message)
+        self.explored = explored
+
+
+class InterpretationError(RPError):
+    """An interpretation is inconsistent with the scheme it interprets."""
+
+
+class ExecutionError(RPError):
+    """A concrete execution under an interpretation failed."""

@@ -1,0 +1,65 @@
+"""Interpreted RP programs: memories, ``M_I_G``, executors, ``P_G``."""
+
+from .executor import (
+    InterpretedExplorer,
+    deepest_first_scheduler,
+    first_scheduler,
+    random_scheduler,
+    round_robin_scheduler,
+    run_program,
+    run_scheduled,
+)
+from .interpretation import (
+    Interpretation,
+    ProgramInterpretation,
+    TableInterpretation,
+    TrivialInterpretation,
+)
+from .isemantics import InterpretedSemantics, ITransition
+from .istate import IEMPTY, GlobalState, IState
+from .machine import MachineSemantics, explore_machine, explore_machine_or_raise
+from .memory import UNIT, Counter, VarStore
+from .profiler import RunProfile, profile_run, profile_trace
+from .verify import SafetyVerdict, verify_safety
+from .steering import (
+    StepCounter,
+    mimic_pump_forever,
+    mimic_run,
+    pump_steering_interpretation,
+    steering_interpretation,
+)
+
+__all__ = [
+    "RunProfile",
+    "profile_run",
+    "profile_trace",
+    "SafetyVerdict",
+    "verify_safety",
+    "InterpretedExplorer",
+    "deepest_first_scheduler",
+    "first_scheduler",
+    "random_scheduler",
+    "round_robin_scheduler",
+    "run_program",
+    "run_scheduled",
+    "Interpretation",
+    "ProgramInterpretation",
+    "TableInterpretation",
+    "TrivialInterpretation",
+    "InterpretedSemantics",
+    "ITransition",
+    "IEMPTY",
+    "GlobalState",
+    "IState",
+    "MachineSemantics",
+    "explore_machine",
+    "explore_machine_or_raise",
+    "UNIT",
+    "Counter",
+    "VarStore",
+    "StepCounter",
+    "mimic_pump_forever",
+    "mimic_run",
+    "pump_steering_interpretation",
+    "steering_interpretation",
+]

@@ -1,0 +1,157 @@
+"""Execution and exploration of interpreted programs.
+
+Three ways of running an ``M_I_G``:
+
+* :class:`InterpretedExplorer` — exhaustive BFS over global states with a
+  budget, mirroring :class:`repro.analysis.explore.Explorer`; the result
+  converts to a finite LTS for the Theorem 10 checks;
+* :func:`run_scheduled` — a single maximal run under a pluggable
+  scheduler (deterministic round-robin, seeded random, priority);
+* :func:`run_program` — the "just run it" entry point for compiled
+  concrete programs, returning the final global memory.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisBudgetExceeded, ExecutionError
+from ..core.scheme import RPScheme
+from ..lang.compiler import CompiledProgram
+from ..lts.lts import LTS
+from .interpretation import Interpretation, ProgramInterpretation
+from .isemantics import InterpretedSemantics, ITransition
+from .istate import GlobalState
+
+#: A scheduler picks the next transition among the enabled ones.
+Scheduler = Callable[[List[ITransition], int], ITransition]
+
+
+class InterpretedExplorer:
+    """Breadth-first exploration of ``M_I_G`` with a state budget."""
+
+    def __init__(
+        self,
+        scheme: RPScheme,
+        interpretation: Interpretation,
+        max_states: int = 50_000,
+    ) -> None:
+        self.semantics = InterpretedSemantics(scheme, interpretation)
+        self.max_states = max_states
+
+    def explore(
+        self, initial: Optional[GlobalState] = None
+    ) -> Tuple[LTS, bool, Dict[GlobalState, Optional[ITransition]]]:
+        """Explore reachable global states.
+
+        Returns ``(lts, complete, parents)`` — the explored fragment as an
+        LTS, whether it saturated, and BFS parent pointers for witness
+        reconstruction.
+        """
+        start = initial if initial is not None else self.semantics.initial_state
+        lts = LTS(initial=start)
+        parents: Dict[GlobalState, Optional[ITransition]] = {start: None}
+        queue: deque = deque([start])
+        complete = True
+        while queue:
+            state = queue.popleft()
+            for transition in self.semantics.successors(state):
+                lts.add_transition(state, transition.label, transition.target)
+                if transition.target in parents:
+                    continue
+                if len(parents) >= self.max_states:
+                    complete = False
+                    queue.clear()
+                    break
+                parents[transition.target] = transition
+                queue.append(transition.target)
+        return lts, complete, parents
+
+    def explore_or_raise(self, initial: Optional[GlobalState] = None) -> LTS:
+        """Explore exhaustively or raise on budget exhaustion."""
+        lts, complete, _ = self.explore(initial)
+        if not complete:
+            raise AnalysisBudgetExceeded(
+                f"interpreted exploration: budget of {self.max_states} "
+                f"global states exhausted",
+                explored=len(lts.states),
+            )
+        return lts
+
+
+# ----------------------------------------------------------------------
+# Schedulers
+# ----------------------------------------------------------------------
+
+
+def round_robin_scheduler(enabled: List[ITransition], step: int) -> ITransition:
+    """Deterministic fair-ish choice: rotate through enabled transitions."""
+    return enabled[step % len(enabled)]
+
+
+def first_scheduler(enabled: List[ITransition], step: int) -> ITransition:
+    """Always the first enabled transition (canonical order)."""
+    return enabled[0]
+
+
+def random_scheduler(seed: int) -> Scheduler:
+    """A seeded random scheduler (reproducible runs)."""
+    rng = random.Random(seed)
+
+    def choose(enabled: List[ITransition], step: int) -> ITransition:
+        return enabled[rng.randrange(len(enabled))]
+
+    return choose
+
+
+def deepest_first_scheduler(enabled: List[ITransition], step: int) -> ITransition:
+    """Prefer the deepest (youngest) invocation — the IPTC priority rule."""
+    return max(enabled, key=lambda t: (len(t.path), t.path))
+
+
+def run_scheduled(
+    scheme: RPScheme,
+    interpretation: Interpretation,
+    scheduler: Scheduler = first_scheduler,
+    max_steps: int = 100_000,
+    initial: Optional[GlobalState] = None,
+) -> Tuple[GlobalState, List[ITransition]]:
+    """One maximal run under *scheduler*.
+
+    Stops when the state is terminated; raises
+    :class:`~repro.errors.ExecutionError` when *max_steps* is hit first
+    (likely divergence).
+    """
+    semantics = InterpretedSemantics(scheme, interpretation)
+    state = initial if initial is not None else semantics.initial_state
+    trace: List[ITransition] = []
+    for step in range(max_steps):
+        enabled = semantics.successors(state)
+        if not enabled:
+            return state, trace
+        transition = scheduler(enabled, step)
+        trace.append(transition)
+        state = transition.target
+    raise ExecutionError(
+        f"run did not terminate within {max_steps} steps "
+        f"(current state: {state!r})"
+    )
+
+
+def run_program(
+    compiled: CompiledProgram,
+    scheduler: Scheduler = first_scheduler,
+    max_steps: int = 100_000,
+):
+    """Run a compiled concrete RP program to termination.
+
+    Returns ``(final_global_memory, visible_trace)``.
+    """
+    interpretation = ProgramInterpretation(compiled)
+    final, trace = run_scheduled(
+        compiled.scheme, interpretation, scheduler=scheduler, max_steps=max_steps
+    )
+    visible = [t.label for t in trace if t.label != "τ"]
+    return final.global_memory, visible

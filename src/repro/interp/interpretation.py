@@ -1,0 +1,243 @@
+"""Interpretations ``I = ⟨GMem, LMem, (↦_a)⟩`` (Section 4.1).
+
+An interpretation gives deterministic meaning to the basic actions of a
+scheme: each action ``a`` maps ``GMem × LMem`` into itself, each test
+``b`` additionally produces a boolean, and the structural constructs have
+their own mappings (``pcall↦`` also yields the child's initial local
+memory).  The paper's basic assumptions — actions are deterministic,
+always terminate properly, and are effective — are mirrored here by the
+interface being made of total Python functions over immutable memory
+values.
+
+Implementations provided:
+
+* :class:`TrivialInterpretation` — one-point memories; tests follow a
+  fixed boolean table (every RP scheme plus this interpretation yields a
+  deterministic ``M_I_G`` whose runs are a sub-behaviour of ``M_G``);
+* :class:`TableInterpretation` — explicit function-backed finite
+  interpretation, the workhorse of the Theorem 9 (Minsky) encoding;
+* :class:`ProgramInterpretation` — derived from a compiled concrete RP
+  program: variable stores as memories, assignment/test expressions as
+  action semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from ..errors import InterpretationError
+from ..lang.compiler import CompiledProgram
+from .memory import UNIT, VarStore
+
+GMem = Hashable
+LMem = Hashable
+
+
+class Interpretation:
+    """Base class: override the memory constants and the ``apply_*`` maps."""
+
+    #: Human-readable name (diagnostics only).
+    name = "interpretation"
+
+    def initial_global(self) -> GMem:
+        """The initial shared global memory ``u0``."""
+        raise NotImplementedError
+
+    def initial_local(self) -> LMem:
+        """The initial local memory ``v0`` of the main invocation."""
+        raise NotImplementedError
+
+    def apply_action(self, label: str, u: GMem, v: LMem) -> Tuple[GMem, LMem]:
+        """``u, v ↦_a u', v'`` for an action node labelled *label*."""
+        raise NotImplementedError
+
+    def apply_test(self, label: str, u: GMem, v: LMem) -> Tuple[GMem, LMem, bool]:
+        """``u, v ↦_b u', v', bool`` for a test node labelled *label*."""
+        raise NotImplementedError
+
+    def apply_pcall(self, u: GMem, v: LMem) -> Tuple[GMem, LMem, LMem]:
+        """``u, v ↦_pcall u', v', v''`` — also yields the child's local."""
+        raise NotImplementedError
+
+    def apply_wait(self, u: GMem, v: LMem) -> Tuple[GMem, LMem]:
+        """``u, v ↦_wait u', v'``."""
+        raise NotImplementedError
+
+    def apply_end(self, u: GMem, v: LMem) -> GMem:
+        """``u, v ↦_end u'`` — the local memory disappears."""
+        raise NotImplementedError
+
+    def is_finite(self) -> bool:
+        """``True`` when GMem and LMem are finite sets.
+
+        Finite interpretations are the ones Theorems 9 and the
+        completeness halves of Propositions 13–17 quantify over.
+        """
+        return False
+
+
+class TrivialInterpretation(Interpretation):
+    """One-point memories; tests answer from a fixed table.
+
+    ``branches`` maps test labels to the boolean the test returns (default
+    ``True``).  The resulting ``M_I_G`` is a deterministic sub-behaviour
+    of ``M_G`` — handy as the smallest concrete witness.
+    """
+
+    name = "trivial"
+
+    def __init__(self, branches: Optional[Mapping[str, bool]] = None) -> None:
+        self.branches = dict(branches or {})
+
+    def initial_global(self) -> GMem:
+        return UNIT
+
+    def initial_local(self) -> LMem:
+        return UNIT
+
+    def apply_action(self, label: str, u: GMem, v: LMem) -> Tuple[GMem, LMem]:
+        return u, v
+
+    def apply_test(self, label: str, u: GMem, v: LMem) -> Tuple[GMem, LMem, bool]:
+        return u, v, self.branches.get(label, True)
+
+    def apply_pcall(self, u: GMem, v: LMem) -> Tuple[GMem, LMem, LMem]:
+        return u, v, UNIT
+
+    def apply_wait(self, u: GMem, v: LMem) -> Tuple[GMem, LMem]:
+        return u, v
+
+    def apply_end(self, u: GMem, v: LMem) -> GMem:
+        return u
+
+    def is_finite(self) -> bool:
+        return True
+
+
+class TableInterpretation(Interpretation):
+    """A finite interpretation given by explicit functions over explicit
+    (finite) memory domains.
+
+    The constructor takes plain callables; :meth:`is_finite` reports the
+    declared finiteness.  Used by the Theorem 9 encoding, where the global
+    memory is the counter-machine control word.
+    """
+
+    name = "table"
+
+    def __init__(
+        self,
+        initial_global: GMem,
+        initial_local: LMem,
+        action: Callable[[str, GMem, LMem], Tuple[GMem, LMem]],
+        test: Callable[[str, GMem, LMem], Tuple[GMem, LMem, bool]],
+        pcall: Optional[Callable[[GMem, LMem], Tuple[GMem, LMem, LMem]]] = None,
+        wait: Optional[Callable[[GMem, LMem], Tuple[GMem, LMem]]] = None,
+        end: Optional[Callable[[GMem, LMem], GMem]] = None,
+        finite: bool = True,
+        name: str = "table",
+    ) -> None:
+        self._initial_global = initial_global
+        self._initial_local = initial_local
+        self._action = action
+        self._test = test
+        self._pcall = pcall or (lambda u, v: (u, v, self._initial_local))
+        self._wait = wait or (lambda u, v: (u, v))
+        self._end = end or (lambda u, v: u)
+        self._finite = finite
+        self.name = name
+
+    def initial_global(self) -> GMem:
+        return self._initial_global
+
+    def initial_local(self) -> LMem:
+        return self._initial_local
+
+    def apply_action(self, label: str, u: GMem, v: LMem) -> Tuple[GMem, LMem]:
+        return self._action(label, u, v)
+
+    def apply_test(self, label: str, u: GMem, v: LMem) -> Tuple[GMem, LMem, bool]:
+        return self._test(label, u, v)
+
+    def apply_pcall(self, u: GMem, v: LMem) -> Tuple[GMem, LMem, LMem]:
+        return self._pcall(u, v)
+
+    def apply_wait(self, u: GMem, v: LMem) -> Tuple[GMem, LMem]:
+        return self._wait(u, v)
+
+    def apply_end(self, u: GMem, v: LMem) -> GMem:
+        return self._end(u, v)
+
+    def is_finite(self) -> bool:
+        return self._finite
+
+
+class ProgramInterpretation(Interpretation):
+    """The interpretation induced by a compiled concrete RP program.
+
+    * ``GMem`` = a :class:`VarStore` over the program's global variables;
+    * ``LMem`` = a :class:`VarStore` over the union of all procedures'
+      local variables (each procedure only touches its own names, and a
+      single store keeps ``pcall↦`` a *single* mapping as in the paper —
+      the spawned child's local memory is the declared-initials store);
+    * assignments and tests evaluate their expressions; abstract action
+      labels are tolerated as no-ops (instrumentation labels), but
+      abstract *tests* are rejected — a deterministic interpretation
+      cannot realise them.
+    """
+
+    name = "program"
+
+    def __init__(self, compiled: CompiledProgram) -> None:
+        if not compiled.is_fully_concrete:
+            raise InterpretationError(
+                "the program has abstract tests; a deterministic "
+                "interpretation cannot realise them"
+            )
+        self.compiled = compiled
+        program = compiled.program
+        self._globals0 = VarStore(
+            {decl.name: decl.initial for decl in program.globals}
+        )
+        locals_init: Dict[str, int] = {}
+        for procedure in program.all_procedures():
+            for decl in procedure.locals:
+                locals_init[decl.name] = decl.initial
+        self._locals0 = VarStore(locals_init)
+
+    def initial_global(self) -> GMem:
+        return self._globals0
+
+    def initial_local(self) -> LMem:
+        return self._locals0
+
+    def apply_action(self, label: str, u: VarStore, v: VarStore) -> Tuple[GMem, LMem]:
+        definition = self.compiled.actions.get(label)
+        if definition is None:
+            raise InterpretationError(f"unknown action label {label!r}")
+        if definition.kind == "abstract":
+            return u, v
+        value = definition.value.evaluate(u, v)
+        if definition.scope == "global":
+            return u.set(definition.target, value), v
+        return u, v.set(definition.target, value)
+
+    def apply_test(self, label: str, u: VarStore, v: VarStore) -> Tuple[GMem, LMem, bool]:
+        definition = self.compiled.tests.get(label)
+        if definition is None:
+            raise InterpretationError(f"unknown test label {label!r}")
+        result = bool(definition.value.evaluate(u, v))
+        return u, v, result
+
+    def apply_pcall(self, u: VarStore, v: VarStore) -> Tuple[GMem, LMem, LMem]:
+        return u, v, self._locals0
+
+    def apply_wait(self, u: VarStore, v: VarStore) -> Tuple[GMem, LMem]:
+        return u, v
+
+    def apply_end(self, u: VarStore, v: VarStore) -> GMem:
+        return u
+
+    def is_finite(self) -> bool:
+        # integer variables are unbounded in general
+        return False

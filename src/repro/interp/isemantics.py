@@ -1,0 +1,125 @@
+"""The interpreted semantics ``M_I_G`` (Section 4.3).
+
+Transitions between global states ``⟨u, σ⟩`` refine the abstract rules
+with memory effects:
+
+``action``  ``u,v ↦_a u',v'`` gives ``⟨u,(q,v,σ)⟩ →a ⟨u',(q',v',σ)⟩``;
+``test``    ``u,v ↦_b u',v',true/false`` picks the then/else successor —
+            tests are no longer nondeterministic;
+``call``    ``u,v ↦_pcall u',v',v''`` spawns ``(q'',v'',∅)``;
+``wait``    fires only on childless invocations, ``u,v ↦_wait u',v'``;
+``end``     ``u,v ↦_end u'`` — the invocation and its local memory vanish,
+            children are released.
+
+Every construct is deterministic *per invocation*; non-determinism comes
+solely from the interleaving of parallel invocations, exactly as the
+paper prescribes.  The abstraction map (forgetting memories) sends every
+``M_I_G`` transition to an ``M_G`` transition with the same label — the
+structural half of the Preservation Theorem, checked in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.alphabet import TAU
+from ..core.hstate import Path
+from ..core.scheme import NodeKind, RPScheme
+from ..core.semantics import Transition
+from .interpretation import Interpretation
+from .istate import IEMPTY, GlobalState, IState
+
+
+@dataclass(frozen=True)
+class ITransition:
+    """One transition of ``M_I_G`` with its event structure."""
+
+    source: GlobalState
+    label: str
+    target: GlobalState
+    rule: str
+    node: str
+    path: Path
+    branch: Optional[int] = None
+
+    def forget(self) -> Tuple:
+        """The projected abstract step ``(label, source↓, target↓)``."""
+        return (self.label, self.source.forget(), self.target.forget())
+
+
+class InterpretedSemantics:
+    """Successor generation for ``M_I_G = ⟨GMem × M_I(G), A_τ, →, ⟨u0,σ0⟩⟩``."""
+
+    def __init__(self, scheme: RPScheme, interpretation: Interpretation) -> None:
+        self.scheme = scheme
+        self.interpretation = interpretation
+
+    @property
+    def initial_state(self) -> GlobalState:
+        """``⟨u0, {(q0, v0, ∅)}⟩``."""
+        return GlobalState(
+            self.interpretation.initial_global(),
+            IState.leaf(self.scheme.root, self.interpretation.initial_local()),
+        )
+
+    def successors(self, state: GlobalState) -> List[ITransition]:
+        """All enabled transitions (one per *movable* invocation)."""
+        transitions: List[ITransition] = []
+        for path, node_id, memory, children in state.state.positions():
+            transitions.extend(self._local(state, path, node_id, memory, children))
+        return transitions
+
+    def _local(
+        self,
+        state: GlobalState,
+        path: Path,
+        node_id: str,
+        memory,
+        children: IState,
+    ) -> Iterator[ITransition]:
+        interp = self.interpretation
+        u = state.global_memory
+        node = self.scheme.node(node_id)
+        if node.kind is NodeKind.ACTION:
+            u2, v2 = interp.apply_action(node.label, u, memory)
+            succ = node.successors[0]
+            target = GlobalState(u2, state.state.replace(path, ((succ, v2, children),)))
+            yield ITransition(state, node.label, target, "action", node_id, path, 0)
+        elif node.kind is NodeKind.TEST:
+            u2, v2, outcome = interp.apply_test(node.label, u, memory)
+            branch = 0 if outcome else 1
+            succ = node.successors[branch]
+            target = GlobalState(u2, state.state.replace(path, ((succ, v2, children),)))
+            yield ITransition(state, node.label, target, "test", node_id, path, branch)
+        elif node.kind is NodeKind.PCALL:
+            u2, v2, child_memory = interp.apply_pcall(u, memory)
+            spawned = children + IState.leaf(node.invoked, child_memory)
+            succ = node.successors[0]
+            target = GlobalState(u2, state.state.replace(path, ((succ, v2, spawned),)))
+            yield ITransition(state, TAU, target, "call", node_id, path, 0)
+        elif node.kind is NodeKind.WAIT:
+            if children.is_empty():
+                u2, v2 = interp.apply_wait(u, memory)
+                succ = node.successors[0]
+                target = GlobalState(
+                    u2, state.state.replace(path, ((succ, v2, IEMPTY),))
+                )
+                yield ITransition(state, TAU, target, "wait", node_id, path, 0)
+        elif node.kind is NodeKind.END:
+            u2 = interp.apply_end(u, memory)
+            target = GlobalState(u2, state.state.replace(path, children.items))
+            yield ITransition(state, TAU, target, "end", node_id, path, None)
+
+    # ------------------------------------------------------------------
+
+    def is_terminal(self, state: GlobalState) -> bool:
+        """No successor — exactly the terminated states ``⟨u, ∅⟩``."""
+        return not self.successors(state)
+
+    def abstract_successors(self, state: GlobalState):
+        """The abstract ``M_G`` successors of the projection (helper for
+        projection-consistency checks)."""
+        from ..core.semantics import AbstractSemantics
+
+        return AbstractSemantics(self.scheme).successors(state.forget())

@@ -1,0 +1,114 @@
+"""Memory states for interpreted RP programs (Section 4.1).
+
+The RP language has two memory components: a shared *global* memory and a
+per-invocation *local* memory.  Both are modelled here as immutable,
+hashable variable stores mapping names to integers — immutability is what
+lets interpreted hierarchical states be canonical and hashable like their
+abstract counterparts.
+
+:data:`UNIT` is the one-point memory used when a component is irrelevant
+(e.g. empty local memories in the completeness constructions of
+Propositions 13–17).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class VarStore(Mapping[str, int]):
+    """An immutable mapping from variable names to integers."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, values: Mapping[str, int] = None, **kwargs: int) -> None:
+        merged: Dict[str, int] = dict(values or {})
+        merged.update(kwargs)
+        self._items: Tuple[Tuple[str, int], ...] = tuple(sorted(merged.items()))
+        self._hash = hash(self._items)
+
+    # -- Mapping interface ----------------------------------------------
+
+    def __getitem__(self, name: str) -> int:
+        for key, value in self._items:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return (key for key, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, name: object) -> bool:
+        return any(key == name for key, _ in self._items)
+
+    # -- functional update ------------------------------------------------
+
+    def set(self, name: str, value: int) -> "VarStore":
+        """A new store with *name* bound to *value*."""
+        updated = dict(self._items)
+        updated[name] = value
+        return VarStore(updated)
+
+    def update(self, values: Mapping[str, int]) -> "VarStore":
+        """A new store with several bindings updated."""
+        updated = dict(self._items)
+        updated.update(values)
+        return VarStore(updated)
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VarStore):
+            return self._items == other._items
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def sort_key(self) -> Tuple:
+        return self._items
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}={value}" for key, value in self._items)
+        return f"VarStore({inner})"
+
+
+#: The one-point memory (no variables).
+UNIT = VarStore()
+
+
+class Counter:
+    """A tiny immutable counter memory (used by steering constructions)."""
+
+    __slots__ = ("value", "bound")
+
+    def __init__(self, value: int = 0, bound: int = None) -> None:
+        self.value = value
+        self.bound = bound
+
+    def tick(self) -> "Counter":
+        """Increment, saturating at ``bound`` when one is set.
+
+        Saturation keeps the memory *finite*, as the paper's completeness
+        proofs require ("because the run is finite, u can be bounded").
+        """
+        if self.bound is not None and self.value >= self.bound:
+            return self
+        return Counter(self.value + 1, self.bound)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Counter):
+            return self.value == other.value and self.bound == other.bound
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.bound))
+
+    def sort_key(self) -> Tuple:
+        return (self.value,)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value}, bound={self.bound})"

@@ -1,0 +1,148 @@
+"""Execution profiling for interpreted RP programs.
+
+The RPMSHELL environment of [VEKM94] offered run-time introspection for
+recursive-parallel programs; this module is the analogue for ``M_I_G``
+runs: a :class:`RunProfile` aggregating
+
+* parallelism: peak/average number of live invocations, peak nesting
+  depth;
+* process accounting: invocations spawned/terminated, per-procedure spawn
+  counts (via the scheme's procedure metadata);
+* synchronisation: wait firings and *wait pressure* — how many steps some
+  blocked wait token sat in the state;
+* action accounting: visible-step counts per label.
+
+Use :func:`profile_run` on a scheduler run, or wrap a trace you already
+have with :func:`profile_trace`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.alphabet import TAU
+from ..core.scheme import NodeKind, RPScheme
+from .executor import Scheduler, first_scheduler, run_scheduled
+from .interpretation import Interpretation
+from .isemantics import ITransition
+from .istate import GlobalState
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """Aggregated statistics of one interpreted run."""
+
+    steps: int
+    visible_steps: int
+    peak_parallelism: int
+    average_parallelism: float
+    peak_depth: int
+    spawned: int
+    terminated: int
+    waits_fired: int
+    blocked_wait_steps: int
+    action_counts: Dict[str, int]
+    spawns_per_procedure: Dict[str, int]
+    final_live: int
+
+    def summary(self) -> str:
+        """A human-readable multi-line summary."""
+        lines = [
+            f"steps            : {self.steps} ({self.visible_steps} visible)",
+            f"parallelism      : peak {self.peak_parallelism}, "
+            f"avg {self.average_parallelism:.2f}",
+            f"nesting depth    : peak {self.peak_depth}",
+            f"invocations      : +{self.spawned} spawned, "
+            f"-{self.terminated} terminated, {self.final_live} live at end",
+            f"waits            : {self.waits_fired} fired, "
+            f"{self.blocked_wait_steps} blocked token-steps",
+        ]
+        if self.spawns_per_procedure:
+            per_procedure = ", ".join(
+                f"{name}×{count}"
+                for name, count in sorted(self.spawns_per_procedure.items())
+            )
+            lines.append(f"spawns/procedure : {per_procedure}")
+        return "\n".join(lines)
+
+
+def profile_trace(
+    scheme: RPScheme,
+    trace: Sequence[ITransition],
+    initial: Optional[GlobalState] = None,
+) -> RunProfile:
+    """Profile an existing ``M_I_G`` transition sequence."""
+    entry_to_procedure = {
+        entry: name for name, entry in scheme.procedures.items()
+    }
+    wait_nodes = {node.id for node in scheme.nodes_of_kind(NodeKind.WAIT)}
+
+    peak_parallelism = 0
+    peak_depth = 0
+    parallelism_sum = 0
+    spawned = 0
+    terminated = 0
+    waits_fired = 0
+    blocked_wait_steps = 0
+    action_counts: Counter = Counter()
+    spawns_per_procedure: Counter = Counter()
+
+    states: List[GlobalState] = []
+    if trace:
+        states = [trace[0].source] + [t.target for t in trace]
+    elif initial is not None:
+        states = [initial]
+
+    for state in states:
+        size = state.state.size
+        peak_parallelism = max(peak_parallelism, size)
+        parallelism_sum += size
+        for path, node_id, _memory, children in state.state.positions():
+            peak_depth = max(peak_depth, len(path))
+            if node_id in wait_nodes and not children.is_empty():
+                blocked_wait_steps += 1
+
+    for transition in trace:
+        if transition.label != TAU:
+            action_counts[transition.label] += 1
+        if transition.rule == "call":
+            spawned += 1
+            invoked = scheme.node(transition.node).invoked
+            procedure = entry_to_procedure.get(invoked, invoked)
+            spawns_per_procedure[procedure] += 1
+        elif transition.rule == "end":
+            terminated += 1
+        elif transition.rule == "wait":
+            waits_fired += 1
+
+    total_states = max(1, len(states))
+    return RunProfile(
+        steps=len(trace),
+        visible_steps=sum(action_counts.values()),
+        peak_parallelism=peak_parallelism,
+        average_parallelism=parallelism_sum / total_states,
+        peak_depth=peak_depth,
+        spawned=spawned + (1 if states else 0),  # the main invocation
+        terminated=terminated,
+        waits_fired=waits_fired,
+        blocked_wait_steps=blocked_wait_steps,
+        action_counts=dict(action_counts),
+        spawns_per_procedure=dict(spawns_per_procedure),
+        final_live=states[-1].state.size if states else 0,
+    )
+
+
+def profile_run(
+    scheme: RPScheme,
+    interpretation: Interpretation,
+    scheduler: Scheduler = first_scheduler,
+    max_steps: int = 100_000,
+) -> Tuple[RunProfile, GlobalState]:
+    """Run to termination under *scheduler* and profile the run."""
+    final, trace = run_scheduled(
+        scheme, interpretation, scheduler=scheduler, max_steps=max_steps
+    )
+    profile = profile_trace(scheme, trace, initial=final if not trace else None)
+    return profile, final

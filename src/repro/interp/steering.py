@@ -1,0 +1,228 @@
+"""Trace-steering interpretations — the completeness constructions.
+
+The completeness halves of Propositions 13–17 all build a *finite*
+interpretation ``I`` under which ``M_I_G`` mimics a chosen behaviour of
+the abstract ``M_G``: "the local memory states are empty and the global
+memory state u just stores a natural number, registering the current
+number of performed steps.  Any action simply increments u.  Because the
+test maps depend on u, we can code in them the left-or-right choice which
+was actually taken."
+
+Two constructions:
+
+* :func:`steering_interpretation` — mimic one finite abstract run (the
+  counter is bounded by the run length and saturates: Props 13/14/15/17);
+* :func:`pump_steering_interpretation` — mimic a prefix and then iterate
+  a pump forever (the counter cycles through the pump window, keeping the
+  memory finite while the run and the state space grow without bound:
+  Prop 16's completeness).
+
+:func:`mimic_run` replays the abstract run inside the interpreted
+semantics and checks, step by step, that the projections coincide — the
+machine-checked version of the paper's proof sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.scheme import RPScheme
+from ..core.semantics import Transition
+from ..errors import ExecutionError, InterpretationError
+from .interpretation import TableInterpretation
+from .isemantics import InterpretedSemantics, ITransition
+from .istate import GlobalState
+from .memory import UNIT
+
+
+@dataclass(frozen=True)
+class StepCounter:
+    """The steering global memory: a step counter over a finite window.
+
+    ``value`` ranges over ``0 .. prefix + period`` (hence finiteness);
+    with ``period == 0`` the counter saturates at ``prefix`` (finite-run
+    steering), otherwise it cycles through the window
+    ``[prefix, prefix + period)`` forever (pump steering).
+    """
+
+    value: int
+    prefix: int
+    period: int = 0
+
+    def tick(self) -> "StepCounter":
+        nxt = self.value + 1
+        if self.period == 0:
+            nxt = min(nxt, self.prefix)
+        elif nxt >= self.prefix + self.period:
+            nxt = self.prefix
+        return StepCounter(nxt, self.prefix, self.period)
+
+    def sort_key(self) -> Tuple:
+        return (self.value, self.prefix, self.period)
+
+
+def _branch_table(
+    steps: Sequence[Transition], offset: int = 0
+) -> Dict[int, bool]:
+    """Map global step indices to the then/else choice of test steps."""
+    table: Dict[int, bool] = {}
+    for index, transition in enumerate(steps):
+        if transition.rule == "test":
+            table[offset + index] = transition.branch == 0
+    return table
+
+
+def _steering_tables(
+    prefix_steps: Sequence[Transition],
+    pump_steps: Sequence[Transition] = (),
+) -> TableInterpretation:
+    prefix = len(prefix_steps)
+    period = len(pump_steps)
+    table = _branch_table(prefix_steps)
+    table.update(_branch_table(pump_steps, offset=prefix))
+
+    def action(label: str, u: StepCounter, v) -> Tuple[StepCounter, object]:
+        return u.tick(), v
+
+    def test(label: str, u: StepCounter, v) -> Tuple[StepCounter, object, bool]:
+        return u.tick(), v, table.get(u.value, True)
+
+    def pcall(u: StepCounter, v) -> Tuple[StepCounter, object, object]:
+        return u.tick(), v, UNIT
+
+    def wait(u: StepCounter, v) -> Tuple[StepCounter, object]:
+        return u.tick(), v
+
+    def end(u: StepCounter, v) -> StepCounter:
+        return u.tick()
+
+    return TableInterpretation(
+        initial_global=StepCounter(0, prefix, period),
+        initial_local=UNIT,
+        action=action,
+        test=test,
+        pcall=pcall,
+        wait=wait,
+        end=end,
+        finite=True,
+        name="steering",
+    )
+
+
+def steering_interpretation(trace: Sequence[Transition]) -> TableInterpretation:
+    """A finite interpretation whose ``M_I_G`` mimics the abstract *trace*.
+
+    The counter saturates after the run, so GMem has ``len(trace) + 1``
+    elements and LMem is a single point — exactly the finite-interpretation
+    shape of the Propositions' completeness proofs.
+    """
+    return _steering_tables(list(trace))
+
+
+def pump_steering_interpretation(
+    prefix: Sequence[Transition], pump: Sequence[Transition]
+) -> TableInterpretation:
+    """A finite interpretation that mimics *prefix* then iterates *pump*.
+
+    Used to transfer unboundedness certificates down to the interpreted
+    model (Prop. 16 completeness): the counter cycles through the pump
+    window, so the same test choices repeat every iteration while the
+    hierarchical state grows forever.
+    """
+    if not pump:
+        raise InterpretationError("a pump steering needs a non-empty pump")
+    return _steering_tables(list(prefix), list(pump))
+
+
+def mimic_run(
+    scheme: RPScheme,
+    trace: Sequence[Transition],
+    interpretation: Optional[TableInterpretation] = None,
+) -> List[ITransition]:
+    """Replay an abstract run inside ``M_I_G`` under a steering
+    interpretation, checking projections step by step.
+
+    Returns the interpreted run; raises
+    :class:`~repro.errors.ExecutionError` if some step cannot be mimicked
+    (which would falsify the completeness construction).
+    """
+    interp = interpretation if interpretation is not None else steering_interpretation(trace)
+    semantics = InterpretedSemantics(scheme, interp)
+    state = semantics.initial_state
+    if trace and state.forget() != trace[0].source:
+        raise ExecutionError(
+            "the abstract run does not start at the scheme's initial state"
+        )
+    mimicked: List[ITransition] = []
+    for step, abstract in enumerate(trace):
+        chosen = _matching_step(semantics, state, abstract)
+        if chosen is None:
+            raise ExecutionError(
+                f"step {step}: no interpreted transition mimics "
+                f"{abstract!r} from {state!r}"
+            )
+        mimicked.append(chosen)
+        state = chosen.target
+    return mimicked
+
+
+def _matching_step(
+    semantics: InterpretedSemantics, state: GlobalState, abstract: Transition
+) -> Optional[ITransition]:
+    expected = abstract.target
+    for candidate in semantics.successors(state):
+        if (
+            candidate.node == abstract.node
+            and candidate.rule == abstract.rule
+            and candidate.label == abstract.label
+            and candidate.target.forget() == expected
+        ):
+            return candidate
+    return None
+
+
+def mimic_pump_forever(
+    scheme: RPScheme,
+    prefix: Sequence[Transition],
+    pump: Sequence[Transition],
+    iterations: int,
+) -> GlobalState:
+    """Drive the pump-steering ``M_I_G`` through *iterations* pump rounds.
+
+    Returns the final global state; its hierarchical part must keep
+    growing (asserted by the caller/tests).  Descriptor matching is used
+    for the repeated rounds because the concrete pumped states differ
+    round to round.
+    """
+    interp = pump_steering_interpretation(prefix, pump)
+    semantics = InterpretedSemantics(scheme, interp)
+    state = semantics.initial_state
+    for abstract in prefix:
+        chosen = _matching_step(semantics, state, abstract)
+        if chosen is None:
+            raise ExecutionError(f"prefix step {abstract!r} cannot be mimicked")
+        state = chosen.target
+    for round_index in range(iterations):
+        for abstract in pump:
+            chosen = _matching_descriptor(semantics, state, abstract)
+            if chosen is None:
+                raise ExecutionError(
+                    f"pump round {round_index}: step {abstract!r} cannot be fired"
+                )
+            state = chosen.target
+    return state
+
+
+def _matching_descriptor(
+    semantics: InterpretedSemantics, state: GlobalState, abstract: Transition
+) -> Optional[ITransition]:
+    for candidate in semantics.successors(state):
+        if (
+            candidate.node == abstract.node
+            and candidate.rule == abstract.rule
+            and candidate.label == abstract.label
+            and candidate.branch == abstract.branch
+        ):
+            return candidate
+    return None

@@ -1,0 +1,76 @@
+"""The RP language front-end: lexer, parser, AST, compiler, printer."""
+
+from .ast import (
+    AbstractAction,
+    Assign,
+    End,
+    Goto,
+    If,
+    PCall,
+    Procedure,
+    Program,
+    Stmt,
+    VarDecl,
+    Wait,
+    While,
+)
+from .compiler import (
+    ActionDef,
+    CompiledProgram,
+    TestDef,
+    compile_program,
+    compile_source,
+)
+from .expr import BinOp, Bool, BoolOp, Compare, Expr, Neg, Not, Num, Var
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_expression, parse_program
+from .pretty import render_program
+from .tokens import Token, TokenKind
+from .lint import LintWarning, lint, lint_program, lint_scheme
+from .optimize import OptimizationReport, eliminate_dead_nodes, merge_congruent_nodes, optimize
+
+__all__ = [
+    "LintWarning",
+    "lint",
+    "lint_program",
+    "lint_scheme",
+    "OptimizationReport",
+    "eliminate_dead_nodes",
+    "merge_congruent_nodes",
+    "optimize",
+
+    "AbstractAction",
+    "Assign",
+    "End",
+    "Goto",
+    "If",
+    "PCall",
+    "Procedure",
+    "Program",
+    "Stmt",
+    "VarDecl",
+    "Wait",
+    "While",
+    "ActionDef",
+    "CompiledProgram",
+    "TestDef",
+    "compile_program",
+    "compile_source",
+    "BinOp",
+    "Bool",
+    "BoolOp",
+    "Compare",
+    "Expr",
+    "Neg",
+    "Not",
+    "Num",
+    "Var",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_expression",
+    "parse_program",
+    "render_program",
+    "Token",
+    "TokenKind",
+]

@@ -1,0 +1,177 @@
+"""Abstract syntax of the RP language.
+
+An RP program is a ``main`` program block plus a set of procedures
+(Fig. 1).  Statements are:
+
+* abstract actions (``a1;``) — uninterpreted names from the alphabet ``A``;
+* assignments (``x := e;``) — the concrete basic actions of Section 4;
+* ``pcall p;`` — spawn a child invocation of procedure ``p``;
+* ``wait;`` — join all children spawned so far;
+* ``end;`` — terminate this invocation;
+* ``goto l;`` and labels (``l1: stmt``);
+* ``if t then { ... } else { ... }`` — abstract or concrete tests;
+* ``while t do { ... }`` — structured sugar over test + back edge.
+
+All nodes are frozen dataclasses carrying their source line for error
+reporting; ``labels`` on a statement lists the labels attached to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from .expr import Expr
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass(frozen=True)
+class AbstractAction(Stmt):
+    """An uninterpreted action ``name;`` (abstract programs)."""
+
+    name: str
+    labels: Tuple[str, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """A concrete basic action ``target := value;``."""
+
+    target: str
+    value: Expr
+    labels: Tuple[str, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class PCall(Stmt):
+    """``pcall procedure;`` — spawn a parallel child invocation."""
+
+    procedure: str
+    labels: Tuple[str, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Wait(Stmt):
+    """``wait;`` — block until all children invocations terminated."""
+
+    labels: Tuple[str, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class End(Stmt):
+    """``end;`` — terminate this invocation."""
+
+    labels: Tuple[str, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Goto(Stmt):
+    """``goto label;``."""
+
+    label: str
+    labels: Tuple[str, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if test then { ... } else { ... }``.
+
+    ``test`` is either a bare action name (abstract test) or an
+    expression (concrete test).  The else block may be empty.
+    """
+
+    test: Union[str, Expr]
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...] = ()
+    labels: Tuple[str, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """``while test do { ... }`` — sugar for a test with a back edge."""
+
+    test: Union[str, Expr]
+    body: Tuple[Stmt, ...]
+    labels: Tuple[str, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A variable declaration ``global x = 3;`` / ``local y = 0;``."""
+
+    name: str
+    initial: int
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A procedure (or the main program when ``is_main``)."""
+
+    name: str
+    body: Tuple[Stmt, ...]
+    locals: Tuple[VarDecl, ...] = ()
+    is_main: bool = False
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole RP program: globals, main, procedures."""
+
+    main: Procedure
+    procedures: Tuple[Procedure, ...] = ()
+    globals: Tuple[VarDecl, ...] = ()
+
+    def all_procedures(self) -> Tuple[Procedure, ...]:
+        """Main first, then the declared procedures."""
+        return (self.main,) + self.procedures
+
+    def procedure(self, name: str) -> Optional[Procedure]:
+        """Look up a procedure by name (main included)."""
+        for proc in self.all_procedures():
+            if proc.name == name:
+                return proc
+        return None
+
+    @property
+    def is_abstract(self) -> bool:
+        """``True`` iff the program uses no concrete actions or tests.
+
+        Abstract programs compile to schemes analysable without any
+        interpretation; concrete programs additionally yield an
+        interpretation for the ``M_I_G`` semantics.
+        """
+        return not self.globals and all(
+            not proc.locals and _stmts_abstract(proc.body)
+            for proc in self.all_procedures()
+        )
+
+
+def _stmts_abstract(stmts: Tuple[Stmt, ...]) -> bool:
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            return False
+        if isinstance(stmt, If):
+            if not isinstance(stmt.test, str):
+                return False
+            if not _stmts_abstract(stmt.then_body) or not _stmts_abstract(stmt.else_body):
+                return False
+        if isinstance(stmt, While):
+            if not isinstance(stmt.test, str):
+                return False
+            if not _stmts_abstract(stmt.body):
+                return False
+    return True

@@ -1,0 +1,221 @@
+"""Expressions of the concrete RP language.
+
+Interpreted RP programs manipulate integer variables in two scopes — the
+shared *global* memory and each invocation's *local* memory (Section 4.1).
+This module defines the expression AST, its evaluator over a pair of
+variable stores, and a canonical textual rendering used as the action
+label of compiled assignment/test nodes (so the abstract scheme stays
+human-readable: ``x:=y+1``, ``n>0``, ...).
+
+Expressions are deterministic and total except for division by zero, which
+raises :class:`~repro.errors.ExecutionError` — the paper's basic
+assumption is that actions "always terminate properly", and the
+interpretation layer surfaces violations loudly rather than mis-modelling
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple, Union
+
+from ..errors import ExecutionError
+
+#: Variable environments: read-only mappings from names to integers.
+Env = Mapping[str, int]
+
+
+class Expr:
+    """Base class of expression nodes (all frozen dataclasses)."""
+
+    def evaluate(self, globals_env: Env, locals_env: Env) -> int:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def evaluate(self, globals_env: Env, locals_env: Env) -> int:
+        return self.value
+
+    def render(self) -> str:
+        return str(self.value)
+
+    def variables(self) -> frozenset:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable reference; locals shadow globals."""
+
+    name: str
+
+    def evaluate(self, globals_env: Env, locals_env: Env) -> int:
+        if self.name in locals_env:
+            return locals_env[self.name]
+        if self.name in globals_env:
+            return globals_env[self.name]
+        raise ExecutionError(f"undefined variable {self.name!r}")
+
+    def render(self) -> str:
+        return self.name
+
+    def variables(self) -> frozenset:
+        return frozenset({self.name})
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": None,  # handled specially (zero check, integer division)
+    "%": None,
+}
+
+_COMPARE = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic: ``+ - * / %`` (integer semantics, truncation toward
+    negative infinity as in Python)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, globals_env: Env, locals_env: Env) -> int:
+        a = self.left.evaluate(globals_env, locals_env)
+        b = self.right.evaluate(globals_env, locals_env)
+        if self.op in ("/", "%"):
+            if b == 0:
+                raise ExecutionError(f"division by zero in {self.render()}")
+            return a // b if self.op == "/" else a % b
+        try:
+            return _ARITH[self.op](a, b)
+        except KeyError:
+            raise ExecutionError(f"unknown operator {self.op!r}") from None
+
+    def render(self) -> str:
+        return f"({self.left.render()}{self.op}{self.right.render()})"
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary minus."""
+
+    operand: Expr
+
+    def evaluate(self, globals_env: Env, locals_env: Env) -> int:
+        return -self.operand.evaluate(globals_env, locals_env)
+
+    def render(self) -> str:
+        return f"(-{self.operand.render()})"
+
+    def variables(self) -> frozenset:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """A comparison — evaluates to 1 (true) or 0 (false)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, globals_env: Env, locals_env: Env) -> int:
+        a = self.left.evaluate(globals_env, locals_env)
+        b = self.right.evaluate(globals_env, locals_env)
+        try:
+            return 1 if _COMPARE[self.op](a, b) else 0
+        except KeyError:
+            raise ExecutionError(f"unknown comparison {self.op!r}") from None
+
+    def render(self) -> str:
+        # comparisons are non-associative in the grammar, so a nested or
+        # negated comparison must re-enter through the parenthesised
+        # primary — always emit the parens
+        return f"({self.left.render()}{self.op}{self.right.render()})"
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """Short-circuit ``and`` / ``or`` over truthiness of integers."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, globals_env: Env, locals_env: Env) -> int:
+        a = self.left.evaluate(globals_env, locals_env)
+        if self.op == "and":
+            if not a:
+                return 0
+            return 1 if self.right.evaluate(globals_env, locals_env) else 0
+        if self.op == "or":
+            if a:
+                return 1
+            return 1 if self.right.evaluate(globals_env, locals_env) else 0
+        raise ExecutionError(f"unknown boolean operator {self.op!r}")
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Boolean negation over truthiness."""
+
+    operand: Expr
+
+    def evaluate(self, globals_env: Env, locals_env: Env) -> int:
+        return 0 if self.operand.evaluate(globals_env, locals_env) else 1
+
+    def render(self) -> str:
+        return f"(not {self.operand.render()})"
+
+    def variables(self) -> frozenset:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class Bool(Expr):
+    """``true`` / ``false`` literals (1 / 0)."""
+
+    value: bool
+
+    def evaluate(self, globals_env: Env, locals_env: Env) -> int:
+        return 1 if self.value else 0
+
+    def render(self) -> str:
+        return "true" if self.value else "false"
+
+    def variables(self) -> frozenset:
+        return frozenset()

@@ -1,0 +1,138 @@
+"""Lexer for the RP language.
+
+Supports ``//`` line comments and ``/* ... */`` block comments, decimal
+integer literals, identifiers (with a trailing-prime convention for action
+names like ``a1'``), keywords and the operator set of
+:mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import LexError
+from .tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR = {
+    ":=": TokenKind.ASSIGN,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+}
+
+_ONE_CHAR = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+class Lexer:
+    """Single-pass lexer producing a list of tokens (EOF-terminated)."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> List[Token]:
+        """Tokenise the whole source."""
+        result: List[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.kind is TokenKind.EOF:
+                return result
+
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.position]
+        self.position += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_column = self.line, self.column
+                self._advance()
+                self._advance()
+                while True:
+                    if self.position >= len(self.source):
+                        raise LexError("unterminated block comment", start_line, start_column)
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        if self.position >= len(self.source):
+            return Token(TokenKind.EOF, "", line, column)
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._identifier(line, column)
+        if ch.isdigit():
+            return self._number(line, column)
+        two = self.source[self.position : self.position + 2]
+        if two in _TWO_CHAR:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR[two], two, line, column)
+        if ch in _ONE_CHAR:
+            self._advance()
+            return Token(_ONE_CHAR[ch], ch, line, column)
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _identifier(self, line: int, column: int) -> Token:
+        start = self.position
+        while self.position < len(self.source) and (
+            self._peek().isalnum() or self._peek() in "_'"
+        ):
+            self._advance()
+        text = self.source[start : self.position]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.position
+        while self.position < len(self.source) and self._peek().isdigit():
+            self._advance()
+        return Token(TokenKind.NUMBER, self.source[start : self.position], line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise *source* (convenience wrapper)."""
+    return Lexer(source).tokens()

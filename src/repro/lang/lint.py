@@ -1,0 +1,200 @@
+"""Static lints for RP programs and schemes.
+
+The front-end half of the paper's tooling vision: cheap syntactic and
+graph-level diagnostics a compiler would surface before (or instead of)
+the expensive semantic analyses.  Lints never change compilation; they
+return :class:`LintWarning` records with codes, one per finding:
+
+=========  ============================================================
+code       meaning
+=========  ============================================================
+W001       procedure is never pcalled (dead procedure)
+W002       ``wait`` with no possible preceding ``pcall`` (no-op join)
+W003       statement unreachable (after ``goto``/``end`` in a block)
+W004       test with identical then/else targets (decision is moot)
+W005       node not graph-reachable from the root
+W006       ``pcall`` whose children can never be joined (no wait on any
+           path to the procedure's end) — fire-and-forget, often a bug
+W007       empty loop body (``while t do { }`` spins on the test)
+=========  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..core.scheme import NodeKind, RPScheme
+from .ast import End, Goto, If, PCall, Procedure, Program, Stmt, Wait, While
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    """One finding: a code, a location hint and a message."""
+
+    code: str
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.code} [{self.where}] {self.message}"
+
+
+def lint_program(program: Program) -> List[LintWarning]:
+    """AST-level lints (W001, W003, W007)."""
+    warnings: List[LintWarning] = []
+    called: Set[str] = set()
+    for procedure in program.all_procedures():
+        _collect_pcalls(procedure.body, called)
+    for procedure in program.procedures:
+        if procedure.name not in called:
+            warnings.append(
+                LintWarning(
+                    "W001",
+                    procedure.name,
+                    f"procedure {procedure.name!r} is never pcalled",
+                )
+            )
+    for procedure in program.all_procedures():
+        warnings.extend(_lint_stmts(procedure.body, procedure.name))
+    return warnings
+
+
+def _collect_pcalls(stmts: Sequence[Stmt], called: Set[str]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, PCall):
+            called.add(stmt.procedure)
+        elif isinstance(stmt, If):
+            _collect_pcalls(stmt.then_body, called)
+            _collect_pcalls(stmt.else_body, called)
+        elif isinstance(stmt, While):
+            _collect_pcalls(stmt.body, called)
+
+
+def _lint_stmts(stmts: Sequence[Stmt], where: str) -> List[LintWarning]:
+    warnings: List[LintWarning] = []
+    terminated_at: Optional[int] = None
+    for index, stmt in enumerate(stmts):
+        if terminated_at is not None and not stmt.labels:
+            warnings.append(
+                LintWarning(
+                    "W003",
+                    f"{where}:line {getattr(stmt, 'line', 0)}",
+                    "statement is unreachable (follows goto/end without a label)",
+                )
+            )
+            break  # one finding per block is enough
+        if isinstance(stmt, (Goto, End)):
+            terminated_at = index
+        if isinstance(stmt, If):
+            warnings.extend(_lint_stmts(stmt.then_body, where))
+            warnings.extend(_lint_stmts(stmt.else_body, where))
+        if isinstance(stmt, While):
+            if not stmt.body:
+                warnings.append(
+                    LintWarning(
+                        "W007",
+                        f"{where}:line {stmt.line}",
+                        "empty loop body: the loop spins on its test",
+                    )
+                )
+            warnings.extend(_lint_stmts(stmt.body, where))
+    return warnings
+
+
+def lint_scheme(scheme: RPScheme) -> List[LintWarning]:
+    """Graph-level lints (W002, W004, W005, W006)."""
+    warnings: List[LintWarning] = []
+    reachable = scheme.graph_reachable_nodes()
+    for node_id in sorted(scheme.unreachable_in_graph()):
+        warnings.append(
+            LintWarning("W005", node_id, "node is not graph-reachable from the root")
+        )
+    for node in scheme:
+        if node.kind is NodeKind.TEST and node.successors[0] == node.successors[1]:
+            warnings.append(
+                LintWarning(
+                    "W004",
+                    node.id,
+                    f"test {node.label!r} has identical branches",
+                )
+            )
+    warnings.extend(_lint_noop_waits(scheme))
+    warnings.extend(_lint_unjoined_pcalls(scheme))
+    return warnings
+
+
+def _region_of(scheme: RPScheme, entry: str) -> Set[str]:
+    """Nodes reachable from *entry* following successors only (one
+    invocation's control region)."""
+    region = {entry}
+    frontier = [entry]
+    while frontier:
+        node = scheme.node(frontier.pop())
+        for succ in node.successors:
+            if succ not in region:
+                region.add(succ)
+                frontier.append(succ)
+    return region
+
+
+def _entries(scheme: RPScheme) -> Set[str]:
+    entries = {scheme.root}
+    for node in scheme:
+        if node.invoked is not None:
+            entries.add(node.invoked)
+    return entries
+
+
+def _lint_noop_waits(scheme: RPScheme) -> List[LintWarning]:
+    """W002: a wait no pcall can precede within its invocation region.
+
+    Conservative backward check within the control region: a wait is a
+    no-op when no PCALL node can reach it via successor edges.
+    """
+    warnings: List[LintWarning] = []
+    # forward sets from each pcall
+    pcall_forward: Set[str] = set()
+    for node in scheme:
+        if node.kind is NodeKind.PCALL:
+            pcall_forward |= _region_of(scheme, node.successors[0])
+    for node in scheme:
+        if node.kind is NodeKind.WAIT and node.id not in pcall_forward:
+            warnings.append(
+                LintWarning(
+                    "W002",
+                    node.id,
+                    "wait cannot be preceded by any pcall: the join is a no-op",
+                )
+            )
+    return warnings
+
+
+def _lint_unjoined_pcalls(scheme: RPScheme) -> List[LintWarning]:
+    """W006: a pcall from which no WAIT node is forward-reachable."""
+    warnings: List[LintWarning] = []
+    for node in scheme:
+        if node.kind is not NodeKind.PCALL:
+            continue
+        region = _region_of(scheme, node.successors[0])
+        if not any(scheme.node(n).kind is NodeKind.WAIT for n in region):
+            warnings.append(
+                LintWarning(
+                    "W006",
+                    node.id,
+                    "children spawned here are never joined (no wait on any "
+                    "path after the pcall)",
+                )
+            )
+    return warnings
+
+
+def lint(program: Program, scheme: Optional[RPScheme] = None) -> List[LintWarning]:
+    """All lints; compiles the program when *scheme* is not supplied."""
+    warnings = lint_program(program)
+    if scheme is None:
+        from .compiler import compile_program
+
+        scheme = compile_program(program).scheme
+    warnings.extend(lint_scheme(scheme))
+    return warnings

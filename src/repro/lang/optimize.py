@@ -1,0 +1,129 @@
+"""Behaviour-preserving scheme optimisations.
+
+Two compiler passes over RP schemes, both proved safe by construction and
+cross-checked in the test-suite via strong bisimilarity of explored
+fragments:
+
+* :func:`eliminate_dead_nodes` — drop nodes not graph-reachable from the
+  root (they contribute nothing to any behaviour from ``σ0``);
+* :func:`merge_congruent_nodes` — hash-cons nodes that are *congruent*
+  (same kind, label, successor classes and invoked class), iterated to a
+  fixpoint.  Congruent nodes are interchangeable in every context, so
+  redirecting edges to one representative preserves ``M_G`` up to strong
+  bisimilarity.  This is the scheme analogue of DFA minimisation restricted
+  to the safe direction (only provably equivalent nodes are merged).
+
+``optimize`` chains both and reports what it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.scheme import Node, NodeKind, RPScheme
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """What an optimisation run changed."""
+
+    scheme: RPScheme
+    removed_dead: int
+    merged: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.removed_dead or self.merged)
+
+
+def eliminate_dead_nodes(scheme: RPScheme) -> Tuple[RPScheme, int]:
+    """Remove graph-unreachable nodes; returns (scheme, removed count)."""
+    live = scheme.graph_reachable_nodes()
+    dead = set(scheme.node_ids) - live
+    if not dead:
+        return scheme, 0
+    nodes = [node for node in scheme if node.id in live]
+    procedures = {
+        name: entry for name, entry in scheme.procedures.items() if entry in live
+    }
+    return (
+        RPScheme(nodes, root=scheme.root, name=scheme.name, procedures=procedures),
+        len(dead),
+    )
+
+
+def merge_congruent_nodes(scheme: RPScheme) -> Tuple[RPScheme, int]:
+    """Merge behaviourally identical nodes; returns (scheme, merged count).
+
+    Computes the coarsest partition in which two nodes share a class iff
+    they agree on kind, label, the classes of their successors (in order)
+    and the class of their invoked node — a bisimulation on the control
+    graph, hence safe to quotient.
+    """
+    class_of: Dict[str, int] = {node_id: 0 for node_id in scheme.node_ids}
+    while True:
+        signatures: Dict[str, Tuple] = {}
+        for node in scheme:
+            signatures[node.id] = (
+                node.kind,
+                node.label,
+                tuple(class_of[succ] for succ in node.successors),
+                class_of[node.invoked] if node.invoked is not None else None,
+            )
+        renumber: Dict[Tuple, int] = {}
+        new_class_of: Dict[str, int] = {}
+        for node_id in scheme.node_ids:
+            key = (class_of[node_id], signatures[node_id])
+            if key not in renumber:
+                renumber[key] = len(renumber)
+            new_class_of[node_id] = renumber[key]
+        if new_class_of == class_of:
+            break
+        class_of = new_class_of
+
+    classes = set(class_of.values())
+    if len(classes) == len(class_of):
+        return scheme, 0
+    # representative per class: first node id in declaration order
+    representative: Dict[int, str] = {}
+    for node_id in scheme.node_ids:
+        representative.setdefault(class_of[node_id], node_id)
+
+    def image(node_id: str) -> str:
+        return representative[class_of[node_id]]
+
+    nodes: List[Node] = []
+    for node_id in scheme.node_ids:
+        if image(node_id) != node_id:
+            continue
+        node = scheme.node(node_id)
+        nodes.append(
+            Node(
+                node.id,
+                node.kind,
+                label=node.label,
+                successors=[image(succ) for succ in node.successors],
+                invoked=image(node.invoked) if node.invoked is not None else None,
+            )
+        )
+    merged = len(class_of) - len(classes)
+    procedures = {name: image(entry) for name, entry in scheme.procedures.items()}
+    return (
+        RPScheme(nodes, root=image(scheme.root), name=scheme.name, procedures=procedures),
+        merged,
+    )
+
+
+def optimize(scheme: RPScheme) -> OptimizationReport:
+    """Dead-node elimination followed by congruence merging (to fixpoint)."""
+    current, removed = eliminate_dead_nodes(scheme)
+    merged_total = 0
+    while True:
+        current, merged = merge_congruent_nodes(current)
+        merged_total += merged
+        if not merged:
+            break
+        current, more_removed = eliminate_dead_nodes(current)
+        removed += more_removed
+    return OptimizationReport(scheme=current, removed_dead=removed, merged=merged_total)

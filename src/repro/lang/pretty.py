@@ -1,0 +1,92 @@
+"""Pretty-printer for RP programs (the inverse of the parser).
+
+``render_program(parse_program(text))`` re-parses to an equal AST, which
+the test-suite checks as a round-trip property.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from .ast import (
+    AbstractAction,
+    Assign,
+    End,
+    Goto,
+    If,
+    PCall,
+    Procedure,
+    Program,
+    Stmt,
+    VarDecl,
+    Wait,
+    While,
+)
+from .expr import Expr
+
+_INDENT = "    "
+
+
+def render_program(program: Program) -> str:
+    """Render a whole program as parseable source text."""
+    parts: List[str] = []
+    for decl in program.globals:
+        parts.append(f"global {decl.name} := {decl.initial};")
+    if program.globals:
+        parts.append("")
+    parts.append(_render_procedure(program.main, keyword="program"))
+    for procedure in program.procedures:
+        parts.append("")
+        parts.append(_render_procedure(procedure, keyword="procedure"))
+    return "\n".join(parts) + "\n"
+
+
+def _render_procedure(procedure: Procedure, keyword: str) -> str:
+    lines = [f"{keyword} {procedure.name} {{"]
+    for decl in procedure.locals:
+        lines.append(f"{_INDENT}local {decl.name} := {decl.initial};")
+    lines.extend(_render_stmts(procedure.body, depth=1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_stmts(stmts: Sequence[Stmt], depth: int) -> List[str]:
+    lines: List[str] = []
+    for stmt in stmts:
+        lines.extend(_render_stmt(stmt, depth))
+    return lines
+
+
+def _render_stmt(stmt: Stmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    prefix = "".join(f"{label}: " for label in stmt.labels)
+    if isinstance(stmt, AbstractAction):
+        return [f"{pad}{prefix}{stmt.name};"]
+    if isinstance(stmt, Assign):
+        return [f"{pad}{prefix}{stmt.target} := {stmt.value.render()};"]
+    if isinstance(stmt, PCall):
+        return [f"{pad}{prefix}pcall {stmt.procedure};"]
+    if isinstance(stmt, Wait):
+        return [f"{pad}{prefix}wait;"]
+    if isinstance(stmt, End):
+        return [f"{pad}{prefix}end;"]
+    if isinstance(stmt, Goto):
+        return [f"{pad}{prefix}goto {stmt.label};"]
+    if isinstance(stmt, If):
+        lines = [f"{pad}{prefix}if {_render_test(stmt.test)} then {{"]
+        lines.extend(_render_stmts(stmt.then_body, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_render_stmts(stmt.else_body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, While):
+        lines = [f"{pad}{prefix}while {_render_test(stmt.test)} do {{"]
+        lines.extend(_render_stmts(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _render_test(test: Union[str, Expr]) -> str:
+    return test if isinstance(test, str) else test.render()

@@ -1,0 +1,89 @@
+"""Token definitions for the RP language front-end."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "identifier"
+    NUMBER = "number"
+    # keywords
+    PROGRAM = "program"
+    PROCEDURE = "procedure"
+    PCALL = "pcall"
+    WAIT = "wait"
+    END = "end"
+    GOTO = "goto"
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    WHILE = "while"
+    DO = "do"
+    GLOBAL = "global"
+    LOCAL = "local"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    TRUE = "true"
+    FALSE = "false"
+    # punctuation / operators
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    SEMI = ";"
+    COLON = ":"
+    COMMA = ","
+    ASSIGN = ":="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EOF = "<eof>"
+
+
+#: Reserved words, mapped to their token kinds.
+KEYWORDS = {
+    "program": TokenKind.PROGRAM,
+    "procedure": TokenKind.PROCEDURE,
+    "pcall": TokenKind.PCALL,
+    "wait": TokenKind.WAIT,
+    "end": TokenKind.END,
+    "goto": TokenKind.GOTO,
+    "if": TokenKind.IF,
+    "then": TokenKind.THEN,
+    "else": TokenKind.ELSE,
+    "while": TokenKind.WHILE,
+    "do": TokenKind.DO,
+    "global": TokenKind.GLOBAL,
+    "local": TokenKind.LOCAL,
+    "and": TokenKind.AND,
+    "or": TokenKind.OR,
+    "not": TokenKind.NOT,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,57 @@
+"""State-space abstractions between the paper's models.
+
+The Preservation Theorem relates the interpreted model to the abstract one
+through the *forgetful* projection that erases memory: an interpreted
+global state ``⟨u, σ_I⟩`` maps to the hierarchical state obtained by
+dropping ``u`` and each invocation's local memory.  This module provides
+the generic functoriality (:func:`map_lts`) plus the correctness check
+that every concrete run projects to an abstract run
+(:func:`is_projection_consistent`), which is the structural half of
+Theorem 10's proof.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Tuple
+
+from .lts import LTS, State
+
+
+def map_lts(lts: LTS, fn: Callable[[State], State]) -> LTS:
+    """The image of *lts* under a state map (labels preserved).
+
+    The image of a transition system under any function is simulated by…
+    nothing in general — but when *fn* is the memory-forgetting projection
+    and the target is ``M_G``, every projected edge is a genuine ``M_G``
+    edge (the interpreted rules refine the abstract ones), which
+    :func:`is_projection_consistent` verifies edge by edge.
+    """
+    image = LTS(fn(lts.initial))
+    for state in lts.states:
+        image.add_state(fn(state))
+    for source, label, target in lts.edges():
+        image.add_transition(fn(source), label, fn(target))
+    return image
+
+
+def is_projection_consistent(
+    concrete: LTS,
+    abstract_successors: Callable[[State], list],
+    fn: Callable[[State], State],
+) -> Optional[Tuple[State, str, State]]:
+    """Check every concrete edge projects to an enabled abstract edge.
+
+    *abstract_successors* maps an abstract state to its ``(label, target)``
+    pairs (e.g. via :class:`repro.core.semantics.AbstractSemantics`).
+    Returns ``None`` on success or the first offending concrete edge.
+    This is the "Correctness is clear because when we forget the memory
+    components of a behavior of ``M_I`` we get a behavior of ``M_G``"
+    argument of Proposition 13, machine-checked.
+    """
+    for source, label, target in concrete.edges():
+        abstract_source = fn(source)
+        abstract_target = fn(target)
+        enabled = abstract_successors(abstract_source)
+        if (label, abstract_target) not in enabled:
+            return (source, label, target)
+    return None

@@ -1,0 +1,167 @@
+"""Safety properties and ``⊑_d``-compatibility (Definition 11, Prop. 12).
+
+Definition 11: a property ``φ`` is *compatible with* ``⊑_d`` iff for any
+transition systems ``P ⊑_d P'``, ``P' ⊨ φ`` entails ``P ⊨ φ``.
+Proposition 12: all safety properties are compatible with ``⊑_d``, and so
+is termination.  This is the engine of the paper's methodology: establish
+``φ`` on the abstract ``M_G`` and conclude it for every interpreted
+``M_I_G``.
+
+Safety properties are represented as finite automata over the *visible*
+alphabet whose ``bad`` states are absorbing: a system violates the
+property iff one of its weak traces drives the automaton into a bad state
+(a *bad prefix*).  Checking is an exact product exploration on finite
+LTSs — no trace-length bound involved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.alphabet import TAU
+from .lts import LTS, State
+
+
+class SafetyProperty:
+    """A regular safety property over visible actions.
+
+    ``transitions`` maps ``(dfa_state, label)`` to the next DFA state;
+    missing entries are self-loops (unconstrained actions).  States listed
+    in ``bad`` are absorbing violation states.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initial: str,
+        transitions: Dict[Tuple[str, str], str],
+        bad: Iterable[str],
+    ) -> None:
+        self.name = name
+        self.initial = initial
+        self.transitions = dict(transitions)
+        self.bad = frozenset(bad)
+
+    def step(self, dfa_state: str, label: str) -> str:
+        """The DFA move on one visible *label* (τ never moves the DFA)."""
+        if label == TAU or dfa_state in self.bad:
+            return dfa_state
+        return self.transitions.get((dfa_state, label), dfa_state)
+
+    def violates(self, word: Sequence[str]) -> bool:
+        """``True`` iff *word* is a bad prefix."""
+        state = self.initial
+        for label in word:
+            state = self.step(state, label)
+            if state in self.bad:
+                return True
+        return state in self.bad
+
+    def __repr__(self) -> str:
+        return f"SafetyProperty({self.name!r})"
+
+
+def never_occurs(label: str) -> SafetyProperty:
+    """The safety property "action *label* never happens"."""
+    return SafetyProperty(
+        name=f"never({label})",
+        initial="ok",
+        transitions={("ok", label): "bad"},
+        bad=["bad"],
+    )
+
+
+def never_follows(first: str, second: str) -> SafetyProperty:
+    """The safety property "*second* never happens after *first*"."""
+    return SafetyProperty(
+        name=f"never({first}..{second})",
+        initial="ok",
+        transitions={("ok", first): "armed", ("armed", second): "bad"},
+        bad=["bad"],
+    )
+
+
+def at_most_n_occurrences(label: str, bound: int) -> SafetyProperty:
+    """The safety property "*label* happens at most *bound* times"."""
+    transitions = {(f"c{i}", label): f"c{i + 1}" for i in range(bound)}
+    transitions[(f"c{bound}", label)] = "bad"
+    return SafetyProperty(
+        name=f"atmost({label},{bound})",
+        initial="c0",
+        transitions=transitions,
+        bad=["bad"],
+    )
+
+
+def check_safety(lts: LTS, prop: SafetyProperty) -> Tuple[bool, Optional[List[str]]]:
+    """Exact safety check by product exploration of a finite LTS.
+
+    Returns ``(satisfied, counterexample)``; the counterexample is the
+    violating visible word when the property fails.
+    """
+    start = (lts.initial, prop.initial)
+    seen: Set[Tuple[State, str]] = {start}
+    stack: List[Tuple[Tuple[State, str], Tuple[str, ...]]] = [(start, ())]
+    while stack:
+        (state, dfa_state), word = stack.pop()
+        if dfa_state in prop.bad:
+            return False, list(word)
+        for label, target in lts.successors(state):
+            next_dfa = prop.step(dfa_state, label)
+            next_word = word if label == TAU else word + (label,)
+            candidate = (target, next_dfa)
+            if candidate not in seen:
+                seen.add(candidate)
+                stack.append((candidate, next_word))
+    return True, None
+
+
+def lts_terminates(lts: LTS) -> bool:
+    """Exact termination of a finite LTS: no reachable cycle.
+
+    (On finite systems an infinite run exists iff a cycle is reachable.)
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[State, int] = {}
+    for root in lts.reachable_states():
+        if colour.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[State, int]] = [(root, 0)]
+        colour[root] = GREY
+        while stack:
+            state, position = stack[-1]
+            out = lts.successors(state)
+            if position < len(out):
+                stack[-1] = (state, position + 1)
+                _, target = out[position]
+                status = colour.get(target, WHITE)
+                if status == GREY:
+                    return False
+                if status == WHITE:
+                    colour[target] = GREY
+                    stack.append((target, 0))
+            else:
+                colour[state] = BLACK
+                stack.pop()
+    return True
+
+
+def transfer_safety(
+    concrete: LTS, abstract: LTS, prop: SafetyProperty
+) -> Tuple[bool, str]:
+    """The Prop. 12 methodology, executed end-to-end on finite systems.
+
+    Checks ``concrete ⊑_d abstract`` and ``abstract ⊨ prop``; when both
+    hold, ``concrete ⊨ prop`` follows by compatibility.  Returns the
+    transferred verdict and a description of which premise failed, if any.
+    The test-suite additionally re-checks the conclusion directly,
+    validating Proposition 12 itself on every instance.
+    """
+    from .simulation import d_simulates
+
+    abstract_ok, _ = check_safety(abstract, prop)
+    if not abstract_ok:
+        return False, "abstract model violates the property (no transfer)"
+    if not d_simulates(concrete, abstract):
+        return False, "concrete is not ⊑_d-below abstract (no transfer)"
+    return True, "transferred: abstract ⊨ φ and concrete ⊑_d abstract"

@@ -1,0 +1,103 @@
+"""Trace languages of finite LTSs.
+
+The paper compares the expressive power of RP schemes, PA and Petri nets
+through the *languages* they generate.  For finite (or truncated) systems
+we work with bounded-length languages:
+
+* **strong traces**: label sequences of runs, τ included;
+* **weak traces**: visible-label sequences, τ abstracted away —
+  the notion used for the RP-vs-PA and RP-vs-PN comparisons;
+* **completed weak traces**: weak traces of runs ending in a state with no
+  outgoing transitions (for RP schemes: runs reaching ``∅``).
+
+All languages returned are prefix-closed except the completed one.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set, Tuple
+
+from ..core.alphabet import TAU
+from .lts import LTS, State
+
+Word = Tuple[str, ...]
+
+
+def strong_traces(lts: LTS, max_length: int) -> FrozenSet[Word]:
+    """All label sequences (τ included) of length ≤ *max_length*."""
+    traces: Set[Word] = {()}
+    seen: Set[Tuple[State, Word]] = {(lts.initial, ())}
+    stack: List[Tuple[State, Word]] = [(lts.initial, ())]
+    while stack:
+        state, word = stack.pop()
+        if len(word) == max_length:
+            continue
+        for label, target in lts.successors(state):
+            extended = word + (label,)
+            traces.add(extended)
+            candidate = (target, extended)
+            if candidate not in seen:
+                seen.add(candidate)
+                stack.append(candidate)
+    return frozenset(traces)
+
+
+def weak_traces(lts: LTS, max_length: int) -> FrozenSet[Word]:
+    """All visible-label sequences of length ≤ *max_length* (τ-abstracted).
+
+    Works on the τ-closure graph, so arbitrarily long (even cyclic) silent
+    stretches between visible actions are handled exactly.
+    """
+    traces: Set[Word] = {()}
+    seen: Set[Tuple[State, Word]] = set()
+    stack: List[Tuple[State, Word]] = []
+    for settled in lts.tau_closure(lts.initial):
+        entry = (settled, ())
+        seen.add(entry)
+        stack.append(entry)
+    while stack:
+        state, word = stack.pop()
+        if len(word) == max_length:
+            continue
+        for label, target in lts.successors(state):
+            if label == TAU:
+                continue  # silent steps are folded into the closures
+            extended = word + (label,)
+            traces.add(extended)
+            for settled in lts.tau_closure(target):
+                candidate = (settled, extended)
+                if candidate not in seen:
+                    seen.add(candidate)
+                    stack.append(candidate)
+    return frozenset(traces)
+
+
+def completed_weak_traces(lts: LTS, max_length: int) -> FrozenSet[Word]:
+    """Weak traces of runs ending in a transition-less state."""
+    results: Set[Word] = set()
+    start = (lts.initial, ())
+    seen: Set[Tuple[State, Word]] = {start}
+    stack: List[Tuple[State, Word]] = [start]
+    while stack:
+        state, word = stack.pop()
+        if not lts.successors(state):
+            results.add(word)
+        for label, target in lts.successors(state):
+            extended = word if label == TAU else word + (label,)
+            if len(extended) > max_length:
+                continue
+            candidate = (target, extended)
+            if candidate not in seen:
+                seen.add(candidate)
+                stack.append(candidate)
+    return frozenset(results)
+
+
+def weak_trace_equivalent(left: LTS, right: LTS, max_length: int) -> bool:
+    """Equality of weak trace languages up to *max_length*."""
+    return weak_traces(left, max_length) == weak_traces(right, max_length)
+
+
+def weak_trace_included(left: LTS, right: LTS, max_length: int) -> bool:
+    """Inclusion of weak trace languages up to *max_length*."""
+    return weak_traces(left, max_length) <= weak_traces(right, max_length)

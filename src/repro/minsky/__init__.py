@@ -1,0 +1,29 @@
+"""Counter machines and the Theorem 9 encoding into interpreted RP."""
+
+from .encode import EncodedMachine, encode, simulate_via_rp
+from .machine import (
+    HALT,
+    CounterMachine,
+    DecJz,
+    Inc,
+    MinskyError,
+    adder_machine,
+    busy_loop_machine,
+    doubler_machine,
+    zero_test_machine,
+)
+
+__all__ = [
+    "EncodedMachine",
+    "encode",
+    "simulate_via_rp",
+    "HALT",
+    "CounterMachine",
+    "DecJz",
+    "Inc",
+    "MinskyError",
+    "adder_machine",
+    "busy_loop_machine",
+    "doubler_machine",
+    "zero_test_machine",
+]

@@ -1,0 +1,336 @@
+"""The Theorem 9 encoding: counter machines as interpreted RP schemes.
+
+    "One can encode any Minsky counter machine into an RP scheme with
+    finite interpretation.  For a counter C, an RP procedure is written.
+    This procedure counts by spawning children invocations.  When we want
+    to increment the counter, we ask it (through u) to spawn a new child.
+    These children can testify (through u) that C is not zero.  Through u,
+    we can ask one (any) of them to terminate, decrementing the value of
+    C.  C can implement a (blocking) test for emptiness by using the wait
+    construct to check that it has no children anymore."
+
+Concretely, for every counter ``c`` the scheme has
+
+* a **manager** procedure (one invocation, spawned by main at startup)
+  polling the global memory: on ``(inc, c)`` it spawns a **unit** child
+  and acknowledges; on ``(jz, c)`` it moves to a ``wait`` node and, once
+  all its units are gone, reports ``(iszero, c)``;
+* a **unit** procedure, one live invocation per counter tick, polling the
+  global memory: it consumes ``(dec, c)`` by acknowledging and
+  terminating, and answers ``(jz, c)`` with ``(nonzero, c)``.
+
+The **main** procedure drives the machine control: each machine location
+becomes a short protocol block (issue a request, poll for the reply).
+All request/reply hand-offs are *atomic* — a test reads and rewrites the
+global memory in one step — so no two processes can consume the same
+request.
+
+Correctness is of the may-flavour Theorem 9 needs: every run that reaches
+the halt node has made only truthful branch decisions (units exist only
+when the counter is positive; the manager passes its wait only when the
+counter is zero, and the counter cannot change while a probe is pending
+because main is the only source of commands and it is busy polling), and
+the faithful interleaving always exists.  An adversarial interleaving can
+*livelock* (the manager consumes a probe while units are alive and blocks
+at its wait) but can never lie.
+
+The global memory ranges over a finite set of small tuples and local
+memories are a single point, so the interpretation is finite — which is
+the whole point: finite-state colouring makes RP schemes Turing-powerful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.builder import SchemeBuilder
+from ..core.scheme import RPScheme
+from ..errors import AnalysisBudgetExceeded
+from ..interp.interpretation import TableInterpretation
+from ..interp.isemantics import InterpretedSemantics
+from ..interp.istate import GlobalState
+from ..interp.memory import UNIT
+from .machine import HALT, CounterMachine, DecJz, Inc
+
+#: Global-memory control words.
+IDLE = ("idle",)
+DONE = ("done",)
+
+
+@dataclass(frozen=True)
+class EncodedMachine:
+    """The result of encoding: scheme + finite interpretation + node map."""
+
+    machine: CounterMachine
+    scheme: RPScheme
+    interpretation: TableInterpretation
+    halt_node: str
+    unit_nodes: Dict[str, str]  # counter -> the unit's polling node
+    location_nodes: Dict[str, str]  # machine location -> main entry node
+
+    def counter_value(self, state: GlobalState) -> Dict[str, int]:
+        """Read the counters off an interpreted state: live units per
+        counter (a unit is live while at its polling node)."""
+        counts = {name: 0 for name in self.machine.counters}
+        for _path, node, _memory, _children in state.state.positions():
+            for counter, unit_node in self.unit_nodes.items():
+                if node == unit_node:
+                    counts[counter] += 1
+        return counts
+
+    def at_halt(self, state: GlobalState) -> bool:
+        """Is main at the halt node in *state*?"""
+        return state.forget().contains_node(self.halt_node)
+
+
+def encode(
+    machine: CounterMachine,
+    initial_counters: Optional[Mapping[str, int]] = None,
+) -> EncodedMachine:
+    """Encode *machine* (with the given initial counter values)."""
+    initial = {name: 0 for name in machine.counters}
+    initial.update(initial_counters or {})
+    b = SchemeBuilder("minsky")
+    unit_nodes: Dict[str, str] = {}
+    manager_entries: Dict[str, str] = {}
+
+    # --- per-counter procedures ---------------------------------------
+    for c in machine.counters:
+        unit_poll = f"unit_{c}"
+        unit_end = f"unit_{c}_end"
+        b.test(unit_poll, f"unit[{c}]", then=unit_end, orelse=unit_poll)
+        b.end(unit_end)
+        b.procedure(f"unit_{c}_proc", unit_poll)
+        unit_nodes[c] = unit_poll
+
+        m_inc = f"mgr_{c}_inc"
+        m_spawn = f"mgr_{c}_spawn"
+        m_ack = f"mgr_{c}_ack"
+        m_jz = f"mgr_{c}_jz"
+        m_wait = f"mgr_{c}_wait"
+        m_zero = f"mgr_{c}_zero"
+        b.test(m_inc, f"mgr_inc[{c}]", then=m_spawn, orelse=m_jz)
+        b.pcall(m_spawn, invoked=unit_poll, succ=m_ack)
+        b.action(m_ack, f"mgr_done[{c}]", m_inc)
+        b.test(m_jz, f"mgr_jz[{c}]", then=m_wait, orelse=m_inc)
+        b.wait(m_wait, m_zero)
+        b.action(m_zero, f"mgr_iszero[{c}]", m_inc)
+        b.procedure(f"manager_{c}", m_inc)
+        manager_entries[c] = m_inc
+
+    # --- main: spawn managers, seed counters, run the control ----------
+    location_nodes: Dict[str, str] = {}
+    halt_entry = "main_halt"
+    location_nodes[HALT] = halt_entry
+
+    def location_entry(location: str) -> str:
+        return location_nodes.setdefault(
+            location, f"loc_{location}" if location != HALT else halt_entry
+        )
+
+    # startup chain: pcall every manager, then seed initial counters
+    startup: list = []
+    counters = list(machine.counters)
+    for index, c in enumerate(counters):
+        node = f"boot_{c}"
+        nxt = f"boot_{counters[index + 1]}" if index + 1 < len(counters) else None
+        startup.append((node, c, nxt))
+    seed_steps = []
+    for c in counters:
+        for tick in range(initial[c]):
+            seed_steps.append((c, tick))
+
+    def seed_node(position: int) -> str:
+        c, tick = seed_steps[position]
+        return f"seed_{c}_{tick}"
+
+    after_boot = (
+        seed_node(0) if seed_steps else location_entry(machine.initial_location)
+    )
+    for index, (node, c, nxt) in enumerate(startup):
+        succ = nxt if nxt is not None else after_boot
+        b.pcall(node, invoked=manager_entries[c], succ=succ)
+    if not startup:
+        # no counters at all: go straight to the control
+        pass
+    for position, (c, tick) in enumerate(seed_steps):
+        issue = seed_node(position)
+        wait_node = f"{issue}_w"
+        nxt = (
+            seed_node(position + 1)
+            if position + 1 < len(seed_steps)
+            else location_entry(machine.initial_location)
+        )
+        b.action(issue, f"issue_inc[{c}]", wait_node)
+        b.test(wait_node, "await_done", then=nxt, orelse=wait_node)
+
+    # control blocks, one per machine location
+    for location, instruction in machine.instructions.items():
+        entry = location_entry(location)
+        if isinstance(instruction, Inc):
+            wait_node = f"{entry}_w"
+            b.action(entry, f"issue_inc[{instruction.counter}]", wait_node)
+            b.test(
+                wait_node,
+                "await_done",
+                then=location_entry(instruction.next_location),
+                orelse=wait_node,
+            )
+        else:
+            assert isinstance(instruction, DecJz)
+            c = instruction.counter
+            probe_nz = f"{entry}_nz"
+            probe_z = f"{entry}_z"
+            issue_dec = f"{entry}_d"
+            await_dec = f"{entry}_dw"
+            b.action(entry, f"issue_jz[{c}]", probe_nz)
+            b.test(probe_nz, f"probe_nz[{c}]", then=issue_dec, orelse=probe_z)
+            b.test(
+                probe_z,
+                f"probe_z[{c}]",
+                then=location_entry(instruction.next_zero),
+                orelse=probe_nz,
+            )
+            b.action(issue_dec, f"issue_dec[{c}]", await_dec)
+            b.test(
+                await_dec,
+                "await_done",
+                then=location_entry(instruction.next_nonzero),
+                orelse=await_dec,
+            )
+
+    halt_end = "main_halt_end"
+    b.action(halt_entry, "halted", halt_end)
+    b.end(halt_end)
+    b.procedure("main", startup[0][0] if startup else location_entry(machine.initial_location))
+
+    root = startup[0][0] if startup else location_entry(machine.initial_location)
+    scheme = b.build(root=root)
+    interpretation = _control_interpretation()
+    return EncodedMachine(
+        machine=machine,
+        scheme=scheme,
+        interpretation=interpretation,
+        halt_node=halt_entry,
+        unit_nodes=unit_nodes,
+        location_nodes=location_nodes,
+    )
+
+
+def _control_interpretation() -> TableInterpretation:
+    """The finite interpretation: a control-word global memory.
+
+    Actions issue requests or acknowledgements; tests atomically consume
+    the request they are responsible for.  Labels are parsed as
+    ``name[counter]``.
+    """
+
+    def split(label: str) -> Tuple[str, Optional[str]]:
+        if label.endswith("]") and "[" in label:
+            name, _, counter = label[:-1].partition("[")
+            return name, counter
+        return label, None
+
+    def action(label: str, u, v):
+        name, c = split(label)
+        if name == "issue_inc":
+            return ("inc", c), v
+        if name == "issue_dec":
+            return ("dec", c), v
+        if name == "issue_jz":
+            return ("jz", c), v
+        if name == "mgr_done":
+            return DONE, v
+        if name == "mgr_iszero":
+            return ("iszero", c), v
+        if name == "halted":
+            return u, v
+        raise AssertionError(f"unknown action label {label!r}")
+
+    def test(label: str, u, v):
+        name, c = split(label)
+        if name == "await_done":
+            if u == DONE:
+                return IDLE, v, True
+            return u, v, False
+        if name == "unit":
+            if u == ("dec", c):
+                return DONE, v, True  # consume and die
+            if u == ("jz", c):
+                return ("nonzero", c), v, False  # testify, keep living
+            return u, v, False
+        if name == "mgr_inc":
+            if u == ("inc", c):
+                return ("busy", c), v, True
+            return u, v, False
+        if name == "mgr_jz":
+            if u == ("jz", c):
+                return ("waiting", c), v, True
+            return u, v, False
+        if name == "probe_nz":
+            if u == ("nonzero", c):
+                return IDLE, v, True
+            return u, v, False
+        if name == "probe_z":
+            if u == ("iszero", c):
+                return IDLE, v, True
+            return u, v, False
+        raise AssertionError(f"unknown test label {label!r}")
+
+    return TableInterpretation(
+        initial_global=IDLE,
+        initial_local=UNIT,
+        action=action,
+        test=test,
+        finite=True,
+        name="minsky-control",
+    )
+
+
+# ----------------------------------------------------------------------
+# End-to-end simulation through the interpreted semantics
+# ----------------------------------------------------------------------
+
+
+def simulate_via_rp(
+    machine: CounterMachine,
+    initial_counters: Optional[Mapping[str, int]] = None,
+    max_states: int = 200_000,
+) -> Optional[Dict[str, int]]:
+    """Run *machine* through its RP encoding.
+
+    Explores ``M_I_G`` of the encoding for a state with main at the halt
+    node and no pending protocol (global memory idle), and reads the
+    counters off it.  Returns ``None`` when no halting state exists within
+    the budget (the machine diverges — adversarial livelocks are pruned by
+    the goal test requiring an idle memory).
+    """
+    encoded = encode(machine, initial_counters)
+    semantics = InterpretedSemantics(encoded.scheme, encoded.interpretation)
+
+    def is_goal(state: GlobalState) -> bool:
+        return encoded.at_halt(state) and state.global_memory == IDLE
+
+    from collections import deque
+
+    start = semantics.initial_state
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        state = queue.popleft()
+        if is_goal(state):
+            return encoded.counter_value(state)
+        for transition in semantics.successors(state):
+            target = transition.target
+            if target in seen:
+                continue
+            if len(seen) >= max_states:
+                raise AnalysisBudgetExceeded(
+                    f"minsky simulation: {max_states} interpreted states "
+                    f"explored without reaching halt",
+                    explored=len(seen),
+                )
+            seen.add(target)
+            queue.append(target)
+    return None

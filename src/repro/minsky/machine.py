@@ -1,0 +1,201 @@
+"""Minsky counter machines.
+
+Theorem 9 proves RP schemes with finite interpretations Turing-powerful by
+encoding counter machines; this module provides the machines themselves —
+a register machine with non-negative counters and two instruction kinds:
+
+* ``Inc(counter, next)`` — increment and jump;
+* ``DecJz(counter, next_nonzero, next_zero)`` — if the counter is positive,
+  decrement and jump to *next_nonzero*, else jump to *next_zero*;
+
+plus ``HALT`` as a distinguished location.  Two counters suffice for
+Turing completeness; the class supports any number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..errors import RPError
+
+
+class MinskyError(RPError):
+    """A malformed counter machine."""
+
+
+#: The distinguished halting location.
+HALT = "halt"
+
+
+@dataclass(frozen=True)
+class Inc:
+    """Increment *counter* and continue at *next_location*."""
+
+    counter: str
+    next_location: str
+
+
+@dataclass(frozen=True)
+class DecJz:
+    """Decrement-or-branch: positive → decrement, go to *next_nonzero*;
+    zero → go to *next_zero*."""
+
+    counter: str
+    next_nonzero: str
+    next_zero: str
+
+
+Instruction = Union[Inc, DecJz]
+
+
+class CounterMachine:
+    """A Minsky machine: locations, instructions, counters."""
+
+    def __init__(
+        self,
+        instructions: Mapping[str, Instruction],
+        initial_location: str,
+        counters: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self.instructions: Dict[str, Instruction] = dict(instructions)
+        self.initial_location = initial_location
+        used = []
+        for instruction in self.instructions.values():
+            if instruction.counter not in used:
+                used.append(instruction.counter)
+        self.counters: Tuple[str, ...] = counters if counters is not None else tuple(used)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.initial_location != HALT and self.initial_location not in self.instructions:
+            raise MinskyError(f"unknown initial location {self.initial_location!r}")
+        if HALT in self.instructions:
+            raise MinskyError("'halt' is reserved and cannot carry an instruction")
+        for location, instruction in self.instructions.items():
+            targets = (
+                (instruction.next_location,)
+                if isinstance(instruction, Inc)
+                else (instruction.next_nonzero, instruction.next_zero)
+            )
+            for target in targets:
+                if target != HALT and target not in self.instructions:
+                    raise MinskyError(
+                        f"instruction at {location!r} jumps to unknown "
+                        f"location {target!r}"
+                    )
+            if instruction.counter not in self.counters:
+                raise MinskyError(
+                    f"instruction at {location!r} uses undeclared counter "
+                    f"{instruction.counter!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Direct simulation (the reference the encoding is checked against)
+    # ------------------------------------------------------------------
+
+    def step(
+        self, location: str, counters: Mapping[str, int]
+    ) -> Tuple[str, Dict[str, int]]:
+        """One machine step from ``(location, counters)``."""
+        if location == HALT:
+            return location, dict(counters)
+        instruction = self.instructions[location]
+        values = dict(counters)
+        if isinstance(instruction, Inc):
+            values[instruction.counter] = values.get(instruction.counter, 0) + 1
+            return instruction.next_location, values
+        if values.get(instruction.counter, 0) > 0:
+            values[instruction.counter] -= 1
+            return instruction.next_nonzero, values
+        return instruction.next_zero, values
+
+    def run(
+        self,
+        initial_counters: Optional[Mapping[str, int]] = None,
+        max_steps: int = 100_000,
+    ) -> Optional[Dict[str, int]]:
+        """Run to halt; returns final counters, or ``None`` on step budget
+        exhaustion (divergence)."""
+        location = self.initial_location
+        counters = {name: 0 for name in self.counters}
+        counters.update(initial_counters or {})
+        for _ in range(max_steps):
+            if location == HALT:
+                return counters
+            location, counters = self.step(location, counters)
+        return None
+
+    def trace(
+        self,
+        initial_counters: Optional[Mapping[str, int]] = None,
+        max_steps: int = 10_000,
+    ) -> List[Tuple[str, Dict[str, int]]]:
+        """The configuration sequence (bounded by *max_steps*)."""
+        location = self.initial_location
+        counters = {name: 0 for name in self.counters}
+        counters.update(initial_counters or {})
+        result = [(location, dict(counters))]
+        for _ in range(max_steps):
+            if location == HALT:
+                break
+            location, counters = self.step(location, counters)
+            result.append((location, dict(counters)))
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"CounterMachine(locations={len(self.instructions)}, "
+            f"counters={list(self.counters)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# A small standard library of machines (tests, examples, benchmarks)
+# ----------------------------------------------------------------------
+
+
+def adder_machine() -> CounterMachine:
+    """Compute ``b := a + b``: drain ``a`` into ``b``, then halt."""
+    return CounterMachine(
+        instructions={
+            "l0": DecJz("a", next_nonzero="l1", next_zero=HALT),
+            "l1": Inc("b", next_location="l0"),
+        },
+        initial_location="l0",
+    )
+
+
+def doubler_machine() -> CounterMachine:
+    """Compute ``b := 2·a`` (destroys ``a``)."""
+    return CounterMachine(
+        instructions={
+            "l0": DecJz("a", next_nonzero="l1", next_zero=HALT),
+            "l1": Inc("b", next_location="l2"),
+            "l2": Inc("b", next_location="l0"),
+        },
+        initial_location="l0",
+    )
+
+
+def busy_loop_machine() -> CounterMachine:
+    """Never halts: endlessly increments and decrements ``a``."""
+    return CounterMachine(
+        instructions={
+            "l0": Inc("a", next_location="l1"),
+            "l1": DecJz("a", next_nonzero="l0", next_zero="l0"),
+        },
+        initial_location="l0",
+    )
+
+
+def zero_test_machine() -> CounterMachine:
+    """Halts with ``flag = 1`` iff ``a`` starts at zero."""
+    return CounterMachine(
+        instructions={
+            "l0": DecJz("a", next_nonzero=HALT, next_zero="l1"),
+            "l1": Inc("flag", next_location=HALT),
+        },
+        initial_location="l0",
+        counters=("a", "flag"),
+    )

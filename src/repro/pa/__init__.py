@@ -1,0 +1,50 @@
+"""PA process algebra: terms, SOS semantics, RP → PA translation."""
+
+from .terms import (
+    Act,
+    Choice,
+    Nil,
+    PAError,
+    PASystem,
+    Par,
+    Seq,
+    Term,
+    Var,
+    choice,
+    par,
+    seq,
+)
+from .fragments import BPA, BPP, FINITE, PA, bpa_anbn, bpp_bag, classify, pa_nested_fork
+from .translate import (
+    TranslationError,
+    scheme_weak_traces,
+    traces_agree,
+    translate_program,
+)
+
+__all__ = [
+    "BPA",
+    "BPP",
+    "FINITE",
+    "PA",
+    "bpa_anbn",
+    "bpp_bag",
+    "classify",
+    "pa_nested_fork",
+    "Act",
+    "Choice",
+    "Nil",
+    "PAError",
+    "PASystem",
+    "Par",
+    "Seq",
+    "Term",
+    "Var",
+    "choice",
+    "par",
+    "seq",
+    "TranslationError",
+    "scheme_weak_traces",
+    "traces_agree",
+    "translate_program",
+]

@@ -1,0 +1,137 @@
+"""The process-algebra fragment landscape: BPA, BPP, PA.
+
+The paper situates RP schemes among the "specific fragments (BPP, PA, …)
+of general process algebra" under investigation at the time:
+
+* **BPA** (Basic Process Algebra): action, choice, *sequential*
+  composition, guarded recursion — no parallelism (context-free
+  processes);
+* **BPP** (Basic Parallel Processes): action prefixing, choice, *merge* —
+  no general sequential composition (commutative, Petri-net-like);
+* **PA**: both `·` and `∥` — the class whose languages coincide with RP
+  schemes'.
+
+:func:`classify` places a :class:`~repro.pa.terms.PASystem` in the
+smallest of these fragments; the translation of a structured RP program
+lands in BPA exactly when the program never pcalls, and in proper PA as
+soon as a pcall's children run in parallel with a sequential
+continuation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from .terms import Act, Choice, Nil, PASystem, Par, Seq, Term, Var
+
+#: Fragment names, ordered by inclusion.
+BPA = "BPA"
+BPP = "BPP"
+PA = "PA"
+FINITE = "finite"  # no recursion reachable: both a BPA and a BPP term
+
+
+def _subterms(term: Term) -> Iterator[Term]:
+    yield term
+    if isinstance(term, (Seq, Par, Choice)):
+        yield from _subterms(term.left)
+        yield from _subterms(term.right)
+
+
+def uses_parallelism(system: PASystem) -> bool:
+    """Does any reachable definition (or the root) contain ``∥``?"""
+    return any(
+        isinstance(sub, Par)
+        for term in _reachable_terms(system)
+        for sub in _subterms(term)
+    )
+
+
+def uses_general_sequencing(system: PASystem) -> bool:
+    """Does the system use ``X·Y`` beyond action prefixing?
+
+    ``a·X`` (an action followed by anything) is prefixing and is allowed
+    in BPP; any other left operand makes the sequencing general.
+    """
+    for term in _reachable_terms(system):
+        for sub in _subterms(term):
+            if isinstance(sub, Seq) and not isinstance(sub.left, Act):
+                return True
+    return False
+
+
+def uses_recursion(system: PASystem) -> bool:
+    """Is some process variable reachable from the root?"""
+    return bool(_reachable_variables(system))
+
+
+def _reachable_variables(system: PASystem) -> Set[str]:
+    seen: Set[str] = set()
+    frontier = [system.root]
+    while frontier:
+        term = frontier.pop()
+        for sub in _subterms(term):
+            if isinstance(sub, Var) and sub.name not in seen:
+                seen.add(sub.name)
+                frontier.append(system.definitions[sub.name])
+    return seen
+
+def _reachable_terms(system: PASystem) -> Iterator[Term]:
+    yield system.root
+    for name in _reachable_variables(system):
+        yield system.definitions[name]
+
+
+def classify(system: PASystem) -> str:
+    """The smallest fragment containing *system*.
+
+    Returns one of ``"finite"``, ``"BPA"``, ``"BPP"``, ``"PA"``.
+    """
+    parallel = uses_parallelism(system)
+    sequencing = uses_general_sequencing(system)
+    if parallel and sequencing:
+        return PA
+    if parallel:
+        return BPP
+    if not uses_recursion(system) and not parallel:
+        return FINITE
+    return BPA
+
+
+# ----------------------------------------------------------------------
+# Canonical inhabitants (tests, examples, documentation)
+# ----------------------------------------------------------------------
+
+
+def bpa_anbn() -> PASystem:
+    """The context-free classic ``{aⁿbⁿ}``: X = a·(X·b) + a·b (proper BPA)."""
+    return PASystem(
+        {
+            "X": Choice(
+                Seq(Act("a"), Seq(Var("X"), Act("b"))),
+                Seq(Act("a"), Act("b")),
+            )
+        },
+        root=Var("X"),
+    )
+
+
+def bpp_bag() -> PASystem:
+    """A BPP token bag: X = a·(X ∥ b) + a·b — commutative parallelism."""
+    return PASystem(
+        {
+            "X": Choice(
+                Seq(Act("a"), Par(Var("X"), Act("b"))),
+                Seq(Act("a"), Act("b")),
+            )
+        },
+        root=Var("X"),
+    )
+
+
+def pa_nested_fork() -> PASystem:
+    """Proper PA: a parallel pair sequenced before a barrier action."""
+    return PASystem(
+        {"P": Seq(Par(Act("a"), Act("b")), Var("P2")), "P2": Act("done")},
+        root=Var("P"),
+    )

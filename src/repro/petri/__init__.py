@@ -1,0 +1,52 @@
+"""Petri net substrate: nets, Karp–Miller, backward coverability,
+RP-vs-PN comparison material."""
+
+from .backward import backward_coverable, marking_order
+from .bpp import (
+    CHOICE_LABEL,
+    bpp_net_to_scheme,
+    is_communication_free,
+    scheme_bpp_traces,
+    traces_match,
+)
+from .compare import (
+    anbncn_completed_words,
+    anbncn_net,
+    marking_of,
+    nested_anbn_scheme,
+    scheme_terminated_words,
+    token_counting_abstraction,
+)
+from .karp_miller import (
+    OMEGA,
+    coverability_tree,
+    coverable,
+    is_bounded,
+    unbounded_places,
+)
+from .net import Marking, PetriError, PetriNet, PTransition
+
+__all__ = [
+    "CHOICE_LABEL",
+    "bpp_net_to_scheme",
+    "is_communication_free",
+    "scheme_bpp_traces",
+    "traces_match",
+    "backward_coverable",
+    "marking_order",
+    "anbncn_completed_words",
+    "anbncn_net",
+    "marking_of",
+    "nested_anbn_scheme",
+    "scheme_terminated_words",
+    "token_counting_abstraction",
+    "OMEGA",
+    "coverability_tree",
+    "coverable",
+    "is_bounded",
+    "unbounded_places",
+    "Marking",
+    "PetriError",
+    "PetriNet",
+    "PTransition",
+]

@@ -1,0 +1,53 @@
+"""Backward coverability for Petri nets.
+
+The Abdulla-style backward algorithm over the componentwise marking order
+(Dickson's lemma): starting from the upward closure of the targets,
+saturate with predecessor bases
+
+    pred_t(↑m)  has basis  { max(pre_t, m - post_t + pre_t) }
+
+until a fixpoint, then test the initial marking.  Exact in both
+directions for every net (markings are fully compatible — no analogue of
+the RP ``wait`` subtlety), which makes it a reference point for the
+RP-side backward engine's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..wqo.basis import UpwardClosedSet
+from ..wqo.orderings import QuasiOrder
+from .net import Marking, PetriNet, PTransition
+
+
+def marking_order() -> QuasiOrder:
+    """Componentwise ≤ on equal-length marking tuples."""
+    return QuasiOrder(
+        lambda a, b: len(a) == len(b) and all(x <= y for x, y in zip(a, b)),
+        name="≤^k",
+    )
+
+
+def _pred_basis(transition: PTransition, target: Marking) -> Marking:
+    """The minimal marking that can fire *transition* into ``↑target``."""
+    return tuple(
+        max(p, t - q + p)
+        for p, q, t in zip(transition.pre, transition.post, target)
+    )
+
+
+def backward_coverable(net: PetriNet, targets: Sequence[Marking]) -> bool:
+    """Is some marking of ``↑targets`` reachable from the initial marking?"""
+    order = marking_order()
+    reached = UpwardClosedSet(order, targets)
+    frontier: List[Marking] = list(reached.basis)
+    while frontier:
+        fresh: List[Marking] = []
+        for basis_element in frontier:
+            for transition in net.transitions:
+                predecessor = _pred_basis(transition, basis_element)
+                if reached.add(predecessor):
+                    fresh.append(predecessor)
+        frontier = fresh
+    return net.initial in reached

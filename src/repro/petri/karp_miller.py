@@ -1,0 +1,125 @@
+"""Karp–Miller coverability trees for Petri nets.
+
+The classic construction: explore markings, replacing components that grow
+along a branch by ω (acceleration).  The finite tree decides boundedness
+(no ω anywhere iff bounded, with the reachability set bounded by the
+tree), place boundedness, and coverability (a target is coverable iff some
+tree node dominates it).
+
+Petri nets are the textbook well-structured system; having the exact
+classical algorithms here gives the test-suite a fully trusted baseline
+to cross-validate the RP-side analysis machinery's behaviour on the
+fragment where the two models overlap (e.g. wait-free spawning schemes
+whose token-counting abstraction is a net).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .net import Marking, PetriNet
+
+#: The ω value (unbounded component).
+OMEGA = -1
+
+
+def _leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    """Componentwise ≤ with ω on top."""
+    return all(y == OMEGA or (x != OMEGA and x <= y) for x, y in zip(a, b))
+
+
+def _accelerated(ancestor, current):
+    """Acceleration: components strictly grown over *ancestor* become ω."""
+    out = []
+    for x, y in zip(ancestor, current):
+        if y == OMEGA or x == OMEGA:
+            out.append(OMEGA)
+        elif x < y:
+            out.append(OMEGA)
+        else:
+            out.append(y)
+    return tuple(out)
+
+
+@dataclass
+class KMNode:
+    """A node of the coverability tree."""
+
+    marking: Tuple[int, ...]
+    parent: Optional["KMNode"] = None
+    children: List["KMNode"] = field(default_factory=list)
+
+    def ancestors(self):
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+
+def _omega_enabled(marking: Tuple[int, ...], pre: Marking) -> bool:
+    return all(m == OMEGA or m >= p for m, p in zip(marking, pre))
+
+
+def _omega_fire(marking: Tuple[int, ...], pre: Marking, post: Marking) -> Tuple[int, ...]:
+    return tuple(
+        OMEGA if m == OMEGA else m - p + q for m, p, q in zip(marking, pre, post)
+    )
+
+
+def coverability_tree(net: PetriNet, max_nodes: int = 200_000) -> KMNode:
+    """Build the Karp–Miller tree (guaranteed finite; budget as safety)."""
+    root = KMNode(marking=net.initial)
+    work: List[KMNode] = [root]
+    count = 1
+    while work:
+        node = work.pop()
+        # stop extension when an ancestor has the identical marking
+        if any(anc.marking == node.marking for anc in node.ancestors()):
+            continue
+        for transition in net.transitions:
+            if not _omega_enabled(node.marking, transition.pre):
+                continue
+            fired = _omega_fire(node.marking, transition.pre, transition.post)
+            for anc in [node] + list(node.ancestors()):
+                if _leq(anc.marking, fired):
+                    fired = _accelerated(anc.marking, fired)
+            child = KMNode(marking=fired, parent=node)
+            node.children.append(child)
+            work.append(child)
+            count += 1
+            if count > max_nodes:  # pragma: no cover - classical bound
+                raise RuntimeError("Karp-Miller budget exceeded")
+    return root
+
+
+def _all_nodes(root: KMNode):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children)
+
+
+def is_bounded(net: PetriNet) -> bool:
+    """Boundedness: no ω in the coverability tree."""
+    return all(
+        OMEGA not in node.marking for node in _all_nodes(coverability_tree(net))
+    )
+
+
+def unbounded_places(net: PetriNet) -> List[str]:
+    """Places receiving ω somewhere in the tree."""
+    omega_positions = set()
+    for node in _all_nodes(coverability_tree(net)):
+        for position, value in enumerate(node.marking):
+            if value == OMEGA:
+                omega_positions.add(position)
+    return [net.places[i] for i in sorted(omega_positions)]
+
+
+def coverable(net: PetriNet, target: Marking) -> bool:
+    """Coverability via the tree: some node dominates *target*."""
+    return any(
+        _leq(target, node.marking) for node in _all_nodes(coverability_tree(net))
+    )

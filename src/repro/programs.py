@@ -1,0 +1,216 @@
+"""A standard library of RP programs.
+
+Realistic recursive-parallel workloads in RP source form, exercised by
+tests, benchmarks and documentation.  Each entry records its source, the
+verdicts the analyses are expected to produce, and (for concrete
+programs) the expected final global memory under any scheduler whose
+outcome is deterministic.
+
+The catalogue doubles as an acceptance suite: ``tests/test_programs.py``
+re-derives every recorded expectation from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CatalogueEntry:
+    """One catalogued program with its expected analysis outcomes."""
+
+    name: str
+    source: str
+    description: str
+    bounded: Optional[bool] = None
+    halting: Optional[bool] = None
+    deterministic_memory: Optional[Dict[str, int]] = None
+    lint_codes: Tuple[str, ...] = ()
+
+
+FAN_OUT_SUM = CatalogueEntry(
+    name="fan_out_sum",
+    description="fork four adders over a shared accumulator, join, scale",
+    source="""
+    global acc := 0;
+    program main {
+        pcall adder; pcall adder; pcall adder; pcall adder;
+        wait;
+        acc := acc * 10;
+        end;
+    }
+    procedure adder { acc := acc + 1; end; }
+    """,
+    bounded=True,
+    halting=True,
+    deterministic_memory={"acc": 40},
+)
+
+DIVIDE_AND_CONQUER = CatalogueEntry(
+    name="divide_and_conquer",
+    description="binary recursive fan-out to a fixed depth with joins",
+    source="""
+    global work := 0;
+    global depth := 2;
+    program main {
+        pcall solve;
+        wait;
+        end;
+    }
+    procedure solve {
+        if depth > 0 then {
+            depth := depth - 1;
+            pcall solve;
+            pcall solve;
+            wait;
+        } else {
+            work := work + 1;
+        }
+        end;
+    }
+    """,
+    # in the ABSTRACT model the `depth > 0` test is nondeterministic, so
+    # the recursion can always take the spawning branch: M_G is unbounded
+    # and non-halting even though every concrete run terminates — a
+    # textbook instance of the abstraction being a strict over-
+    # approximation (Theorem 10 direction).
+    bounded=False,
+    halting=False,
+    # `depth` is shared, so the fan-out narrows as siblings decrement it;
+    # the concrete run is racy — no deterministic final memory recorded.
+)
+
+PRODUCER_CONSUMER = CatalogueEntry(
+    name="producer_consumer",
+    description="a producer fills a bounded buffer a consumer drains",
+    source="""
+    global buffer := 0;
+    global produced := 0;
+    global consumed := 0;
+    program main {
+        pcall producer;
+        pcall consumer;
+        wait;
+        end;
+    }
+    procedure producer {
+        while produced < 3 do {
+            buffer := buffer + 1;
+            produced := produced + 1;
+        }
+        end;
+    }
+    procedure consumer {
+        while consumed < 3 do {
+            if buffer > 0 then {
+                buffer := buffer - 1;
+                consumed := consumed + 1;
+            } else {
+                idle;
+            }
+        }
+        end;
+    }
+    """,
+    # no pcall sits inside a loop, so the invocation count is bounded (the
+    # abstract state space saturates at a few dozen states) — but the
+    # consumer can idle-spin forever, so the scheme does not halt
+    bounded=True,
+    halting=False,
+    deterministic_memory={"buffer": 0, "produced": 3, "consumed": 3},
+)
+
+BARRIER_ROUNDS = CatalogueEntry(
+    name="barrier_rounds",
+    description="two rounds of workers separated by wait barriers",
+    source="""
+    global round1 := 0;
+    global round2 := 0;
+    program main {
+        pcall w1; pcall w1;
+        wait;
+        pcall w2; pcall w2; pcall w2;
+        wait;
+        end;
+    }
+    procedure w1 { round1 := round1 + 1; end; }
+    procedure w2 { round2 := round2 + round1; end; }
+    """,
+    bounded=True,
+    halting=True,
+    deterministic_memory={"round1": 2, "round2": 6},
+)
+
+FIRE_AND_FORGET = CatalogueEntry(
+    name="fire_and_forget",
+    description="spawns loggers it never joins (W006 lint)",
+    source="""
+    global hits := 0;
+    program main {
+        pcall logger;
+        hits := hits + 1;
+        end;
+    }
+    procedure logger { hits := hits + 1; end; }
+    """,
+    bounded=True,
+    halting=True,
+    deterministic_memory={"hits": 2},
+    lint_codes=("W006",),
+)
+
+TOKEN_RING = CatalogueEntry(
+    name="token_ring",
+    description="a token circulating through a modular counter",
+    source="""
+    global token := 0;
+    global laps := 0;
+    program main {
+        while laps < 2 do {
+            token := (token + 1) % 3;
+            if token == 0 then { laps := laps + 1; } else { pass; }
+        }
+        end;
+    }
+    """,
+    bounded=True,
+    halting=False,  # the abstract model can loop on the tests forever
+    deterministic_memory={"token": 0, "laps": 2},
+)
+
+UNBOUNDED_SERVER = CatalogueEntry(
+    name="unbounded_server",
+    description="an accept loop spawning a handler per request",
+    source="""
+    program main {
+        while request do {
+            pcall handler;
+        l: skip_admission;
+            wait;
+        }
+        end;
+    }
+    procedure handler { handle; end; }
+    """,
+    bounded=True,  # the wait bounds the live handlers to one
+    halting=False,
+)
+
+CATALOGUE: Tuple[CatalogueEntry, ...] = (
+    FAN_OUT_SUM,
+    DIVIDE_AND_CONQUER,
+    PRODUCER_CONSUMER,
+    BARRIER_ROUNDS,
+    FIRE_AND_FORGET,
+    TOKEN_RING,
+    UNBOUNDED_SERVER,
+)
+
+
+def entry(name: str) -> CatalogueEntry:
+    """Look up a catalogued program by name."""
+    for candidate in CATALOGUE:
+        if candidate.name == name:
+            return candidate
+    raise KeyError(f"unknown catalogue entry {name!r}")

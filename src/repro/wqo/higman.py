@@ -1,0 +1,83 @@
+"""Higman's lemma: subword and multiset orderings.
+
+Higman's lemma states that if ``≤`` is a wqo on ``X`` then the *subword
+embedding* on finite sequences over ``X`` is a wqo: ``u ⊑ v`` iff ``u`` can
+be obtained from ``v`` by deleting elements and weakening the rest
+(``u_i ≤ v_{f(i)}`` for some strictly increasing ``f``).  The multiset
+variant (order-oblivious) is wqo as well.  Kruskal's Tree Theorem — the
+basis of the paper's Section 3 — is proved by a minimal-bad-sequence
+argument on top of exactly these constructions, which is why they live in
+this package and are property-tested independently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+from .orderings import QuasiOrder
+
+T = TypeVar("T")
+
+
+def subword_leq(order: QuasiOrder, small: Sequence[T], big: Sequence[T]) -> bool:
+    """Decide Higman's subword embedding ``small ⊑ big``.
+
+    Greedy matching is correct for subword embedding: scan *big* and match
+    each element of *small* to the earliest usable position.
+    """
+    position = 0
+    for element in small:
+        while position < len(big) and not order.leq(element, big[position]):
+            position += 1
+        if position == len(big):
+            return False
+        position += 1
+    return True
+
+
+def subword_order(base: QuasiOrder) -> QuasiOrder:
+    """The subword-embedding quasi-order over sequences of *base* elements."""
+    return QuasiOrder(
+        lambda a, b: subword_leq(base, a, b),
+        name=f"subword({base.name})",
+    )
+
+
+def multiset_leq(order: QuasiOrder, small: Sequence[T], big: Sequence[T]) -> bool:
+    """Multiset embedding: an injection of *small* into *big* with
+    ``s ≤ image(s)`` pointwise.
+
+    Decided by maximum bipartite matching (Hungarian-style augmenting
+    paths); unlike the subword case, greediness is *not* correct here
+    because the base order need not be total.
+    """
+    if len(small) > len(big):
+        return False
+    adjacency: List[List[int]] = []
+    for s in small:
+        row = [j for j, b in enumerate(big) if order.leq(s, b)]
+        if not row:
+            return False
+        adjacency.append(row)
+    match_of_big = {}
+
+    def augment(i: int, seen: set) -> bool:
+        for j in adjacency[i]:
+            if j in seen:
+                continue
+            seen.add(j)
+            if j not in match_of_big or augment(match_of_big[j], seen):
+                match_of_big[j] = i
+                return True
+        return False
+
+    return all(augment(i, set()) for i in range(len(small)))
+
+
+def multiset_order(base: QuasiOrder) -> QuasiOrder:
+    """The multiset-embedding quasi-order over sequences of *base* elements
+    (sequences are read as multisets — order is ignored)."""
+    return QuasiOrder(
+        lambda a, b: multiset_leq(base, a, b),
+        name=f"multiset({base.name})",
+    )

@@ -1,0 +1,72 @@
+"""Kruskal's Tree Theorem over hierarchical states.
+
+Kruskal's Tree Theorem [Kru60] states that finite trees with labels from a
+wqo, ordered by homeomorphic embedding, form a wqo.  The paper applies it
+with label equality over the (finite) node set of a scheme: the embedding
+``⪯`` of hierarchical states is a well-quasi-ordering, hence every
+upward-closed set of states has a finite basis, which drives Theorem 5
+(sup-reachability) and the termination arguments of Section 3.
+
+The decision procedure for ``⪯`` itself lives in
+:mod:`repro.core.embedding`; this module packages it (and the gap variant)
+as :class:`~repro.wqo.orderings.QuasiOrder` instances, and provides the
+minimal-bad-sequence utilities used to test the wqo property empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.embedding import GapEmbedding, embeds
+from ..core.hstate import HState
+from .orderings import QuasiOrder
+
+
+def tree_embedding_order() -> QuasiOrder:
+    """The paper's embedding ``⪯`` on hierarchical states, as a wqo."""
+    return QuasiOrder(embeds, name="⪯")
+
+
+def gap_embedding_order(gap_nodes: Optional[Iterable[str]]) -> QuasiOrder:
+    """The ⋆-embedding ``⪯⋆`` with the given gap-node set.
+
+    Note: the ⋆-embedding is a wqo over the states of a *fixed finite
+    scheme* (labels range over a finite set); over unrestricted gap sets it
+    degenerates to plain embedding.
+    """
+    gap = GapEmbedding(gap_nodes)
+    return QuasiOrder(gap.embeds, name=f"⪯⋆{gap!r}")
+
+
+def bad_sequence_extension(
+    order: QuasiOrder, prefix: List[HState], candidates: Iterable[HState]
+) -> Optional[HState]:
+    """Extend a finite bad sequence if possible.
+
+    Returns a candidate ``x`` such that ``prefix + [x]`` is still bad (no
+    earlier element embeds into ``x``), or ``None`` when every candidate
+    would close an increasing pair.  The test-suite uses this to grow
+    maximal bad sequences and check they stay finite and small, an
+    empirical echo of the wqo property.
+    """
+    for candidate in candidates:
+        if not any(order.leq(earlier, candidate) for earlier in prefix):
+            return candidate
+    return None
+
+
+def greedy_bad_sequence(
+    order: QuasiOrder, candidates: Iterable[HState], limit: int = 10_000
+) -> List[HState]:
+    """Greedily build a bad sequence from *candidates* (first-fit).
+
+    The result is an antichain-like witness whose length is bounded in
+    practice; on a wqo it can never be extended indefinitely.
+    """
+    sequence: List[HState] = []
+    for candidate in candidates:
+        if len(sequence) >= limit:
+            break
+        if not any(order.leq(earlier, candidate) for earlier in sequence):
+            sequence.append(candidate)
+    return sequence

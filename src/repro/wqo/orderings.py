@@ -1,0 +1,109 @@
+"""Well-quasi-ordering (wqo) interfaces.
+
+A quasi-ordering ``≤`` on a set ``X`` is a *well-quasi-ordering* when every
+infinite sequence ``x0, x1, ...`` contains an increasing pair
+``xi ≤ xj`` with ``i < j``.  Equivalently: there are no infinite strictly
+descending chains and no infinite antichains.  The paper's decidability
+results all rest on two wqos over hierarchical states — Kruskal's tree
+embedding ``⪯`` and its ⋆ (gap) refinement.
+
+This module defines the tiny protocol the rest of :mod:`repro.wqo` works
+against, plus ready-made instances; :mod:`repro.wqo.higman` and
+:mod:`repro.wqo.kruskal` build composite wqos, and :mod:`repro.wqo.basis`
+implements antichains and finite bases of upward-closed sets over any
+:class:`QuasiOrder`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class QuasiOrder(Generic[T]):
+    """A decidable quasi-ordering, given by its ``leq`` relation."""
+
+    def __init__(self, leq: Callable[[T, T], bool], name: str = "≤") -> None:
+        self._leq = leq
+        self.name = name
+
+    def leq(self, a: T, b: T) -> bool:
+        """Decide ``a ≤ b``."""
+        return self._leq(a, b)
+
+    def lt(self, a: T, b: T) -> bool:
+        """Strict part: ``a ≤ b`` and not ``b ≤ a``."""
+        return self._leq(a, b) and not self._leq(b, a)
+
+    def equivalent(self, a: T, b: T) -> bool:
+        """``a ≤ b ≤ a``."""
+        return self._leq(a, b) and self._leq(b, a)
+
+    def incomparable(self, a: T, b: T) -> bool:
+        """Neither ``a ≤ b`` nor ``b ≤ a``."""
+        return not self._leq(a, b) and not self._leq(b, a)
+
+    def __repr__(self) -> str:
+        return f"QuasiOrder({self.name})"
+
+
+def equality_order() -> QuasiOrder:
+    """Discrete order: ``a ≤ b`` iff ``a == b`` (a wqo iff the carrier is
+    finite — which is how it is used here, over finite alphabets)."""
+    return QuasiOrder(lambda a, b: a == b, name="=")
+
+
+def natural_order() -> QuasiOrder:
+    """The usual order on naturals (Dickson's building block)."""
+    return QuasiOrder(lambda a, b: a <= b, name="≤ℕ")
+
+
+def product_order(*components: QuasiOrder) -> QuasiOrder:
+    """Componentwise order on tuples (wqo by Dickson's lemma)."""
+
+    def leq(a: Sequence, b: Sequence) -> bool:
+        return len(a) == len(b) and all(
+            comp.leq(x, y) for comp, x, y in zip(components, a, b)
+        )
+
+    return QuasiOrder(leq, name="×".join(c.name for c in components))
+
+
+def check_increasing_pair(
+    order: QuasiOrder, sequence: Sequence[T]
+) -> Tuple[int, int]:
+    """Find an increasing pair ``(i, j)`` with ``i < j`` and ``s[i] ≤ s[j]``.
+
+    Raises :class:`ValueError` when the (finite) sequence is a *bad
+    sequence*, i.e. has no increasing pair.  Used by the test-suite to
+    sample-check that the implemented relations behave like wqos: long
+    random sequences over a wqo almost always contain increasing pairs, and
+    sequences the theory proves good must never raise.
+    """
+    for j in range(len(sequence)):
+        for i in range(j):
+            if order.leq(sequence[i], sequence[j]):
+                return (i, j)
+    raise ValueError("bad sequence: no increasing pair found")
+
+
+def is_bad_sequence(order: QuasiOrder, sequence: Sequence[T]) -> bool:
+    """``True`` iff no ``i < j`` has ``s[i] ≤ s[j]`` (a finite bad sequence)."""
+    try:
+        check_increasing_pair(order, sequence)
+    except ValueError:
+        return True
+    return False
+
+
+def minimal_elements(order: QuasiOrder, items: Iterable[T]) -> List[T]:
+    """The minimal elements of *items* (one representative per equivalence
+    class), preserving first-seen order."""
+    kept: List[T] = []
+    for item in items:
+        if any(order.leq(existing, item) for existing in kept):
+            continue
+        kept = [existing for existing in kept if not order.leq(item, existing)]
+        kept.append(item)
+    return kept

@@ -1,0 +1,288 @@
+"""A zoo of RP schemes shared by tests, examples and benchmarks.
+
+The first group reproduces the paper's running example (Figures 1–5); the
+second provides parametric families exercising every analysis procedure:
+bounded and unbounded, terminating and diverging, wait-free and wait-heavy.
+
+Reconstruction note (Fig. 1 / Fig. 2)
+-------------------------------------
+The venue text of the paper renders Fig. 1 and Fig. 2 as scrambled OCR.  The
+scheme below is reconstructed from the unambiguous constraints in the text:
+
+* the node inventory of Fig. 2 — ``q0:a1, q1:pcall, q2:a2, q3:b1, q4:wait,
+  q5:a3, q6:end`` (main) and ``q7:b2, q8:a4, q9:end, q10:pcall, q11:a5,
+  q12:wait`` (subr1);
+* the Fig. 5 evolution — ``q10`` is a pcall with successor ``q11`` invoking
+  ``q7``; ``q1`` is a pcall with successor ``q2`` invoking ``q7``; ``q9`` is
+  an end node;
+* the Fig. 1 program text fragments — main loops back to the label ``l1``
+  (the pcall) when ``b1`` holds, otherwise waits, does ``a3`` and ends.
+
+As the paper itself notes, the state σ1 of Fig. 3 is "a possible
+hierarchical state" of ``M(G)`` (an element of the state *set*), used to
+illustrate the data structure and the transition rules of Fig. 5; it is not
+claimed to be reachable from σ0.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .core.builder import SchemeBuilder
+from .core.hstate import HState
+from .core.scheme import RPScheme
+
+#: Reconstructed source text of the paper's Fig. 1 abstract RP program
+#: (concrete syntax of :mod:`repro.lang`).
+FIG1_PROGRAM = """\
+program main {
+    a1;
+l1: pcall subr1;
+    a2;
+    if b1 then {
+        goto l1;
+    } else {
+    }
+    wait;
+    a3;
+    end;
+}
+
+procedure subr1 {
+    if b2 then {
+        a4;
+    } else {
+        pcall subr1;
+        a5;
+        wait;
+    }
+    end;
+}
+"""
+
+
+def fig2_scheme() -> RPScheme:
+    """The scheme of Fig. 2 (reconstruction; see the module docstring)."""
+    b = SchemeBuilder("fig2")
+    # main
+    b.action("q0", "a1", "q1")
+    b.pcall("q1", invoked="q7", succ="q2")
+    b.action("q2", "a2", "q3")
+    b.test("q3", "b1", then="q1", orelse="q4")
+    b.wait("q4", "q5")
+    b.action("q5", "a3", "q6")
+    b.end("q6")
+    # subr1
+    b.test("q7", "b2", then="q8", orelse="q10")
+    b.action("q8", "a4", "q9")
+    b.end("q9")
+    b.pcall("q10", invoked="q7", succ="q11")
+    b.action("q11", "a5", "q12")
+    b.wait("q12", "q9")
+    b.procedure("main", "q0")
+    b.procedure("subr1", "q7")
+    return b.build(root="q0")
+
+
+def sigma1() -> HState:
+    """σ1 of Fig. 3: ``q1,{q9,{q11},q12,{q10}}`` (five invocations)."""
+    return HState.parse("q1,{q9,{q11},q12,{q10}}")
+
+
+def fig5_states() -> List[HState]:
+    """The four states σ1..σ4 of the Fig. 5 evolution."""
+    return [
+        HState.parse("q1,{q9,{q11},q12,{q10}}"),
+        HState.parse("q1,{q9,{q11},q12,{q11,{q7}}}"),
+        HState.parse("q2,{q9,{q11},q12,{q11,{q7}},q7}"),
+        HState.parse("q2,{q11,q12,{q11,{q7}},q7}"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Parametric families
+# ----------------------------------------------------------------------
+
+
+def terminating_chain(length: int) -> RPScheme:
+    """A single invocation performing *length* actions then ending.
+
+    Bounded, halting, wait-free.  Reach(σ0) has exactly ``length + 2``
+    states (one per node, plus ∅).
+    """
+    b = SchemeBuilder(f"chain{length}")
+    for i in range(length):
+        b.action(f"q{i}", f"a{i}", f"q{i + 1}")
+    b.end(f"q{length}")
+    return b.build(root="q0")
+
+
+def spawner_loop() -> RPScheme:
+    """The canonical *unbounded* scheme: an infinite spawn loop.
+
+    ``main`` repeatedly tests ``b``; on *then* it pcalls ``child`` and loops,
+    on *else* it ends.  Children do one action and end.  The number of live
+    children is unbounded, so Reach(σ0) is infinite; every individual run
+    can still terminate.  Wait-free.
+    """
+    b = SchemeBuilder("spawner")
+    b.test("m0", "b", then="m1", orelse="m2")
+    b.pcall("m1", invoked="c0", succ="m0")
+    b.end("m2")
+    b.action("c0", "work", "c1")
+    b.end("c1")
+    b.procedure("main", "m0")
+    b.procedure("child", "c0")
+    return b.build(root="m0")
+
+
+def deep_recursion() -> RPScheme:
+    """Unbounded in *depth*: each invocation may pcall itself then wait.
+
+    ``p``: if ``b`` then {pcall p; wait} else {}; end.  The hierarchy can
+    grow arbitrarily deep (a chain of blocked waiters), so Reach(σ0) is
+    infinite; all runs nevertheless terminate only if the recursion stops,
+    hence the scheme does not halt (some run recurses forever).
+    """
+    b = SchemeBuilder("deep")
+    b.test("p0", "b", then="p1", orelse="p3")
+    b.pcall("p1", invoked="p0", succ="p2")
+    b.wait("p2", "p3")
+    b.end("p3")
+    b.procedure("p", "p0")
+    return b.build(root="p0")
+
+
+def bounded_spawner(children: int) -> RPScheme:
+    """Spawn exactly *children* children, wait for them all, end.
+
+    Bounded and halting.
+    """
+    b = SchemeBuilder(f"spawn{children}")
+    for i in range(children):
+        b.pcall(f"m{i}", invoked="c0", succ=f"m{i + 1}")
+    b.wait(f"m{children}", "mend")
+    b.end("mend")
+    b.action("c0", "work", "c1")
+    b.end("c1")
+    b.procedure("main", "m0")
+    b.procedure("child", "c0")
+    return b.build(root="m0")
+
+
+def call_ladder(depth: int) -> RPScheme:
+    """An acyclic call hierarchy of the given *depth*.
+
+    Procedure ``i`` pcalls procedure ``i+1`` twice and waits; the deepest
+    procedure performs one action.  Bounded and halting, with a state space
+    exponential in *depth* — a good stress family for the explorer.
+    """
+    b = SchemeBuilder(f"ladder{depth}")
+    for i in range(depth):
+        entry = f"p{i}_0"
+        b.pcall(entry, invoked=f"p{i + 1}_0", succ=f"p{i}_1")
+        b.pcall(f"p{i}_1", invoked=f"p{i + 1}_0", succ=f"p{i}_2")
+        b.wait(f"p{i}_2", f"p{i}_3")
+        b.end(f"p{i}_3")
+        b.procedure(f"level{i}", entry)
+    b.action(f"p{depth}_0", "leaf", f"p{depth}_1")
+    b.end(f"p{depth}_1")
+    b.procedure(f"level{depth}", f"p{depth}_0")
+    return b.build(root="p0_0")
+
+
+def diverging_loop() -> RPScheme:
+    """A bounded scheme that never halts: one token looping forever."""
+    b = SchemeBuilder("diverge")
+    b.action("d0", "tick", "d1")
+    b.action("d1", "tock", "d0")
+    return b.build(root="d0")
+
+
+def nonterminating_choice() -> RPScheme:
+    """Bounded; halting on one branch, diverging on the other."""
+    b = SchemeBuilder("choice")
+    b.test("c0", "pick", then="c1", orelse="c2")
+    b.action("c1", "loop", "c0")
+    b.end("c2")
+    return b.build(root="c0")
+
+
+def mutex_pair() -> RPScheme:
+    """Two writer nodes that can never be simultaneously live.
+
+    ``main`` runs ``w1`` then spawns a child and waits; the child runs
+    ``w2``.  The wait guarantees ``w1`` (in main, before the pcall) and
+    ``w2`` never coexist — whereas ``w1'`` (a second writer after the wait)
+    does coexist with nothing.  Used by the §5.3 write-conflict example.
+    """
+    b = SchemeBuilder("mutex")
+    b.action("m0", "w1", "m1")
+    b.pcall("m1", invoked="c0", succ="m2")
+    b.wait("m2", "m3")
+    b.action("m3", "w3", "m4")
+    b.end("m4")
+    b.action("c0", "w2", "c1")
+    b.end("c1")
+    return b.build(root="m0")
+
+
+def racing_writers() -> RPScheme:
+    """Two writer nodes that *can* be simultaneously live (no wait)."""
+    b = SchemeBuilder("race")
+    b.pcall("m0", invoked="c0", succ="m1")
+    b.action("m1", "w1", "m2")
+    b.end("m2")
+    b.action("c0", "w2", "c1")
+    b.end("c1")
+    return b.build(root="m0")
+
+
+def persistent_server() -> RPScheme:
+    """A scheme whose node set ``{s0, s1}`` is persistent.
+
+    The server loops between ``s0`` and ``s1`` forever spawning workers;
+    some server node is live in every reachable state.
+    """
+    b = SchemeBuilder("server")
+    b.action("s0", "poll", "s1")
+    b.pcall("s1", invoked="w0", succ="s0")
+    b.action("w0", "serve", "w1")
+    b.end("w1")
+    return b.build(root="s0")
+
+
+def wait_blocked() -> RPScheme:
+    """A parent forever blocked at a wait by an immortal child.
+
+    Exercises the wait rule's negative side: the parent's wait is never
+    enabled, yet the system has no deadlock (the child keeps moving).
+    """
+    b = SchemeBuilder("blocked")
+    b.pcall("m0", invoked="c0", succ="m1")
+    b.wait("m1", "m2")
+    b.end("m2")
+    b.action("c0", "spin", "c0b")
+    b.action("c0b", "spin2", "c0")
+    return b.build(root="m0")
+
+
+ZOO_BOUNDED = [
+    ("chain", lambda: terminating_chain(5)),
+    ("spawn3", lambda: bounded_spawner(3)),
+    ("ladder2", lambda: call_ladder(2)),
+    ("diverge", diverging_loop),
+    ("choice", nonterminating_choice),
+    ("mutex", mutex_pair),
+    ("race", racing_writers),
+    ("blocked", wait_blocked),
+]
+
+ZOO_UNBOUNDED = [
+    ("fig2", fig2_scheme),
+    ("spawner", spawner_loop),
+    ("deep", deep_recursion),
+    ("server", persistent_server),
+]
+
+ZOO_ALL = ZOO_BOUNDED + ZOO_UNBOUNDED

@@ -1,0 +1,286 @@
+"""Tests for mutex, persistence, sup-reachability, halting, inevitability
+(Theorems 4–6, Corollary 7, §5.2–5.3)."""
+
+import pytest
+
+from repro.analysis import (
+    Explorer,
+    halting_via_inevitability,
+    halts,
+    inevitability,
+    may_terminate,
+    minimal_reachable_states,
+    mutually_exclusive,
+    never_terminates_procedure,
+    nodes_never_cooccur,
+    persistent,
+    reaches_downward_closed,
+    sup_reachability,
+    write_conflicts,
+)
+from repro.analysis.certificates import (
+    LassoCertificate,
+    PumpCertificate,
+    WitnessPath,
+)
+from repro.core.embedding import GapEmbedding, embeds
+from repro.core.hstate import EMPTY, HState
+from repro.core.semantics import AbstractSemantics
+from repro.zoo import (
+    ZOO_BOUNDED,
+    bounded_spawner,
+    deep_recursion,
+    diverging_loop,
+    fig2_scheme,
+    mutex_pair,
+    nonterminating_choice,
+    persistent_server,
+    racing_writers,
+    spawner_loop,
+    terminating_chain,
+    wait_blocked,
+)
+
+P = HState.parse
+
+
+class TestMutex:
+    def test_wait_separated_writers_are_exclusive(self):
+        scheme = mutex_pair()
+        verdict = mutually_exclusive(scheme, "m0", "c0")
+        assert verdict.holds  # w1 runs before the child is spawned
+
+    def test_post_wait_writer_exclusive_with_child(self):
+        scheme = mutex_pair()
+        # m3 runs after the wait, so the child (c0) is gone
+        assert mutually_exclusive(scheme, "m3", "c0").holds
+
+    def test_racing_writers_conflict(self):
+        scheme = racing_writers()
+        verdict = mutually_exclusive(scheme, "m1", "c0")
+        assert not verdict.holds
+        witness = verdict.certificate
+        assert isinstance(witness, WitnessPath)
+        assert witness.final.contains_all_nodes(["m1", "c0"])
+
+    def test_witness_is_a_real_run(self):
+        scheme = racing_writers()
+        verdict = mutually_exclusive(scheme, "m1", "c0")
+        sem = AbstractSemantics(scheme)
+        final = sem.run(verdict.certificate.transitions)
+        assert final.contains_all_nodes(["m1", "c0"])
+
+    def test_self_exclusion_multiplicity(self):
+        # two simultaneous c0 invocations exist in the spawner loop
+        verdict = nodes_never_cooccur(spawner_loop(), ["c0", "c0"])
+        assert not verdict.holds
+
+    def test_self_exclusion_holds_when_single(self):
+        # bounded_spawner(1) spawns a single child: two c0's impossible
+        verdict = nodes_never_cooccur(bounded_spawner(1), ["c0", "c0"])
+        assert verdict.holds
+
+    def test_write_conflicts_report(self):
+        report = write_conflicts(mutex_pair(), ["m0", "m3", "c0"])
+        assert set(report) == {("c0", "m0"), ("c0", "m3"), ("m0", "m3")}
+        assert all(v.holds for v in report.values())
+
+    def test_write_conflicts_detects_race(self):
+        report = write_conflicts(racing_writers(), ["m1", "c0"])
+        assert not report[("c0", "m1")].holds
+
+
+class TestSupReachability:
+    @pytest.mark.parametrize("name,factory", ZOO_BOUNDED)
+    def test_basis_matches_exhaustive_minima_on_bounded(self, name, factory):
+        scheme = factory()
+        graph = Explorer(scheme).explore()
+        assert graph.complete
+        basis = set(minimal_reachable_states(scheme))
+        # every reachable state dominates a basis element, and basis
+        # elements are reachable minima
+        for state in graph.states:
+            assert any(embeds(low, state) for low in basis), (name, state)
+        for low in basis:
+            assert low in graph.index
+            assert not any(
+                embeds(other, low) and other != low for other in graph.states
+            )
+
+    def test_terminates_on_unbounded_schemes(self):
+        for factory in (spawner_loop, deep_recursion, persistent_server, fig2_scheme):
+            basis = minimal_reachable_states(factory())
+            assert basis  # never empty: σ0 dominates something
+
+    def test_empty_state_is_sole_minimum_when_reachable(self):
+        # spawner can terminate: ∅ reachable, hence the basis is {∅}
+        assert minimal_reachable_states(spawner_loop()) == [EMPTY]
+
+    def test_server_minima(self):
+        # the server never terminates: every state has s0 or s1
+        basis = minimal_reachable_states(persistent_server())
+        assert EMPTY not in basis
+        assert all(s.contains_any_node(["s0", "s1"]) for s in basis)
+
+    def test_verdict_details(self):
+        verdict = sup_reachability(terminating_chain(3))
+        assert verdict.holds
+        assert verdict.details["basis_size"] == len(verdict.certificate.basis)
+
+    def test_reaches_downward_closed(self):
+        witness = reaches_downward_closed(
+            spawner_loop(), predicate=lambda s: s.is_empty()
+        )
+        assert witness == EMPTY
+        nothing = reaches_downward_closed(
+            persistent_server(), predicate=lambda s: s.is_empty()
+        )
+        assert nothing is None
+
+
+class TestPersistence:
+    def test_server_nodes_are_persistent(self):
+        verdict = persistent(persistent_server(), ["s0", "s1"])
+        assert verdict.holds
+        assert verdict.exact
+
+    def test_single_server_node_not_persistent(self):
+        # while the server sits at s1, no s0 is live
+        verdict = persistent(persistent_server(), ["s0"])
+        assert not verdict.holds
+        witness = verdict.certificate
+        assert not witness.contains_node("s0")
+
+    def test_terminating_scheme_nothing_persistent(self):
+        verdict = persistent(terminating_chain(3), ["q0", "q1", "q2", "q3"])
+        assert not verdict.holds  # ∅ is reachable
+
+    def test_diverging_loop_persistent(self):
+        assert persistent(diverging_loop(), ["d0", "d1"]).holds
+
+    def test_persistence_on_unbounded_wait_scheme(self):
+        # deep_recursion: p0..p3 cover all nodes; every nonempty state has
+        # one, but ∅ is reachable (decline the recursion immediately)
+        verdict = persistent(deep_recursion(), ["p0", "p1", "p2", "p3"])
+        assert not verdict.holds
+
+    def test_blocked_parent_is_persistent(self):
+        # wait_blocked: the parent never passes m1 and the child spins
+        verdict = persistent(wait_blocked(), ["m0", "m1"])
+        assert verdict.holds
+
+    def test_never_terminates_procedure(self):
+        scheme = persistent_server()
+        # the zoo scheme has no procedure metadata for the server; add via
+        # a fresh build
+        from repro.core.builder import SchemeBuilder
+
+        b = SchemeBuilder("server")
+        b.action("s0", "poll", "s1")
+        b.pcall("s1", invoked="w0", succ="s0")
+        b.action("w0", "serve", "w1")
+        b.end("w1")
+        b.procedure("server", "s0")
+        b.procedure("worker", "w0")
+        scheme = b.build(root="s0")
+        assert never_terminates_procedure(scheme, "server").holds
+        assert not never_terminates_procedure(scheme, "worker").holds
+
+    def test_unknown_procedure(self):
+        with pytest.raises(KeyError):
+            never_terminates_procedure(fig2_scheme(), "nope")
+
+
+class TestHalting:
+    def test_halting_schemes(self):
+        for factory in (lambda: terminating_chain(4), lambda: bounded_spawner(3)):
+            verdict = halts(factory())
+            assert verdict.holds
+            assert verdict.exact
+
+    def test_diverging_loop_does_not_halt(self):
+        verdict = halts(diverging_loop())
+        assert not verdict.holds
+        assert isinstance(verdict.certificate, LassoCertificate)
+
+    def test_choice_does_not_halt_but_may_terminate(self):
+        scheme = nonterminating_choice()
+        assert not halts(scheme).holds
+        assert may_terminate(scheme).holds
+
+    def test_unbounded_does_not_halt(self):
+        verdict = halts(spawner_loop())
+        assert not verdict.holds
+        assert isinstance(verdict.certificate, PumpCertificate)
+
+    def test_lasso_certificate_is_real(self):
+        scheme = diverging_loop()
+        cert = halts(scheme).certificate
+        sem = AbstractSemantics(scheme)
+        assert cert.loop[0].source == cert.loop[-1].target  # a real cycle
+        state = cert.loop[0].source
+        for transition in cert.loop:
+            assert transition in sem.successors(state)
+            state = transition.target
+
+    def test_wait_blocked_does_not_halt(self):
+        assert not halts(wait_blocked()).holds
+
+
+class TestInevitability:
+    def test_initial_outside(self):
+        verdict = inevitability(terminating_chain(2), [P("q9")])
+        assert verdict.holds
+        assert verdict.method == "initial-outside"
+
+    def test_leaving_a_region_inevitable(self):
+        # chain: states containing q0 or q1 are inevitably left
+        scheme = terminating_chain(4)
+        verdict = inevitability(scheme, [P("q0"), P("q1")])
+        assert verdict.holds
+        assert verdict.exact
+
+    def test_violation_by_lasso(self):
+        # diverging loop stays within {d0, d1} forever
+        scheme = diverging_loop()
+        verdict = inevitability(scheme, [P("d0"), P("d1")])
+        assert not verdict.holds
+        assert verdict.method in ("lasso-inside", "terminating-run-inside")
+
+    def test_violation_by_termination_inside(self):
+        # I contains ∅: terminated runs never leave ↑I
+        scheme = terminating_chain(2)
+        verdict = inevitability(scheme, [EMPTY])
+        assert not verdict.holds
+        assert verdict.method == "terminating-run-inside"
+
+    def test_gap_embedding_variant(self):
+        # with gap nodes restricted, fewer states are "inside"
+        scheme = diverging_loop()
+        strict = GapEmbedding([])
+        verdict = inevitability(scheme, [P("d0")], embedding=strict)
+        # ↑{d0} under the strict embedding is {d0} alone; the loop leaves
+        # it at d1, so inevitability holds
+        assert verdict.holds
+
+    def test_halting_via_inevitability_agrees_with_direct(self):
+        cases = [
+            (lambda: terminating_chain(3), True),
+            (lambda: bounded_spawner(2), True),
+            (diverging_loop, False),
+            (nonterminating_choice, False),
+            (wait_blocked, False),
+        ]
+        for factory, expected in cases:
+            scheme = factory()
+            via_inevitability = halting_via_inevitability(scheme)
+            direct = halts(scheme)
+            assert via_inevitability.holds == direct.holds == expected
+
+    def test_unbounded_inside_via_pump(self):
+        # the spawner loop can grow forever while always holding an m0/m1
+        scheme = spawner_loop()
+        verdict = inevitability(
+            scheme, [P("m0"), P("m1"), P("m2")], max_states=20_000
+        )
+        assert not verdict.holds

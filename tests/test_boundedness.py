@@ -1,0 +1,121 @@
+"""Tests for the Boundedness Problem (Theorem 4) and its certificates."""
+
+import pytest
+
+from repro.analysis.boundedness import boundedness
+from repro.analysis.certificates import PumpCertificate, SaturationCertificate
+from repro.core.embedding import strictly_embeds
+from repro.core.semantics import AbstractSemantics
+from repro.errors import AnalysisBudgetExceeded
+from repro.zoo import (
+    ZOO_BOUNDED,
+    ZOO_UNBOUNDED,
+    bounded_spawner,
+    call_ladder,
+    deep_recursion,
+    diverging_loop,
+    fig2_scheme,
+    persistent_server,
+    spawner_loop,
+    terminating_chain,
+)
+
+
+class TestBoundedVerdicts:
+    @pytest.mark.parametrize("name,factory", ZOO_BOUNDED)
+    def test_zoo_bounded_schemes(self, name, factory):
+        verdict = boundedness(factory())
+        assert verdict.holds, name
+        assert verdict.exact
+        assert isinstance(verdict.certificate, SaturationCertificate)
+
+    def test_chain_state_count(self):
+        verdict = boundedness(terminating_chain(4))
+        assert verdict.certificate.states == 6
+
+    def test_diverging_loop_is_bounded(self):
+        # bounded but non-halting: boundedness must not confuse the two
+        assert boundedness(diverging_loop()).holds
+
+    def test_ladder_bounded(self):
+        verdict = boundedness(call_ladder(2))
+        assert verdict.holds
+        assert verdict.certificate.states > 10
+
+
+class TestUnboundedVerdicts:
+    @pytest.mark.parametrize("name,factory", ZOO_UNBOUNDED)
+    def test_zoo_unbounded_schemes(self, name, factory):
+        verdict = boundedness(factory(), max_states=20_000)
+        assert not verdict.holds, name
+        assert isinstance(verdict.certificate, PumpCertificate)
+
+    def test_wait_free_pump_is_proof(self):
+        verdict = boundedness(spawner_loop())
+        assert not verdict.holds
+        assert verdict.exact  # wait-free: strict self-covering is a proof
+        assert verdict.certificate.proof
+
+    def test_wait_bearing_pump_is_replay_verified(self):
+        verdict = boundedness(deep_recursion())
+        assert not verdict.holds
+        assert verdict.certificate.replays >= 1
+        assert not verdict.certificate.proof
+
+    def test_fig2_is_unbounded(self):
+        # main can loop on b1 spawning an unbounded number of subr1 children
+        verdict = boundedness(fig2_scheme(), max_states=20_000)
+        assert not verdict.holds
+
+
+class TestPumpCertificateValidity:
+    """Certificates must replay against the raw semantics."""
+
+    @pytest.mark.parametrize("factory", [spawner_loop, deep_recursion, persistent_server, fig2_scheme])
+    def test_pump_segments_are_real_runs(self, factory):
+        scheme = factory()
+        verdict = boundedness(scheme, max_states=20_000)
+        cert = verdict.certificate
+        sem = AbstractSemantics(scheme)
+        if cert.prefix:
+            assert cert.prefix[0].source == sem.initial_state
+            assert sem.run(cert.prefix) == cert.base
+        else:
+            assert cert.base == sem.initial_state
+        assert cert.pump[0].source == cert.base
+        assert sem.run(cert.pump) == cert.pumped
+
+    @pytest.mark.parametrize("factory", [spawner_loop, deep_recursion, fig2_scheme])
+    def test_pump_covers_strictly(self, factory):
+        cert = boundedness(factory(), max_states=20_000).certificate
+        assert strictly_embeds(cert.base, cert.pumped)
+        assert cert.base.size < cert.pumped.size
+
+    def test_pump_iterates_beyond_verification(self):
+        # fire the pump five more times; it must keep growing
+        scheme = deep_recursion()
+        cert = boundedness(scheme).certificate
+        sem = AbstractSemantics(scheme)
+        state = cert.pumped
+        for _ in range(5):
+            trace = sem.replay(state, list(cert.pump_descriptors))
+            assert trace is not None
+            new_state = trace[-1].target
+            assert new_state.size > state.size
+            assert strictly_embeds(state, new_state)
+            state = new_state
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        # a pump exists but cannot be found in 3 states
+        with pytest.raises(AnalysisBudgetExceeded):
+            boundedness(spawner_loop(), max_states=3)
+
+    def test_custom_initial_state(self):
+        from repro.core.hstate import HState
+
+        # starting fig2 at q5 (a3; end): trivially bounded
+        verdict = boundedness(fig2_scheme(), initial=HState.leaf("q5"))
+        assert verdict.holds
+        assert verdict.certificate.states == 3

@@ -1,0 +1,155 @@
+"""Tests for the rpcheck command-line tool."""
+
+import pytest
+
+from repro.cli import main
+from repro.zoo import FIG1_PROGRAM
+
+CONCRETE = """
+global x := 0;
+program main {
+    x := x + 2;
+    x := x * 3;
+    end;
+}
+"""
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.rp"
+    path.write_text(FIG1_PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def concrete_file(tmp_path):
+    path = tmp_path / "prog.rp"
+    path.write_text(CONCRETE)
+    return str(path)
+
+
+class TestCLI:
+    def test_report_on_fig1(self, fig1_file, capsys):
+        code = main([fig1_file, "--max-states", "2000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "nodes     : 13" in out
+        assert "boundedness" in out
+        assert "halting" in out
+        assert "unreachable nodes  (none)" in out
+
+    def test_fig1_is_unbounded_and_nonhalting(self, fig1_file, capsys):
+        main([fig1_file, "--max-states", "2000"])
+        out = capsys.readouterr().out
+        bound_line = [l for l in out.splitlines() if "boundedness" in l][0]
+        halt_line = [l for l in out.splitlines() if "halting" in l][0]
+        assert " no " in bound_line
+        assert " no " in halt_line
+
+    def test_node_flag(self, fig1_file, capsys):
+        code = main([fig1_file, "--max-states", "2000", "--node", "q5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reach q5" in out
+
+    def test_mutex_flag(self, fig1_file, capsys):
+        code = main([fig1_file, "--max-states", "2000", "--mutex", "q0,q7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mutex q0,q7" in out
+
+    def test_dot_output(self, fig1_file, tmp_path, capsys):
+        dot = tmp_path / "scheme.dot"
+        code = main([fig1_file, "--max-states", "2000", "--dot", str(dot)])
+        assert code == 0
+        text = dot.read_text()
+        assert "digraph" in text
+        assert "pentagon" in text  # the pcall shape
+
+    def test_run_concrete(self, concrete_file, capsys):
+        code = main([concrete_file, "--run"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'x': 6" in out
+
+    def test_missing_file(self, capsys):
+        code = main(["/nonexistent/prog.rp"])
+        assert code == 2
+        assert "rpcheck:" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.rp"
+        path.write_text("program main { a1 }")
+        code = main([str(path)])
+        assert code == 2
+
+    def test_unknown_node(self, fig1_file, capsys):
+        code = main([fig1_file, "--max-states", "2000", "--node", "zz"])
+        assert code == 1
+
+    def test_min_reach_basis_reported(self, concrete_file, capsys):
+        main([concrete_file])
+        out = capsys.readouterr().out
+        assert "min-reach basis" in out
+        assert "∅" in out  # the program terminates
+
+
+RACY = """
+global shared := 0;
+program main {
+    pcall w;
+    shared := shared + 1;
+    wait;
+    end;
+}
+procedure w { shared := shared * 2; end; }
+"""
+
+
+class TestCLIExtensions:
+    def test_races_flag_detects_conflict(self, tmp_path, capsys):
+        path = tmp_path / "racy.rp"
+        path.write_text(RACY)
+        code = main([str(path), "--races"])
+        out = capsys.readouterr().out
+        assert "CONFLICTS" in out
+        assert code == 1
+
+    def test_races_flag_safe_program(self, concrete_file, capsys):
+        code = main([concrete_file, "--races"])
+        out = capsys.readouterr().out
+        # x is written twice but only by the single main invocation
+        assert "safe" in out
+        assert code == 0
+
+    def test_optimize_flag(self, tmp_path, capsys):
+        path = tmp_path / "dup.rp"
+        path.write_text(
+            "program main { if b then { a1; } else { a1; } end; }"
+        )
+        code = main([str(path), "--optimize"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "nodes merged" in out
+
+    def test_json_flag(self, fig1_file, tmp_path, capsys):
+        target = tmp_path / "scheme.json"
+        code = main([fig1_file, "--max-states", "2000", "--json", str(target)])
+        assert code == 0
+        from repro.core.serialize import scheme_from_json
+        from repro.core.isomorphism import isomorphic
+        from repro.zoo import fig2_scheme
+
+        assert isomorphic(scheme_from_json(target.read_text()), fig2_scheme())
+
+    def test_lint_flag(self, tmp_path, capsys):
+        path = tmp_path / "lints.rp"
+        path.write_text("program main { wait; end; } procedure g { end; }")
+        code = main([str(path), "--lint"])
+        out = capsys.readouterr().out
+        assert "W001" in out and "W002" in out
+
+    def test_lint_flag_clean(self, fig1_file, capsys):
+        main([fig1_file, "--max-states", "2000", "--lint"])
+        assert "(clean)" in capsys.readouterr().out

@@ -1,0 +1,222 @@
+"""Differential validation on random schemes.
+
+Independent procedures answering the same question must agree; core
+structural lemmas (downward compatibility, strong compatibility on
+wait-free schemes) are tested directly.  Seeds are fixed, so failures
+reproduce.
+"""
+
+import pytest
+
+from repro.analysis import (
+    backward_coverability,
+    boundedness,
+    halting_via_inevitability,
+    halts,
+    minimal_reachable_states,
+    node_reachable,
+    predecessor_basis,
+)
+from repro.analysis.explore import Explorer
+from repro.core.embedding import embeds, strictly_embeds
+from repro.core.generate import random_scheme
+from repro.core.hstate import EMPTY, HState
+from repro.core.semantics import AbstractSemantics
+from repro.errors import AnalysisBudgetExceeded
+
+SEEDS = list(range(24))
+
+
+def _bounded_graph(scheme, max_states=3_000):
+    # cap state sizes: random schemes can double their invocation count
+    # per step, making successor generation quadratic in state size; such
+    # schemes are simply reported unbounded-fragment (None) here
+    graph = Explorer(scheme, max_states=max_states, max_state_size=60).explore(None)
+    return graph if graph.complete else None
+
+
+class TestBoundednessDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_boundedness_agrees_with_exploration(self, seed):
+        scheme = random_scheme(seed, max_nodes=8)
+        graph = _bounded_graph(scheme)
+        try:
+            verdict = boundedness(scheme, max_states=5_000)
+        except AnalysisBudgetExceeded:
+            # inconclusive is only acceptable when exploration is too
+            assert graph is None
+            return
+        if graph is not None:
+            assert verdict.holds, f"seed {seed}: saturated but called unbounded"
+        elif verdict.holds:
+            # the size-capped exploration was inconclusive but boundedness
+            # claims saturation: re-explore with the certified state count
+            # and no size cap — it must saturate at exactly that count
+            recheck = Explorer(
+                scheme, max_states=verdict.certificate.states + 1
+            ).explore(None)
+            assert recheck.complete, f"seed {seed}: bogus saturation claim"
+            assert len(recheck) == verdict.certificate.states
+        else:
+            pass  # both inconclusive-capped and unbounded: consistent
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pump_certificates_replay(self, seed):
+        scheme = random_scheme(seed, max_nodes=8)
+        try:
+            verdict = boundedness(scheme, max_states=5_000)
+        except AnalysisBudgetExceeded:
+            return
+        if verdict.holds:
+            return
+        cert = verdict.certificate
+        semantics = AbstractSemantics(scheme)
+        # the pump must re-fire twice more with strict growth
+        state = cert.pumped
+        for _ in range(2):
+            trace = semantics.replay(state, list(cert.pump_descriptors))
+            assert trace is not None, f"seed {seed}: pump does not replay"
+            new_state = trace[-1].target
+            assert strictly_embeds(state, new_state), f"seed {seed}: no growth"
+            state = new_state
+
+
+class TestHaltingDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_direct_vs_inevitability(self, seed):
+        scheme = random_scheme(seed, max_nodes=7)
+        try:
+            direct = halts(scheme, max_states=5_000)
+            via = halting_via_inevitability(scheme, max_states=5_000)
+        except AnalysisBudgetExceeded:
+            return
+        assert direct.holds == via.holds, f"seed {seed}"
+
+
+class TestCoverabilityDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_backward_vs_exploration_wait_free(self, seed):
+        scheme = random_scheme(seed, max_nodes=8, allow_wait=False)
+        graph = _bounded_graph(scheme)
+        if graph is None:
+            return
+        for node in scheme.node_ids:
+            target = HState.leaf(node)
+            forward = any(s.contains_node(node) for s in graph.states)
+            backward = backward_coverability(scheme, [target])
+            assert backward.holds == forward, (seed, node)
+            assert backward.exact
+
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    def test_backward_negatives_sound_with_wait(self, seed):
+        scheme = random_scheme(seed, max_nodes=8, allow_wait=True)
+        graph = _bounded_graph(scheme)
+        if graph is None:
+            return
+        for node in scheme.node_ids:
+            backward = backward_coverability(scheme, [HState.leaf(node)])
+            forward = any(s.contains_node(node) for s in graph.states)
+            if not backward.holds:
+                assert not forward, (seed, node)  # refutations always exact
+            elif forward:
+                pass  # positive agreement
+            else:
+                assert not backward.exact, (seed, node)  # flagged approximation
+
+    @pytest.mark.parametrize("seed", SEEDS[:8])
+    def test_predecessor_bases_are_sound(self, seed):
+        scheme = random_scheme(seed, max_nodes=6)
+        semantics = AbstractSemantics(scheme)
+        targets = [HState.leaf(scheme.root), HState.of(scheme.root, scheme.root)]
+        for target in targets:
+            for pred in predecessor_basis(scheme, target):
+                assert any(
+                    embeds(target, t.target) for t in semantics.successors(pred)
+                ), (seed, pred.to_notation(), target.to_notation())
+
+
+class TestSupReachabilityDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_basis_against_exploration(self, seed):
+        scheme = random_scheme(seed, max_nodes=7)
+        graph = _bounded_graph(scheme)
+        basis = minimal_reachable_states(scheme, max_kept=100_000)
+        if graph is None:
+            assert basis  # must still terminate and be non-empty
+            return
+        # every reachable state dominates some basis element and each
+        # basis element is a reachable minimum
+        for state in graph.states:
+            assert any(embeds(low, state) for low in basis), (seed, state)
+        reachable = set(graph.states)
+        for low in basis:
+            assert low in reachable, (seed, low.to_notation())
+
+
+class TestStructuralLemmas:
+    """The compatibility lemmas the engines rely on, tested directly."""
+
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    def test_downward_compatibility(self, seed):
+        # σ ⪯ σ' and σ' → τ'  ⟹  σ ⪯ τ' or ∃ σ → τ ⪯ τ'
+        scheme = random_scheme(seed, max_nodes=8)
+        semantics = AbstractSemantics(scheme)
+        graph = Explorer(scheme, max_states=120, max_state_size=25).explore(None)
+        states = graph.states
+        for big in states:
+            for small in states:
+                if small.size >= big.size or not embeds(small, big):
+                    continue
+                small_successors = [t.target for t in semantics.successors(small)]
+                for transition in semantics.successors(big):
+                    target = transition.target
+                    ok = embeds(small, target) or any(
+                        embeds(succ, target) for succ in small_successors
+                    )
+                    assert ok, (
+                        seed,
+                        small.to_notation(),
+                        big.to_notation(),
+                        target.to_notation(),
+                    )
+
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    def test_strong_compatibility_wait_free(self, seed):
+        # wait-free: σ ⪯ σ' and σ → τ  ⟹  ∃ σ' → τ' with τ ⪯ τ'
+        scheme = random_scheme(seed, max_nodes=8, allow_wait=False)
+        semantics = AbstractSemantics(scheme)
+        graph = Explorer(scheme, max_states=70, max_state_size=18).explore(None)
+        states = graph.states
+        for small in states:
+            small_out = semantics.successors(small)
+            for big in states:
+                if small.size >= big.size or not embeds(small, big):
+                    continue
+                big_targets = [t.target for t in semantics.successors(big)]
+                for transition in small_out:
+                    assert any(
+                        embeds(transition.target, target) for target in big_targets
+                    ), (seed, small.to_notation(), big.to_notation())
+
+
+class TestSemanticsInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_size_delta_per_rule(self, seed):
+        scheme = random_scheme(seed, max_nodes=8)
+        semantics = AbstractSemantics(scheme)
+        graph = Explorer(scheme, max_states=300, max_state_size=40).explore(None)
+        deltas = {"action": 0, "test": 0, "wait": 0, "call": 1, "end": -1}
+        for state in graph.states:
+            for transition in semantics.successors(state):
+                assert (
+                    transition.target.size - state.size
+                    == deltas[transition.rule]
+                )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_deadlock_random(self, seed):
+        scheme = random_scheme(seed, max_nodes=8)
+        semantics = AbstractSemantics(scheme)
+        graph = Explorer(scheme, max_states=300, max_state_size=40).explore(None)
+        for state in graph.states:
+            assert semantics.successors(state) or state == EMPTY

@@ -1,0 +1,125 @@
+"""Tests for the exploration engine and state graphs."""
+
+import pytest
+
+from repro.analysis.explore import Explorer, StateGraph
+from repro.core.hstate import EMPTY, HState
+from repro.errors import AnalysisBudgetExceeded
+from repro.zoo import (
+    bounded_spawner,
+    diverging_loop,
+    fig2_scheme,
+    nonterminating_choice,
+    spawner_loop,
+    terminating_chain,
+)
+
+P = HState.parse
+
+
+class TestExplorer:
+    def test_chain_exact_state_count(self):
+        # q0..qn plus ∅
+        graph = Explorer(terminating_chain(5)).explore()
+        assert graph.complete
+        assert len(graph) == 7
+        assert graph.terminal_states() == [EMPTY]
+
+    def test_bounded_spawner_saturates(self):
+        graph = Explorer(bounded_spawner(2)).explore()
+        assert graph.complete
+        assert EMPTY in graph
+
+    def test_budget_exhaustion_marks_incomplete(self):
+        graph = Explorer(spawner_loop(), max_states=50).explore()
+        assert not graph.complete
+        assert len(graph) == 50
+        assert graph.unexpanded
+
+    def test_explore_or_raise(self):
+        with pytest.raises(AnalysisBudgetExceeded):
+            Explorer(spawner_loop(), max_states=50).explore_or_raise()
+
+    def test_stop_when_records_witness(self):
+        graph = Explorer(terminating_chain(5)).explore(
+            stop_when=lambda s: s.contains_node("q3")
+        )
+        target = graph.find(lambda s: s.contains_node("q3"))
+        assert target is not None
+        path = graph.path_to(target)
+        assert [t.label for t in path] == ["a0", "a1", "a2"]
+
+    def test_stop_when_on_initial(self):
+        scheme = terminating_chain(3)
+        graph = Explorer(scheme).explore(stop_when=lambda s: True)
+        assert len(graph) == 1
+        assert not graph.complete
+
+    def test_restrict_to_avoids_expansion(self):
+        # restrict to non-empty states: ∅ is discovered but not expanded
+        graph = Explorer(terminating_chain(2)).explore(
+            restrict_to=lambda s: not s.is_empty()
+        )
+        assert graph.complete
+        assert EMPTY in graph
+
+    def test_path_to_initial_is_empty(self):
+        graph = Explorer(terminating_chain(2)).explore()
+        assert graph.path_to(graph.initial) == []
+
+    def test_custom_initial_state(self):
+        scheme = fig2_scheme()
+        graph = Explorer(scheme, max_states=500).explore(initial=P("q5"))
+        assert graph.complete
+        assert set(graph.states) == {P("q5"), P("q6"), EMPTY}
+
+
+class TestStateGraph:
+    def test_num_transitions(self):
+        graph = Explorer(terminating_chain(3)).explore()
+        assert graph.num_transitions == 4  # three actions + one end
+
+    def test_successors_recorded(self):
+        graph = Explorer(nonterminating_choice()).explore()
+        initial_out = graph.successors(graph.initial)
+        assert len(initial_out) == 2
+
+    def test_cycle_detection_positive(self):
+        graph = Explorer(diverging_loop()).explore()
+        assert graph.complete
+        assert graph.has_cycle()
+
+    def test_cycle_detection_negative(self):
+        graph = Explorer(terminating_chain(4)).explore()
+        assert not graph.has_cycle()
+
+    def test_find_lasso_positive(self):
+        graph = Explorer(nonterminating_choice()).explore()
+        lasso = graph.find_lasso()
+        assert lasso is not None
+        stem, loop = lasso
+        assert loop
+        # the loop really cycles
+        assert loop[0].source == loop[-1].target
+        # the stem really connects the initial state to the loop
+        if stem:
+            assert stem[0].source == graph.initial
+            assert stem[-1].target == loop[0].source
+        else:
+            assert loop[0].source == graph.initial
+
+    def test_find_lasso_negative(self):
+        graph = Explorer(terminating_chain(4)).explore()
+        assert graph.find_lasso() is None
+
+    def test_find_all(self):
+        graph = Explorer(bounded_spawner(2)).explore()
+        with_worker = graph.find_all(lambda s: s.contains_node("c0"))
+        assert with_worker
+        assert all(s.contains_node("c0") for s in with_worker)
+
+    def test_to_lts(self):
+        graph = Explorer(terminating_chain(2)).explore()
+        lts = graph.to_lts()
+        assert lts.initial == graph.initial
+        assert len(lts.states) == len(graph)

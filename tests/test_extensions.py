@@ -1,0 +1,329 @@
+"""Tests for the extension modules: normedness, LTS minimisation, scheme
+optimisation, serialisation, races, the random generator."""
+
+import pytest
+
+from repro.analysis import (
+    normed,
+    race_report,
+    state_is_normed,
+    variable_writers,
+)
+from repro.analysis.explore import Explorer
+from repro.core import (
+    HState,
+    isomorphic,
+    random_scheme,
+    random_schemes,
+    scheme_from_json,
+    scheme_to_json,
+    hstate_from_json,
+    hstate_to_json,
+)
+from repro.errors import AnalysisBudgetExceeded, SchemeError, StateError
+from repro.lang import compile_source, optimize
+from repro.lts import (
+    LTS,
+    d_simulates,
+    lts_terminates,
+    minimised_size,
+    quotient,
+    strongly_bisimilar,
+    weakly_simulates,
+)
+from repro.zoo import (
+    bounded_spawner,
+    diverging_loop,
+    fig2_scheme,
+    nonterminating_choice,
+    terminating_chain,
+    wait_blocked,
+)
+
+
+class TestNormedness:
+    def test_terminating_scheme_is_normed(self):
+        verdict = normed(terminating_chain(3))
+        assert verdict.holds and verdict.exact
+
+    def test_diverging_loop_not_normed(self):
+        verdict = normed(diverging_loop())
+        assert not verdict.holds
+
+    def test_choice_is_normed(self):
+        # every state of the choice scheme can still reach ∅
+        assert normed(nonterminating_choice()).holds
+
+    def test_blocked_wait_not_normed(self):
+        # the parent can never pass its wait: ∅ unreachable from σ0
+        verdict = normed(wait_blocked())
+        assert not verdict.holds
+        witness = verdict.certificate
+        # the witness path ends at a state that provably cannot terminate
+        final = witness.final if len(witness) else wait_blocked().initial_state()
+        assert not state_is_normed(wait_blocked(), final).holds
+
+    def test_state_is_normed(self):
+        scheme = nonterminating_choice()
+        assert state_is_normed(scheme, HState.leaf("c0")).holds
+        assert state_is_normed(scheme, HState.leaf("c1")).holds
+
+    def test_budget_raises(self):
+        from repro.zoo import spawner_loop
+
+        with pytest.raises(AnalysisBudgetExceeded):
+            normed(spawner_loop(), max_states=50)
+
+    def test_normedness_incompatible_with_d_simulation(self):
+        # the paper's remark: normedness is NOT ⊑_d-compatible.
+        # concrete P: a then a visible loop forever (never terminates,
+        # no τ-divergence); abstract P': a then choice(loop, stop).
+        concrete = LTS(initial=0)
+        concrete.add_transition(0, "a", 1)
+        concrete.add_transition(1, "b", 1)
+        abstract = LTS(initial="x")
+        abstract.add_transition("x", "a", "y")
+        abstract.add_transition("y", "b", "y")
+        abstract.add_transition("y", "stop", "z")
+        assert d_simulates(concrete, abstract)
+
+        def lts_normed(lts):
+            return all(
+                _can_deadlock(lts, state) for state in lts.reachable_states()
+            )
+
+        assert lts_normed(abstract)
+        assert not lts_normed(concrete)  # compatibility would forbid this
+
+
+def _can_deadlock(lts, state):
+    seen = {state}
+    stack = [state]
+    while stack:
+        current = stack.pop()
+        successors = lts.successors(current)
+        if not successors:
+            return True
+        for _, target in successors:
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return False
+
+
+class TestMinimisation:
+    def test_quotient_of_duplicate_branches(self):
+        lts = LTS(initial=0)
+        lts.add_transition(0, "a", 1)
+        lts.add_transition(0, "a", 2)
+        lts.add_transition(1, "b", 3)
+        lts.add_transition(2, "b", 4)
+        small, mapping = quotient(lts)
+        assert len(small.states) == 3  # {0}, {1,2}, {3,4}
+        assert mapping[1] == mapping[2]
+        assert strongly_bisimilar(lts, small)
+
+    def test_quotient_preserves_behaviour_on_scheme_fragments(self):
+        graph = Explorer(bounded_spawner(3)).explore()
+        lts = graph.to_lts()
+        small, _ = quotient(lts)
+        assert len(small.states) <= len(lts.states)
+        assert strongly_bisimilar(lts, small)
+
+    def test_minimised_size(self):
+        lts = LTS(initial=0)
+        lts.add_transition(0, "a", 1)
+        lts.add_transition(1, "a", 0)
+        assert minimised_size(lts) == 1  # both states are bisimilar
+
+    def test_distinct_states_not_merged(self):
+        lts = LTS(initial=0)
+        lts.add_transition(0, "a", 1)
+        lts.add_transition(1, "b", 2)
+        assert minimised_size(lts) == 3
+
+
+class TestOptimizer:
+    def test_dead_node_elimination(self):
+        from repro.core.builder import SchemeBuilder
+
+        b = SchemeBuilder()
+        b.action("q0", "a", "q1")
+        b.end("q1")
+        b.end("orphan")
+        report = optimize(b.build(root="q0"))
+        assert report.removed_dead == 1
+        assert "orphan" not in report.scheme
+
+    def test_congruent_merge(self):
+        # two identical diamond arms collapse
+        compiled = compile_source(
+            "program main { if b then { a1; } else { a1; } end; }"
+        )
+        report = optimize(compiled.scheme)
+        assert report.merged >= 1
+        # the test node now has both branches to the same representative
+        test_node = report.scheme.node(report.scheme.root)
+        assert test_node.successors[0] == test_node.successors[1]
+
+    def test_optimized_scheme_bisimilar(self):
+        compiled = compile_source(
+            "program main { if b then { a1; a2; } else { a1; a2; } end; }"
+        )
+        report = optimize(compiled.scheme)
+        assert report.changed
+        before = Explorer(compiled.scheme).explore().to_lts()
+        after = Explorer(report.scheme).explore().to_lts()
+        assert strongly_bisimilar(before, after)
+
+    def test_fixpoint_on_minimal_scheme(self):
+        report = optimize(terminating_chain(3))
+        assert not report.changed
+        assert isomorphic(report.scheme, terminating_chain(3))
+
+    def test_recursive_scheme_preserved(self):
+        report = optimize(fig2_scheme())
+        before = Explorer(fig2_scheme(), max_states=400).explore()
+        after = Explorer(report.scheme, max_states=400).explore()
+        # both explorations cut at the same budget; compare bounded traces
+        from repro.pa.translate import scheme_weak_traces
+
+        assert scheme_weak_traces(fig2_scheme(), 4) == scheme_weak_traces(
+            report.scheme, 4
+        )
+
+
+class TestSerialization:
+    def test_scheme_roundtrip(self):
+        scheme = fig2_scheme()
+        again = scheme_from_json(scheme_to_json(scheme))
+        assert isomorphic(scheme, again)
+        assert again.procedures == scheme.procedures
+        assert again.root == scheme.root
+
+    def test_scheme_bad_json(self):
+        with pytest.raises(SchemeError):
+            scheme_from_json("{not json")
+
+    def test_scheme_bad_format(self):
+        with pytest.raises(SchemeError):
+            scheme_from_json('{"format": 99}')
+
+    def test_scheme_malformed_nodes(self):
+        with pytest.raises(SchemeError):
+            scheme_from_json('{"format": 1, "root": "q0", "nodes": [{"id": "q0"}]}')
+
+    def test_hstate_roundtrip(self):
+        state = HState.parse("q1,{q9,{q11},q12,{q10}}")
+        assert hstate_from_json(hstate_to_json(state)) == state
+
+    def test_hstate_bad_json(self):
+        with pytest.raises(StateError):
+            hstate_from_json("nope[")
+
+
+class TestRaces:
+    RACY = """
+    global shared := 0;
+    global safe := 0;
+    program main {
+        safe := 1;
+        pcall w;
+        shared := shared + 1;
+        wait;
+        safe := 2;
+        end;
+    }
+    procedure w { shared := shared * 2; end; }
+    """
+
+    def test_variable_writers(self):
+        compiled = compile_source(self.RACY)
+        writers = variable_writers(compiled)
+        assert set(writers) == {"shared", "safe"}
+        assert len(writers["shared"]) == 2
+        assert len(writers["safe"]) == 2
+
+    def test_race_report(self):
+        compiled = compile_source(self.RACY)
+        report = race_report(compiled)
+        assert not report.is_safe
+        conflicting = {variable for variable, _ in report.conflicts()}
+        assert conflicting == {"shared"}
+
+    def test_safe_variable(self):
+        compiled = compile_source(self.RACY)
+        report = race_report(compiled, variables=["safe"])
+        assert report.is_safe
+
+    def test_self_conflict_detected(self):
+        source = """
+        global hits := 0;
+        program main { pcall w; pcall w; wait; end; }
+        procedure w { hits := hits + 1; end; }
+        """
+        report = race_report(compile_source(source))
+        [(variable, pair)] = report.conflicts()
+        assert variable == "hits"
+        assert pair[0] == pair[1]  # the self pair
+
+
+class TestRandomGenerator:
+    def test_deterministic(self):
+        assert isomorphic(random_scheme(5), random_scheme(5))
+
+    def test_different_seeds_differ_somewhere(self):
+        schemes = random_schemes(10, base_seed=100)
+        assert len({len(s) for s in schemes} | {s.root for s in schemes}) > 1
+
+    def test_all_valid_with_reachable_root_region(self):
+        for scheme in random_schemes(20, base_seed=3):
+            # validation passed at construction; the root region must at
+            # least contain an end node (every procedure ends in one)
+            reachable = scheme.graph_reachable_nodes()
+            from repro.core.scheme import NodeKind
+
+            assert any(
+                scheme.node(node).kind is NodeKind.END for node in reachable
+            )
+
+    def test_wait_free_knob(self):
+        from repro.core.scheme import NodeKind
+
+        for scheme in random_schemes(10, base_seed=7, allow_wait=False):
+            assert scheme.is_wait_free
+
+
+class TestAnalyzeSummary:
+    def test_bounded_scheme_report(self):
+        from repro.analysis import analyze
+
+        report = analyze(terminating_chain(3))
+        assert report.conclusive
+        assert report.bounded.holds
+        assert report.halting.holds
+        assert report.normedness.holds
+        assert report.unreachable_nodes == ()
+        assert report.basis is not None
+        text = report.render()
+        assert "boundedness" in text and "yes" in text
+
+    def test_unbounded_scheme_report(self):
+        from repro.analysis import analyze
+        from repro.zoo import spawner_loop
+
+        report = analyze(spawner_loop(), max_states=1_200)
+        assert report.bounded is not None
+        assert not report.bounded.holds
+        assert not report.halting.holds
+        # normedness of the spawner: every state can drain → exact or
+        # inconclusive; the report must not crash either way
+        report.render()
+
+    def test_inconclusive_fields_render(self):
+        from repro.analysis import analyze
+        from repro.zoo import deep_recursion
+
+        report = analyze(deep_recursion(), max_states=60)
+        text = report.render()
+        assert "inconclusive" in text or report.conclusive is True

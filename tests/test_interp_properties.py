@@ -1,0 +1,123 @@
+"""Property-based tests for the interpreted layer (IState, VarStore,
+projection invariants) and additional memory-model checks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hstate import HState
+from repro.interp import (
+    IState,
+    InterpretedSemantics,
+    TrivialInterpretation,
+    UNIT,
+    VarStore,
+)
+from repro.zoo import fig2_scheme
+
+NODES = ["q0", "q1", "q7", "q9"]
+
+
+def var_stores():
+    return st.dictionaries(
+        st.sampled_from(["x", "y", "z"]), st.integers(-5, 5), max_size=3
+    ).map(VarStore)
+
+
+def istates(max_leaves: int = 5):
+    return st.recursive(
+        st.just(IState.empty()),
+        lambda children: st.builds(
+            lambda items: IState(items),
+            st.lists(
+                st.tuples(st.sampled_from(NODES), var_stores(), children),
+                max_size=max_leaves,
+            ),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+class TestVarStoreProperties:
+    @given(var_stores(), st.sampled_from(["x", "y"]), st.integers(-5, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_set_then_get(self, store, name, value):
+        assert store.set(name, value)[name] == value
+
+    @given(var_stores(), st.sampled_from(["x", "y"]), st.integers(-5, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_set_preserves_others(self, store, name, value):
+        updated = store.set(name, value)
+        for key in store:
+            if key != name:
+                assert updated[key] == store[key]
+
+    @given(var_stores())
+    @settings(max_examples=50, deadline=None)
+    def test_hash_equals_on_equal(self, store):
+        clone = VarStore(dict(store))
+        assert clone == store and hash(clone) == hash(store)
+
+
+class TestIStateProperties:
+    @given(istates(), istates())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(istates())
+    @settings(max_examples=40, deadline=None)
+    def test_forget_drops_memories_only(self, state):
+        forgotten = state.forget()
+        assert forgotten.size == state.size
+
+    @given(istates())
+    @settings(max_examples=40, deadline=None)
+    def test_positions_cover_all(self, state):
+        assert len(list(state.positions())) == state.size
+
+    @given(istates(), istates())
+    @settings(max_examples=40, deadline=None)
+    def test_forget_is_homomorphic(self, a, b):
+        assert (a + b).forget() == a.forget() + b.forget()
+
+    @given(istates())
+    @settings(max_examples=40, deadline=None)
+    def test_replace_identity(self, state):
+        for path, node, memory, children in state.positions():
+            rebuilt = state.replace(path, ((node, memory, children),))
+            assert rebuilt == state
+            break  # one position suffices per example
+
+
+class TestProjectionInvariant:
+    def test_every_interpreted_step_projects(self):
+        scheme = fig2_scheme()
+        semantics = InterpretedSemantics(
+            scheme, TrivialInterpretation(branches={"b1": True, "b2": True})
+        )
+        from repro.core.semantics import AbstractSemantics
+
+        abstract = AbstractSemantics(scheme)
+        state = semantics.initial_state
+        for _ in range(60):
+            successors = semantics.successors(state)
+            if not successors:
+                break
+            step = successors[0]
+            projected_targets = [
+                (t.label, t.target) for t in abstract.successors(state.forget())
+            ]
+            assert (step.label, step.target.forget()) in projected_targets
+            state = step.target
+
+    def test_deterministic_interpretation_has_at_most_one_step_per_token(self):
+        scheme = fig2_scheme()
+        semantics = InterpretedSemantics(scheme, TrivialInterpretation())
+        state = semantics.initial_state
+        for _ in range(30):
+            successors = semantics.successors(state)
+            if not successors:
+                break
+            paths = [t.path for t in successors]
+            assert len(paths) == len(set(paths))  # one transition per token
+            state = successors[0].target

@@ -1,0 +1,152 @@
+"""Fuzzing the language front-end: random ASTs round-trip through the
+pretty-printer and parser, and compile to valid schemes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheme import RPScheme
+from repro.lang import (
+    AbstractAction,
+    Assign,
+    End,
+    If,
+    PCall,
+    Procedure,
+    Program,
+    VarDecl,
+    Wait,
+    While,
+    compile_program,
+    parse_program,
+    render_program,
+)
+from repro.lang.expr import BinOp, Bool, BoolOp, Compare, Neg, Not, Num, Var
+
+ACTIONS = ["a1", "a2", "go", "halt'"]
+TESTS = ["b1", "ready"]
+VARS = ["x", "y"]
+PROCS = ["helper", "worker"]
+
+
+def expressions():
+    leaves = st.one_of(
+        st.integers(0, 9).map(Num),
+        st.sampled_from(VARS).map(Var),
+        st.booleans().map(Bool),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from("+-*"), children, children).map(
+                lambda t: BinOp(op=t[0], left=t[1], right=t[2])
+            ),
+            st.tuples(st.sampled_from(["<", "<=", "==", "!="]), children, children).map(
+                lambda t: Compare(op=t[0], left=t[1], right=t[2])
+            ),
+            st.tuples(st.sampled_from(["and", "or"]), children, children).map(
+                lambda t: BoolOp(op=t[0], left=t[1], right=t[2])
+            ),
+            children.map(lambda e: Neg(operand=e)),
+            children.map(lambda e: Not(operand=e)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=5)
+
+
+def statements(depth: int = 2):
+    base = st.one_of(
+        st.sampled_from(ACTIONS).map(lambda n: AbstractAction(name=n)),
+        st.sampled_from(PROCS).map(lambda p: PCall(procedure=p)),
+        st.just(Wait()),
+        st.just(End()),
+        st.tuples(st.sampled_from(VARS), expressions()).map(
+            lambda t: Assign(target=t[0], value=t[1])
+        ),
+    )
+    if depth == 0:
+        return base
+    inner = statements(depth - 1)
+    compound = st.one_of(
+        st.tuples(
+            st.sampled_from(TESTS),
+            st.lists(inner, max_size=3),
+            st.lists(inner, max_size=2),
+        ).map(lambda t: If(test=t[0], then_body=tuple(t[1]), else_body=tuple(t[2]))),
+        st.tuples(st.sampled_from(TESTS), st.lists(inner, max_size=3)).map(
+            lambda t: While(test=t[0], body=tuple(t[1]))
+        ),
+        st.tuples(expressions(), st.lists(inner, max_size=2)).map(
+            lambda t: If(test=t[0], then_body=tuple(t[1]))
+        ),
+    )
+    return st.one_of(base, compound)
+
+
+def programs():
+    def build(main_body, helper_body, worker_body):
+        return Program(
+            main=Procedure(name="main", body=tuple(main_body), is_main=True),
+            procedures=(
+                Procedure(name="helper", body=tuple(helper_body)),
+                Procedure(name="worker", body=tuple(worker_body)),
+            ),
+            globals=tuple(VarDecl(name=v, initial=0) for v in VARS),
+        )
+
+    return st.builds(
+        build,
+        st.lists(statements(), max_size=5),
+        st.lists(statements(), max_size=3),
+        st.lists(statements(), max_size=3),
+    )
+
+
+class TestRoundTripFuzz:
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_render_parse_roundtrip(self, program):
+        rendered = render_program(program)
+        assert parse_program(rendered) == program
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_compiles_to_valid_scheme(self, program):
+        compiled = compile_program(program)
+        assert isinstance(compiled.scheme, RPScheme)
+        # the validated scheme round-trips through JSON as well
+        from repro.core.serialize import scheme_from_json, scheme_to_json
+
+        again = scheme_from_json(scheme_to_json(compiled.scheme))
+        assert len(again) == len(compiled.scheme)
+
+    @given(programs())
+    @settings(max_examples=40, deadline=None)
+    def test_double_roundtrip_is_stable(self, program):
+        once = render_program(program)
+        twice = render_program(parse_program(once))
+        assert once == twice
+
+    @given(programs())
+    @settings(max_examples=30, deadline=None)
+    def test_lints_never_crash(self, program):
+        from repro.lang.lint import lint
+
+        compiled = compile_program(program)
+        for warning in lint(program, compiled.scheme):
+            assert warning.code.startswith("W")
+
+    @given(programs())
+    @settings(max_examples=25, deadline=None)
+    def test_semantics_on_compiled_fuzz(self, program):
+        # a short bounded exploration must respect Prop 3 and size deltas
+        from repro.analysis.explore import Explorer
+        from repro.core.semantics import AbstractSemantics
+
+        compiled = compile_program(program)
+        semantics = AbstractSemantics(compiled.scheme)
+        graph = Explorer(
+            compiled.scheme, max_states=60, max_state_size=20
+        ).explore(None)
+        for state in graph.states:
+            if state.size <= 20:
+                assert semantics.successors(state) or state.is_empty()

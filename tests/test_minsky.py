@@ -1,0 +1,120 @@
+"""Theorem 9: counter machines, the RP encoding, Turing power."""
+
+import pytest
+
+from repro.analysis import node_reachable
+from repro.errors import AnalysisBudgetExceeded
+from repro.interp import InterpretedSemantics
+from repro.minsky import (
+    HALT,
+    CounterMachine,
+    DecJz,
+    Inc,
+    MinskyError,
+    adder_machine,
+    busy_loop_machine,
+    doubler_machine,
+    encode,
+    simulate_via_rp,
+    zero_test_machine,
+)
+
+
+class TestCounterMachines:
+    def test_adder(self):
+        assert adder_machine().run({"a": 3, "b": 4}) == {"a": 0, "b": 7}
+
+    def test_doubler(self):
+        assert doubler_machine().run({"a": 3}) == {"a": 0, "b": 6}
+
+    def test_zero_test(self):
+        machine = zero_test_machine()
+        assert machine.run({"a": 0}) == {"a": 0, "flag": 1}
+        assert machine.run({"a": 2}) == {"a": 1, "flag": 0}
+
+    def test_divergence_returns_none(self):
+        assert busy_loop_machine().run(max_steps=500) is None
+
+    def test_trace(self):
+        trace = adder_machine().trace({"a": 1, "b": 0})
+        assert trace[0] == ("l0", {"a": 1, "b": 0})
+        assert trace[-1][0] == HALT
+
+    def test_validation_unknown_target(self):
+        with pytest.raises(MinskyError):
+            CounterMachine({"l0": Inc("a", "nowhere")}, initial_location="l0")
+
+    def test_validation_reserved_halt(self):
+        with pytest.raises(MinskyError):
+            CounterMachine({HALT: Inc("a", HALT)}, initial_location=HALT)
+
+    def test_validation_unknown_counter(self):
+        with pytest.raises(MinskyError):
+            CounterMachine(
+                {"l0": Inc("a", HALT)}, initial_location="l0", counters=("b",)
+            )
+
+    def test_validation_initial_location(self):
+        with pytest.raises(MinskyError):
+            CounterMachine({"l0": Inc("a", HALT)}, initial_location="lX")
+
+
+class TestEncoding:
+    def test_scheme_shape(self):
+        encoded = encode(adder_machine())
+        scheme = encoded.scheme
+        # one manager and one unit procedure per counter, plus main
+        assert "manager_a" in scheme.procedures
+        assert "unit_a_proc" in scheme.procedures
+        assert "manager_b" in scheme.procedures
+        assert encoded.halt_node in scheme.node_ids
+
+    def test_interpretation_is_finite(self):
+        assert encode(adder_machine()).interpretation.is_finite()
+
+    def test_counter_readout_on_initial_state(self):
+        encoded = encode(adder_machine(), {"a": 0, "b": 0})
+        semantics = InterpretedSemantics(encoded.scheme, encoded.interpretation)
+        assert encoded.counter_value(semantics.initial_state) == {"a": 0, "b": 0}
+
+    @pytest.mark.parametrize(
+        "initial,expected",
+        [
+            ({"a": 0, "b": 0}, {"a": 0, "b": 0}),
+            ({"a": 1, "b": 0}, {"a": 0, "b": 1}),
+            ({"a": 2, "b": 1}, {"a": 0, "b": 3}),
+        ],
+    )
+    def test_adder_via_rp(self, initial, expected):
+        assert simulate_via_rp(adder_machine(), initial, max_states=400_000) == expected
+
+    def test_doubler_via_rp(self):
+        result = simulate_via_rp(doubler_machine(), {"a": 2}, max_states=400_000)
+        assert result == {"a": 0, "b": 4}
+
+    def test_zero_test_via_rp_zero_branch(self):
+        result = simulate_via_rp(zero_test_machine(), {"a": 0}, max_states=200_000)
+        assert result == {"a": 0, "flag": 1}
+
+    def test_zero_test_via_rp_nonzero_branch(self):
+        result = simulate_via_rp(zero_test_machine(), {"a": 1}, max_states=200_000)
+        assert result == {"a": 0, "flag": 0}
+
+    def test_agreement_with_direct_simulation(self):
+        for initial in ({"a": 0, "b": 2}, {"a": 3, "b": 0}):
+            direct = adder_machine().run(dict(initial))
+            via_rp = simulate_via_rp(adder_machine(), initial, max_states=400_000)
+            assert via_rp == direct
+
+    def test_divergent_machine_never_halts_via_rp(self):
+        # the busy loop keeps pumping; halt must be unreachable; the
+        # bounded exploration raises on budget instead of lying
+        with pytest.raises(AnalysisBudgetExceeded):
+            simulate_via_rp(busy_loop_machine(), max_states=400)
+
+    def test_halt_node_reachability_matches_halting(self):
+        # halting machine: the halt node is reachable in the *abstract*
+        # scheme too (the abstract model over-approximates)
+        encoded = encode(adder_machine(), {"a": 1, "b": 0})
+        verdict = node_reachable(encoded.scheme, encoded.halt_node, max_states=20_000)
+        assert verdict.holds

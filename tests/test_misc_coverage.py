@@ -1,0 +1,156 @@
+"""Coverage of smaller surfaces: nondeterministic actions, reprs, the
+error hierarchy, DOT output details."""
+
+import pytest
+
+from repro.core.alphabet import TAU, Alphabet
+from repro.core.dot import hstate_to_dot, scheme_to_dot
+from repro.core.hstate import HState
+from repro.core.scheme import Node, NodeKind, RPScheme
+from repro.core.semantics import AbstractSemantics
+from repro.errors import (
+    AnalysisBudgetExceeded,
+    AnalysisError,
+    ExecutionError,
+    InterpretationError,
+    LanguageError,
+    LexError,
+    NotationError,
+    ParseError,
+    RPError,
+    SchemeError,
+    SemanticError,
+    StateError,
+)
+from repro.zoo import fig2_scheme, sigma1
+
+
+class TestNondeterministicActions:
+    """ACTION nodes may carry several successors (abstract nondeterminism
+    beyond tests); the semantics must fan out with the same label."""
+
+    def scheme(self):
+        return RPScheme(
+            [
+                Node("q0", NodeKind.ACTION, label="a", successors=("q1", "q2")),
+                Node("q1", NodeKind.END),
+                Node("q2", NodeKind.END),
+            ],
+            root="q0",
+        )
+
+    def test_two_branches_same_label(self):
+        semantics = AbstractSemantics(self.scheme())
+        transitions = semantics.successors(HState.leaf("q0"))
+        assert len(transitions) == 2
+        assert {t.label for t in transitions} == {"a"}
+        assert {t.branch for t in transitions} == {0, 1}
+
+    def test_descriptors_distinguish_branches(self):
+        semantics = AbstractSemantics(self.scheme())
+        [t0] = semantics.matching(HState.leaf("q0"), ("q0", "action", 0))
+        [t1] = semantics.matching(HState.leaf("q0"), ("q0", "action", 1))
+        assert t0.target != t1.target
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            SchemeError,
+            StateError,
+            NotationError,
+            LanguageError,
+            SemanticError,
+            AnalysisError,
+            AnalysisBudgetExceeded,
+            InterpretationError,
+            ExecutionError,
+        ],
+    )
+    def test_all_derive_from_rperror(self, error_type):
+        assert issubclass(error_type, RPError)
+
+    def test_notation_is_state_error(self):
+        assert issubclass(NotationError, StateError)
+
+    def test_positioned_errors(self):
+        error = LexError("bad", 3, 7)
+        assert (error.line, error.column) == (3, 7)
+        assert "3:7" in str(error)
+        error = ParseError("bad", 1, 2)
+        assert "1:2" in str(error)
+
+    def test_budget_carries_count(self):
+        error = AnalysisBudgetExceeded("out of budget", explored=42)
+        assert error.explored == 42
+
+
+class TestReprs:
+    def test_alphabet_repr(self):
+        assert "a1" in repr(Alphabet(["a1"]))
+
+    def test_node_repr(self):
+        node = Node("q1", NodeKind.PCALL, successors=("q2",), invoked="q7")
+        text = repr(node)
+        assert "q1" in text and "invokes=q7" in text
+
+    def test_node_equality_and_hash(self):
+        a = Node("q1", NodeKind.ACTION, label="x", successors=("q2",))
+        b = Node("q1", NodeKind.ACTION, label="x", successors=("q2",))
+        assert a == b and hash(a) == hash(b)
+        c = Node("q1", NodeKind.ACTION, label="y", successors=("q2",))
+        assert a != c
+
+    def test_scheme_repr(self):
+        assert "fig2" in repr(fig2_scheme())
+
+    def test_transition_repr(self):
+        semantics = AbstractSemantics(fig2_scheme())
+        [t] = [x for x in semantics.successors(HState.leaf("q0"))]
+        assert "a1" in repr(t)
+
+    def test_hstate_repr_parses_back(self):
+        state = sigma1()
+        assert eval(repr(state), {"HState": HState}) == state
+
+
+class TestDotDetails:
+    def test_scheme_dot_shapes(self):
+        text = scheme_to_dot(fig2_scheme())
+        for shape in ("box", "ellipse", "pentagon", "triangle", "doublecircle"):
+            assert shape in text
+
+    def test_init_arrow(self):
+        assert 'init -> "q0"' in scheme_to_dot(fig2_scheme())
+
+    def test_test_edges_labelled(self):
+        text = scheme_to_dot(fig2_scheme())
+        assert '[label="then"]' in text and '[label="else"]' in text
+
+    def test_invocation_edges_dashed(self):
+        assert "style=dashed" in scheme_to_dot(fig2_scheme())
+
+    def test_marking_highlights(self):
+        text = scheme_to_dot(fig2_scheme(), marking=sigma1())
+        assert "fillcolor" in text
+
+    def test_hstate_dot_token_edges(self):
+        text = hstate_to_dot(sigma1())
+        assert "->" in text and "style=dotted" in text
+
+
+class TestTauConventions:
+    def test_tau_is_not_visible(self):
+        from repro.core.alphabet import is_silent, is_visible
+
+        assert is_silent(TAU)
+        assert not is_visible(TAU)
+        assert is_visible("a1")
+
+    def test_structural_rules_are_silent(self):
+        semantics = AbstractSemantics(fig2_scheme())
+        for state_text, expected_rule in [("q1", "call"), ("q4", "wait"), ("q6", "end")]:
+            transitions = semantics.successors(HState.parse(state_text))
+            assert transitions[0].rule == expected_rule
+            assert transitions[0].label == TAU

@@ -1,0 +1,271 @@
+"""PA terms, SOS semantics, and the RP → PA translation."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.pa import (
+    Act,
+    Choice,
+    Nil,
+    PAError,
+    PASystem,
+    Par,
+    Seq,
+    TranslationError,
+    Var,
+    choice,
+    par,
+    seq,
+    traces_agree,
+    translate_program,
+)
+
+
+class TestTermConstruction:
+    def test_seq_folds_units(self):
+        assert seq(Nil(), Act("a"), Nil()) == Act("a")
+        assert seq() == Nil()
+
+    def test_par_folds_units(self):
+        assert par(Nil(), Act("a")) == Act("a")
+        assert par() == Nil()
+
+    def test_choice_requires_operands(self):
+        with pytest.raises(PAError):
+            choice()
+
+
+class TestSOS:
+    def system(self, root, **defs):
+        return PASystem(defs, root=root)
+
+    def test_action(self):
+        system = self.system(Act("a"))
+        assert system.successors(Act("a")) == [("a", Nil())]
+
+    def test_seq_left_first(self):
+        system = self.system(Seq(Act("a"), Act("b")))
+        [(label, target)] = system.successors(system.root)
+        assert label == "a"
+        assert system.successors(target) == [("b", Nil())]
+
+    def test_seq_skips_terminated_left(self):
+        system = self.system(Seq(Nil(), Act("b")))
+        assert system.successors(system.root) == [("b", Nil())]
+
+    def test_par_interleaves(self):
+        system = self.system(Par(Act("a"), Act("b")))
+        labels = {label for label, _ in system.successors(system.root)}
+        assert labels == {"a", "b"}
+
+    def test_choice(self):
+        system = self.system(Choice(Act("a"), Act("b")))
+        labels = {label for label, _ in system.successors(system.root)}
+        assert labels == {"a", "b"}
+
+    def test_recursion(self):
+        system = self.system(Var("X"), X=Choice(Seq(Act("a"), Var("X")), Act("b")))
+        traces = system.traces(3)
+        assert ("a", "a", "b") in traces
+        assert ("b",) in traces
+        assert ("b", "a") not in traces
+
+    def test_termination_predicate(self):
+        system = self.system(Nil(), X=Act("a"))
+        assert system.terminated(Nil())
+        assert not system.terminated(Act("a"))
+        assert system.terminated(Choice(Nil(), Act("a")))
+        assert not system.terminated(Par(Nil(), Act("a")))
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(PAError):
+            PASystem({}, root=Var("ghost"))
+
+    def test_unguarded_recursion_rejected(self):
+        with pytest.raises(PAError):
+            PASystem({"X": Var("X")}, root=Var("X"))
+        with pytest.raises(PAError):
+            PASystem({"X": Choice(Var("Y"), Act("a")), "Y": Seq(Var("X"), Act("b"))},
+                     root=Var("X"))
+
+    def test_guarded_recursion_accepted(self):
+        PASystem({"X": Seq(Act("a"), Var("X"))}, root=Var("X"))
+
+    def test_completed_traces(self):
+        system = self.system(Choice(Act("a"), Seq(Act("b"), Act("c"))))
+        assert system.completed_traces(5) == {("a",), ("b", "c")}
+
+    def test_anbn_language(self):
+        # X = a·(X·b) + a·b : the classic {a^n b^n} BPA process
+        system = self.system(
+            Var("X"),
+            X=Choice(Seq(Act("a"), Seq(Var("X"), Act("b"))), Seq(Act("a"), Act("b"))),
+        )
+        completed = system.completed_traces(6)
+        assert completed == {
+            ("a", "b"),
+            ("a", "a", "b", "b"),
+            ("a", "a", "a", "b", "b", "b"),
+        }
+
+
+class TestTranslation:
+    def test_sequential_program(self):
+        program = parse_program("program main { a1; a2; end; }")
+        system = translate_program(program)
+        assert system.completed_traces(5) == {("a1", "a2")}
+
+    def test_pcall_wait_brackets(self):
+        program = parse_program(
+            "program main { pcall p; a; wait; b; end; } procedure p { c; end; }"
+        )
+        system = translate_program(program)
+        completed = system.completed_traces(5)
+        # c and a interleave before the join; b strictly after
+        assert completed == {("c", "a", "b"), ("a", "c", "b")}
+
+    def test_nested_pcalls_share_wait(self):
+        program = parse_program(
+            "program main { pcall p; pcall p; wait; b; end; } procedure p { c; end; }"
+        )
+        system = translate_program(program)
+        completed = system.completed_traces(5)
+        assert completed == {("c", "c", "b")}
+
+    def test_end_discards_continuation(self):
+        program = parse_program("program main { a; end; b; }")
+        system = translate_program(program)
+        assert system.completed_traces(3) == {("a",)}
+
+    def test_goto_rejected(self):
+        program = parse_program("program main { l: a; goto l; }")
+        with pytest.raises(TranslationError):
+            translate_program(program)
+
+    def test_wait_in_branch_rejected(self):
+        program = parse_program(
+            "program main { pcall p; if b then { wait; } end; } procedure p { end; }"
+        )
+        with pytest.raises(TranslationError):
+            translate_program(program)
+
+    def test_leaky_loop_rejected(self):
+        program = parse_program(
+            "program main { while b do { pcall p; } end; } procedure p { end; }"
+        )
+        with pytest.raises(TranslationError):
+            translate_program(program)
+
+    def test_concrete_test_rejected(self):
+        program = parse_program(
+            "global x := 0; program main { if x > 0 then { a; } end; }"
+        )
+        with pytest.raises(TranslationError):
+            translate_program(program)
+
+
+class TestLanguageEquality:
+    """The RP ≡ PA language statement, executable on the structured
+    fragment (bounded trace length)."""
+
+    PROGRAMS = [
+        "program main { a1; a2; end; }",
+        "program main { if b then { a1; } else { a2; } end; }",
+        "program main { pcall p; a; wait; b; end; } procedure p { c; end; }",
+        "program main { pcall p; pcall q; wait; z; end; } "
+        "procedure p { x; end; } procedure q { y; end; }",
+        "program main { while b do { a; } c; end; }",
+        # recursion with join: a^n ... b^n -like nesting
+        "program main { pcall p; wait; done; end; } "
+        "procedure p { if t then { a; pcall p; wait; b; } end; }",
+        # unjoined children (no wait at all)
+        "program main { pcall p; a; end; } procedure p { c; end; }",
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_traces_agree(self, source):
+        program = parse_program(source)
+        assert traces_agree(program, max_length=6)
+
+    def test_fig1_without_goto_agrees(self):
+        # a structured variant of Fig. 1 (the goto-loop rewritten as while)
+        source = """
+        program main {
+            a1;
+            while b1 do { pcall subr1; a2; wait; }
+            a3;
+            end;
+        }
+        procedure subr1 {
+            if b2 then { a4; } else { pcall subr1; a5; wait; }
+            end;
+        }
+        """
+        assert traces_agree(parse_program(source), max_length=5)
+
+
+class TestFragments:
+    def test_classify_finite(self):
+        from repro.pa import classify
+        from repro.pa.terms import Act, Seq
+
+        system = PASystem({}, root=Seq(Act("a"), Act("b")))
+        # a·b is action-prefixing only and has no recursion
+        assert classify(system) == "finite"
+
+    def test_classify_bpa(self):
+        from repro.pa import bpa_anbn, classify
+
+        assert classify(bpa_anbn()) == "BPA"
+
+    def test_classify_bpp(self):
+        from repro.pa import bpp_bag, classify
+
+        assert classify(bpp_bag()) == "BPP"
+
+    def test_classify_pa(self):
+        from repro.pa import classify, pa_nested_fork
+
+        assert classify(pa_nested_fork()) == "PA"
+
+    def test_bpa_generates_anbn(self):
+        from repro.pa import bpa_anbn
+
+        completed = bpa_anbn().completed_traces(6)
+        assert completed == {
+            ("a", "b"),
+            ("a", "a", "b", "b"),
+            ("a", "a", "a", "b", "b", "b"),
+        }
+
+    def test_bpp_is_commutative(self):
+        # the BPP bag accepts the b's in any order relative to later a's
+        from repro.pa import bpp_bag
+
+        traces = bpp_bag().traces(4)
+        assert ("a", "a", "b", "b") in traces
+        assert ("a", "b", "a", "b") in traces
+
+    def test_sequential_rp_program_lands_in_bpa(self):
+        from repro.pa import classify
+
+        program = parse_program("program main { a1; a2; end; }")
+        assert classify(translate_program(program)) in ("finite", "BPA")
+
+    def test_forking_rp_program_lands_in_pa(self):
+        from repro.pa import classify
+
+        program = parse_program(
+            "program main { pcall p; a; wait; b; end; } procedure p { c; end; }"
+        )
+        assert classify(translate_program(program)) == "PA"
+
+    def test_unreachable_definitions_ignored(self):
+        from repro.pa import classify
+        from repro.pa.terms import Act, Par
+
+        system = PASystem(
+            {"Unused": Par(Act("a"), Act("b"))},
+            root=Act("a"),
+        )
+        assert classify(system) == "finite"

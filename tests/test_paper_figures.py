@@ -1,0 +1,112 @@
+"""FIG-3 / FIG-4 / quickstart-level checks tying the paper's figures to
+the implementation (see EXPERIMENTS.md)."""
+
+from repro.core.dot import hstate_to_dot, scheme_to_dot
+from repro.core.hstate import HState
+from repro.core.semantics import AbstractSemantics
+from repro.lang import compile_source, parse_program, render_program
+from repro.zoo import FIG1_PROGRAM, fig2_scheme, fig5_states, sigma1
+
+
+class TestFig1:
+    def test_program_parses(self):
+        program = parse_program(FIG1_PROGRAM)
+        assert program.main.name == "main"
+        assert [p.name for p in program.procedures] == ["subr1"]
+        assert program.is_abstract
+
+    def test_label_l1_on_the_pcall(self):
+        program = parse_program(FIG1_PROGRAM)
+        pcall = program.main.body[1]
+        assert pcall.labels == ("l1",)
+
+    def test_roundtrip(self):
+        program = parse_program(FIG1_PROGRAM)
+        assert parse_program(render_program(program)) == program
+
+
+class TestFig3:
+    """σ1 and the paper's prose about its structure."""
+
+    def test_notation(self):
+        state = sigma1()
+        assert state == HState.parse("q1,{q9,{q11},q12,{q10}}")
+        assert HState.parse(state.to_notation()) == state
+
+    def test_five_concurrent_components(self):
+        # "1 has five concurrent components"
+        assert sigma1().size == 5
+
+    def test_dependency_chains(self):
+        # "One, in state q11, depends of its father (currently in state
+        # q9) that itself depends on its father (currently in state q1).
+        # This father invocation has another child invocation (currently
+        # in q12) with its own child (currently in q10)."
+        state = sigma1()
+        [(q1_node, q1_children)] = state.items
+        assert q1_node == "q1"
+        children = dict(q1_children.items)
+        assert set(children) == {"q9", "q12"}
+        assert children["q9"].top_nodes() == {"q11": 1}
+        assert children["q12"].top_nodes() == {"q10": 1}
+
+    def test_trees_are_unordered(self):
+        # "(Trees and subtrees are unordered.)"
+        reordered = HState.parse("q1,{q12,{q10},q9,{q11}}")
+        assert reordered == sigma1()
+
+
+class TestFig4:
+    """σ1 as a marking of scheme G."""
+
+    def test_marking_view(self):
+        counts = sigma1().node_multiset()
+        assert counts == {"q1": 1, "q9": 1, "q11": 1, "q12": 1, "q10": 1}
+
+    def test_dot_overlay(self):
+        dot = scheme_to_dot(fig2_scheme(), marking=sigma1())
+        assert "● × 1" in dot
+        # dotted parent-child links between token-bearing nodes
+        assert "style=dotted" in dot
+        assert '"q1" -> "q9"' in dot
+
+    def test_hstate_dot(self):
+        dot = hstate_to_dot(sigma1())
+        assert dot.count("label=") == 5
+
+
+class TestFig5:
+    def test_full_evolution_is_a_run(self):
+        semantics = AbstractSemantics(fig2_scheme())
+        states = fig5_states()
+        expected_rules = [("call", "q10"), ("call", "q1"), ("end", "q9")]
+        for (current, following), (rule, node) in zip(
+            zip(states, states[1:]), expected_rules
+        ):
+            matches = [
+                t
+                for t in semantics.successors(current)
+                if t.target == following and t.rule == rule and t.node == node
+            ]
+            assert matches, (current.to_notation(), rule, node)
+
+    def test_evolution_matches_on_compiled_scheme_via_isomorphism(self):
+        # the same evolution exists on the scheme compiled from FIG-1,
+        # modulo the node renaming of the isomorphism
+        from repro.core.isomorphism import find_isomorphism
+
+        compiled = compile_source(FIG1_PROGRAM).scheme
+        mapping = find_isomorphism(fig2_scheme(), compiled)
+        assert mapping is not None
+        semantics = AbstractSemantics(compiled)
+
+        def rename(state: HState) -> HState:
+            return HState(
+                (mapping[node], rename(child)) for node, child in state.items
+            )
+
+        states = [rename(s) for s in fig5_states()]
+        for current, following in zip(states, states[1:]):
+            assert any(
+                t.target == following for t in semantics.successors(current)
+            )

@@ -1,0 +1,248 @@
+"""Petri net substrate tests and the RP-vs-PN comparison material."""
+
+import pytest
+
+from repro.petri import (
+    OMEGA,
+    PetriError,
+    PetriNet,
+    anbncn_completed_words,
+    anbncn_net,
+    backward_coverable,
+    coverability_tree,
+    coverable,
+    is_bounded,
+    marking_of,
+    nested_anbn_scheme,
+    scheme_terminated_words,
+    token_counting_abstraction,
+    unbounded_places,
+)
+from repro.zoo import fig2_scheme, sigma1, spawner_loop
+
+
+def simple_producer() -> PetriNet:
+    """One producer place feeding an unbounded buffer."""
+    return PetriNet(
+        places=["producer", "buffer"],
+        transitions=[
+            {"name": "make", "pre": {"producer": 1}, "post": {"producer": 1, "buffer": 1}},
+            {"name": "take", "pre": {"buffer": 1}, "post": {}},
+        ],
+        initial={"producer": 1},
+    )
+
+
+def bounded_cycle() -> PetriNet:
+    """A token circulating between two places."""
+    return PetriNet(
+        places=["p", "q"],
+        transitions=[
+            {"name": "go", "pre": {"p": 1}, "post": {"q": 1}},
+            {"name": "back", "pre": {"q": 1}, "post": {"p": 1}},
+        ],
+        initial={"p": 1},
+    )
+
+
+class TestNetBasics:
+    def test_firing(self):
+        net = bounded_cycle()
+        [t] = net.enabled(net.initial)
+        assert t.name == "go"
+        after = net.fire(net.initial, t)
+        assert net.tokens(after, "q") == 1
+
+    def test_fire_disabled_rejected(self):
+        net = bounded_cycle()
+        go, back = net.transitions
+        with pytest.raises(PetriError):
+            net.fire(net.initial, back)
+
+    def test_unknown_place_rejected(self):
+        with pytest.raises(PetriError):
+            PetriNet(places=["p"], transitions=[], initial={"ghost": 1})
+
+    def test_duplicate_places_rejected(self):
+        with pytest.raises(PetriError):
+            PetriNet(places=["p", "p"], transitions=[], initial={})
+
+    def test_reachable_markings_bounded(self):
+        assert len(bounded_cycle().reachable_markings()) == 2
+
+    def test_reachable_markings_budget(self):
+        assert simple_producer().reachable_markings(max_markings=20) is None
+
+    def test_to_lts(self):
+        lts = bounded_cycle().to_lts()
+        assert len(lts.states) == 2
+        assert lts.num_transitions == 2
+
+    def test_traces(self):
+        traces = bounded_cycle().traces(3)
+        assert ("go", "back", "go") in traces
+        assert ("back",) not in traces
+
+
+class TestKarpMiller:
+    def test_bounded_net(self):
+        assert is_bounded(bounded_cycle())
+        assert unbounded_places(bounded_cycle()) == []
+
+    def test_unbounded_net(self):
+        assert not is_bounded(simple_producer())
+        assert unbounded_places(simple_producer()) == ["buffer"]
+
+    def test_tree_has_omega_for_producer(self):
+        tree = coverability_tree(simple_producer())
+        found = False
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            if OMEGA in node.marking:
+                found = True
+            stack.extend(node.children)
+        assert found
+
+    def test_coverable(self):
+        net = simple_producer()
+        assert coverable(net, net.marking(buffer=5))
+        assert not coverable(net, net.marking(producer=2))
+
+    def test_coverable_bounded(self):
+        net = bounded_cycle()
+        assert coverable(net, net.marking(q=1))
+        assert not coverable(net, net.marking(p=1, q=1))
+
+
+class TestBackwardCoverability:
+    @pytest.mark.parametrize("factory", [simple_producer, bounded_cycle])
+    def test_agrees_with_karp_miller(self, factory):
+        net = factory()
+        targets = [
+            net.marking(**{net.places[0]: 1}),
+            net.marking(**{net.places[0]: 2}),
+            net.marking(**{net.places[1]: 3}),
+            net.marking(**{net.places[0]: 1, net.places[1]: 1}),
+        ]
+        for target in targets:
+            assert backward_coverable(net, [target]) == coverable(net, target)
+
+    def test_anbncn_coverability(self):
+        net = anbncn_net()
+        assert backward_coverable(net, [net.marking(count_ab=3)])
+        assert not backward_coverable(net, [net.marking(phase_a=1, phase_b=1)])
+
+
+class TestComparisonMaterial:
+    def test_anbncn_language(self):
+        words = anbncn_completed_words(anbncn_net(), max_length=9)
+        expected = {
+            tuple("a" * n + "b" * n + "c" * n) for n in range(4)
+        }
+        assert words == expected
+
+    def test_nested_anbn_language(self):
+        words = scheme_terminated_words(nested_anbn_scheme(), max_length=8)
+        assert words == {
+            tuple("a" * n + "b" * n) for n in range(1, 5)
+        }
+
+    def test_counting_abstraction_simulates(self):
+        # every scheme transition maps to an enabled net transition on the
+        # corresponding marking
+        from repro.core.semantics import AbstractSemantics
+
+        scheme = fig2_scheme()
+        net = token_counting_abstraction(scheme)
+        semantics = AbstractSemantics(scheme)
+        state = sigma1()
+        marking = marking_of(scheme, net, state)
+        for transition in semantics.successors(state):
+            target_marking = marking_of(scheme, net, transition.target)
+            assert any(
+                net.fire(marking, t) == target_marking
+                for t in net.enabled(marking)
+            ), transition
+
+    def test_counting_abstraction_overapproximates_wait(self):
+        # the net lets a blocked wait fire; the scheme does not
+        from repro.core.semantics import AbstractSemantics
+        from repro.core.hstate import HState
+
+        scheme = fig2_scheme()
+        net = token_counting_abstraction(scheme)
+        blocked = HState.parse("q4,{q7}")  # wait with a live child
+        semantics = AbstractSemantics(scheme)
+        scheme_moves = {t.node for t in semantics.successors(blocked)}
+        assert "q4" not in scheme_moves
+        marking = marking_of(scheme, net, blocked)
+        net_moves = {t.name for t in net.enabled(marking)}
+        assert "q4:wait" in net_moves
+
+    def test_abstraction_of_spawner_is_unbounded_net(self):
+        net = token_counting_abstraction(spawner_loop())
+        assert not is_bounded(net)
+
+
+class TestBPPEmbedding:
+    """Communication-free nets (BPP) embed into RP schemes."""
+
+    def test_is_communication_free(self):
+        from repro.petri.bpp import is_communication_free
+
+        assert is_communication_free(simple_producer())
+        assert is_communication_free(bounded_cycle())
+        assert not is_communication_free(anbncn_net())
+
+    def test_synchronising_net_rejected(self):
+        from repro.petri.bpp import bpp_net_to_scheme
+
+        with pytest.raises(PetriError):
+            bpp_net_to_scheme(anbncn_net())
+
+    def test_cycle_net_traces_match(self):
+        from repro.petri.bpp import traces_match
+
+        assert traces_match(bounded_cycle(), max_length=5)
+
+    def test_producer_net_traces_match(self):
+        from repro.petri.bpp import traces_match
+
+        assert traces_match(simple_producer(), max_length=4)
+
+    def test_forking_net_traces_match(self):
+        from repro.petri.bpp import traces_match
+
+        net = PetriNet(
+            places=["root", "left", "right"],
+            transitions=[
+                {"name": "split", "pre": {"root": 1},
+                 "post": {"left": 1, "right": 1}},
+                {"name": "lwork", "pre": {"left": 1}, "post": {}},
+                {"name": "rwork", "pre": {"right": 1}, "post": {"right": 1}},
+            ],
+            initial={"root": 1},
+        )
+        assert traces_match(net, max_length=4)
+
+    def test_empty_marking(self):
+        from repro.petri.bpp import bpp_net_to_scheme, scheme_bpp_traces
+
+        net = PetriNet(
+            places=["p"],
+            transitions=[{"name": "t", "pre": {"p": 1}, "post": {}}],
+            initial={},
+        )
+        scheme = bpp_net_to_scheme(net)
+        assert scheme_bpp_traces(scheme, 3) == frozenset({()})
+
+    def test_scheme_structure(self):
+        from repro.core.scheme import NodeKind
+        from repro.petri.bpp import bpp_net_to_scheme
+
+        scheme = bpp_net_to_scheme(bounded_cycle())
+        # one procedure per place, registered in the metadata
+        assert "proc_p" in scheme.procedures
+        assert "proc_q" in scheme.procedures
+        assert scheme.nodes_of_kind(NodeKind.WAIT) == ()

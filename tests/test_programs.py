@@ -1,0 +1,75 @@
+"""Acceptance tests: every catalogued program's recorded expectations are
+re-derived from scratch."""
+
+import pytest
+
+from repro.analysis import boundedness, halts
+from repro.errors import AnalysisBudgetExceeded
+from repro.interp import (
+    ProgramInterpretation,
+    first_scheduler,
+    random_scheduler,
+    run_program,
+)
+from repro.lang import compile_source
+from repro.lang.lint import lint
+from repro.programs import CATALOGUE, entry
+
+IDS = [e.name for e in CATALOGUE]
+
+
+@pytest.fixture(params=CATALOGUE, ids=IDS)
+def catalogued(request):
+    compiled = compile_source(request.param.source)
+    return request.param, compiled
+
+
+class TestCatalogue:
+    def test_compiles(self, catalogued):
+        spec, compiled = catalogued
+        assert len(compiled.scheme) > 0
+
+    def test_boundedness_expectation(self, catalogued):
+        spec, compiled = catalogued
+        if spec.bounded is None:
+            pytest.skip("no expectation recorded")
+        try:
+            verdict = boundedness(compiled.scheme, max_states=30_000)
+        except AnalysisBudgetExceeded:
+            pytest.fail(f"{spec.name}: boundedness inconclusive")
+        assert verdict.holds == spec.bounded, spec.name
+
+    def test_halting_expectation(self, catalogued):
+        spec, compiled = catalogued
+        if spec.halting is None:
+            pytest.skip("no expectation recorded")
+        verdict = halts(compiled.scheme, max_states=30_000)
+        assert verdict.holds == spec.halting, spec.name
+
+    def test_deterministic_memory(self, catalogued):
+        spec, compiled = catalogued
+        if spec.deterministic_memory is None:
+            pytest.skip("no deterministic outcome recorded")
+        for scheduler in (first_scheduler, random_scheduler(11)):
+            memory, _ = run_program(compiled, scheduler=scheduler)
+            for name, expected in spec.deterministic_memory.items():
+                assert memory[name] == expected, (spec.name, name)
+
+    def test_expected_lints(self, catalogued):
+        spec, compiled = catalogued
+        found = {w.code for w in lint(compiled.program, compiled.scheme)}
+        for code in spec.lint_codes:
+            assert code in found, (spec.name, code)
+
+
+class TestLookup:
+    def test_entry(self):
+        assert entry("fan_out_sum").bounded is True
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            entry("nope")
+
+    def test_names_unique(self):
+        names = [e.name for e in CATALOGUE]
+        assert len(names) == len(set(names))

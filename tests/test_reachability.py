@@ -1,0 +1,249 @@
+"""Tests for reachability, node reachability and coverability (Theorem 4)."""
+
+import pytest
+
+from repro.analysis.certificates import SaturationCertificate, WitnessPath
+from repro.analysis.coverability import (
+    arrangements,
+    backward_coverability,
+    predecessor_basis,
+)
+from repro.analysis.explore import Explorer
+from repro.analysis.reachability import node_reachable, state_reachable
+from repro.core.embedding import embeds
+from repro.core.hstate import EMPTY, HState
+from repro.core.semantics import AbstractSemantics
+from repro.errors import AnalysisBudgetExceeded
+from repro.zoo import (
+    bounded_spawner,
+    deep_recursion,
+    fig2_scheme,
+    racing_writers,
+    spawner_loop,
+    terminating_chain,
+    wait_blocked,
+)
+
+P = HState.parse
+
+
+class TestStateReachability:
+    def test_positive_with_witness(self):
+        verdict = state_reachable(terminating_chain(4), P("q3"))
+        assert verdict.holds
+        path = verdict.certificate
+        assert isinstance(path, WitnessPath)
+        assert path.final == P("q3")
+        # replay the witness against raw semantics
+        sem = AbstractSemantics(terminating_chain(4))
+        assert sem.run(path.transitions) == P("q3")
+
+    def test_empty_state_reachable(self):
+        verdict = state_reachable(bounded_spawner(2), EMPTY)
+        assert verdict.holds
+
+    def test_negative_by_saturation(self):
+        # two live children of main never coexist with main at mend
+        verdict = state_reachable(terminating_chain(3), P("q0,q0"))
+        assert not verdict.holds
+        assert isinstance(verdict.certificate, SaturationCertificate)
+        assert verdict.exact
+
+    def test_positive_on_unbounded_scheme(self):
+        # three live children in the spawner loop
+        target = P("m0,{c0,c0,c0}")
+        verdict = state_reachable(spawner_loop(), target)
+        assert verdict.holds
+        assert verdict.certificate.final == target
+
+    def test_budget_raises_on_unbounded_negative(self):
+        with pytest.raises(AnalysisBudgetExceeded):
+            state_reachable(spawner_loop(), P("zzz"), max_states=100)
+
+    def test_initial_state_trivially_reachable(self):
+        scheme = terminating_chain(2)
+        verdict = state_reachable(scheme, scheme.initial_state())
+        assert verdict.holds
+        assert len(verdict.certificate) == 0
+
+
+class TestNodeReachability:
+    def test_all_fig2_nodes_reachable(self):
+        scheme = fig2_scheme()
+        for node in scheme.node_ids:
+            verdict = node_reachable(scheme, node)
+            assert verdict.holds, node
+
+    def test_witnesses_contain_the_node(self):
+        scheme = fig2_scheme()
+        verdict = node_reachable(scheme, "q11")
+        assert verdict.certificate.final.contains_node("q11")
+
+    def test_unreachable_node(self):
+        from repro.core.builder import SchemeBuilder
+
+        b = SchemeBuilder()
+        b.action("q0", "a", "q1")
+        b.end("q1")
+        b.end("orphan")
+        verdict = node_reachable(b.build(root="q0"), "orphan")
+        assert not verdict.holds
+        assert verdict.exact
+
+    def test_unknown_node_rejected(self):
+        from repro.errors import SchemeError
+
+        with pytest.raises(SchemeError):
+            node_reachable(fig2_scheme(), "nope")
+
+    def test_unreachable_node_on_unbounded_scheme_via_backward(self):
+        # spawner_loop plus an orphan procedure: forward search cannot
+        # saturate, backward coverability proves unreachability exactly
+        from repro.core.builder import SchemeBuilder
+
+        b = SchemeBuilder()
+        b.test("m0", "b", then="m1", orelse="m2")
+        b.pcall("m1", invoked="c0", succ="m0")
+        b.end("m2")
+        b.action("c0", "work", "c1")
+        b.end("c1")
+        b.action("x0", "ghost", "x1")
+        b.end("x1")
+        scheme = b.build(root="m0")
+        verdict = node_reachable(scheme, "x0", max_states=500)
+        assert not verdict.holds
+        assert verdict.exact
+        assert verdict.method == "backward-coverability"
+
+
+class TestBackwardCoverability:
+    def test_wait_free_positive_is_exact(self):
+        scheme = spawner_loop()
+        # covering two simultaneous workers is possible
+        verdict = backward_coverability(scheme, [P("c0,c0")])
+        assert verdict.holds
+        assert verdict.exact
+
+    def test_wait_free_negative(self):
+        scheme = spawner_loop()
+        # a worker is never an ancestor of another worker
+        verdict = backward_coverability(scheme, [P("c0,{c0}")])
+        assert not verdict.holds
+        assert verdict.exact
+
+    def test_negative_with_wait_still_exact(self):
+        # a wait-bearing scheme with an orphan procedure: negative
+        # backward answers are exact on every scheme
+        from repro.core.builder import SchemeBuilder
+
+        b = SchemeBuilder()
+        b.pcall("m0", invoked="c0", succ="m1")
+        b.wait("m1", "m2")
+        b.end("m2")
+        b.action("c0", "spin", "c0")  # immortal child
+        b.end("x0")  # orphan node, never reachable
+        scheme = b.build(root="m0")
+        verdict = backward_coverability(scheme, [P("x0")])
+        assert not verdict.holds
+        assert verdict.exact
+
+    def test_positive_overapproximation_with_wait(self):
+        # m2 is actually unreachable (the child never dies), but backward
+        # coverability over-approximates on wait schemes and must say so
+        scheme = wait_blocked()
+        verdict = backward_coverability(scheme, [P("m2")])
+        assert verdict.holds
+        assert not verdict.exact
+
+    def test_positive_with_wait_flagged_inexact(self):
+        scheme = deep_recursion()
+        verdict = backward_coverability(scheme, [P("p1")])
+        assert verdict.holds
+        assert not verdict.exact  # over-approximation on wait schemes
+
+    def test_agrees_with_forward_on_bounded_schemes(self):
+        scheme = bounded_spawner(2)
+        graph = Explorer(scheme).explore()
+        assert graph.complete
+        for target in [P("c0,c0"), P("c0,c0,c0"), P("m1,{c0}"), P("c0,{c0}")]:
+            forward = any(embeds(target, s) for s in graph.states)
+            backward = backward_coverability(scheme, [target]).holds
+            # backward over-approximates on wait schemes, so a forward hit
+            # must imply a backward hit; on misses backward may still say
+            # yes only if inexact
+            if forward:
+                assert backward
+            elif backward:
+                assert not backward_coverability(scheme, [target]).exact
+
+    def test_agrees_exactly_on_wait_free_bounded(self):
+        from repro.core.builder import SchemeBuilder
+
+        b = SchemeBuilder()
+        b.pcall("m0", invoked="c0", succ="m1")
+        b.pcall("m1", invoked="c0", succ="m2")
+        b.end("m2")
+        b.action("c0", "w", "c1")
+        b.end("c1")
+        scheme = b.build(root="m0")
+        graph = Explorer(scheme).explore()
+        assert graph.complete
+        for target in [P("c0,c0"), P("c0,c0,c0"), P("c0,{c0}"), P("m2,c1")]:
+            forward = any(embeds(target, s) for s in graph.states)
+            verdict = backward_coverability(scheme, [target])
+            assert verdict.holds == forward, target.to_notation()
+            assert verdict.exact
+
+
+class TestPredecessorBasis:
+    """Soundness: every basis element is a genuine one-step predecessor."""
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: terminating_chain(4), fig2_scheme, racing_writers]
+    )
+    def test_preds_really_reach_up(self, factory):
+        scheme = factory()
+        sem = AbstractSemantics(scheme)
+        targets = [P("q1") if "q1" in scheme else HState.leaf(scheme.root)]
+        for target in targets:
+            for pred in predecessor_basis(scheme, target):
+                # some successor of pred covers target
+                assert any(
+                    embeds(target, t.target) for t in sem.successors(pred)
+                ), (pred.to_notation(), target.to_notation())
+
+    def test_preds_of_leaf_target(self):
+        scheme = spawner_loop()
+        sem = AbstractSemantics(scheme)
+        target = P("c0")
+        for pred in predecessor_basis(scheme, target):
+            assert any(embeds(target, t.target) for t in sem.successors(pred))
+
+
+class TestArrangements:
+    def test_two_nodes(self):
+        forests = arrangements(["a", "b"])
+        notations = {f.to_notation() for f in forests}
+        assert notations == {"a,b", "a,{b}", "b,{a}"}
+
+    def test_duplicate_nodes(self):
+        forests = arrangements(["a", "a"])
+        notations = {f.to_notation() for f in forests}
+        assert notations == {"a,a", "a,{a}"}
+
+    def test_three_nodes_count(self):
+        # labelled unordered forests on 3 distinct nodes: 16 shapes
+        assert len(arrangements(["a", "b", "c"])) == 16
+
+    def test_cover_characterisation(self):
+        # σ contains all of {a, b} iff it dominates some arrangement
+        samples = [P("a,b,c"), P("x,{a,b}"), P("a,{x,{b}}"), P("a,a"), P("b")]
+        for state in samples:
+            direct = state.contains_all_nodes(["a", "b"])
+            via_arrangements = any(
+                embeds(low, state) for low in arrangements(["a", "b"])
+            )
+            assert direct == via_arrangements, state.to_notation()
+
+    def test_single_node(self):
+        assert arrangements(["a"]) == [P("a")]

@@ -1,0 +1,174 @@
+"""Tests for RP scheme construction and validation."""
+
+import pytest
+
+from repro.core.alphabet import TAU, Alphabet
+from repro.core.builder import SchemeBuilder
+from repro.core.scheme import Node, NodeKind, RPScheme
+from repro.errors import SchemeError
+from repro.zoo import fig2_scheme
+
+
+class TestAlphabet:
+    def test_basic(self):
+        a = Alphabet(["a1", "a2"])
+        assert "a1" in a
+        assert len(a) == 2
+        assert TAU in a.with_tau()
+
+    def test_tau_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet([TAU])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet([""])
+
+    def test_union_and_equality(self):
+        assert Alphabet(["a"]) | Alphabet(["b"]) == Alphabet(["a", "b"])
+        assert hash(Alphabet(["a", "b"])) == hash(Alphabet(["b", "a"]))
+
+    def test_iteration_sorted(self):
+        assert list(Alphabet(["b", "a"])) == ["a", "b"]
+
+
+class TestValidation:
+    def test_unknown_root(self):
+        with pytest.raises(SchemeError):
+            RPScheme([Node("q0", NodeKind.END)], root="qX")
+
+    def test_duplicate_ids(self):
+        with pytest.raises(SchemeError):
+            RPScheme([Node("q0", NodeKind.END), Node("q0", NodeKind.END)], root="q0")
+
+    def test_unknown_successor(self):
+        with pytest.raises(SchemeError):
+            RPScheme(
+                [Node("q0", NodeKind.ACTION, label="a", successors=("qX",))],
+                root="q0",
+            )
+
+    def test_action_needs_label(self):
+        with pytest.raises(SchemeError):
+            RPScheme(
+                [Node("q0", NodeKind.ACTION, successors=("q1",)), Node("q1", NodeKind.END)],
+                root="q0",
+            )
+
+    def test_test_needs_two_successors(self):
+        with pytest.raises(SchemeError):
+            RPScheme(
+                [Node("q0", NodeKind.TEST, label="b", successors=("q1",)),
+                 Node("q1", NodeKind.END)],
+                root="q0",
+            )
+
+    def test_pcall_needs_invoked(self):
+        with pytest.raises(SchemeError):
+            RPScheme(
+                [Node("q0", NodeKind.PCALL, successors=("q1",)), Node("q1", NodeKind.END)],
+                root="q0",
+            )
+
+    def test_end_cannot_have_successors(self):
+        with pytest.raises(SchemeError):
+            RPScheme(
+                [Node("q0", NodeKind.END, successors=("q0",))],
+                root="q0",
+            )
+
+    def test_wait_cannot_carry_label(self):
+        with pytest.raises(SchemeError):
+            RPScheme(
+                [Node("q0", NodeKind.WAIT, label="x", successors=("q1",)),
+                 Node("q1", NodeKind.END)],
+                root="q0",
+            )
+
+    def test_unknown_procedure_entry(self):
+        with pytest.raises(SchemeError):
+            RPScheme([Node("q0", NodeKind.END)], root="q0", procedures={"p": "qZ"})
+
+
+class TestBuilder:
+    def test_duplicate_node_rejected(self):
+        b = SchemeBuilder()
+        b.end("q0")
+        with pytest.raises(SchemeError):
+            b.end("q0")
+
+    def test_duplicate_procedure_rejected(self):
+        b = SchemeBuilder()
+        b.end("q0")
+        b.procedure("p", "q0")
+        with pytest.raises(SchemeError):
+            b.procedure("p", "q0")
+
+    def test_fresh_ids_do_not_collide(self):
+        b = SchemeBuilder()
+        b.end("q0")
+        assert b.fresh_id() == "q1"
+        assert b.fresh_id() == "q2"
+
+    def test_contains(self):
+        b = SchemeBuilder()
+        b.end("q0")
+        assert "q0" in b
+        assert "q1" not in b
+
+
+class TestSchemeQueries:
+    def test_fig2_inventory(self):
+        scheme = fig2_scheme()
+        assert len(scheme) == 13
+        assert scheme.root == "q0"
+        kinds = {
+            NodeKind.ACTION: 5,
+            NodeKind.TEST: 2,
+            NodeKind.PCALL: 2,
+            NodeKind.WAIT: 2,
+            NodeKind.END: 2,
+        }
+        for kind, count in kinds.items():
+            assert len(scheme.nodes_of_kind(kind)) == count
+
+    def test_fig2_alphabet(self):
+        assert fig2_scheme().alphabet() == Alphabet(
+            ["a1", "a2", "a3", "a4", "a5", "b1", "b2"]
+        )
+
+    def test_transition_labels(self):
+        scheme = fig2_scheme()
+        assert scheme.transition_label("q0") == "a1"
+        assert scheme.transition_label("q1") == TAU  # pcall
+        assert scheme.transition_label("q4") == TAU  # wait
+        assert scheme.transition_label("q6") == TAU  # end
+
+    def test_initial_state(self):
+        assert fig2_scheme().initial_state().to_notation() == "q0"
+
+    def test_graph_reachability_complete_for_fig2(self):
+        scheme = fig2_scheme()
+        assert scheme.unreachable_in_graph() == frozenset()
+
+    def test_unreachable_node_detected(self):
+        b = SchemeBuilder()
+        b.end("q0")
+        b.end("orphan")
+        scheme = b.build(root="q0")
+        assert scheme.unreachable_in_graph() == frozenset({"orphan"})
+
+    def test_is_wait_free(self):
+        assert not fig2_scheme().is_wait_free
+        b = SchemeBuilder()
+        b.action("q0", "a", "q1")
+        b.end("q1")
+        assert b.build(root="q0").is_wait_free
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(SchemeError):
+            fig2_scheme().node("qZZ")
+
+    def test_procedures_metadata(self):
+        scheme = fig2_scheme()
+        assert scheme.procedures == {"main": "q0", "subr1": "q7"}

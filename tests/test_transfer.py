@@ -1,0 +1,176 @@
+"""Propositions 13–17: correctness and completeness transfers between
+M_G and M_I_G, with the steering constructions machine-checked."""
+
+import pytest
+
+from repro.analysis import (
+    boundedness,
+    halts,
+    mutually_exclusive,
+    node_reachable,
+    persistent,
+)
+from repro.analysis.explore import Explorer
+from repro.core.semantics import AbstractSemantics
+from repro.errors import ExecutionError, InterpretationError
+from repro.interp import (
+    InterpretedExplorer,
+    StepCounter,
+    TrivialInterpretation,
+    mimic_pump_forever,
+    mimic_run,
+    pump_steering_interpretation,
+    steering_interpretation,
+)
+from repro.zoo import (
+    bounded_spawner,
+    deep_recursion,
+    fig2_scheme,
+    racing_writers,
+    spawner_loop,
+    terminating_chain,
+)
+
+
+class TestStepCounter:
+    def test_saturating(self):
+        counter = StepCounter(0, prefix=2)
+        assert counter.tick().value == 1
+        assert counter.tick().tick().value == 2
+        assert counter.tick().tick().tick().value == 2  # saturated
+
+    def test_cyclic(self):
+        counter = StepCounter(0, prefix=1, period=2)
+        values = []
+        for _ in range(6):
+            values.append(counter.value)
+            counter = counter.tick()
+        assert values == [0, 1, 2, 1, 2, 1]
+
+
+class TestMimicry:
+    """The core of every completeness proof: finite I realising a run."""
+
+    def test_mimic_node_reachability_witness(self):
+        # Prop 13 completeness: q reachable in M_G ⟹ finite I reaching q
+        scheme = fig2_scheme()
+        for node in ("q5", "q11", "q9"):
+            witness = node_reachable(scheme, node).certificate
+            interp = steering_interpretation(witness.transitions)
+            assert interp.is_finite()
+            run = mimic_run(scheme, witness.transitions, interp)
+            assert run[-1].target.forget().contains_node(node)
+
+    def test_mimic_mutual_exclusion_witness(self):
+        # Prop 15 completeness: co-occurrence realised by a finite I
+        scheme = racing_writers()
+        witness = mutually_exclusive(scheme, "m1", "c0").certificate
+        run = mimic_run(scheme, witness.transitions)
+        assert run[-1].target.forget().contains_all_nodes(["m1", "c0"])
+
+    def test_mimic_termination_witness(self):
+        # Prop 17 completeness: a non-halting M_G run steered into M_I
+        scheme = terminating_chain(3)
+        graph = Explorer(scheme).explore()
+        path = graph.path_to(graph.find(lambda s: s.is_empty()))
+        run = mimic_run(scheme, path)
+        assert run[-1].target.is_terminated()
+
+    def test_mimicked_run_projects_exactly(self):
+        scheme = fig2_scheme()
+        witness = node_reachable(scheme, "q12").certificate
+        run = mimic_run(scheme, witness.transitions)
+        for abstract, concrete in zip(witness.transitions, run):
+            assert concrete.label == abstract.label
+            assert concrete.target.forget() == abstract.target
+
+    def test_mimic_rejects_foreign_run(self):
+        scheme = fig2_scheme()
+        other = terminating_chain(2)
+        witness = node_reachable(other, "q2").certificate
+        with pytest.raises(ExecutionError):
+            mimic_run(scheme, witness.transitions)
+
+
+class TestPumpTransfer:
+    """Prop 16 completeness: M_G unbounded ⟹ finite I with M_I unbounded."""
+
+    @pytest.mark.parametrize("factory", [spawner_loop, deep_recursion, fig2_scheme])
+    def test_pump_steering_grows_forever(self, factory):
+        scheme = factory()
+        cert = boundedness(scheme, max_states=20_000).certificate
+        sizes = []
+        for rounds in (1, 3, 5):
+            final = mimic_pump_forever(
+                scheme, cert.prefix, cert.pump, iterations=rounds
+            )
+            sizes.append(final.state.size)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_pump_interpretation_is_finite(self):
+        scheme = spawner_loop()
+        cert = boundedness(scheme).certificate
+        interp = pump_steering_interpretation(cert.prefix, cert.pump)
+        assert interp.is_finite()
+
+    def test_empty_pump_rejected(self):
+        with pytest.raises(InterpretationError):
+            pump_steering_interpretation([], [])
+
+
+class TestCorrectnessDirection:
+    """The correctness halves: abstract verdicts constrain every M_I."""
+
+    def test_unreachable_node_unreachable_in_interpretations(self):
+        # Prop 13 correctness on a bounded scheme with an orphan node
+        from repro.core.builder import SchemeBuilder
+
+        b = SchemeBuilder()
+        b.test("q0", "b", then="q1", orelse="q1")
+        b.end("q1")
+        b.end("orphan")
+        scheme = b.build(root="q0")
+        assert not node_reachable(scheme, "orphan").holds
+        for branches in ({"b": True}, {"b": False}):
+            lts = InterpretedExplorer(
+                scheme, TrivialInterpretation(branches=branches)
+            ).explore_or_raise()
+            assert all(not g.forget().contains_node("orphan") for g in lts.states)
+
+    def test_exclusion_holds_in_interpretations(self):
+        # Prop 15 correctness: M_G-exclusive nodes exclusive in every M_I
+        from repro.zoo import mutex_pair
+
+        scheme = mutex_pair()
+        assert mutually_exclusive(scheme, "m0", "c0").holds
+        lts = InterpretedExplorer(scheme, TrivialInterpretation()).explore_or_raise()
+        assert all(
+            not g.forget().contains_all_nodes(["m0", "c0"]) for g in lts.states
+        )
+
+    def test_boundedness_transfers_with_finite_memories(self):
+        # Prop 16 correctness: bounded M_G + finite I ⟹ bounded M_I
+        scheme = bounded_spawner(2)
+        assert boundedness(scheme).holds
+        lts = InterpretedExplorer(scheme, TrivialInterpretation()).explore_or_raise()
+        assert len(lts.states) < 10_000  # saturated, hence finite
+
+    def test_halting_transfers(self):
+        # Prop 17 correctness: M_G halts ⟹ M_I halts (checked: no cycle)
+        from repro.lts import lts_terminates
+
+        scheme = bounded_spawner(2)
+        assert halts(scheme).holds
+        lts = InterpretedExplorer(scheme, TrivialInterpretation()).explore_or_raise()
+        assert lts_terminates(lts)
+
+    def test_persistence_transfers(self):
+        # Prop 14 correctness: persistent in M_G ⟹ persistent in M_I
+        from repro.zoo import wait_blocked
+
+        scheme = wait_blocked()
+        assert persistent(scheme, ["m0", "m1"]).holds
+        lts = InterpretedExplorer(scheme, TrivialInterpretation()).explore_or_raise()
+        assert all(
+            g.forget().contains_any_node(["m0", "m1"]) for g in lts.states
+        )

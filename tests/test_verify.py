@@ -1,0 +1,135 @@
+"""Tests for the layered verification methodology and weak bisimilarity."""
+
+import pytest
+
+from repro.core.alphabet import TAU
+from repro.errors import AnalysisBudgetExceeded
+from repro.interp import ProgramInterpretation, TrivialInterpretation, verify_safety
+from repro.lang import compile_source
+from repro.lts import LTS, never_follows, never_occurs, weakly_bisimilar
+from repro.zoo import spawner_loop
+
+
+class TestWeakBisimilarity:
+    def _chain(self, *labels):
+        lts = LTS(initial=0)
+        for i, label in enumerate(labels):
+            lts.add_transition(i, label, i + 1)
+        return lts
+
+    def test_tau_insensitive(self):
+        assert weakly_bisimilar(self._chain("a", "b"), self._chain("a", TAU, "b"))
+
+    def test_distinguishes_languages(self):
+        assert not weakly_bisimilar(self._chain("a"), self._chain("b"))
+
+    def test_finer_than_trace_equivalence(self):
+        # a(b+c) vs ab+ac: weak-trace equal but not weakly bisimilar
+        left = LTS(initial="s")
+        left.add_transition("s", "a", "m")
+        left.add_transition("m", "b", "x")
+        left.add_transition("m", "c", "y")
+        right = LTS(initial="t")
+        right.add_transition("t", "a", "m1")
+        right.add_transition("t", "a", "m2")
+        right.add_transition("m1", "b", "x2")
+        right.add_transition("m2", "c", "y2")
+        assert not weakly_bisimilar(left, right)
+
+    def test_tau_loop_vs_nothing(self):
+        # weak bisimilarity (non-divergence-sensitive) equates a τ-loop
+        # with a stuck state
+        loop = LTS(initial=0)
+        loop.add_transition(0, TAU, 0)
+        stuck = LTS(initial="z")
+        assert weakly_bisimilar(loop, stuck)
+
+
+class TestVerifySafety:
+    SAFE = """
+    global x := 0;
+    program main {
+        pcall w;
+        x := x + 1;
+        wait;
+        finish;
+        end;
+    }
+    procedure w { work; end; }
+    """
+
+    def test_abstract_layer_suffices(self):
+        compiled = compile_source(self.SAFE)
+        verdict = verify_safety(compiled.scheme, never_occurs("crash"))
+        assert verdict.holds
+        assert verdict.layer == "abstract"
+        assert verdict.exact
+
+    def test_abstract_violation_reported_without_interpretation(self):
+        compiled = compile_source(self.SAFE)
+        verdict = verify_safety(compiled.scheme, never_occurs("finish"))
+        assert not verdict.holds
+        assert verdict.counterexample[-1] == "finish"
+
+    def test_concrete_refutes_abstract_false_alarm(self):
+        # abstract tests are nondeterministic: the abstract model can fire
+        # `panic`, but the concrete interpretation never takes that branch
+        source = """
+        global armed := 0;
+        program main {
+            if armed > 0 then { panic; } else { ok; }
+            end;
+        }
+        """
+        compiled = compile_source(source)
+        prop = never_occurs("panic")
+        abstract_only = verify_safety(compiled.scheme, prop)
+        assert not abstract_only.holds  # the abstract model CAN panic
+        concrete = verify_safety(
+            compiled.scheme, prop, interpretation=ProgramInterpretation(compiled)
+        )
+        assert concrete.holds
+        assert concrete.layer == "concrete"
+        assert concrete.abstract_counterexample is not None
+
+    def test_concrete_violation_with_both_counterexamples(self):
+        source = """
+        global armed := 1;
+        program main {
+            if armed > 0 then { panic; } else { ok; }
+            end;
+        }
+        """
+        compiled = compile_source(source)
+        verdict = verify_safety(
+            compiled.scheme,
+            never_occurs("panic"),
+            interpretation=ProgramInterpretation(compiled),
+        )
+        assert not verdict.holds
+        assert verdict.layer == "concrete"
+        # the counterexample word includes the visible test label
+        assert verdict.counterexample == ["armed>0", "panic"]
+
+    def test_violation_found_in_unbounded_abstract_fragment(self):
+        # the spawner is unbounded, but a finite fragment already exhibits
+        # the violating prefix — safety violations are finite evidence
+        scheme = spawner_loop()
+        verdict = verify_safety(scheme, never_follows("b", "work"), max_states=800)
+        assert not verdict.holds
+
+    def test_budget_raises_when_inconclusive(self):
+        scheme = spawner_loop()
+        with pytest.raises(AnalysisBudgetExceeded):
+            verify_safety(scheme, never_occurs("crash"), max_states=200)
+
+    def test_concrete_fallback_on_unbounded_abstract(self):
+        # abstract unbounded; the trivial interpretation with the spawn
+        # branch disabled is tiny and saturates
+        scheme = spawner_loop()
+        interp = TrivialInterpretation(branches={"b": False})
+        verdict = verify_safety(
+            scheme, never_occurs("work"), interpretation=interp, max_states=800
+        )
+        assert verdict.holds
+        assert verdict.layer == "concrete"

@@ -1,0 +1,67 @@
+"""The zoo's own metadata is honest: every family behaves as documented."""
+
+import pytest
+
+from repro.analysis import boundedness, halts, may_terminate
+from repro.core.semantics import AbstractSemantics
+from repro.zoo import (
+    ZOO_ALL,
+    ZOO_BOUNDED,
+    ZOO_UNBOUNDED,
+    bounded_spawner,
+    call_ladder,
+    terminating_chain,
+)
+
+
+class TestZooMetadata:
+    @pytest.mark.parametrize("name,factory", ZOO_BOUNDED, ids=[n for n, _ in ZOO_BOUNDED])
+    def test_bounded_families_are_bounded(self, name, factory):
+        assert boundedness(factory()).holds
+
+    @pytest.mark.parametrize(
+        "name,factory", ZOO_UNBOUNDED, ids=[n for n, _ in ZOO_UNBOUNDED]
+    )
+    def test_unbounded_families_are_unbounded(self, name, factory):
+        assert not boundedness(factory(), max_states=20_000).holds
+
+    @pytest.mark.parametrize("name,factory", ZOO_ALL, ids=[n for n, _ in ZOO_ALL])
+    def test_every_zoo_scheme_validates_and_moves(self, name, factory):
+        scheme = factory()
+        semantics = AbstractSemantics(scheme)
+        assert semantics.successors(semantics.initial_state)
+
+
+class TestParametricFamilies:
+    @pytest.mark.parametrize("length", [0, 1, 7])
+    def test_chain_sizes(self, length):
+        scheme = terminating_chain(length)
+        assert len(scheme) == length + 1
+
+    @pytest.mark.parametrize("children", [1, 4])
+    def test_bounded_spawner_halts(self, children):
+        assert halts(bounded_spawner(children)).holds
+
+    def test_ladder_depth_zero(self):
+        scheme = call_ladder(0)
+        assert halts(scheme).holds
+        assert may_terminate(scheme).holds
+
+    def test_docstring_claims_spawner(self):
+        # "every individual run can still terminate" (spawner_loop)
+        from repro.zoo import spawner_loop
+
+        assert may_terminate(spawner_loop()).holds
+
+    def test_docstring_claims_deep(self):
+        # deep_recursion: "all runs terminate only if the recursion stops"
+        from repro.zoo import deep_recursion
+
+        assert may_terminate(deep_recursion()).holds
+        assert not halts(deep_recursion(), max_states=20_000).holds
+
+    def test_fig5_states_are_wellformed(self):
+        from repro.zoo import fig5_states
+
+        states = fig5_states()
+        assert [s.size for s in states] == [5, 6, 7, 6]
