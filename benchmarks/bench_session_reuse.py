@@ -1,0 +1,124 @@
+"""Cold-vs-warm micro-benchmark for the shared AnalysisSession engine.
+
+Measures the standard query mix — node-reachability sweep, boundedness,
+halting — twice per zoo scheme:
+
+* **cold**: every query on its own throwaway session (the historical
+  one-exploration-per-call behaviour);
+* **warm**: all queries sharing one :class:`AnalysisSession` (one
+  exploration, then scans/cache hits).
+
+Run as a script (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_session_reuse.py
+
+Writes ``BENCH_session_reuse.json`` next to the repository root with the
+per-scheme timings, the speedup, and the warm session's
+``AnalysisStats`` snapshot.  The PR acceptance bar is warm ≥ 2× cold on
+the aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.analysis import AnalysisSession, boundedness, halts, node_reachable
+from repro.errors import AnalysisBudgetExceeded
+from repro.zoo import ZOO_ALL
+
+#: Budget keeping unbounded schemes cheap while leaving real exploration
+#: work to amortise.
+MAX_STATES = 4_000
+REPEATS = 3
+
+
+def _query_mix(scheme, session):
+    """The query battery; swallows budget misses (they still cost time)."""
+    for procedure in (boundedness, halts):
+        try:
+            procedure(scheme, max_states=MAX_STATES, session=session)
+        except AnalysisBudgetExceeded:
+            pass
+    for node in scheme.node_ids:
+        try:
+            node_reachable(scheme, node, max_states=MAX_STATES, session=session)
+        except AnalysisBudgetExceeded:
+            pass
+
+
+def _time_cold(scheme) -> float:
+    start = time.perf_counter()
+    for procedure in (boundedness, halts):
+        try:
+            procedure(scheme, max_states=MAX_STATES)
+        except AnalysisBudgetExceeded:
+            pass
+    for node in scheme.node_ids:
+        try:
+            node_reachable(scheme, node, max_states=MAX_STATES)
+        except AnalysisBudgetExceeded:
+            pass
+    return time.perf_counter() - start
+
+
+def _time_warm(scheme):
+    session = AnalysisSession(scheme)
+    start = time.perf_counter()
+    _query_mix(scheme, session)
+    return time.perf_counter() - start, session
+
+
+def run() -> dict:
+    results = []
+    total_cold = total_warm = 0.0
+    for name, factory in ZOO_ALL:
+        scheme = factory()
+        cold = min(_time_cold(scheme) for _ in range(REPEATS))
+        warm_best = None
+        warm_session = None
+        for _ in range(REPEATS):
+            elapsed, session = _time_warm(scheme)
+            if warm_best is None or elapsed < warm_best:
+                warm_best, warm_session = elapsed, session
+        total_cold += cold
+        total_warm += warm_best
+        results.append(
+            {
+                "scheme": name,
+                "queries": 2 + len(scheme.node_ids),
+                "cold_seconds": cold,
+                "warm_seconds": warm_best,
+                "speedup": cold / warm_best if warm_best else float("inf"),
+                "warm_stats": warm_session.stats.as_dict(),
+            }
+        )
+    return {
+        "benchmark": "session_reuse",
+        "max_states": MAX_STATES,
+        "repeats": REPEATS,
+        "schemes": results,
+        "total_cold_seconds": total_cold,
+        "total_warm_seconds": total_warm,
+        "aggregate_speedup": total_cold / total_warm if total_warm else float("inf"),
+    }
+
+
+def main() -> None:
+    payload = run()
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_session_reuse.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    print(f"aggregate speedup: {payload['aggregate_speedup']:.2f}x "
+          f"(cold {payload['total_cold_seconds']:.3f}s, "
+          f"warm {payload['total_warm_seconds']:.3f}s)")
+    for entry in payload["schemes"]:
+        print(f"  {entry['scheme']:<10} {entry['speedup']:6.2f}x "
+              f"({entry['queries']} queries, "
+              f"{entry['warm_stats']['states_discovered']} states, "
+              f"{entry['warm_stats']['explorations']} exploration)")
+
+
+if __name__ == "__main__":
+    main()

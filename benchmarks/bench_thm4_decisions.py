@@ -88,5 +88,5 @@ class TestBoundedness:
         assert not verdict.holds
 
     def test_unbounded_fig2(self, benchmark, fig2):
-        verdict = benchmark(boundedness, fig2, None, 20_000)
+        verdict = benchmark(boundedness, fig2, max_states=20_000)
         assert not verdict.holds

@@ -31,7 +31,7 @@ def test_inevitability_with_gap_embedding(benchmark):
     scheme = diverging_loop()
     embedding = GapEmbedding([])
     verdict = benchmark(
-        inevitability, scheme, [HState.parse("d0")], None, embedding
+        inevitability, scheme, [HState.parse("d0")], embedding=embedding
     )
     assert verdict.holds
 

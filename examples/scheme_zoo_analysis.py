@@ -4,12 +4,23 @@ Prints a verdict table for all schemes in :mod:`repro.zoo` — boundedness,
 halting, persistence of the whole node set, size of the minimal-reachable
 basis — together with the kind of certificate backing each verdict.
 
+All four questions per scheme run on one shared
+:class:`~repro.analysis.AnalysisSession`, so each scheme's reachable
+fragment is explored a single time; the final column shows how many
+states that one exploration discovered.
+
 Run with::
 
     python examples/scheme_zoo_analysis.py
 """
 
-from repro.analysis import boundedness, halts, persistent, sup_reachability
+from repro.analysis import (
+    AnalysisSession,
+    boundedness,
+    halts,
+    persistent,
+    sup_reachability,
+)
 from repro.errors import AnalysisBudgetExceeded
 from repro.zoo import ZOO_ALL
 
@@ -26,27 +37,35 @@ def _call(procedure):
 
 
 def main() -> None:
-    header = f"{'scheme':<10} {'nodes':>5} {'wait':>5} {'bounded':>8} {'halts':>6} {'persist':>8} {'basis':>6}"
+    header = (
+        f"{'scheme':<10} {'nodes':>5} {'wait':>5} {'bounded':>8} {'halts':>6} "
+        f"{'persist':>8} {'basis':>6} {'states':>7}"
+    )
     print(header)
     print("-" * len(header))
     for name, factory in ZOO_ALL:
         scheme = factory()
-        bounded = _call(lambda: boundedness(scheme, max_states=20_000))
-        halting = _call(lambda: halts(scheme, max_states=20_000))
+        session = AnalysisSession(scheme)
+        bounded = _call(
+            lambda: boundedness(scheme, max_states=20_000, session=session)
+        )
+        halting = _call(lambda: halts(scheme, max_states=20_000, session=session))
         persist = _call(
-            lambda: persistent(scheme, list(scheme.node_ids))
+            lambda: persistent(scheme, list(scheme.node_ids), session=session)
         )
         try:
-            basis = len(sup_reachability(scheme).certificate.basis)
+            basis = len(sup_reachability(scheme, session=session).certificate.basis)
         except AnalysisBudgetExceeded:
             basis = "?"
         print(
             f"{name:<10} {len(scheme):>5} "
             f"{'no' if scheme.is_wait_free else 'yes':>5} "
-            f"{bounded:>8} {halting:>6} {persist:>8} {basis!s:>6}"
+            f"{bounded:>8} {halting:>6} {persist:>8} {basis!s:>6} "
+            f"{session.stats.states_discovered:>7}"
         )
     print("\n(* = replay-verified unboundedness on a wait-bearing scheme;")
-    print("   persist = some node is live in every reachable state)")
+    print("   persist = some node is live in every reachable state;")
+    print("   states  = discovered by the scheme's single shared exploration)")
 
 
 if __name__ == "__main__":

@@ -41,6 +41,7 @@ from .core import (
     scheme_to_dot,
     strictly_embeds,
 )
+from .analysis.session import AnalysisSession, AnalysisStats
 from .errors import (
     AnalysisBudgetExceeded,
     AnalysisError,
@@ -74,6 +75,8 @@ __all__ = [
     "hstate_to_dot",
     "scheme_to_dot",
     "strictly_embeds",
+    "AnalysisSession",
+    "AnalysisStats",
     "AnalysisBudgetExceeded",
     "AnalysisError",
     "ExecutionError",

@@ -13,6 +13,20 @@ Corollary 7 (Halting)     :func:`repro.analysis.halts`
 §5.2 (Persistence)        :func:`repro.analysis.persistent`
 §5.3 (Write conflicts)    :func:`repro.analysis.write_conflicts`
 ========================  ===============================================
+
+Every entry point takes the scheme (plus its problem-specific inputs)
+followed by keyword-only ``initial=``, ``max_states=`` and ``session=``.
+Passing one :class:`AnalysisSession` to several queries shares a single
+exploration of ``M_G`` (plus successor caching, hash-consing and
+memoized verdicts) between them::
+
+    session = AnalysisSession(scheme)
+    node_reachable(scheme, "q5", session=session)   # explores
+    boundedness(scheme, session=session)            # reuses the graph
+    session.stats.explorations                      # == 1
+
+Without a session, each call creates a throwaway one — the historical
+one-exploration-per-call behaviour.
 """
 
 from .boundedness import boundedness
@@ -35,13 +49,24 @@ from .sup_reachability import (
     reaches_downward_closed,
     sup_reachability,
 )
+from .session import (
+    AnalysisSession,
+    AnalysisStats,
+    ProgressEvent,
+    resolve_session,
+)
 from .termination import halts, may_terminate
-from .summary import SchemeReport, analyze
+from .summary import DEFAULT_NORMEDNESS_MAX_STATES, SchemeReport, analyze
 from .ctl import CTLChecker, CTLResult, check_ctl
 from .normedness import normed, state_is_normed
 from .races import RaceReport, VariableRaces, race_report, variable_writers
 
 __all__ = [
+    "AnalysisSession",
+    "AnalysisStats",
+    "ProgressEvent",
+    "resolve_session",
+    "DEFAULT_NORMEDNESS_MAX_STATES",
     "SchemeReport",
     "analyze",
     "CTLChecker",

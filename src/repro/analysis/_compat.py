@@ -1,0 +1,52 @@
+"""Back-compatibility shims for the keyword-only analysis API.
+
+The analysis entry points were unified on a consistent keyword-only
+signature (``*, initial=..., max_states=..., session=...``).  Historic
+call sites passed those arguments positionally; :func:`legacy_positionals`
+keeps every such call working while emitting a :class:`DeprecationWarning`
+pointing at the keyword spelling.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence, Tuple
+
+
+def legacy_positionals(
+    func_name: str,
+    legacy: Tuple,
+    names: Sequence[str],
+    values: Tuple,
+) -> Tuple:
+    """Merge deprecated positional arguments into their keyword slots.
+
+    *legacy* holds the extra positional arguments a caller supplied,
+    *names* the keyword slots they historically mapped to (in order), and
+    *values* the current keyword values (``None`` meaning "not given").
+    Returns *values* with the positionals merged in.  Raises
+    :class:`TypeError` on surplus positionals or a positional/keyword
+    conflict, mirroring normal Python calling conventions.
+    """
+    if not legacy:
+        return values
+    if len(legacy) > len(names):
+        raise TypeError(
+            f"{func_name}() takes at most {len(names)} deprecated positional "
+            f"argument(s) ({', '.join(names)}); got {len(legacy)}"
+        )
+    warnings.warn(
+        f"{func_name}(): passing {', '.join(names[: len(legacy)])} positionally "
+        f"is deprecated; use keyword arguments",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    merged = list(values)
+    for index, value in enumerate(legacy):
+        if merged[index] is not None and value is not None:
+            raise TypeError(
+                f"{func_name}() got multiple values for argument {names[index]!r}"
+            )
+        if value is not None:
+            merged[index] = value
+    return tuple(merged)

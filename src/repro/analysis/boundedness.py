@@ -32,7 +32,6 @@ guessing.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import List, Optional, Tuple
 
 from ..core.embedding import strictly_embeds
@@ -40,63 +39,109 @@ from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
 from ..errors import AnalysisBudgetExceeded
+from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, PumpCertificate, SaturationCertificate
 from .explore import DEFAULT_MAX_STATES
+from .session import AnalysisSession, resolve_session
 
 
 def boundedness(
     scheme: RPScheme,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
-    replays: int = 2,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
+    replays: Optional[int] = None,
 ) -> AnalysisVerdict:
     """Decide whether ``Reach(initial)`` is finite.
 
     Returns a verdict whose certificate is a
     :class:`~repro.analysis.certificates.SaturationCertificate` (bounded)
     or a :class:`~repro.analysis.certificates.PumpCertificate` (unbounded).
+
+    The BFS-with-self-covering-checks runs over the session's shared
+    graph: states already explored by earlier queries are scanned for
+    pumps without re-exploration, growth resumes from the saved frontier,
+    and conclusive verdicts are memoized on the session (a saturation or
+    pump proof is budget-independent).
     """
-    semantics = AbstractSemantics(scheme)
-    start = initial if initial is not None else semantics.initial_state
-    # BFS with parent pointers; ancestors along the BFS tree are checked
-    # for strict self-covering.
-    parent: dict = {start: None}
-    queue: deque = deque([start])
-    transitions_seen = 0
-    while queue:
-        state = queue.popleft()
-        for transition in semantics.successors(state):
-            transitions_seen += 1
-            target = transition.target
-            if target in parent:
-                continue
-            parent[target] = transition
-            pump = _covering_ancestor(parent, transition)
-            if pump is not None:
-                certificate = _certify_pump(scheme, semantics, parent, pump, replays)
-                if certificate is not None:
-                    return AnalysisVerdict(
-                        holds=False,
-                        method="self-covering",
-                        certificate=certificate,
-                        exact=certificate.proof,
-                        details={"explored": len(parent)},
-                    )
-            if len(parent) >= max_states:
-                raise AnalysisBudgetExceeded(
-                    f"boundedness: no saturation and no verifiable self-covering "
-                    f"within {max_states} states",
-                    explored=len(parent),
-                )
-            queue.append(target)
-    return AnalysisVerdict(
-        holds=True,
-        method="saturation",
-        certificate=SaturationCertificate(
-            states=len(parent), transitions=transitions_seen
-        ),
-        exact=True,
-        details={"explored": len(parent)},
+    initial, max_states, replays = legacy_positionals(
+        "boundedness",
+        legacy,
+        ("initial", "max_states", "replays"),
+        (initial, max_states, replays),
+    )
+    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    replays = 2 if replays is None else replays
+    sess = resolve_session(scheme, session, initial)
+    with sess.stats.timed("boundedness"):
+        return _session_boundedness(sess, budget, replays)
+
+
+def _session_boundedness(
+    sess: AnalysisSession, budget: int, replays: int
+) -> AnalysisVerdict:
+    cached = sess.memo.get(("boundedness", replays))
+    if cached is not None:
+        return cached
+    graph = sess.graph
+    semantics = sess.semantics
+    found: List[PumpCertificate] = []
+
+    def check(state: HState) -> bool:
+        """Self-covering check for a freshly discovered *state*."""
+        via = graph.parent[state]
+        if via is None:
+            return False
+        pump = _covering_ancestor(graph.parent, via)
+        if pump is None:
+            return False
+        certificate = _certify_pump(sess.scheme, semantics, graph.parent, pump, replays)
+        if certificate is None:
+            return False
+        found.append(certificate)
+        return True
+
+    # scan states discovered by earlier queries (BFS discovery order, so
+    # the first certified pump matches what a fresh search would return),
+    # resuming where the last inconclusive boundedness call left off
+    scan_key = ("boundedness-scanned", replays)
+    scanned = sess.memo.get(scan_key, 0)
+    for state in graph.states[scanned:]:
+        scanned += 1
+        if check(state):
+            break
+    else:
+        if not graph.complete:
+            graph = sess.explore(budget, stop_when=check)
+            scanned = len(graph.states)
+    if found:
+        verdict = AnalysisVerdict(
+            holds=False,
+            method="self-covering",
+            certificate=found[0],
+            exact=found[0].proof,
+            details={"explored": len(graph)},
+        )
+        sess.memo[("boundedness", replays)] = verdict
+        return verdict
+    if graph.complete:
+        verdict = AnalysisVerdict(
+            holds=True,
+            method="saturation",
+            certificate=SaturationCertificate(
+                states=len(graph), transitions=graph.num_transitions
+            ),
+            exact=True,
+            details={"explored": len(graph)},
+        )
+        sess.memo[("boundedness", replays)] = verdict
+        return verdict
+    sess.memo[scan_key] = scanned
+    raise AnalysisBudgetExceeded(
+        f"boundedness: no saturation and no verifiable self-covering "
+        f"within {budget} states",
+        explored=len(graph),
     )
 
 

@@ -58,6 +58,7 @@ from ..core.scheme import NodeKind, RPScheme
 from ..errors import AnalysisError
 from ..wqo.basis import UpwardClosedSet
 from ..wqo.kruskal import tree_embedding_order
+from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict
 
 #: Widths above this make sub-multiset enumeration explode; the guard turns
@@ -68,14 +69,36 @@ MAX_FOREST_WIDTH = 14
 def backward_coverability(
     scheme: RPScheme,
     targets: Sequence[HState],
+    *legacy,
     initial: Optional[HState] = None,
+    session=None,
 ) -> AnalysisVerdict:
     """Decide whether ``↑targets`` is coverable from *initial*.
 
     ``holds`` answers "coverable".  Negative verdicts are exact on every
     scheme; positive verdicts are exact on wait-free schemes only (see the
     module docstring).
+
+    The backward saturation itself runs over the wqo basis, not the state
+    graph, so a supplied ``session=`` contributes only its initial state
+    and query-timing instrumentation.
     """
+    (initial,) = legacy_positionals(
+        "backward_coverability", legacy, ("initial",), (initial,)
+    )
+    if session is not None:
+        if initial is None:
+            initial = session.initial
+        with session.stats.timed("backward-coverability"):
+            return _backward_coverability(scheme, targets, initial)
+    return _backward_coverability(scheme, targets, initial)
+
+
+def _backward_coverability(
+    scheme: RPScheme,
+    targets: Sequence[HState],
+    initial: Optional[HState],
+) -> AnalysisVerdict:
     start = initial if initial is not None else scheme.initial_state()
     order = tree_embedding_order()
     reached = UpwardClosedSet(order, targets)

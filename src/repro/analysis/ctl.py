@@ -32,7 +32,10 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Set
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
-from .explore import DEFAULT_MAX_STATES, Explorer, StateGraph
+from ._compat import legacy_positionals
+from .certificates import AnalysisVerdict
+from .explore import DEFAULT_MAX_STATES, StateGraph
+from .session import AnalysisSession, resolve_session
 
 # ----------------------------------------------------------------------
 # Formulae
@@ -183,16 +186,17 @@ def width_at_least(count: int) -> Atom:
 
 
 @dataclass(frozen=True)
-class CTLResult:
-    """Outcome of a check: initial-state verdict + full labelling."""
+class CTLResult(AnalysisVerdict):
+    """Outcome of a check: initial-state verdict + full labelling.
 
-    holds: bool
-    formula: Formula
-    satisfying: FrozenSet[HState]
-    states: int
+    An :class:`~repro.analysis.certificates.AnalysisVerdict` (so the CTL
+    entry point fits the uniform analysis API) extended with the formula,
+    the full satisfying-state labelling, and the model size.
+    """
 
-    def __bool__(self) -> bool:
-        return self.holds
+    formula: Optional[Formula] = None
+    satisfying: FrozenSet[HState] = frozenset()
+    states: int = 0
 
 
 class CTLChecker:
@@ -295,21 +299,35 @@ class CTLChecker:
 def check_ctl(
     scheme: RPScheme,
     formula: Formula,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> CTLResult:
     """Model-check *formula* on the reachable fragment of ``M_G``.
 
     Raises :class:`~repro.errors.AnalysisBudgetExceeded` when the scheme
-    does not saturate within the budget.
+    does not saturate within the budget.  With a ``session=``, the
+    saturated graph, its predecessor index, and every sub-formula
+    labelling are shared between checks (the checker caches by formula).
     """
-    graph = Explorer(scheme, max_states=max_states).explore_or_raise(
-        initial, what="CTL model checking"
+    initial, max_states = legacy_positionals(
+        "check_ctl", legacy, ("initial", "max_states"), (initial, max_states)
     )
-    checker = CTLChecker(graph)
-    satisfying = checker.satisfying(formula)
+    sess = resolve_session(scheme, session, initial)
+    with sess.stats.timed("check-ctl"):
+        graph = sess.explore_or_raise(max_states, what="CTL model checking")
+        checker = sess.memo.get("ctl-checker")
+        if checker is None:
+            # safe to cache for the session's life: the checker demands a
+            # saturated graph, and a saturated graph never grows again
+            checker = CTLChecker(graph)
+            sess.memo["ctl-checker"] = checker
+        satisfying = checker.satisfying(formula)
     return CTLResult(
         holds=graph.initial in satisfying,
+        method="ctl-labelling",
+        details={"explored": len(graph)},
         formula=formula,
         satisfying=satisfying,
         states=len(graph),

@@ -40,6 +40,7 @@ from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
 from ..errors import AnalysisBudgetExceeded
+from ._compat import legacy_positionals
 from .boundedness import _certify_pump, _covering_ancestor
 from .certificates import (
     AnalysisVerdict,
@@ -48,24 +49,52 @@ from .certificates import (
     WitnessPath,
 )
 from .explore import DEFAULT_MAX_STATES
+from .session import AnalysisSession, resolve_session
 
 
 def inevitability(
     scheme: RPScheme,
     basis: Sequence[HState],
+    *legacy,
     initial: Optional[HState] = None,
     embedding: Optional[GapEmbedding] = None,
-    max_states: int = DEFAULT_MAX_STATES,
-    replays: int = 2,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
+    replays: Optional[int] = None,
 ) -> AnalysisVerdict:
     """Decide whether all computations eventually leave ``↑basis``.
 
     *embedding* selects the ⋆-embedding variant; the default is the
     unrestricted embedding (``GapEmbedding(None)``).
+
+    The ``↑I``-restricted exploration cannot reuse the session's (whole)
+    state graph, but runs through the session's memoizing semantics, so
+    successor computations are shared with every other query.
     """
+    initial, embedding, max_states, replays = legacy_positionals(
+        "inevitability",
+        legacy,
+        ("initial", "embedding", "max_states", "replays"),
+        (initial, embedding, max_states, replays),
+    )
+    max_states = DEFAULT_MAX_STATES if max_states is None else max_states
+    replays = 2 if replays is None else replays
     ordering = embedding if embedding is not None else PLAIN_EMBEDDING
-    semantics = AbstractSemantics(scheme)
-    start = initial if initial is not None else semantics.initial_state
+    sess = resolve_session(scheme, session, initial)
+    with sess.stats.timed("inevitability"):
+        return _inevitability(sess, basis, ordering, max_states, replays)
+
+
+def _inevitability(
+    sess: AnalysisSession,
+    basis: Sequence[HState],
+    ordering: GapEmbedding,
+    max_states: int,
+    replays: int,
+) -> AnalysisVerdict:
+    scheme = sess.scheme
+    semantics = sess.semantics
+    start = sess.initial
 
     def inside(state: HState) -> bool:
         return ordering.dominates(state, basis)
@@ -144,8 +173,10 @@ def inevitability(
 
 def halting_via_inevitability(
     scheme: RPScheme,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Corollary 7: halting as inevitability of leaving "non-terminated".
 
@@ -155,8 +186,16 @@ def halting_via_inevitability(
     tests against the direct bounded-and-acyclic characterisation of
     :mod:`repro.analysis.termination`.
     """
+    initial, max_states = legacy_positionals(
+        "halting_via_inevitability",
+        legacy,
+        ("initial", "max_states"),
+        (initial, max_states),
+    )
     basis = [HState.leaf(node) for node in scheme.node_ids]
-    return inevitability(scheme, basis, initial=initial, max_states=max_states)
+    return inevitability(
+        scheme, basis, initial=initial, max_states=max_states, session=session
+    )
 
 
 # ----------------------------------------------------------------------

@@ -21,38 +21,49 @@ from typing import Optional, Sequence
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
+from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict
 from .coverability import arrangements
-from .explore import DEFAULT_MAX_STATES
 from .reachability import covers
+from .session import AnalysisSession, resolve_session
 
 
 def mutually_exclusive(
     scheme: RPScheme,
     first: str,
     second: str,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Decide whether nodes *first* and *second* can never co-occur.
 
     ``holds=True`` means the nodes are mutually exclusive.  When they are
     not, the certificate is a witness path to a state containing both.
     """
+    initial, max_states = legacy_positionals(
+        "mutually_exclusive", legacy, ("initial", "max_states"), (initial, max_states)
+    )
     return nodes_never_cooccur(
-        scheme, [first, second], initial=initial, max_states=max_states
+        scheme, [first, second], initial=initial, max_states=max_states, session=session
     )
 
 
 def nodes_never_cooccur(
     scheme: RPScheme,
     nodes: Sequence[str],
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Generalised exclusion: can the node multiset *nodes* never be
     simultaneously live?  (Two equal entries ask for two distinct
     invocations at the same node.)"""
+    initial, max_states = legacy_positionals(
+        "nodes_never_cooccur", legacy, ("initial", "max_states"), (initial, max_states)
+    )
     for node in nodes:
         scheme.node(node)  # validate early
     wanted = list(nodes)
@@ -62,6 +73,7 @@ def nodes_never_cooccur(
         predicate=lambda s: s.contains_all_nodes(wanted),
         initial=initial,
         max_states=max_states,
+        session=session,
         what=f"co-occurrence of {sorted(wanted)}",
     )
     return AnalysisVerdict(
@@ -76,20 +88,29 @@ def nodes_never_cooccur(
 def write_conflicts(
     scheme: RPScheme,
     writer_nodes: Sequence[str],
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> dict:
     """The §5.3 compiler check: which pairs of writer nodes may conflict?
 
     Returns a mapping from each unordered pair of distinct nodes in
     *writer_nodes* to its :func:`mutually_exclusive` verdict; pairs whose
     verdict does not hold are potential hardware write conflicts.
+
+    All pair queries share one session (the caller's, or a fresh one), so
+    the reachable fragment is explored once however many pairs there are.
     """
+    initial, max_states = legacy_positionals(
+        "write_conflicts", legacy, ("initial", "max_states"), (initial, max_states)
+    )
+    sess = resolve_session(scheme, session, initial)
     verdicts = {}
     distinct = sorted(set(writer_nodes))
     for i, a in enumerate(distinct):
         for b in distinct[i + 1 :]:
             verdicts[(a, b)] = mutually_exclusive(
-                scheme, a, b, initial=initial, max_states=max_states
+                scheme, a, b, max_states=max_states, session=sess
             )
     return verdicts

@@ -26,14 +26,18 @@ from typing import List, Optional, Set
 from ..core.hstate import EMPTY, HState
 from ..core.scheme import RPScheme
 from ..errors import AnalysisBudgetExceeded
+from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, SaturationCertificate, WitnessPath
-from .explore import DEFAULT_MAX_STATES, Explorer
+from .explore import DEFAULT_MAX_STATES
+from .session import AnalysisSession, resolve_session
 
 
 def state_is_normed(
     scheme: RPScheme,
     state: HState,
-    max_states: int = DEFAULT_MAX_STATES,
+    *legacy,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Can *state* reach ``∅``?
 
@@ -41,12 +45,20 @@ def state_is_normed(
     shrink towards ∅, so expanding the smallest frontier state first finds
     terminating runs in near-linear time where breadth-first search would
     drown); negative answers are exact when the search saturates.
+
+    The search order is not breadth-first, so it runs beside the session's
+    shared graph rather than on it — but it still goes through the
+    session's memoizing semantics, sharing the successor cache.
     """
     from heapq import heappop, heappush
 
     from ..core.semantics import AbstractSemantics
 
-    semantics = AbstractSemantics(scheme)
+    (max_states,) = legacy_positionals(
+        "state_is_normed", legacy, ("max_states",), (max_states,)
+    )
+    max_states = DEFAULT_MAX_STATES if max_states is None else max_states
+    semantics = session.semantics if session is not None else AbstractSemantics(scheme)
     seen = {state}
     counter = 0  # tie-breaker: heap entries must never compare HStates
     frontier = [(state.size, 0, state)]
@@ -84,9 +96,11 @@ def state_is_normed(
 
 def normed(
     scheme: RPScheme,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
-    max_witness_checks: int = 10,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
+    max_witness_checks: Optional[int] = None,
 ) -> AnalysisVerdict:
     """Is every reachable state normed?
 
@@ -97,8 +111,17 @@ def normed(
     :class:`~repro.errors.AnalysisBudgetExceeded` when neither a witness
     nor saturation materialises.
     """
-    explorer = Explorer(scheme, max_states=max_states)
-    graph = explorer.explore(initial)
+    initial, max_states, max_witness_checks = legacy_positionals(
+        "normed",
+        legacy,
+        ("initial", "max_states", "max_witness_checks"),
+        (initial, max_states, max_witness_checks),
+    )
+    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    max_witness_checks = 10 if max_witness_checks is None else max_witness_checks
+    sess = resolve_session(scheme, session, initial)
+    with sess.stats.timed("normed"):
+        graph = sess.explore(budget)
     if graph.complete:
         conormed = _co_reachable(graph)
         for state in graph.states:
@@ -127,7 +150,7 @@ def normed(
     )[:max_witness_checks]
     for state in candidates:
         try:
-            verdict = state_is_normed(scheme, state, max_states=max_states)
+            verdict = state_is_normed(scheme, state, max_states=budget, session=sess)
         except AnalysisBudgetExceeded:
             continue
         if not verdict.holds:
@@ -140,7 +163,7 @@ def normed(
             )
     raise AnalysisBudgetExceeded(
         f"normedness: no saturation and no non-normed witness within "
-        f"{max_states} states",
+        f"{budget} states",
         explored=len(graph),
     )
 

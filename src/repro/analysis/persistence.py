@@ -20,39 +20,52 @@ from typing import Optional, Sequence
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
+from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, BasisCertificate
+from .session import AnalysisSession, resolve_session
 from .sup_reachability import DEFAULT_MAX_KEPT, reaches_downward_closed, sup_reachability
 
 
 def persistent(
     scheme: RPScheme,
     nodes: Sequence[str],
+    *legacy,
     initial: Optional[HState] = None,
-    max_kept: int = DEFAULT_MAX_KEPT,
+    max_kept: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Decide whether the node set *nodes* is persistent from *initial*.
 
     ``holds=True``: every reachable state contains some node of *nodes*.
     Negative verdicts carry a reachable ``P``-free witness state.
+
+    Both phases (witness search and basis computation) run on one session,
+    so the domination-pruned search happens exactly once per call — or
+    once per *session* when the caller supplies one.
     """
+    initial, max_kept = legacy_positionals(
+        "persistent", legacy, ("initial", "max_kept"), (initial, max_kept)
+    )
     for node in nodes:
         scheme.node(node)  # validate early
     wanted = frozenset(nodes)
-    witness = reaches_downward_closed(
-        scheme,
-        predicate=lambda s: not s.contains_any_node(wanted),
-        initial=initial,
-        max_kept=max_kept,
-    )
-    if witness is not None:
-        return AnalysisVerdict(
-            holds=False,
-            method="sup-reachability-basis",
-            certificate=witness,
-            exact=True,
-            details={"free_state": witness.to_notation()},
+    sess = resolve_session(scheme, session, initial)
+    with sess.stats.timed("persistent"):
+        witness = reaches_downward_closed(
+            scheme,
+            predicate=lambda s: not s.contains_any_node(wanted),
+            max_kept=max_kept,
+            session=sess,
         )
-    basis = sup_reachability(scheme, initial=initial, max_kept=max_kept)
+        if witness is not None:
+            return AnalysisVerdict(
+                holds=False,
+                method="sup-reachability-basis",
+                certificate=witness,
+                exact=True,
+                details={"free_state": witness.to_notation()},
+            )
+        basis = sup_reachability(scheme, max_kept=max_kept, session=sess)
     return AnalysisVerdict(
         holds=True,
         method="sup-reachability-basis",
@@ -65,8 +78,10 @@ def persistent(
 def never_terminates_procedure(
     scheme: RPScheme,
     procedure: str,
+    *legacy,
     initial: Optional[HState] = None,
-    max_kept: int = DEFAULT_MAX_KEPT,
+    max_kept: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Is some invocation of *procedure* alive in every reachable state?
 
@@ -74,6 +89,9 @@ def never_terminates_procedure(
     (the graph region reachable from its entry without crossing other
     procedure entries) and checks persistence of that set.
     """
+    initial, max_kept = legacy_positionals(
+        "never_terminates_procedure", legacy, ("initial", "max_kept"), (initial, max_kept)
+    )
     entry = scheme.procedures.get(procedure)
     if entry is None:
         raise KeyError(f"unknown procedure {procedure!r}")
@@ -86,4 +104,6 @@ def never_terminates_procedure(
             if succ not in region and succ not in other_entries:
                 region.add(succ)
                 frontier.append(succ)
-    return persistent(scheme, sorted(region), initial=initial, max_kept=max_kept)
+    return persistent(
+        scheme, sorted(region), initial=initial, max_kept=max_kept, session=session
+    )

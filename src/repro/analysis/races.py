@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..lang.compiler import CompiledProgram
+from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict
-from .explore import DEFAULT_MAX_STATES
 from .mutex import nodes_never_cooccur
+from .session import AnalysisSession, resolve_session
 
 
 def variable_writers(compiled: CompiledProgram) -> Dict[str, List[str]]:
@@ -74,14 +75,24 @@ class RaceReport:
 def race_report(
     compiled: CompiledProgram,
     variables: Optional[Sequence[str]] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    *legacy,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> RaceReport:
     """Check all (or the given) global variables for write conflicts.
 
     A pair of writer nodes conflicts when they can occur simultaneously in
     a reachable hierarchical state; the self pair ``(n, n)`` asks for two
     distinct parallel invocations at the same node.
+
+    Every pair query runs on one shared session, so the program's
+    reachable fragment is explored once however many variables and writer
+    pairs the report covers.
     """
+    (max_states,) = legacy_positionals(
+        "race_report", legacy, ("max_states",), (max_states,)
+    )
+    sess = resolve_session(compiled.scheme, session, None)
     writers = variable_writers(compiled)
     wanted = list(variables) if variables is not None else sorted(writers)
     entries: List[VariableRaces] = []
@@ -92,7 +103,7 @@ def race_report(
             for b in nodes[i:]:
                 pair_nodes = [a, b] if a != b else [a, a]
                 verdict = nodes_never_cooccur(
-                    compiled.scheme, pair_nodes, max_states=max_states
+                    compiled.scheme, pair_nodes, max_states=max_states, session=sess
                 )
                 if not verdict.holds:
                     conflicts.append(((a, b), verdict))

@@ -19,6 +19,12 @@ layers the machinery available here (see DESIGN.md):
 ``state_reachable``/``node_reachable`` combine the layers automatically
 and raise :class:`~repro.errors.AnalysisBudgetExceeded` instead of
 guessing when no layer is conclusive.
+
+All entry points accept ``session=`` (an
+:class:`~repro.analysis.session.AnalysisSession`): the forward search
+then runs over the session's shared state graph — scanning what earlier
+queries already explored and resuming its frontier instead of restarting
+from ``σ0``.
 """
 
 from __future__ import annotations
@@ -28,52 +34,65 @@ from typing import Optional, Sequence
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..errors import AnalysisBudgetExceeded
+from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, SaturationCertificate, WitnessPath
 from .coverability import backward_coverability
-from .explore import DEFAULT_MAX_STATES, Explorer
+from .explore import DEFAULT_MAX_STATES
+from .session import AnalysisSession, resolve_session
 
 
 def state_reachable(
     scheme: RPScheme,
     target: HState,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Decide whether *target* is reachable from *initial* (exactly).
 
     Positive verdicts carry a :class:`WitnessPath`; negative verdicts are
     produced by saturation and carry a :class:`SaturationCertificate`.
     """
-    explorer = Explorer(scheme, max_states=max_states)
-    graph = explorer.explore(initial, stop_when=lambda s: s == target)
-    if target in graph:
-        return AnalysisVerdict(
-            holds=True,
-            method="forward-search",
-            certificate=WitnessPath(tuple(graph.path_to(target))),
-            exact=True,
-            details={"explored": len(graph)},
-        )
-    if graph.complete:
-        return AnalysisVerdict(
-            holds=False,
-            method="saturation",
-            certificate=SaturationCertificate(len(graph), graph.num_transitions),
-            exact=True,
-            details={"explored": len(graph)},
-        )
-    raise AnalysisBudgetExceeded(
-        f"reachability: target not found within {max_states} states and the "
-        f"scheme did not saturate",
-        explored=len(graph),
+    initial, max_states = legacy_positionals(
+        "state_reachable", legacy, ("initial", "max_states"), (initial, max_states)
     )
+    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    sess = resolve_session(scheme, session, initial)
+    with sess.stats.timed("state-reachable"):
+        graph = sess.graph
+        if target not in graph and not graph.complete:
+            graph = sess.explore(budget, stop_when=lambda s: s == target)
+        if target in graph:
+            return AnalysisVerdict(
+                holds=True,
+                method="forward-search",
+                certificate=WitnessPath(tuple(graph.path_to(target))),
+                exact=True,
+                details={"explored": len(graph)},
+            )
+        if graph.complete:
+            return AnalysisVerdict(
+                holds=False,
+                method="saturation",
+                certificate=SaturationCertificate(len(graph), graph.num_transitions),
+                exact=True,
+                details={"explored": len(graph)},
+            )
+        raise AnalysisBudgetExceeded(
+            f"reachability: target not found within {budget} states and the "
+            f"scheme did not saturate",
+            explored=len(graph),
+        )
 
 
 def node_reachable(
     scheme: RPScheme,
     node: str,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Decide whether some reachable state contains an occurrence of *node*.
 
@@ -81,6 +100,9 @@ def node_reachable(
     saturation-based negatives), then backward coverability of
     ``↑{(node,∅)}`` — whose negative answers are exact on every scheme.
     """
+    initial, max_states = legacy_positionals(
+        "node_reachable", legacy, ("initial", "max_states"), (initial, max_states)
+    )
     scheme.node(node)  # validate early
     return covers(
         scheme,
@@ -88,6 +110,7 @@ def node_reachable(
         predicate=lambda s: s.contains_node(node),
         initial=initial,
         max_states=max_states,
+        session=session,
         what=f"node reachability of {node!r}",
     )
 
@@ -96,8 +119,10 @@ def covers(
     scheme: RPScheme,
     targets: Sequence[HState],
     predicate,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
     what: str = "coverability",
 ) -> AnalysisVerdict:
     """Shared engine: can a state satisfying the upward-closed *predicate*
@@ -105,33 +130,47 @@ def covers(
 
     *predicate* must characterise ``↑targets`` (the callers guarantee it).
     """
-    explorer = Explorer(scheme, max_states=max_states)
-    graph = explorer.explore(initial, stop_when=predicate)
-    hit = graph.find(predicate)
-    if hit is not None:
-        return AnalysisVerdict(
-            holds=True,
-            method="forward-search",
-            certificate=WitnessPath(tuple(graph.path_to(hit))),
-            exact=True,
-            details={"explored": len(graph)},
-        )
-    if graph.complete:
-        return AnalysisVerdict(
-            holds=False,
-            method="saturation",
-            certificate=SaturationCertificate(len(graph), graph.num_transitions),
-            exact=True,
-            details={"explored": len(graph)},
-        )
-    backward = backward_coverability(scheme, targets, initial=initial)
-    if not backward.holds:
-        return backward
-    if backward.exact:
-        return backward
-    raise AnalysisBudgetExceeded(
-        f"{what}: forward budget of {max_states} states exhausted and the "
-        f"backward answer is only an over-approximation on this scheme "
-        f"(wait nodes present)",
-        explored=len(graph),
+    initial, max_states = legacy_positionals(
+        "covers", legacy, ("initial", "max_states"), (initial, max_states)
     )
+    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    sess = resolve_session(scheme, session, initial)
+    with sess.stats.timed("covers"):
+        graph = sess.graph
+        hit = graph.find(predicate)
+        if hit is None and not graph.complete and len(graph) < budget:
+            already = len(graph)
+            graph = sess.explore(budget, stop_when=predicate)
+            for state in graph.states[already:]:
+                if predicate(state):
+                    hit = state
+                    break
+        if hit is not None:
+            return AnalysisVerdict(
+                holds=True,
+                method="forward-search",
+                certificate=WitnessPath(tuple(graph.path_to(hit))),
+                exact=True,
+                details={"explored": len(graph)},
+            )
+        if graph.complete:
+            return AnalysisVerdict(
+                holds=False,
+                method="saturation",
+                certificate=SaturationCertificate(len(graph), graph.num_transitions),
+                exact=True,
+                details={"explored": len(graph)},
+            )
+        backward = backward_coverability(
+            scheme, targets, initial=sess.initial, session=sess
+        )
+        if not backward.holds:
+            return backward
+        if backward.exact:
+            return backward
+        raise AnalysisBudgetExceeded(
+            f"{what}: forward budget of {budget} states exhausted and the "
+            f"backward answer is only an over-approximation on this scheme "
+            f"(wait nodes present)",
+            explored=len(graph),
+        )

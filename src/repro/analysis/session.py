@@ -1,0 +1,342 @@
+"""Shared analysis sessions: explore ``M_G`` once, answer many queries.
+
+Every decision procedure of Section 3 is a search over the same reachable
+fragment of ``M_G``.  Historically each entry point built its own
+:class:`~repro.analysis.explore.Explorer` and re-ran the full BFS from
+``σ0``; an :class:`AnalysisSession` instead owns **one** incrementally
+growable :class:`~repro.analysis.explore.StateGraph` that all procedures
+share:
+
+* a search that paused at budget ``N`` *resumes* from its frontier when a
+  later query asks for more — it never restarts;
+* successor computation is memoized per state and all states are
+  hash-consed (:class:`~repro.core.semantics.MemoizingSemantics`), so
+  repeated queries mostly hit caches;
+* an :class:`AnalysisStats` object counts everything (states expanded,
+  transitions fired, cache hits, peak frontier, per-query wall time) and
+  optional progress listeners observe long explorations as they run.
+
+Usage::
+
+    session = AnalysisSession(scheme)
+    node_reachable(scheme, "q5", session=session)   # explores
+    boundedness(scheme, session=session)            # reuses the graph
+    check_ctl(scheme, AF(terminated()), session=session)  # reuses again
+    session.stats.explorations                      # == 1
+
+The module-level procedures keep working without a session — they create
+a throwaway one per call — so the session is an opt-in optimisation, not
+a breaking change.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.hstate import HState
+from ..core.scheme import RPScheme
+from ..core.semantics import MemoizingSemantics
+from ..errors import AnalysisBudgetExceeded, AnalysisError
+from .explore import DEFAULT_MAX_STATES, StateGraph
+
+
+@dataclass
+class AnalysisStats:
+    """Counters and timings for one :class:`AnalysisSession`.
+
+    Invariants (asserted in the test-suite): ``states_expanded`` ≤
+    ``states_discovered``; all counters are monotone; ``explorations``
+    counts *from-scratch* exploration passes — a session resumes its BFS
+    instead of re-exploring, so it stays at 1 however many queries run.
+    """
+
+    #: Distinct states discovered (== the shared graph's size).
+    states_discovered: int = 0
+    #: States whose successors were expanded into the shared graph.
+    states_expanded: int = 0
+    #: Transitions recorded in the shared graph.
+    transitions_fired: int = 0
+    #: From-scratch exploration passes of ``M_G`` (1 for a used session).
+    explorations: int = 0
+    #: Largest frontier (discovered-but-unexpanded set) seen so far.
+    peak_frontier: int = 0
+    #: Wall-clock seconds spent growing the shared graph.
+    explore_seconds: float = 0.0
+    #: Per-query invocation counts, keyed by procedure name.
+    queries: Dict[str, int] = field(default_factory=dict)
+    #: Per-query cumulative wall-clock seconds.
+    query_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Successor-cache hits/misses (mirrors the memoizing semantics).
+    successor_cache_hits: int = 0
+    successor_cache_misses: int = 0
+    #: Distinct hash-consed states in the intern table.
+    interned_states: int = 0
+
+    @contextmanager
+    def timed(self, name: str):
+        """Record one invocation of query *name* and its wall time."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.queries[name] = self.queries.get(name, 0) + 1
+            self.query_seconds[name] = self.query_seconds.get(name, 0.0) + elapsed
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot (used by the benchmark harnesses)."""
+        return {
+            "states_discovered": self.states_discovered,
+            "states_expanded": self.states_expanded,
+            "transitions_fired": self.transitions_fired,
+            "explorations": self.explorations,
+            "peak_frontier": self.peak_frontier,
+            "explore_seconds": self.explore_seconds,
+            "queries": dict(self.queries),
+            "query_seconds": dict(self.query_seconds),
+            "successor_cache_hits": self.successor_cache_hits,
+            "successor_cache_misses": self.successor_cache_misses,
+            "interned_states": self.interned_states,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (``rpcheck --stats``)."""
+        lines = [
+            f"states discovered  : {self.states_discovered}",
+            f"states expanded    : {self.states_expanded}",
+            f"transitions fired  : {self.transitions_fired}",
+            f"explorations       : {self.explorations}",
+            f"peak frontier      : {self.peak_frontier}",
+            f"successor cache    : {self.successor_cache_hits} hits / "
+            f"{self.successor_cache_misses} misses",
+            f"interned states    : {self.interned_states}",
+            f"explore time       : {self.explore_seconds:.3f}s",
+        ]
+        for name in sorted(self.queries):
+            lines.append(
+                f"query {name:<18} x{self.queries[name]}"
+                f"  ({self.query_seconds.get(name, 0.0):.3f}s)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """A snapshot emitted to progress listeners during exploration."""
+
+    states: int
+    transitions: int
+    frontier: int
+    elapsed: float
+
+
+#: Signature of a progress listener (see AnalysisSession.on_progress).
+ProgressListener = Callable[[ProgressEvent], None]
+
+
+class AnalysisSession:
+    """A per-scheme analysis engine with one shared, resumable state graph.
+
+    Parameters
+    ----------
+    scheme:
+        The RP scheme under analysis.
+    initial:
+        Exploration root (default ``σ0``).  A session answers queries
+        about ``Reach(initial)``; procedures asked about a *different*
+        initial state transparently use a throwaway session.
+    progress_interval:
+        Emit a :class:`ProgressEvent` to registered listeners every this
+        many state expansions.
+
+    Attributes
+    ----------
+    graph:
+        The shared :class:`StateGraph`.  Always a BFS-order prefix of the
+        full exploration: growing it to budget ``2N`` after a pause at
+        ``N`` yields state-for-state the same graph as a fresh ``2N`` run.
+    semantics:
+        The shared :class:`MemoizingSemantics` (successor cache + intern
+        table), also used by the procedures' auxiliary searches.
+    stats:
+        The session's :class:`AnalysisStats`.
+    memo:
+        A procedure-managed cache for conclusive verdicts and other
+        derived artefacts (CTL checker, sup-reachability antichain, ...).
+    """
+
+    def __init__(
+        self,
+        scheme: RPScheme,
+        initial: Optional[HState] = None,
+        *,
+        progress_interval: int = 8192,
+    ) -> None:
+        self.scheme = scheme
+        self.semantics = MemoizingSemantics(scheme)
+        start = initial if initial is not None else self.semantics.initial_state
+        self.initial = self.semantics.intern(start)
+        self.stats = AnalysisStats()
+        self.graph = StateGraph(scheme, self.initial)
+        self.graph._add_state(self.initial, None)
+        self.graph.unexpanded = [self.initial]
+        self.memo: Dict[Any, Any] = {}
+        self._queue: deque = deque([self.initial])
+        self._expanded = 0
+        self._progress_interval = max(1, progress_interval)
+        self._listeners: List[ProgressListener] = []
+        self._sync_stats()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def on_progress(self, listener: ProgressListener) -> None:
+        """Register *listener* for periodic exploration progress events."""
+        self._listeners.append(listener)
+
+    def _sync_stats(self) -> None:
+        stats = self.stats
+        stats.states_discovered = len(self.graph)
+        stats.states_expanded = self._expanded
+        stats.peak_frontier = max(stats.peak_frontier, len(self._queue))
+        stats.successor_cache_hits = self.semantics.cache_hits
+        stats.successor_cache_misses = self.semantics.cache_misses
+        stats.interned_states = self.semantics.interned_states
+
+    def _emit_progress(self, started: float) -> None:
+        if not self._listeners:
+            return
+        event = ProgressEvent(
+            states=len(self.graph),
+            transitions=self.graph.num_transitions,
+            frontier=len(self._queue),
+            elapsed=time.perf_counter() - started,
+        )
+        for listener in self._listeners:
+            listener(event)
+
+    # ------------------------------------------------------------------
+    # Exploration
+    # ------------------------------------------------------------------
+
+    def explore(
+        self,
+        max_states: Optional[int] = None,
+        *,
+        stop_when: Optional[Callable[[HState], bool]] = None,
+    ) -> StateGraph:
+        """Grow the shared graph up to *max_states* discovered states.
+
+        Resumes from the saved frontier; already-expanded work is never
+        redone.  ``stop_when`` is evaluated on **newly discovered** states
+        only (callers scan the existing graph first); when it fires, the
+        current state's expansion is finished — keeping the graph a clean
+        BFS prefix — and growth pauses.
+
+        States are expanded whole: the budget is checked between
+        expansions, so the graph may overshoot ``max_states`` by at most
+        one branching factor.  The rule is deterministic, which is what
+        makes paused-and-resumed growth bit-identical to a fresh run.
+        """
+        budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+        graph = self.graph
+        if not self._queue:
+            return graph
+        started = time.perf_counter()
+        expanded_before = self._expanded
+        queue = self._queue
+        semantics = self.semantics
+        index = graph.index
+        stats = self.stats
+        stopped = False
+        next_progress = self._expanded + self._progress_interval
+        while queue and not stopped and len(graph.states) < budget:
+            state = queue.popleft()
+            out = graph.edges[index[state]]
+            for transition in semantics.successors(state):
+                out.append(transition)
+                stats.transitions_fired += 1
+                target = transition.target
+                if target in index:
+                    continue
+                graph._add_state(target, transition)
+                queue.append(target)
+                if stop_when is not None and not stopped and stop_when(target):
+                    stopped = True
+            self._expanded += 1
+            if len(queue) > stats.peak_frontier:
+                stats.peak_frontier = len(queue)
+            if self._expanded >= next_progress:
+                next_progress += self._progress_interval
+                self._emit_progress(started)
+        graph.complete = not queue
+        graph.unexpanded = list(queue)
+        if expanded_before == 0 and self._expanded > 0:
+            stats.explorations += 1
+        stats.explore_seconds += time.perf_counter() - started
+        self._sync_stats()
+        return graph
+
+    def explore_or_raise(
+        self, max_states: Optional[int] = None, what: str = "exploration"
+    ) -> StateGraph:
+        """Grow to saturation; raise when the budget does not suffice."""
+        budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+        graph = self.explore(budget)
+        if not graph.complete:
+            raise AnalysisBudgetExceeded(
+                f"{what}: state budget of {budget} exhausted "
+                f"(the scheme may be unbounded; raise max_states or use a "
+                f"procedure with an unboundedness certificate)",
+                explored=len(graph),
+            )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Shared derived artefacts
+    # ------------------------------------------------------------------
+
+    def kept_states(self, max_kept: int) -> List[HState]:
+        """The full domination-pruned reachable antichain cover (cached).
+
+        This is the sup-reachability engine's kept-state set; persistence
+        and every downward-closed emptiness question scan it.  The search
+        terminates on every scheme by the wqo property, so a completed
+        result is budget-independent and cached for the session's life.
+        """
+        cached = self.memo.get("kept-states")
+        if cached is None:
+            from .sup_reachability import _kept_states
+
+            with self.stats.timed("sup-reach-engine"):
+                cached = _kept_states(self.semantics, self.initial, max_kept)
+            self.memo["kept-states"] = cached
+        return cached
+
+
+def resolve_session(
+    scheme: RPScheme,
+    session: Optional[AnalysisSession],
+    initial: Optional[HState],
+) -> AnalysisSession:
+    """The session a procedure should use.
+
+    A supplied *session* is validated against *scheme* and used whenever
+    the query's initial state matches; otherwise (including the common
+    no-session case) a throwaway session is created, which reproduces the
+    historical one-exploration-per-call behaviour.
+    """
+    if session is not None:
+        if session.scheme is not scheme:
+            raise AnalysisError(
+                "analysis session was created for a different scheme "
+                f"({session.scheme.name!r}, queried with {scheme.name!r})"
+            )
+        if initial is None or initial == session.initial:
+            return session
+    return AnalysisSession(scheme, initial=initial)

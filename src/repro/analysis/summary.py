@@ -16,13 +16,22 @@ from typing import Dict, List, Optional, Tuple
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..errors import AnalysisBudgetExceeded
+from ._compat import legacy_positionals
 from .boundedness import boundedness
 from .certificates import AnalysisVerdict
 from .explore import DEFAULT_MAX_STATES
 from .normedness import normed
 from .reachability import node_reachable
+from .session import AnalysisSession, AnalysisStats, resolve_session
 from .sup_reachability import sup_reachability
 from .termination import halts
+
+#: Default cap on the normedness pass inside :func:`analyze`.  Normedness
+#: multiplies exploration by per-witness searches on unbounded schemes, so
+#: the battery bounds it separately (it is reported as extra information
+#: and excluded from ``SchemeReport.conclusive``).  Pass
+#: ``normedness_max_states=`` to raise or lower the cap per call.
+DEFAULT_NORMEDNESS_MAX_STATES = 1_500
 
 
 @dataclass(frozen=True)
@@ -42,6 +51,8 @@ class SchemeReport:
     unreachable_nodes: Tuple[str, ...]
     inconclusive_nodes: Tuple[str, ...]
     basis: Optional[Tuple[HState, ...]]
+    #: The session's counters (one exploration for the whole battery).
+    stats: Optional[AnalysisStats] = None
 
     def render(self) -> str:
         """The human-readable report."""
@@ -93,9 +104,35 @@ class SchemeReport:
 
 def analyze(
     scheme: RPScheme,
-    max_states: int = DEFAULT_MAX_STATES,
+    *legacy,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
+    normedness_max_states: Optional[int] = None,
 ) -> SchemeReport:
-    """Run the standard battery with graceful budget handling."""
+    """Run the standard battery with graceful budget handling.
+
+    The whole battery runs on **one** analysis session: the reachable
+    fragment of ``M_G`` is explored a single time
+    (``report.stats.explorations == 1``) and every procedure reuses the
+    shared graph, successor cache, and memoized verdicts.  Pass your own
+    ``session=`` to share that work with further queries.
+
+    *normedness_max_states* caps the normedness pass separately, since it
+    multiplies exploration by per-witness searches on unbounded schemes
+    (default :data:`DEFAULT_NORMEDNESS_MAX_STATES`, additionally clamped
+    to *max_states*).
+    """
+    (max_states,) = legacy_positionals(
+        "analyze", legacy, ("max_states",), (max_states,)
+    )
+    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    normedness_budget = min(
+        budget,
+        DEFAULT_NORMEDNESS_MAX_STATES
+        if normedness_max_states is None
+        else normedness_max_states,
+    )
+    sess = resolve_session(scheme, session, None)
 
     def guarded(procedure) -> Optional[AnalysisVerdict]:
         try:
@@ -103,27 +140,26 @@ def analyze(
         except AnalysisBudgetExceeded:
             return None
 
-    bounded = guarded(lambda: boundedness(scheme, max_states=max_states))
-    halting = guarded(lambda: halts(scheme, max_states=max_states))
-    # normedness multiplies exploration by per-witness searches on
-    # unbounded schemes; the battery caps its budget (it is reported as
-    # extra information and excluded from `conclusive`)
+    bounded = guarded(lambda: boundedness(scheme, max_states=budget, session=sess))
+    halting = guarded(lambda: halts(scheme, max_states=budget, session=sess))
     normedness = guarded(
-        lambda: normed(scheme, max_states=min(max_states, 1_500))
+        lambda: normed(scheme, max_states=normedness_budget, session=sess)
     )
 
     unreachable: List[str] = []
     inconclusive: List[str] = []
     for node in scheme.node_ids:
         try:
-            if not node_reachable(scheme, node, max_states=max_states).holds:
+            if not node_reachable(
+                scheme, node, max_states=budget, session=sess
+            ).holds:
                 unreachable.append(node)
         except AnalysisBudgetExceeded:
             inconclusive.append(node)
 
     try:
         basis: Optional[Tuple[HState, ...]] = tuple(
-            sup_reachability(scheme).certificate.basis
+            sup_reachability(scheme, session=sess).certificate.basis
         )
     except AnalysisBudgetExceeded:
         basis = None
@@ -138,4 +174,5 @@ def analyze(
         unreachable_nodes=tuple(unreachable),
         inconclusive_nodes=tuple(inconclusive),
         basis=basis,
+        stats=sess.stats,
     )

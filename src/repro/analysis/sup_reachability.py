@@ -41,7 +41,9 @@ from ..core.semantics import AbstractSemantics, Transition
 from ..errors import AnalysisBudgetExceeded
 from ..wqo.kruskal import tree_embedding_order
 from ..wqo.orderings import minimal_elements
+from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, BasisCertificate
+from .session import AnalysisSession, resolve_session
 
 #: Domination-pruned searches terminate by the wqo property; the budget is
 #: a safety net against pathological antichain growth, far above anything
@@ -51,15 +53,22 @@ DEFAULT_MAX_KEPT = 200_000
 
 def sup_reachability(
     scheme: RPScheme,
+    *legacy,
     initial: Optional[HState] = None,
-    max_kept: int = DEFAULT_MAX_KEPT,
+    max_kept: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Compute a finite basis of ``↑Reach(initial)``.
 
     The verdict always ``holds`` (the problem is a computation, not a
     yes/no question); the basis is in the certificate.
     """
-    basis, kept_count = _minimal_reach(scheme, initial, max_kept)
+    initial, max_kept = legacy_positionals(
+        "sup_reachability", legacy, ("initial", "max_kept"), (initial, max_kept)
+    )
+    max_kept = DEFAULT_MAX_KEPT if max_kept is None else max_kept
+    sess = resolve_session(scheme, session, initial)
+    basis, kept_count = _minimal_reach(sess, max_kept)
     return AnalysisVerdict(
         holds=True,
         method="domination-pruned-search",
@@ -71,19 +80,28 @@ def sup_reachability(
 
 def minimal_reachable_states(
     scheme: RPScheme,
+    *legacy,
     initial: Optional[HState] = None,
-    max_kept: int = DEFAULT_MAX_KEPT,
+    max_kept: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> List[HState]:
     """The minimal elements of ``Reach(initial)`` w.r.t. ``⪯``."""
-    basis, _ = _minimal_reach(scheme, initial, max_kept)
+    initial, max_kept = legacy_positionals(
+        "minimal_reachable_states", legacy, ("initial", "max_kept"), (initial, max_kept)
+    )
+    max_kept = DEFAULT_MAX_KEPT if max_kept is None else max_kept
+    sess = resolve_session(scheme, session, initial)
+    basis, _ = _minimal_reach(sess, max_kept)
     return basis
 
 
 def reaches_downward_closed(
     scheme: RPScheme,
     predicate: Callable[[HState], bool],
+    *legacy,
     initial: Optional[HState] = None,
-    max_kept: int = DEFAULT_MAX_KEPT,
+    max_kept: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> Optional[HState]:
     """A reachable state satisfying a *downward-closed* predicate, or None.
 
@@ -92,12 +110,27 @@ def reaches_downward_closed(
     exact on every scheme: ``Reach ∩ D ≠ ∅`` iff some kept state is in D.
 
     The returned witness is a kept (hence genuinely reachable) state.
+    When the session has already computed its full kept-state set (by an
+    earlier persistence/sup-reachability query) the answer is a pure scan;
+    conversely, a search that completes without a witness *is* the full
+    kept set and is cached on the session.
     """
-    kept = _kept_states(scheme, initial, max_kept, stop_when=predicate)
-    for state in kept:
-        if predicate(state):
-            return state
-    return None
+    initial, max_kept = legacy_positionals(
+        "reaches_downward_closed", legacy, ("initial", "max_kept"), (initial, max_kept)
+    )
+    max_kept = DEFAULT_MAX_KEPT if max_kept is None else max_kept
+    sess = resolve_session(scheme, session, initial)
+    kept = sess.memo.get("kept-states")
+    if kept is None:
+        with sess.stats.timed("sup-reach-engine"):
+            kept = _kept_states(sess.semantics, sess.initial, max_kept, stop_when=predicate)
+        witness = next((state for state in kept if predicate(state)), None)
+        if witness is None:
+            # the search ran to wqo termination: `kept` is the complete
+            # domination-pruned set, reusable by any later query
+            sess.memo["kept-states"] = kept
+        return witness
+    return next((state for state in kept if predicate(state)), None)
 
 
 # ----------------------------------------------------------------------
@@ -105,17 +138,22 @@ def reaches_downward_closed(
 # ----------------------------------------------------------------------
 
 
-def _minimal_reach(
-    scheme: RPScheme, initial: Optional[HState], max_kept: int
-) -> Tuple[List[HState], int]:
-    kept = _kept_states(scheme, initial, max_kept)
+def _minimal_reach(sess: AnalysisSession, max_kept: int) -> Tuple[List[HState], int]:
+    cached = sess.memo.get("minimal-basis")
+    if cached is not None:
+        return cached
+    kept = sess.kept_states(max_kept)
     order = tree_embedding_order()
-    return minimal_elements(order, sorted(kept, key=lambda s: (s.size, s.sort_key()))), len(kept)
+    basis = minimal_elements(
+        order, sorted(kept, key=lambda s: (s.size, s.sort_key()))
+    )
+    sess.memo["minimal-basis"] = (basis, len(kept))
+    return basis, len(kept)
 
 
 def _kept_states(
-    scheme: RPScheme,
-    initial: Optional[HState],
+    semantics: AbstractSemantics,
+    initial: HState,
     max_kept: int,
     stop_when: Optional[Callable[[HState], bool]] = None,
 ) -> List[HState]:
@@ -125,7 +163,6 @@ def _kept_states(
     kept states are expanded.  Kept states are bucketed by their node
     multiset's support to cut down embedding tests.
     """
-    semantics = AbstractSemantics(scheme)
     start = initial if initial is not None else semantics.initial_state
     kept: List[HState] = []
     queue: deque = deque()

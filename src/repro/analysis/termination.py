@@ -23,18 +23,27 @@ from typing import Optional
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
+from ._compat import legacy_positionals
 from .boundedness import boundedness
 from .certificates import AnalysisVerdict, LassoCertificate, SaturationCertificate
-from .explore import DEFAULT_MAX_STATES, Explorer
+from .explore import DEFAULT_MAX_STATES
+from .session import AnalysisSession, resolve_session
 
 
 def halts(
     scheme: RPScheme,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Decide whether all computations from *initial* terminate."""
-    bounded = boundedness(scheme, initial=initial, max_states=max_states)
+    initial, max_states = legacy_positionals(
+        "halts", legacy, ("initial", "max_states"), (initial, max_states)
+    )
+    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    sess = resolve_session(scheme, session, initial)
+    bounded = boundedness(scheme, max_states=budget, session=sess)
     if not bounded.holds:
         # an unbounded system has infinite runs by König's lemma; the pump
         # certificate exhibits ever-growing reachable states
@@ -45,10 +54,9 @@ def halts(
             exact=bounded.exact,
             details=bounded.details,
         )
-    graph = Explorer(scheme, max_states=max_states).explore_or_raise(
-        initial, what="halting"
-    )
-    lasso = graph.find_lasso()
+    with sess.stats.timed("halts"):
+        graph = sess.explore_or_raise(budget, what="halting")
+        lasso = graph.find_lasso()
     if lasso is not None:
         stem, loop = lasso
         return AnalysisVerdict(
@@ -69,8 +77,10 @@ def halts(
 
 def may_terminate(
     scheme: RPScheme,
+    *legacy,
     initial: Optional[HState] = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    max_states: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> AnalysisVerdict:
     """Decide whether **some** computation from *initial* terminates.
 
@@ -80,4 +90,9 @@ def may_terminate(
     from ..core.hstate import EMPTY
     from .reachability import state_reachable
 
-    return state_reachable(scheme, EMPTY, initial=initial, max_states=max_states)
+    initial, max_states = legacy_positionals(
+        "may_terminate", legacy, ("initial", "max_states"), (initial, max_states)
+    )
+    return state_reachable(
+        scheme, EMPTY, initial=initial, max_states=max_states, session=session
+    )

@@ -19,7 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import analyze, mutually_exclusive, node_reachable
+from .analysis import AnalysisSession, analyze, mutually_exclusive, node_reachable
 from .core.dot import scheme_to_dot
 from .errors import AnalysisBudgetExceeded, RPError
 from .interp import run_program
@@ -63,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="state budget for the semi-decision procedures (default 20000)",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the analysis session's counters (states, caches, timings)",
+    )
     return parser
 
 
@@ -102,7 +107,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write(scheme_to_dot(scheme))
         print(f"dot       : written to {args.dot}")
 
-    report = analyze(scheme, max_states=args.max_states)
+    # one session for the whole invocation: the report, --node and --mutex
+    # all share a single exploration of the scheme's reachable fragment
+    session = AnalysisSession(scheme)
+    report = analyze(scheme, max_states=args.max_states, session=session)
     print(f"wait-free : {'yes' if report.wait_free else 'no'}")
     print("analyses:")
     # skip the scheme/nodes/wait-free header lines the report duplicates
@@ -111,7 +119,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.node:
         try:
-            verdict = node_reachable(scheme, args.node, max_states=args.max_states)
+            verdict = node_reachable(
+                scheme, args.node, max_states=args.max_states, session=session
+            )
             print(_verdict_line(f"reach {args.node}", verdict))
         except (RPError, AnalysisBudgetExceeded) as error:
             print(f"  reach {args.node}: {error}")
@@ -121,7 +131,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         first, _, second = args.mutex.partition(",")
         try:
             verdict = mutually_exclusive(
-                scheme, first.strip(), second.strip(), max_states=args.max_states
+                scheme,
+                first.strip(),
+                second.strip(),
+                max_states=args.max_states,
+                session=session,
             )
             print(_verdict_line(f"mutex {args.mutex}", verdict))
         except (RPError, AnalysisBudgetExceeded) as error:
@@ -170,6 +184,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 pairs = ", ".join(f"{a}~{b}" for (a, b), _ in entry.conflicts)
                 print(f"  {entry.variable:<12} CONFLICTS: {pairs}")
                 exit_code = 1
+
+    if args.stats:
+        print("session stats:")
+        for line in session.stats.render().splitlines():
+            print(f"  {line}")
 
     if args.run:
         try:

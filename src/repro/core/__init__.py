@@ -12,7 +12,7 @@ from .embedding import (
 )
 from .hstate import EMPTY, HState, Path
 from .scheme import Node, NodeKind, RPScheme
-from .semantics import AbstractSemantics, Descriptor, Transition
+from .semantics import AbstractSemantics, Descriptor, MemoizingSemantics, Transition
 from .generate import random_scheme, random_schemes
 from .isomorphism import find_isomorphism, isomorphic
 from .serialize import (hstate_from_json, hstate_to_json, scheme_from_dict, scheme_from_json, scheme_to_dict, scheme_to_json)
@@ -49,5 +49,6 @@ __all__ = [
     "RPScheme",
     "AbstractSemantics",
     "Descriptor",
+    "MemoizingSemantics",
     "Transition",
 ]

@@ -160,6 +160,10 @@ class HState:
         return bool(self._items)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            # hash-consed states (see MemoizingSemantics.intern) collapse
+            # equality to identity on the exploration hot paths
+            return True
         if not isinstance(other, HState):
             return NotImplemented
         return self._hash == other._hash and self._key == other._key

@@ -27,8 +27,8 @@ theorem of this relation and is property-tested in the test-suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import StateError
 from .alphabet import TAU
@@ -186,3 +186,59 @@ class AbstractSemantics:
                 raise StateError(f"transition {transition!r} is not enabled")
             current = transition.target
         return current
+
+
+class MemoizingSemantics(AbstractSemantics):
+    """``AbstractSemantics`` with per-state successor memoization.
+
+    The relation of ``M_G`` is pure, so the successor list of a state never
+    changes; analysis sessions compute it at most once and replay it from
+    the cache on every later query.  Two further tricks pay on hot paths:
+
+    * **hash-consing** — every state flowing through the cache is interned,
+      so equal states collapse to one instance and ``HState.__eq__`` hits
+      its identity fast path inside set/dict probes;
+    * **target rewriting** — cached transitions point at the *interned*
+      target instance, so downstream graphs and frontiers only ever hold
+      canonical states.
+
+    The returned lists are owned by the cache: callers must not mutate
+    them.  ``cache_hits``/``cache_misses`` and ``interned_states`` feed the
+    :class:`repro.analysis.session.AnalysisStats` observability layer.
+    """
+
+    def __init__(self, scheme) -> None:
+        super().__init__(scheme)
+        self._successors: Dict[HState, List[Transition]] = {}
+        self._intern: Dict[HState, HState] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def intern(self, state: HState) -> HState:
+        """The canonical instance equal to *state* (inserting if new)."""
+        canonical = self._intern.get(state)
+        if canonical is None:
+            self._intern[state] = state
+            return state
+        return canonical
+
+    @property
+    def interned_states(self) -> int:
+        """Number of distinct states in the intern table."""
+        return len(self._intern)
+
+    def successors(self, state: HState) -> List[Transition]:
+        cached = self._successors.get(state)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        state = self.intern(state)
+        transitions = []
+        for transition in super().successors(state):
+            target = self.intern(transition.target)
+            if target is not transition.target:
+                transition = replace(transition, target=target)
+            transitions.append(transition)
+        self._successors[state] = transitions
+        return transitions

@@ -22,7 +22,7 @@ from .ast import (
     Wait,
     While,
 )
-from .expr import Expr
+from .expr import Expr, Var
 
 _INDENT = "    "
 
@@ -89,4 +89,10 @@ def _render_stmt(stmt: Stmt, depth: int) -> List[str]:
 
 
 def _render_test(test: Union[str, Expr]) -> str:
-    return test if isinstance(test, str) else test.render()
+    if isinstance(test, str):
+        return test
+    if isinstance(test, Var):
+        # a bare identifier before then/do reads back as an abstract test
+        # name; parenthesising keeps a lone variable an expression
+        return f"({test.render()})"
+    return test.render()
