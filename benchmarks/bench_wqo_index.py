@@ -1,0 +1,162 @@
+"""Naive-vs-indexed A/B benchmark for the WQO embedding fast path.
+
+Runs the three embedding-heavy procedures — boundedness, sup-reachability
+(minimal basis) and inevitability (halting instantiation) — on the
+parametric deep/wide/mixed families of :data:`repro.zoo.ZOO_WQO_BENCH`,
+twice each:
+
+* **naive**: a session whose :class:`~repro.core.embedding.EmbeddingIndex`
+  is constructed with ``accelerated=False`` — no signature refutation, no
+  session-lifetime memo (tables dropped per top-level query), unindexed
+  antichain stores: the historical cost model;
+* **indexed**: the default accelerated session.
+
+Verdicts (and, for sup-reachability, the full basis) are required to be
+identical between the two arms; the JSON records timings, per-procedure
+aggregate speedups and the indexed arm's embedding counters.
+
+Run as a script (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_wqo_index.py [--smoke]
+
+Writes ``BENCH_wqo_index.json`` at the repository root.  ``--smoke`` runs
+a reduced matrix (one repeat, smaller budgets) without writing the JSON —
+the CI sanity pass.  The PR acceptance bar is a ≥ 2× aggregate speedup on
+at least two of the three procedures.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.analysis import boundedness, inevitability, sup_reachability
+from repro.analysis.session import AnalysisSession
+from repro.core.embedding import EmbeddingIndex
+from repro.core.hstate import HState
+from repro.errors import AnalysisBudgetExceeded
+from repro.zoo import ZOO_WQO_BENCH
+
+MAX_STATES = 2_500
+MAX_KEPT = 2_500
+REPEATS = 3
+
+PROCEDURES = ("boundedness", "sup_reachability", "inevitability")
+
+
+def _run_procedure(procedure: str, scheme, session, budget: int):
+    """One timed query; returns a comparable summary of the outcome."""
+    try:
+        if procedure == "boundedness":
+            verdict = boundedness(scheme, max_states=budget, session=session)
+            return {"holds": verdict.holds, "method": verdict.method}
+        if procedure == "sup_reachability":
+            verdict = sup_reachability(scheme, max_kept=budget, session=session)
+            basis = sorted(s.to_notation() for s in verdict.certificate.basis)
+            return {"holds": verdict.holds, "basis": basis}
+        basis = [HState.leaf(node) for node in scheme.node_ids]
+        verdict = inevitability(scheme, basis, max_states=budget, session=session)
+        return {"holds": verdict.holds, "method": verdict.method}
+    except AnalysisBudgetExceeded as exc:
+        return {"budget_exceeded": True, "explored": exc.explored}
+
+
+def _time_arm(procedure: str, factory, accelerated: bool, budget: int, repeats: int):
+    """Best-of-*repeats* timing for one (procedure, scheme, arm) cell.
+
+    Every repeat gets a fresh scheme *and* session: the point is the cost
+    of one procedure call on a cold session, with only the arm differing.
+    """
+    best = None
+    outcome = None
+    counters = None
+    for _ in range(repeats):
+        scheme = factory()
+        session = AnalysisSession(
+            scheme, embedding_index=EmbeddingIndex(accelerated=accelerated)
+        )
+        start = time.perf_counter()
+        result = _run_procedure(procedure, scheme, session, budget)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best, outcome = elapsed, result
+            counters = session.embedding_index.counters()
+    return best, outcome, counters
+
+
+def run(smoke: bool = False) -> dict:
+    budget = 400 if smoke else MAX_STATES
+    repeats = 1 if smoke else REPEATS
+    cells = []
+    totals = {proc: {"naive": 0.0, "indexed": 0.0} for proc in PROCEDURES}
+    for name, factory in ZOO_WQO_BENCH:
+        for procedure in PROCEDURES:
+            naive_s, naive_out, naive_counts = _time_arm(
+                procedure, factory, False, budget, repeats
+            )
+            fast_s, fast_out, fast_counts = _time_arm(
+                procedure, factory, True, budget, repeats
+            )
+            if naive_out != fast_out:
+                raise AssertionError(
+                    f"{name}/{procedure}: naive and indexed arms disagree: "
+                    f"{naive_out!r} vs {fast_out!r}"
+                )
+            totals[procedure]["naive"] += naive_s
+            totals[procedure]["indexed"] += fast_s
+            cells.append(
+                {
+                    "scheme": name,
+                    "procedure": procedure,
+                    "naive_seconds": naive_s,
+                    "indexed_seconds": fast_s,
+                    "speedup": naive_s / fast_s if fast_s else float("inf"),
+                    "outcome": fast_out,
+                    "naive_counters": naive_counts,
+                    "indexed_counters": fast_counts,
+                }
+            )
+    aggregates = {
+        proc: {
+            "naive_seconds": t["naive"],
+            "indexed_seconds": t["indexed"],
+            "speedup": t["naive"] / t["indexed"] if t["indexed"] else float("inf"),
+        }
+        for proc, t in totals.items()
+    }
+    return {
+        "benchmark": "wqo_index",
+        "smoke": smoke,
+        "budget": budget,
+        "repeats": repeats,
+        "cells": cells,
+        "aggregate_by_procedure": aggregates,
+        "procedures_at_2x": sorted(
+            proc for proc, agg in aggregates.items() if agg["speedup"] >= 2.0
+        ),
+    }
+
+
+def main(argv=None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    payload = run(smoke=smoke)
+    for proc, agg in payload["aggregate_by_procedure"].items():
+        print(
+            f"  {proc:<18} {agg['speedup']:6.2f}x "
+            f"(naive {agg['naive_seconds']:.3f}s, "
+            f"indexed {agg['indexed_seconds']:.3f}s)"
+        )
+    print(f"procedures at >=2x: {payload['procedures_at_2x']}")
+    if smoke:
+        print("smoke run: JSON not written")
+        return
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_wqo_index.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

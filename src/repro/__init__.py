@@ -29,15 +29,19 @@ from .core import (
     TAU,
     AbstractSemantics,
     Alphabet,
+    Embedder,
+    EmbeddingIndex,
     GapEmbedding,
     HState,
     Node,
     NodeKind,
     RPScheme,
     SchemeBuilder,
+    Signature,
     Transition,
     embeds,
     hstate_to_dot,
+    naive_embeds,
     scheme_to_dot,
     strictly_embeds,
 )
@@ -64,8 +68,11 @@ __all__ = [
     "TAU",
     "AbstractSemantics",
     "Alphabet",
+    "Embedder",
+    "EmbeddingIndex",
     "GapEmbedding",
     "HState",
+    "Signature",
     "Node",
     "NodeKind",
     "RPScheme",
@@ -73,6 +80,7 @@ __all__ = [
     "Transition",
     "embeds",
     "hstate_to_dot",
+    "naive_embeds",
     "scheme_to_dot",
     "strictly_embeds",
     "AnalysisSession",

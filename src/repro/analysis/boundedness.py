@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..core.embedding import strictly_embeds
+from ..core.embedding import EmbeddingIndex
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
@@ -93,10 +93,12 @@ def _session_boundedness(
         via = graph.parent[state]
         if via is None:
             return False
-        pump = _covering_ancestor(graph.parent, via)
+        pump = _covering_ancestor(graph.parent, via, sess.embedding_index)
         if pump is None:
             return False
-        certificate = _certify_pump(sess.scheme, semantics, graph.parent, pump, replays)
+        certificate = _certify_pump(
+            sess.scheme, semantics, graph.parent, pump, replays, sess.embedding_index
+        )
         if certificate is None:
             return False
         found.append(certificate)
@@ -145,19 +147,24 @@ def _session_boundedness(
     )
 
 
-def _covering_ancestor(parent: dict, last: Transition) -> Optional[List[Transition]]:
+def _covering_ancestor(
+    parent: dict, last: Transition, index: Optional[EmbeddingIndex] = None
+) -> Optional[List[Transition]]:
     """The pump segment ending in *last* whose start is strictly covered.
 
     Walks the BFS-tree ancestors of ``last.target``; returns the transition
     segment from the covered ancestor to ``last.target`` when one strictly
-    embeds into it.
+    embeds into it.  Embedding tests go through *index* (the session's
+    memoised :class:`~repro.core.embedding.EmbeddingIndex`) when given.
     """
+    if index is None:
+        index = EmbeddingIndex()
     target = last.target
     segment: List[Transition] = [last]
     via = parent[last.source]
     current = last.source
     while True:
-        if current.size < target.size and strictly_embeds(current, target):
+        if current.size < target.size and index.strictly_embeds(current, target):
             segment.reverse()
             return segment
         if via is None:
@@ -173,6 +180,7 @@ def _certify_pump(
     parent: dict,
     pump: List[Transition],
     replays: int,
+    index: Optional[EmbeddingIndex] = None,
 ) -> Optional[PumpCertificate]:
     """Build (and for wait-bearing schemes, replay-verify) a pump certificate."""
     base = pump[0].source
@@ -197,7 +205,7 @@ def _certify_pump(
     descriptors = [t.descriptor for t in pump]
     state = pumped
     for _ in range(replays):
-        trace = _replay_growing(semantics, state, descriptors)
+        trace = _replay_growing(semantics, state, descriptors, index)
         if trace is None:
             return None
         state = trace[-1].target
@@ -212,13 +220,18 @@ def _certify_pump(
 
 
 def _replay_growing(
-    semantics: AbstractSemantics, state: HState, descriptors
+    semantics: AbstractSemantics,
+    state: HState,
+    descriptors,
+    index: Optional[EmbeddingIndex] = None,
 ) -> Optional[List[Transition]]:
     """Re-fire *descriptors* from *state* demanding a strictly bigger result."""
+    if index is None:
+        index = EmbeddingIndex()
     trace = semantics.replay(state, descriptors)
     if trace is None:
         return None
     final = trace[-1].target
-    if final.size <= state.size or not strictly_embeds(state, final):
+    if final.size <= state.size or not index.strictly_embeds(state, final):
         return None
     return trace

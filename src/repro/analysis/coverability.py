@@ -52,12 +52,12 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..core.embedding import embeds
+from ..core.embedding import EmbeddingIndex
 from ..core.hstate import EMPTY, HState
 from ..core.scheme import NodeKind, RPScheme
 from ..errors import AnalysisError
 from ..wqo.basis import UpwardClosedSet
-from ..wqo.kruskal import tree_embedding_order
+from ..wqo.kruskal import embedding_upward_closed, tree_embedding_order
 from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict
 
@@ -80,8 +80,9 @@ def backward_coverability(
     module docstring).
 
     The backward saturation itself runs over the wqo basis, not the state
-    graph, so a supplied ``session=`` contributes only its initial state
-    and query-timing instrumentation.
+    graph, so a supplied ``session=`` contributes its initial state,
+    query-timing instrumentation, and its :class:`EmbeddingIndex` (the
+    saturation's membership/minimality tests share the session memo).
     """
     (initial,) = legacy_positionals(
         "backward_coverability", legacy, ("initial",), (initial,)
@@ -90,18 +91,26 @@ def backward_coverability(
         if initial is None:
             initial = session.initial
         with session.stats.timed("backward-coverability"):
-            return _backward_coverability(scheme, targets, initial)
-    return _backward_coverability(scheme, targets, initial)
+            return _backward_coverability(
+                scheme, targets, initial, session.embedding_index
+            )
+    return _backward_coverability(scheme, targets, initial, None)
 
 
 def _backward_coverability(
     scheme: RPScheme,
     targets: Sequence[HState],
     initial: Optional[HState],
+    index: Optional[EmbeddingIndex],
 ) -> AnalysisVerdict:
     start = initial if initial is not None else scheme.initial_state()
-    order = tree_embedding_order()
-    reached = UpwardClosedSet(order, targets)
+    if index is None:
+        index = EmbeddingIndex()
+    if index.accelerated:
+        reached = embedding_upward_closed(targets, leq=index.embeds)
+    else:
+        # naive reference arm: unindexed basis, per-query embedder
+        reached = UpwardClosedSet(tree_embedding_order(index.embeds), targets)
     frontier: List[HState] = list(reached.basis)
     iterations = 0
     while frontier:

@@ -35,7 +35,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.embedding import GapEmbedding, PLAIN_EMBEDDING, strictly_embeds
+from ..core.embedding import EmbeddingIndex, GapEmbedding, PLAIN_EMBEDDING
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
@@ -95,9 +95,10 @@ def _inevitability(
     scheme = sess.scheme
     semantics = sess.semantics
     start = sess.initial
+    index = sess.embedding_index
 
     def inside(state: HState) -> bool:
-        return ordering.dominates(state, basis)
+        return index.dominates(state, basis, ordering)
 
     if not inside(start):
         return AnalysisVerdict(
@@ -133,11 +134,13 @@ def _inevitability(
             if target in parent:
                 continue
             parent[target] = transition
-            pump = _covering_ancestor(parent, transition)
+            pump = _covering_ancestor(parent, transition, index)
             if pump is not None:
-                certificate = _certify_pump(scheme, semantics, parent, pump, replays)
+                certificate = _certify_pump(
+                    scheme, semantics, parent, pump, replays, index
+                )
                 if certificate is not None and _pump_stays_inside(
-                    semantics, certificate, inside, replays
+                    semantics, certificate, inside, replays, index
                 ):
                     return AnalysisVerdict(
                         holds=False,
@@ -256,8 +259,16 @@ def _find_lasso(
     return None
 
 
-def _pump_stays_inside(semantics, certificate, inside, replays: int) -> bool:
+def _pump_stays_inside(
+    semantics,
+    certificate,
+    inside,
+    replays: int,
+    index: Optional[EmbeddingIndex] = None,
+) -> bool:
     """Check the pump's replayed iterations remain in ``↑I`` throughout."""
+    if index is None:
+        index = EmbeddingIndex()
     for transition in certificate.pump:
         if not inside(transition.target):
             return False
@@ -270,6 +281,6 @@ def _pump_stays_inside(semantics, certificate, inside, replays: int) -> bool:
         if any(not inside(t.target) for t in trace):
             return False
         previous, state = state, trace[-1].target
-        if state.size <= previous.size or not strictly_embeds(previous, state):
+        if state.size <= previous.size or not index.strictly_embeds(previous, state):
             return False
     return True

@@ -41,7 +41,9 @@ def persistent(
 
     Both phases (witness search and basis computation) run on one session,
     so the domination-pruned search happens exactly once per call — or
-    once per *session* when the caller supplies one.
+    once per *session* when the caller supplies one — and every embedding
+    test goes through the session's shared
+    :class:`~repro.core.embedding.EmbeddingIndex`.
     """
     initial, max_kept = legacy_positionals(
         "persistent", legacy, ("initial", "max_kept"), (initial, max_kept)

@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..core.embedding import EmbeddingIndex
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import MemoizingSemantics
@@ -75,6 +76,24 @@ class AnalysisStats:
     successor_cache_misses: int = 0
     #: Distinct hash-consed states in the intern table.
     interned_states: int = 0
+    #: Embedding queries answered by the session's EmbeddingIndex.
+    embedding_calls: int = 0
+    #: Embedding queries refuted by the signature domination test alone.
+    embedding_signature_refutations: int = 0
+    #: Embedding queries answered from the session-lifetime pair memo.
+    embedding_memo_hits: int = 0
+
+    #: Backref to the session's EmbeddingIndex (not a dataclass field);
+    #: lets the counters refresh lazily whenever the stats are read.
+    _embedding_index = None
+
+    def sync_embedding(self) -> None:
+        """Refresh the embedding counters from the session's index."""
+        index = self._embedding_index
+        if index is not None:
+            self.embedding_calls = index.calls
+            self.embedding_signature_refutations = index.signature_refutations
+            self.embedding_memo_hits = index.memo_hits
 
     @contextmanager
     def timed(self, name: str):
@@ -86,9 +105,11 @@ class AnalysisStats:
             elapsed = time.perf_counter() - start
             self.queries[name] = self.queries.get(name, 0) + 1
             self.query_seconds[name] = self.query_seconds.get(name, 0.0) + elapsed
+            self.sync_embedding()
 
     def as_dict(self) -> Dict[str, Any]:
         """A JSON-ready snapshot (used by the benchmark harnesses)."""
+        self.sync_embedding()
         return {
             "states_discovered": self.states_discovered,
             "states_expanded": self.states_expanded,
@@ -101,10 +122,14 @@ class AnalysisStats:
             "successor_cache_hits": self.successor_cache_hits,
             "successor_cache_misses": self.successor_cache_misses,
             "interned_states": self.interned_states,
+            "embedding_calls": self.embedding_calls,
+            "embedding_signature_refutations": self.embedding_signature_refutations,
+            "embedding_memo_hits": self.embedding_memo_hits,
         }
 
     def render(self) -> str:
         """Human-readable multi-line summary (``rpcheck --stats``)."""
+        self.sync_embedding()
         lines = [
             f"states discovered  : {self.states_discovered}",
             f"states expanded    : {self.states_expanded}",
@@ -114,6 +139,9 @@ class AnalysisStats:
             f"successor cache    : {self.successor_cache_hits} hits / "
             f"{self.successor_cache_misses} misses",
             f"interned states    : {self.interned_states}",
+            f"embedding calls    : {self.embedding_calls} "
+            f"({self.embedding_signature_refutations} signature refutations, "
+            f"{self.embedding_memo_hits} memo hits)",
             f"explore time       : {self.explore_seconds:.3f}s",
         ]
         for name in sorted(self.queries):
@@ -152,6 +180,12 @@ class AnalysisSession:
     progress_interval:
         Emit a :class:`ProgressEvent` to registered listeners every this
         many state expansions.
+    embedding_index:
+        The session's :class:`~repro.core.embedding.EmbeddingIndex`
+        (default: a fresh accelerated one).  Pass
+        ``EmbeddingIndex(accelerated=False)`` to run every embedding
+        query through the naive reference path — the A/B switch of
+        ``benchmarks/bench_wqo_index.py``.
 
     Attributes
     ----------
@@ -162,6 +196,10 @@ class AnalysisSession:
     semantics:
         The shared :class:`MemoizingSemantics` (successor cache + intern
         table), also used by the procedures' auxiliary searches.
+    embedding_index:
+        Session-lifetime embedding memoisation (signature-pruned, keyed
+        by gap identity) that boundedness, sup-reachability,
+        inevitability, coverability and persistence route through.
     stats:
         The session's :class:`AnalysisStats`.
     memo:
@@ -175,12 +213,17 @@ class AnalysisSession:
         initial: Optional[HState] = None,
         *,
         progress_interval: int = 8192,
+        embedding_index: Optional[EmbeddingIndex] = None,
     ) -> None:
         self.scheme = scheme
         self.semantics = MemoizingSemantics(scheme)
         start = initial if initial is not None else self.semantics.initial_state
         self.initial = self.semantics.intern(start)
+        self.embedding_index = (
+            embedding_index if embedding_index is not None else EmbeddingIndex()
+        )
         self.stats = AnalysisStats()
+        self.stats._embedding_index = self.embedding_index
         self.graph = StateGraph(scheme, self.initial)
         self.graph._add_state(self.initial, None)
         self.graph.unexpanded = [self.initial]
@@ -207,6 +250,7 @@ class AnalysisSession:
         stats.successor_cache_hits = self.semantics.cache_hits
         stats.successor_cache_misses = self.semantics.cache_misses
         stats.interned_states = self.semantics.interned_states
+        stats.sync_embedding()
 
     def _emit_progress(self, started: float) -> None:
         if not self._listeners:
@@ -314,7 +358,9 @@ class AnalysisSession:
             from .sup_reachability import _kept_states
 
             with self.stats.timed("sup-reach-engine"):
-                cached = _kept_states(self.semantics, self.initial, max_kept)
+                cached = _kept_states(
+                    self.semantics, self.initial, max_kept, index=self.embedding_index
+                )
             self.memo["kept-states"] = cached
         return cached
 

@@ -32,14 +32,14 @@ persistence (§5.2) is decided.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.embedding import embeds
+from ..core.embedding import EmbeddingIndex
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
 from ..errors import AnalysisBudgetExceeded
-from ..wqo.kruskal import tree_embedding_order
+from ..wqo.kruskal import embedding_upward_closed, tree_embedding_order
 from ..wqo.orderings import minimal_elements
 from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, BasisCertificate
@@ -123,7 +123,13 @@ def reaches_downward_closed(
     kept = sess.memo.get("kept-states")
     if kept is None:
         with sess.stats.timed("sup-reach-engine"):
-            kept = _kept_states(sess.semantics, sess.initial, max_kept, stop_when=predicate)
+            kept = _kept_states(
+                sess.semantics,
+                sess.initial,
+                max_kept,
+                stop_when=predicate,
+                index=sess.embedding_index,
+            )
         witness = next((state for state in kept if predicate(state)), None)
         if witness is None:
             # the search ran to wqo termination: `kept` is the complete
@@ -143,10 +149,13 @@ def _minimal_reach(sess: AnalysisSession, max_kept: int) -> Tuple[List[HState], 
     if cached is not None:
         return cached
     kept = sess.kept_states(max_kept)
-    order = tree_embedding_order()
-    basis = minimal_elements(
-        order, sorted(kept, key=lambda s: (s.size, s.sort_key()))
-    )
+    ordered = sorted(kept, key=lambda s: (s.size, s.sort_key()))
+    index = sess.embedding_index
+    if index.accelerated:
+        basis = list(embedding_upward_closed(ordered, leq=index.embeds).basis)
+    else:
+        # naive reference arm: no signature gating, plain antichain scan
+        basis = minimal_elements(tree_embedding_order(index.embeds), ordered)
     sess.memo["minimal-basis"] = (basis, len(kept))
     return basis, len(kept)
 
@@ -156,22 +165,37 @@ def _kept_states(
     initial: HState,
     max_kept: int,
     stop_when: Optional[Callable[[HState], bool]] = None,
+    index: Optional[EmbeddingIndex] = None,
 ) -> List[HState]:
     """Forward search keeping only non-dominated states.
 
     A state is *kept* unless some earlier-kept state embeds into it; all
-    kept states are expanded.  Kept states are bucketed by their node
-    multiset's support to cut down embedding tests.
+    kept states are expanded.  Kept states are bucketed by size so a
+    domination scan only generates candidates from size-compatible
+    buckets (``low ⪯ state`` needs ``low.size ≤ state.size``), and the
+    surviving embedding tests run through the session's
+    :class:`~repro.core.embedding.EmbeddingIndex` (signature refutation +
+    session-lifetime memo).
     """
     start = initial if initial is not None else semantics.initial_state
+    if index is None:
+        index = EmbeddingIndex()
     kept: List[HState] = []
+    buckets: Dict[int, List[HState]] = {}
     queue: deque = deque()
     seen = set()
 
     def dominated(state: HState) -> bool:
-        return any(
-            low.size <= state.size and embeds(low, state) for low in kept
-        )
+        if not index.accelerated:
+            # naive reference arm: unscreened scan over all kept states
+            return any(index.embeds(low, state) for low in kept)
+        measure = state.size
+        for size in sorted(buckets):
+            if size > measure:
+                break
+            if any(index.embeds(low, state) for low in buckets[size]):
+                return True
+        return False
 
     def offer(state: HState) -> bool:
         """Keep *state* if new and undominated; return True when stopping."""
@@ -181,6 +205,7 @@ def _kept_states(
         if dominated(state):
             return False
         kept.append(state)
+        buckets.setdefault(state.size, []).append(state)
         queue.append(state)
         if len(kept) > max_kept:
             raise AnalysisBudgetExceeded(

@@ -5,19 +5,23 @@ from .builder import SchemeBuilder
 from .dot import hstate_to_dot, scheme_to_dot
 from .embedding import (
     PLAIN_EMBEDDING,
+    Embedder,
+    EmbeddingIndex,
     GapEmbedding,
     embeds,
     is_minimal_among,
+    naive_embeds,
     strictly_embeds,
 )
-from .hstate import EMPTY, HState, Path
+from .hstate import EMPTY, HState, Path, Signature
 from .scheme import Node, NodeKind, RPScheme
 from .semantics import AbstractSemantics, Descriptor, MemoizingSemantics, Transition
-from .generate import random_scheme, random_schemes
+from .generate import random_hstate, random_scheme, random_schemes
 from .isomorphism import find_isomorphism, isomorphic
 from .serialize import (hstate_from_json, hstate_to_json, scheme_from_dict, scheme_from_json, scheme_to_dict, scheme_to_json)
 
 __all__ = [
+    "random_hstate",
     "random_scheme",
     "random_schemes",
     "find_isomorphism",
@@ -37,13 +41,17 @@ __all__ = [
     "hstate_to_dot",
     "scheme_to_dot",
     "PLAIN_EMBEDDING",
+    "Embedder",
+    "EmbeddingIndex",
     "GapEmbedding",
     "embeds",
     "is_minimal_among",
+    "naive_embeds",
     "strictly_embeds",
     "EMPTY",
     "HState",
     "Path",
+    "Signature",
     "Node",
     "NodeKind",
     "RPScheme",

@@ -21,11 +21,21 @@ distinct source trees may embed into the *same* target tree provided their
 images are incomparable (e.g. ``{a, b}`` embeds into ``{c,{a, b}}``); the
 algorithm therefore assigns *groups* of source trees to target trees, with
 a bipartite-matching fast path for the common injective case.
+
+Fast path (see docs/performance.md).  Every :class:`~.hstate.HState`
+carries an interned :class:`~.hstate.Signature`; a query ``σ ⪯ σ'`` is
+*refuted* in O(distinct nodes) whenever σ's size, height or per-node
+occurrence counts are not dominated by σ's — checked before any recursive
+matching.  Memo tables are keyed by the states themselves (their hashes
+are cached), and an :class:`Embedder` can be shared across calls so the
+tables persist; :class:`EmbeddingIndex` manages one shared embedder per
+gap-predicate identity for the lifetime of an analysis session and counts
+calls, signature refutations and memo hits.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .hstate import HState
 
@@ -33,60 +43,160 @@ from .hstate import HState
 Tree = Tuple[str, HState]
 
 
-def embeds(small: HState, big: HState) -> bool:
+def embeds(small: HState, big: HState, *, embedder: Optional["Embedder"] = None) -> bool:
     """Decide the paper's forest embedding ``small ⪯ big``.
+
+    An *embedder* may be supplied to reuse its memo tables (and, if it
+    carries a gap condition, to decide that ⋆-embedding instead); without
+    one a throwaway signature-pruned embedder is used.
 
     >>> embeds(HState.parse("a,b"), HState.parse("c,{a,b}"))
     True
     >>> embeds(HState.parse("a,{b}"), HState.parse("b,{a}"))
     False
     """
-    return _Embedder().forest_embeds(small, big)
+    if embedder is None:
+        embedder = Embedder()
+    return embedder.forest_embeds(small, big)
 
 
-def strictly_embeds(small: HState, big: HState) -> bool:
+def naive_embeds(
+    small: HState, big: HState, gap_nodes: Optional[Iterable[str]] = None
+) -> bool:
+    """Reference implementation: per-call memo, no signature pruning.
+
+    This is the historical decision procedure, retained verbatim as the
+    differential-testing oracle for the accelerated path (and as the
+    "naive" arm of ``benchmarks/bench_wqo_index.py``).  Semantics are
+    identical to :func:`embeds` / :meth:`GapEmbedding.embeds`.
+    """
+    gaps = None if gap_nodes is None else frozenset(gap_nodes)
+    return Embedder(gap_nodes=gaps, signatures=False).forest_embeds(small, big)
+
+
+def strictly_embeds(
+    small: HState, big: HState, *, embedder: Optional["Embedder"] = None
+) -> bool:
     """``small ⪯ big`` and ``small ≠ big``."""
-    return small != big and embeds(small, big)
+    return small != big and embeds(small, big, embedder=embedder)
 
 
-def is_minimal_among(state: HState, others: Iterable[HState]) -> bool:
-    """``True`` iff no state in *others* strictly embeds into *state*."""
-    return not any(strictly_embeds(other, state) for other in others)
+def is_minimal_among(
+    state: HState,
+    others: Iterable[HState],
+    *,
+    embedder: Optional["Embedder"] = None,
+) -> bool:
+    """``True`` iff no state in *others* strictly embeds into *state*.
+
+    Pass a shared *embedder* when screening many states against the same
+    pool so all pairs reuse one set of memo tables.
+    """
+    if embedder is None:
+        embedder = Embedder()
+    return not any(
+        strictly_embeds(other, state, embedder=embedder) for other in others
+    )
 
 
-class _Embedder:
+class Embedder:
     """Memoised decision procedure for unordered forest embedding.
 
-    An optional *gap* predicate restricts which target invocations may be
+    An optional *gap_nodes* set restricts which target invocations may be
     deleted; ``None`` means every deletion is allowed (plain embedding).
+    With ``signatures=True`` (the default) queries are first screened by
+    the states' cached :class:`~.hstate.Signature`; ``signatures=False``
+    reproduces the unaccelerated reference behaviour.
+
+    Instances are reusable and accumulate memo tables plus three counters
+    (``calls``, ``sig_refutations``, ``memo_hits``); create one per gap
+    set and keep it for as long as the memoised pairs stay relevant — the
+    tables only ever grow (see :class:`EmbeddingIndex` for the managed,
+    session-lifetime variant).
     """
 
-    def __init__(self, gap: Optional[Callable[[str], bool]] = None) -> None:
-        self._gap = gap
+    __slots__ = (
+        "_gap_nodes",
+        "_signatures",
+        "_pair_memo",
+        "_tree_memo",
+        "_root_memo",
+        "_forest_memo",
+        "_deletable_memo",
+        "calls",
+        "sig_refutations",
+        "memo_hits",
+    )
+
+    def __init__(
+        self,
+        gap_nodes: Optional[FrozenSet[str]] = None,
+        *,
+        signatures: bool = True,
+    ) -> None:
+        self._gap_nodes = gap_nodes
+        self._signatures = signatures
+        self._pair_memo: Dict[Tuple[HState, HState], bool] = {}
         self._tree_memo: Dict[Tuple, bool] = {}
         self._root_memo: Dict[Tuple, bool] = {}
         self._forest_memo: Dict[Tuple, bool] = {}
-        self._deletable_memo: Dict[Tuple, bool] = {}
+        self._deletable_memo: Dict[Tree, bool] = {}
+        self.calls = 0
+        self.sig_refutations = 0
+        self.memo_hits = 0
+
+    @property
+    def gap_nodes(self) -> Optional[FrozenSet[str]]:
+        """The allowed gap nodes (``None`` = plain embedding)."""
+        return self._gap_nodes
+
+    def reset(self) -> None:
+        """Drop all memo tables, keeping the counters (naive-mode A/B)."""
+        self._pair_memo.clear()
+        self._tree_memo.clear()
+        self._root_memo.clear()
+        self._forest_memo.clear()
+        self._deletable_memo.clear()
 
     # -- public entry ---------------------------------------------------
 
     def forest_embeds(self, small: HState, big: HState) -> bool:
         """Decide whether forest *small* embeds into forest *big*."""
-        return self._forest(small.items, big.items)
+        self.calls += 1
+        if small is big:
+            return True
+        key = (small, big)
+        cached = self._pair_memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        if self._signatures and not small.signature.dominated_by(big.signature):
+            self.sig_refutations += 1
+            self._pair_memo[key] = False
+            return False
+        result = self._forest(small.items, big.items)
+        self._pair_memo[key] = result
+        return result
 
     # -- deletability (gap condition) ----------------------------------
 
     def _tree_deletable(self, tree: Tree) -> bool:
         """May the whole target *tree* be absent from the image?"""
-        if self._gap is None:
+        gaps = self._gap_nodes
+        if gaps is None:
             return True
-        key = (tree[0], tree[1].sort_key())
-        cached = self._deletable_memo.get(key)
+        if self._signatures:
+            # every node occurring anywhere in the tree must be a gap node;
+            # the fingerprint answers this without walking the tree
+            return tree[0] in gaps and all(
+                node in gaps for node in tree[1].signature.counts
+            )
+        cached = self._deletable_memo.get(tree)
         if cached is None:
-            cached = self._gap(tree[0]) and all(
+            cached = tree[0] in gaps and all(
                 self._tree_deletable(child) for child in tree[1].items
             )
-            self._deletable_memo[key] = cached
+            self._deletable_memo[tree] = cached
         return cached
 
     def _forest_deletable(self, forest: Sequence[Tree]) -> bool:
@@ -96,12 +206,14 @@ class _Embedder:
 
     def _tree(self, s: Tree, t: Tree) -> bool:
         """Source tree *s* embeds into target tree *t* (image root anywhere)."""
-        key = (s[0], s[1].sort_key(), t[0], t[1].sort_key())
+        if self._signatures and self._tree_refuted(s, t):
+            return False
+        key = (s, t)
         cached = self._tree_memo.get(key)
         if cached is not None:
             return cached
         result = self._root(s, t)
-        if not result and (self._gap is None or self._gap(t[0])):
+        if not result and (self._gap_nodes is None or t[0] in self._gap_nodes):
             # Drop the root of t and descend into one child; all sibling
             # subtrees of that child must then be deletable.
             children = t[1].items
@@ -113,11 +225,33 @@ class _Embedder:
         self._tree_memo[key] = result
         return result
 
+    def _tree_refuted(self, s: Tree, t: Tree) -> bool:
+        """Signature check for whole trees (roots included): True = impossible."""
+        s_sig, t_sig = s[1].signature, t[1].signature
+        if s_sig.size > t_sig.size or s_sig.height > t_sig.height:
+            self.sig_refutations += 1
+            return True
+        t_counts, t_root = t_sig.counts, t[0]
+        for node, need in s_sig.counts.items():
+            if node == s[0]:
+                need += 1
+            if t_counts.get(node, 0) + (1 if node == t_root else 0) < need:
+                self.sig_refutations += 1
+                return True
+        if s[0] not in s_sig.counts:
+            if t_counts.get(s[0], 0) + (1 if s[0] == t_root else 0) < 1:
+                self.sig_refutations += 1
+                return True
+        return False
+
     def _root(self, s: Tree, t: Tree) -> bool:
         """*s* embeds into *t* with root mapped to root."""
         if s[0] != t[0]:
             return False
-        key = (s[1].sort_key(), t[1].sort_key())
+        if self._signatures and not s[1].signature.dominated_by(t[1].signature):
+            self.sig_refutations += 1
+            return False
+        key = (s[1], t[1])
         cached = self._root_memo.get(key)
         if cached is None:
             cached = self._forest(s[1].items, t[1].items)
@@ -135,10 +269,7 @@ class _Embedder:
             return self._forest_deletable(targets)
         if sum(1 + s[1].size for s in sources) > sum(1 + t[1].size for t in targets):
             return False
-        key = (
-            tuple((s[0], s[1].sort_key()) for s in sources),
-            tuple((t[0], t[1].sort_key()) for t in targets),
-        )
+        key = (tuple(sources), tuple(targets))
         cached = self._forest_memo.get(key)
         if cached is not None:
             return cached
@@ -178,7 +309,7 @@ class _Embedder:
         for i in range(len(sources)):
             if not augment(i, set()):
                 return False
-        if self._gap is not None:
+        if self._gap_nodes is not None:
             leftovers = [t for j, t in enumerate(targets) if j not in match_of_target]
             if not self._forest_deletable(leftovers):
                 return False
@@ -217,9 +348,13 @@ class _Embedder:
             return self._tree(group[0], target)
         # ≥ 2 incomparable images inside one tree: all strictly below the
         # root, i.e. inside the children forest (root consumed as a gap).
-        if self._gap is not None and not self._gap(target[0]):
+        if self._gap_nodes is not None and target[0] not in self._gap_nodes:
             return False
         return self._forest(tuple(group), target[1].items)
+
+
+#: Backwards-compatible alias: the embedder used to be module-private.
+_Embedder = Embedder
 
 
 class GapEmbedding:
@@ -229,6 +364,10 @@ class GapEmbedding:
     *gap_nodes* to be deleted; ``GapEmbedding(None)`` allows everything and
     coincides with plain embedding.  Any restriction yields a finer
     ordering: ``σ ⪯⋆ σ'  ⟹  σ ⪯ σ'``.
+
+    Instances are stateless; to reuse memo tables across calls route the
+    queries through an :class:`EmbeddingIndex` (which keys its shared
+    embedders by the ``gap_nodes`` set) or pass ``embedder=``.
     """
 
     def __init__(self, gap_nodes: Optional[Iterable[str]] = None) -> None:
@@ -241,20 +380,35 @@ class GapEmbedding:
         """The allowed gap nodes, or ``None`` for the unrestricted variant."""
         return self._gap_nodes
 
-    def embeds(self, small: HState, big: HState) -> bool:
+    def embedder(self) -> Embedder:
+        """A fresh signature-pruned embedder deciding this ⋆-embedding."""
+        return Embedder(gap_nodes=self._gap_nodes)
+
+    def embeds(
+        self, small: HState, big: HState, *, embedder: Optional[Embedder] = None
+    ) -> bool:
         """Decide ``small ⪯⋆ big``."""
-        if self._gap_nodes is None:
-            return embeds(small, big)
-        gap_nodes = self._gap_nodes
-        return _Embedder(gap=lambda node: node in gap_nodes).forest_embeds(small, big)
+        if embedder is None:
+            embedder = self.embedder()
+        return embedder.forest_embeds(small, big)
 
-    def strictly_embeds(self, small: HState, big: HState) -> bool:
+    def strictly_embeds(
+        self, small: HState, big: HState, *, embedder: Optional[Embedder] = None
+    ) -> bool:
         """``small ⪯⋆ big`` and ``small ≠ big``."""
-        return small != big and self.embeds(small, big)
+        return small != big and self.embeds(small, big, embedder=embedder)
 
-    def dominates(self, state: HState, basis: Iterable[HState]) -> bool:
+    def dominates(
+        self,
+        state: HState,
+        basis: Iterable[HState],
+        *,
+        embedder: Optional[Embedder] = None,
+    ) -> bool:
         """``True`` iff *state* is in the upward closure (w.r.t. ⪯⋆) of *basis*."""
-        return any(self.embeds(low, state) for low in basis)
+        if embedder is None:
+            embedder = self.embedder()
+        return any(self.embeds(low, state, embedder=embedder) for low in basis)
 
     def __repr__(self) -> str:
         if self._gap_nodes is None:
@@ -265,3 +419,103 @@ class GapEmbedding:
 #: The unrestricted embedding, exposed with the same interface as
 #: :class:`GapEmbedding` so analysis code can take either.
 PLAIN_EMBEDDING = GapEmbedding(None)
+
+
+class EmbeddingIndex:
+    """Session-lifetime embedding memoisation, keyed by gap identity.
+
+    One shared :class:`Embedder` per gap-predicate identity (the
+    ``gap_nodes`` frozenset; ``None`` for plain embedding, which every
+    plain query shares), so the memoised pairs of *all* decision
+    procedures running on one :class:`~repro.analysis.session.AnalysisSession`
+    accumulate in the same tables.  Counters aggregate over all embedders
+    and feed ``AnalysisStats`` / ``rpcheck --stats``.
+
+    ``accelerated=False`` turns the index into the *naive* reference
+    harness: signature pruning is disabled and the memo tables are
+    dropped before every query (per-call memoisation only), reproducing
+    the historical cost model while keeping the counters — this is the
+    A/B switch used by ``benchmarks/bench_wqo_index.py``.
+
+    Identity caveat: two gap predicates are considered the same iff their
+    ``gap_nodes`` sets are equal; gap conditions not expressible as a
+    node set must not be routed through an index (see
+    docs/performance.md).
+    """
+
+    def __init__(self, *, accelerated: bool = True) -> None:
+        self.accelerated = accelerated
+        self._embedders: Dict[Optional[FrozenSet[str]], Embedder] = {}
+
+    def embedder_for(self, gap_nodes: Optional[FrozenSet[str]] = None) -> Embedder:
+        """The shared embedder deciding the (⋆-)embedding for *gap_nodes*."""
+        shared = self._embedders.get(gap_nodes)
+        if shared is None:
+            shared = Embedder(gap_nodes=gap_nodes, signatures=self.accelerated)
+            self._embedders[gap_nodes] = shared
+        elif not self.accelerated:
+            shared.reset()
+        return shared
+
+    def embeds(
+        self,
+        small: HState,
+        big: HState,
+        embedding: Optional[GapEmbedding] = None,
+    ) -> bool:
+        """Decide ``small ⪯ big`` (or ``⪯⋆`` under *embedding*), memoised."""
+        gap_nodes = None if embedding is None else embedding.gap_nodes
+        return self.embedder_for(gap_nodes).forest_embeds(small, big)
+
+    def strictly_embeds(
+        self,
+        small: HState,
+        big: HState,
+        embedding: Optional[GapEmbedding] = None,
+    ) -> bool:
+        """``small ⪯ big`` (or ``⪯⋆``) and ``small ≠ big``."""
+        return small != big and self.embeds(small, big, embedding)
+
+    def dominates(
+        self,
+        state: HState,
+        basis: Iterable[HState],
+        embedding: Optional[GapEmbedding] = None,
+    ) -> bool:
+        """``True`` iff some element of *basis* (⋆-)embeds into *state*."""
+        gap_nodes = None if embedding is None else embedding.gap_nodes
+        shared = self.embedder_for(gap_nodes)
+        return any(shared.forest_embeds(low, state) for low in basis)
+
+    # -- counters -------------------------------------------------------
+
+    @property
+    def calls(self) -> int:
+        """Top-level embedding queries answered so far."""
+        return sum(e.calls for e in self._embedders.values())
+
+    @property
+    def signature_refutations(self) -> int:
+        """Queries refuted by the signature domination test alone."""
+        return sum(e.sig_refutations for e in self._embedders.values())
+
+    @property
+    def memo_hits(self) -> int:
+        """Top-level queries answered from the session-lifetime pair memo."""
+        return sum(e.memo_hits for e in self._embedders.values())
+
+    def counters(self) -> Dict[str, int]:
+        """A snapshot of the aggregate counters (JSON-ready)."""
+        return {
+            "calls": self.calls,
+            "signature_refutations": self.signature_refutations,
+            "memo_hits": self.memo_hits,
+        }
+
+    def __repr__(self) -> str:
+        mode = "accelerated" if self.accelerated else "naive"
+        return (
+            f"EmbeddingIndex({mode}, gap_keys={len(self._embedders)}, "
+            f"calls={self.calls}, refutations={self.signature_refutations}, "
+            f"hits={self.memo_hits})"
+        )

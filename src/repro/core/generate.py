@@ -21,6 +21,7 @@ import random
 from typing import List, Optional
 
 from .builder import SchemeBuilder
+from .hstate import HState
 from .scheme import RPScheme
 
 
@@ -83,3 +84,31 @@ def random_schemes(
 ) -> List[RPScheme]:
     """A reproducible batch of random schemes."""
     return [random_scheme(base_seed + offset, **kwargs) for offset in range(count)]
+
+
+def random_hstate(
+    seed: int,
+    nodes: Optional[List[str]] = None,
+    max_size: int = 8,
+) -> HState:
+    """A random hierarchical state, deterministically from *seed*.
+
+    Draws a uniform size in ``0..max_size`` and a random unordered forest
+    of that many vertices labelled from *nodes* (default ``a/b/c`` — a
+    small alphabet keeps embedding queries non-trivial: distinct states
+    share labels, so refutations need structure, not just vocabulary).
+    Used by the differential tests of the accelerated embedding path.
+    """
+    rng = random.Random(seed)
+    alphabet = tuple(nodes) if nodes else ("a", "b", "c")
+    return _random_forest(rng, alphabet, rng.randint(0, max_size))
+
+
+def _random_forest(rng: random.Random, nodes, size: int) -> HState:
+    items = []
+    remaining = size
+    while remaining > 0:
+        take = rng.randint(1, remaining)
+        remaining -= take
+        items.append((rng.choice(nodes), _random_forest(rng, nodes, take - 1)))
+    return HState(items)

@@ -23,7 +23,7 @@ braces; commas are optional separators on input).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import NotationError, StateError
 
@@ -35,6 +35,70 @@ Path = Tuple[int, ...]
 Spec = Union[str, Tuple[str, object], "HState"]
 
 
+class Signature:
+    """A constant-size summary of a state used to *refute* embeddings fast.
+
+    Forest embedding is monotone in every component recorded here: if
+    ``σ ⪯ σ'`` then ``size(σ) ≤ size(σ')``, ``height(σ) ≤ height(σ')``,
+    and every scheme node occurs in ``σ`` at most as often as in ``σ'``.
+    :meth:`dominated_by` checks exactly these necessary conditions, so
+    ``not a.signature.dominated_by(b.signature)`` disproves ``a ⪯ b``
+    without touching the recursive matcher — the fast path of
+    :mod:`repro.core.embedding`.
+
+    Signatures are interned: states with identical summaries share one
+    instance, making the common ``self is other`` comparison O(1).  The
+    per-node occurrence fingerprint is bounded by the scheme's (finite)
+    node set, so each signature is constant-size for a fixed scheme.
+    """
+
+    __slots__ = ("size", "height", "width", "counts")
+
+    #: Process-lifetime intern table (see docs/performance.md for the
+    #: memory note); keyed by the full summary tuple.
+    _intern: Dict[Tuple, "Signature"] = {}
+
+    def __init__(self, size: int, height: int, width: int, counts: Mapping[str, int]) -> None:
+        self.size = size
+        self.height = height
+        self.width = width
+        self.counts: Dict[str, int] = dict(counts)
+
+    @classmethod
+    def of(cls, size: int, height: int, width: int, counts: Mapping[str, int]) -> "Signature":
+        """The interned signature with the given components."""
+        key = (size, height, width, tuple(sorted(counts.items())))
+        cached = cls._intern.get(key)
+        if cached is None:
+            cached = cls(size, height, width, counts)
+            cls._intern[key] = cached
+        return cached
+
+    def dominated_by(self, other: "Signature") -> bool:
+        """Necessary condition for embedding: every component ≤ *other*'s.
+
+        Returns ``False`` only when the corresponding embedding is
+        impossible; ``True`` says nothing beyond "not refuted".
+        """
+        if self is other:
+            return True
+        if self.size > other.size or self.height > other.height:
+            return False
+        if len(self.counts) > len(other.counts):
+            return False
+        other_counts = other.counts
+        for node, count in self.counts.items():
+            if other_counts.get(node, 0) < count:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Signature(size={self.size}, height={self.height}, "
+            f"width={self.width}, counts={dict(sorted(self.counts.items()))!r})"
+        )
+
+
 class HState:
     """An immutable hierarchical state (a finite multiset of invocations).
 
@@ -42,7 +106,7 @@ class HState:
     order are equal, hash equal and share the same notation string.
     """
 
-    __slots__ = ("_items", "_key", "_hash", "_size", "_height")
+    __slots__ = ("_items", "_key", "_hash", "_size", "_height", "_signature")
 
     def __init__(self, items: Iterable[Tuple[str, "HState"]] = ()) -> None:
         pairs: List[Tuple[str, HState]] = []
@@ -58,6 +122,14 @@ class HState:
         self._hash: int = hash(self._key)
         self._size: int = sum(1 + child._size for _, child in self._items)
         self._height: int = max((1 + child._height for _, child in self._items), default=0)
+        counts: Dict[str, int] = {}
+        for node, child in self._items:
+            counts[node] = counts.get(node, 0) + 1
+            for inner, occurrences in child._signature.counts.items():
+                counts[inner] = counts.get(inner, 0) + occurrences
+        self._signature: Signature = Signature.of(
+            self._size, self._height, len(self._items), counts
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -146,6 +218,11 @@ class HState:
         """Number of top-level invocations."""
         return len(self._items)
 
+    @property
+    def signature(self) -> Signature:
+        """The interned embedding-refutation summary (see :class:`Signature`)."""
+        return self._signature
+
     def is_empty(self) -> bool:
         """``True`` iff this is the terminated state ``∅``."""
         return not self._items
@@ -233,33 +310,18 @@ class HState:
         """Multiset of all scheme nodes occurring anywhere in the state.
 
         This is the *marking* view of Fig. 4: how many tokens sit on each
-        scheme node, forgetting the parent-child hierarchy.
+        scheme node, forgetting the parent-child hierarchy.  Answered in
+        O(distinct nodes) from the cached :class:`Signature` fingerprint.
         """
-        counts: Counter = Counter()
-        stack: List[HState] = [self]
-        while stack:
-            state = stack.pop()
-            for node, child in state._items:
-                counts[node] += 1
-                if child._items:
-                    stack.append(child)
-        return counts
+        return Counter(self._signature.counts)
 
     def top_nodes(self) -> Counter:
         """Multiset of the nodes of top-level invocations only."""
         return Counter(node for node, _ in self._items)
 
     def contains_node(self, node: str) -> bool:
-        """``True`` iff some invocation anywhere is at *node*."""
-        stack: List[HState] = [self]
-        while stack:
-            state = stack.pop()
-            for item_node, child in state._items:
-                if item_node == node:
-                    return True
-                if child._items:
-                    stack.append(child)
-        return False
+        """``True`` iff some invocation anywhere is at *node* (O(1))."""
+        return node in self._signature.counts
 
     def contains_all_nodes(self, nodes: Sequence[str]) -> bool:
         """``True`` iff every node of *nodes* occurs somewhere in the state.
@@ -267,14 +329,14 @@ class HState:
         Multiplicities are respected: ``contains_all_nodes(["q", "q"])``
         requires two distinct invocations at ``q``.
         """
-        counts = self.node_multiset()
+        counts = self._signature.counts
         needed = Counter(nodes)
-        return all(counts[node] >= count for node, count in needed.items())
+        return all(counts.get(node, 0) >= count for node, count in needed.items())
 
     def contains_any_node(self, nodes: Iterable[str]) -> bool:
         """``True`` iff at least one node of *nodes* occurs in the state."""
-        wanted = set(nodes)
-        return any(node in wanted for node in self.node_multiset())
+        counts = self._signature.counts
+        return any(node in counts for node in nodes)
 
     # ------------------------------------------------------------------
     # Positions and surgery (used by the operational semantics)

@@ -4,8 +4,11 @@ from .basis import UpwardClosedSet, antichain
 from .higman import multiset_leq, multiset_order, subword_leq, subword_order
 from .kruskal import (
     bad_sequence_extension,
+    embedding_upward_closed,
     gap_embedding_order,
     greedy_bad_sequence,
+    signature_compatible,
+    state_signature,
     tree_embedding_order,
 )
 from .orderings import (
@@ -26,8 +29,11 @@ __all__ = [
     "subword_leq",
     "subword_order",
     "bad_sequence_extension",
+    "embedding_upward_closed",
     "gap_embedding_order",
     "greedy_bad_sequence",
+    "signature_compatible",
+    "state_signature",
     "tree_embedding_order",
     "QuasiOrder",
     "check_increasing_pair",

@@ -15,16 +15,24 @@ minimal-bad-sequence utilities used to test the wqo property empirically.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from ..core.embedding import GapEmbedding, embeds
-from ..core.hstate import HState
+from ..core.hstate import HState, Signature
+from .basis import UpwardClosedSet
 from .orderings import QuasiOrder
 
 
-def tree_embedding_order() -> QuasiOrder:
-    """The paper's embedding ``⪯`` on hierarchical states, as a wqo."""
-    return QuasiOrder(embeds, name="⪯")
+def tree_embedding_order(
+    leq: Optional[Callable[[HState, HState], bool]] = None
+) -> QuasiOrder:
+    """The paper's embedding ``⪯`` on hierarchical states, as a wqo.
+
+    *leq* substitutes an equivalent decision procedure — typically the
+    session-memoised ``EmbeddingIndex.embeds`` — without changing the
+    order's meaning.
+    """
+    return QuasiOrder(leq if leq is not None else embeds, name="⪯")
 
 
 def gap_embedding_order(gap_nodes: Optional[Iterable[str]]) -> QuasiOrder:
@@ -36,6 +44,38 @@ def gap_embedding_order(gap_nodes: Optional[Iterable[str]]) -> QuasiOrder:
     """
     gap = GapEmbedding(gap_nodes)
     return QuasiOrder(gap.embeds, name=f"⪯⋆{gap!r}")
+
+
+def state_signature(state: HState) -> Signature:
+    """The measure used to index state bases (see :mod:`repro.wqo.basis`)."""
+    return state.signature
+
+
+def signature_compatible(small: Signature, big: Signature) -> bool:
+    """``a ⪯ b`` can only hold when ``signature(a)`` is dominated by
+    ``signature(b)`` — the compatibility test for indexed bases."""
+    return small.dominated_by(big)
+
+
+def embedding_upward_closed(
+    basis: Iterable[HState] = (),
+    *,
+    leq: Optional[Callable[[HState, HState], bool]] = None,
+) -> UpwardClosedSet:
+    """A signature-indexed upward-closed set of hierarchical states.
+
+    Membership and minimality candidates are screened by the states'
+    cached signatures before any ``leq`` (embedding) call; *leq* routes
+    the surviving calls through a shared memo (e.g. an
+    ``EmbeddingIndex``).  Antichain-equal to the unindexed representation
+    on any input.
+    """
+    return UpwardClosedSet(
+        tree_embedding_order(leq),
+        basis,
+        measure=state_signature,
+        compatible=signature_compatible,
+    )
 
 
 def bad_sequence_extension(

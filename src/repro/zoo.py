@@ -267,6 +267,70 @@ def wait_blocked() -> RPScheme:
     return b.build(root="m0")
 
 
+def deep_pipeline(segments: int) -> RPScheme:
+    """Unbounded-*depth* family: a pipeline of self-recursive segments.
+
+    Segment ``i`` may recurse into itself (pcall + wait, growing the
+    hierarchy arbitrarily deep) and then hands over to segment ``i+1``.
+    Reachable states are tall and narrow with *segments* distinct node
+    alphabets along the way — the shape on which per-node occurrence
+    fingerprints refute most embedding queries outright.
+    """
+    b = SchemeBuilder(f"pipeline{segments}")
+    for i in range(segments):
+        b.test(f"d{i}_0", f"b{i}", then=f"d{i}_1", orelse=f"d{i}_3")
+        b.pcall(f"d{i}_1", invoked=f"d{i}_0", succ=f"d{i}_2")
+        b.wait(f"d{i}_2", f"d{i}_3")
+        if i + 1 < segments:
+            b.pcall(f"d{i}_3", invoked=f"d{i + 1}_0", succ=f"d{i}_4")
+            b.end(f"d{i}_4")
+        else:
+            b.end(f"d{i}_3")
+        b.procedure(f"segment{i}", f"d{i}_0")
+    return b.build(root="d0_0")
+
+
+def wide_mix(kinds: int) -> RPScheme:
+    """Unbounded-*width* family: a loop spawning *kinds* distinct workers.
+
+    Each loop round spawns one worker of every kind, so reachable states
+    are wide flat forests mixing ``kinds`` different worker alphabets in
+    varying proportions — lots of same-size, different-fingerprint states.
+    """
+    b = SchemeBuilder(f"widemix{kinds}")
+    b.test("m0", "more", then="m1", orelse="mend")
+    for k in range(kinds):
+        succ = f"m{k + 2}" if k + 1 < kinds else "m0"
+        b.pcall(f"m{k + 1}", invoked=f"w{k}_0", succ=succ)
+    b.end("mend")
+    for k in range(kinds):
+        b.action(f"w{k}_0", f"work{k}", f"w{k}_1")
+        b.end(f"w{k}_1")
+        b.procedure(f"worker{k}", f"w{k}_0")
+    b.procedure("main", "m0")
+    return b.build(root="m0")
+
+
+def mixed_grove(depth: int, width: int) -> RPScheme:
+    """Bounded family with a state space exponential in *depth*.
+
+    Generalises :func:`call_ladder`: each level pcalls the next level
+    *width* times before waiting, so intermediate states are bushy trees
+    of height up to *depth* — deep *and* wide at once.
+    """
+    b = SchemeBuilder(f"grove{depth}x{width}")
+    for i in range(depth):
+        for j in range(width):
+            b.pcall(f"g{i}_{j}", invoked=f"g{i + 1}_0", succ=f"g{i}_{j + 1}")
+        b.wait(f"g{i}_{width}", f"g{i}_done")
+        b.end(f"g{i}_done")
+        b.procedure(f"level{i}", f"g{i}_0")
+    b.action(f"g{depth}_0", "leaf", f"g{depth}_1")
+    b.end(f"g{depth}_1")
+    b.procedure(f"level{depth}", f"g{depth}_0")
+    return b.build(root="g0_0")
+
+
 ZOO_BOUNDED = [
     ("chain", lambda: terminating_chain(5)),
     ("spawn3", lambda: bounded_spawner(3)),
@@ -286,3 +350,12 @@ ZOO_UNBOUNDED = [
 ]
 
 ZOO_ALL = ZOO_BOUNDED + ZOO_UNBOUNDED
+
+#: Embedding-heavy parametric instances for the WQO fast-path benchmark and
+#: its differential tests (kept out of ``ZOO_ALL`` — these are deliberately
+#: larger than the instances the ordinary test-suite sweeps).
+ZOO_WQO_BENCH = [
+    ("pipeline3", lambda: deep_pipeline(3)),
+    ("widemix4", lambda: wide_mix(4)),
+    ("grove2x3", lambda: mixed_grove(2, 3)),
+]

@@ -1,0 +1,187 @@
+"""Differential tests for the WQO embedding fast path.
+
+The accelerated decision procedure (signature refutation + shared memo,
+:class:`repro.core.embedding.Embedder` / :class:`EmbeddingIndex`) must
+agree with the retained naive reference (:func:`repro.core.embedding.naive_embeds`)
+on every query — plain and gap variants alike — and the signature-indexed
+antichain stores must produce antichain-equal bases to the unindexed
+representation.  States come from the seeded generator of
+:mod:`repro.core.generate` plus hypothesis-drawn ones, so the space of
+shapes (shared labels, deep/wide mixes) is swept reproducibly.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.embedding import (
+    Embedder,
+    EmbeddingIndex,
+    GapEmbedding,
+    embeds,
+    is_minimal_among,
+    naive_embeds,
+    strictly_embeds,
+)
+from repro.core.generate import random_hstate
+from repro.core.hstate import HState, Signature
+from repro.wqo import (
+    UpwardClosedSet,
+    antichain,
+    embedding_upward_closed,
+    minimal_elements,
+    signature_compatible,
+    state_signature,
+    tree_embedding_order,
+)
+
+from .test_hstate import hstates
+
+P = HState.parse
+
+GAP_SETS = [None, frozenset(), frozenset({"a"}), frozenset({"a", "b", "c"})]
+
+
+def _pool(base_seed, count, max_size=7):
+    return [random_hstate(base_seed + i, max_size=max_size) for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Signatures
+# ----------------------------------------------------------------------
+
+
+class TestSignature:
+    def test_interned(self):
+        a = P("a,{b,c}")
+        b = P("a,{c,b}")
+        assert a.signature is b.signature
+
+    def test_domination_is_necessary(self):
+        for i, j in itertools.product(range(40), repeat=2):
+            small, big = random_hstate(i), random_hstate(1000 + j)
+            if naive_embeds(small, big):
+                assert small.signature.dominated_by(big.signature)
+
+    def test_domination_fields(self):
+        sig = P("a,{b,b}").signature
+        assert isinstance(sig, Signature)
+        assert sig.size == 3 and sig.height == 2
+        assert sig.counts == {"a": 1, "b": 2}
+
+    @given(hstates(), hstates())
+    @settings(max_examples=150, deadline=None)
+    def test_domination_never_lies(self, small, big):
+        if not small.signature.dominated_by(big.signature):
+            assert not naive_embeds(small, big)
+
+
+# ----------------------------------------------------------------------
+# Accelerated vs naive decision procedure
+# ----------------------------------------------------------------------
+
+
+class TestDifferentialEmbeds:
+    @pytest.mark.parametrize("gap", GAP_SETS, ids=["plain", "empty", "a", "abc"])
+    def test_random_pairs_agree(self, gap):
+        index = EmbeddingIndex()
+        embedding = None if gap is None else GapEmbedding(gap)
+        pool = _pool(0, 25)
+        for small, big in itertools.product(pool, repeat=2):
+            expected = naive_embeds(small, big, gap)
+            assert index.embeds(small, big, embedding) == expected
+            # ask again: the memoised answer must not drift
+            assert index.embeds(small, big, embedding) == expected
+
+    @given(hstates(), hstates())
+    @settings(max_examples=200, deadline=None)
+    def test_hypothesis_pairs_agree(self, small, big):
+        assert embeds(small, big) == naive_embeds(small, big)
+
+    def test_shared_embedder_matches_throwaway(self):
+        shared = Embedder()
+        pool = _pool(50, 20)
+        for small, big in itertools.product(pool, repeat=2):
+            assert shared.forest_embeds(small, big) == embeds(small, big)
+
+    def test_strictly_embeds_with_shared_embedder(self):
+        shared = Embedder()
+        pool = _pool(100, 15)
+        for small, big in itertools.product(pool, repeat=2):
+            assert strictly_embeds(small, big, embedder=shared) == (
+                small != big and naive_embeds(small, big)
+            )
+
+    def test_is_minimal_among_with_shared_embedder(self):
+        shared = Embedder()
+        pool = _pool(150, 15)
+        for state in pool:
+            expected = not any(
+                other != state and naive_embeds(other, state) for other in pool
+            )
+            assert is_minimal_among(state, pool, embedder=shared) == expected
+
+    def test_counters_move(self):
+        index = EmbeddingIndex()
+        small, big = P("a,{b}"), P("c,{a,{b},d}")
+        assert index.embeds(small, big)
+        assert index.embeds(small, big)
+        assert index.calls == 2
+        assert index.memo_hits == 1
+        assert not index.embeds(P("z"), big)
+        assert index.signature_refutations >= 1
+
+    def test_naive_mode_agrees_and_never_refutes(self):
+        naive = EmbeddingIndex(accelerated=False)
+        pool = _pool(200, 15)
+        for small, big in itertools.product(pool, repeat=2):
+            assert naive.embeds(small, big) == naive_embeds(small, big)
+        assert naive.signature_refutations == 0
+
+
+# ----------------------------------------------------------------------
+# Indexed antichain stores
+# ----------------------------------------------------------------------
+
+
+def _antichain_key(states):
+    return sorted(s.sort_key() for s in states)
+
+
+class TestIndexedBasis:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_upward_closed_basis_matches_unindexed(self, seed):
+        states = _pool(seed * 100, 30, max_size=6)
+        plain = UpwardClosedSet(tree_embedding_order(), states)
+        indexed = embedding_upward_closed(states)
+        assert _antichain_key(indexed.basis) == _antichain_key(plain.basis)
+        for probe in _pool(seed * 100 + 50, 20, max_size=6):
+            assert (probe in indexed) == (probe in plain)
+
+    def test_antichain_helper_matches_minimal_elements(self):
+        states = _pool(700, 40, max_size=6)
+        order = tree_embedding_order()
+        expected = minimal_elements(order, states)
+        indexed = antichain(
+            order, states, measure=state_signature, compatible=signature_compatible
+        )
+        assert _antichain_key(indexed) == _antichain_key(expected)
+
+    def test_union_and_inclusion_preserve_index(self):
+        order = tree_embedding_order()
+        left = embedding_upward_closed(_pool(800, 12, max_size=5))
+        right = embedding_upward_closed(_pool(850, 12, max_size=5))
+        union = left.union(right)
+        plain = UpwardClosedSet(order, list(left.basis) + list(right.basis))
+        assert _antichain_key(union.basis) == _antichain_key(plain.basis)
+        assert union.includes(left) and union.includes(right)
+
+    def test_add_reports_growth_identically(self):
+        order = tree_embedding_order()
+        plain = UpwardClosedSet(order)
+        indexed = embedding_upward_closed()
+        for state in _pool(900, 40, max_size=5):
+            assert indexed.add(state) == plain.add(state)
+        assert _antichain_key(indexed.basis) == _antichain_key(plain.basis)
