@@ -1,0 +1,159 @@
+"""Shared benchmark harness: warmup / repeat / minimum-of, on the registry.
+
+Every benchmark in this directory used to hand-roll its own
+``time.perf_counter()`` loops and its own ad-hoc JSON shape.  This module
+centralises both:
+
+* :class:`BenchHarness` — warmup runs (excluded from timing), N repeats,
+  minimum-of aggregation; every measured cell is recorded into a
+  :class:`~repro.obs.MetricsRegistry` (``bench.seconds{cell=...}``) and as
+  a span in an in-memory trace, so the artefacts carry the raw
+  observations, not just the summary;
+* the standardized **BENCH schema** (``repro-bench/1``)::
+
+      {
+        "schema":  "repro-bench/1",
+        "meta":    {"benchmark": ..., "python": ..., "platform": ...},
+        "metrics": <MetricsRegistry.as_dict()>,
+        "spans":   [<span/event records>],
+        "results": <benchmark-specific payload>
+      }
+
+  validated by ``benchmarks/check_bench_schema.py`` in CI.
+
+Run any benchmark with ``PYTHONPATH=src``; the harness has no
+dependencies beyond ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs import MemorySink, MetricsRegistry, Tracer
+
+#: The BENCH artefact schema version (bump on breaking shape changes).
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Repository root (BENCH_*.json artefacts live here).
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class BenchHarness:
+    """Warmup/repeat/minimum-of measurement recording into ``repro.obs``.
+
+    Parameters
+    ----------
+    name:
+        The benchmark name (becomes ``meta.benchmark`` and the artefact
+        file name ``BENCH_<name>.json``).
+    warmup:
+        Un-timed runs of each measured callable before timing starts
+        (cache priming; 0 for cold-cost benchmarks).
+    repeats:
+        Timed runs per cell; the reported figure is the minimum.
+    """
+
+    def __init__(self, name: str, *, warmup: int = 0, repeats: int = 3) -> None:
+        self.name = name
+        self.warmup = warmup
+        self.repeats = repeats
+        self.metrics = MetricsRegistry()
+        self.sink = MemorySink()
+        self.tracer = Tracer(self.sink)
+        self._seconds = self.metrics.histogram(
+            "bench.seconds", "best-of-N seconds per measured cell"
+        )
+        self._runs = self.metrics.counter(
+            "bench.runs", "timed runs executed (excluding warmup)"
+        )
+
+    def measure(
+        self,
+        cell: str,
+        fn: Callable[[], Any],
+        *,
+        warmup: Optional[int] = None,
+        repeats: Optional[int] = None,
+    ) -> Tuple[float, Any]:
+        """Time ``fn()`` and return ``(best_seconds, last_result)``.
+
+        Runs *warmup* un-timed calls, then *repeats* timed ones, keeping
+        the minimum.  The cell lands in the registry
+        (``bench.seconds{cell=...}``) and in the trace as one span per
+        timed run (attrs carry the repeat index), so per-run jitter stays
+        inspectable in the artefact.
+        """
+        warmup = self.warmup if warmup is None else warmup
+        repeats = self.repeats if repeats is None else repeats
+        for _ in range(max(0, warmup)):
+            fn()
+        best: Optional[float] = None
+        result: Any = None
+        for repeat in range(max(1, repeats)):
+            with self.tracer.span(f"bench.{cell}", repeat=repeat):
+                start = time.perf_counter()
+                result = fn()
+                elapsed = time.perf_counter() - start
+            self._runs.inc()
+            if best is None or elapsed < best:
+                best = elapsed
+        self._seconds.labels(cell=cell).observe(best)
+        return best, result
+
+    def payload(
+        self,
+        results: Any = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """The BENCH-schema dict for this harness's recordings."""
+        return bench_payload(
+            self.name,
+            metrics=self.metrics,
+            spans=list(self.sink.records),
+            results=results,
+            meta={"warmup": self.warmup, "repeats": self.repeats, **(meta or {})},
+        )
+
+    def write(
+        self,
+        results: Any = None,
+        meta: Optional[Dict[str, Any]] = None,
+        path: Optional[pathlib.Path] = None,
+    ) -> pathlib.Path:
+        """Write ``BENCH_<name>.json`` at the repo root; returns the path."""
+        target = path if path is not None else REPO_ROOT / f"BENCH_{self.name}.json"
+        write_bench(target, self.payload(results=results, meta=meta))
+        return target
+
+
+def bench_payload(
+    name: str,
+    *,
+    metrics: MetricsRegistry,
+    spans: list,
+    results: Any = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a ``repro-bench/1`` payload from its parts."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "meta": {
+            "benchmark": name,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            **(meta or {}),
+        },
+        "metrics": metrics.as_dict(),
+        "spans": spans,
+        "results": results,
+    }
+
+
+def write_bench(path, payload: Dict[str, Any]) -> None:
+    """Write one BENCH JSON artefact (pretty-printed, repr-degraded)."""
+    text = json.dumps(payload, indent=2, default=repr) + "\n"
+    pathlib.Path(path).write_text(text, encoding="utf-8")

@@ -1,0 +1,167 @@
+"""Overhead of the observability layer on the WQO benchmark families.
+
+The tracing/metrics instrumentation is permanently threaded through the
+analysis engine (``AnalysisSession.explore`` samples the frontier gauge
+every iteration; every decision procedure opens a phase span).  This
+benchmark quantifies what that costs, per arm:
+
+* **baseline** — the obs hooks monkeypatched to pure no-ops
+  (``GaugeMetric.set``, ``Tracer.span``, ``Tracer.event``): a proxy for
+  the pre-instrumentation hot path;
+* **disabled** — the shipped default: a sink-less :class:`Tracer` (shared
+  no-op span) and a live :class:`MetricsRegistry`.  This is what every
+  user who does not pass ``--trace`` runs;
+* **traced** — full JSONL tracing to a scratch file, for context.
+
+Workload: one cold ``boundedness`` query per scheme of
+:data:`repro.zoo.ZOO_WQO_BENCH` (the embedding/exploration-heavy matrix),
+best-of-N with fresh scheme and session per repeat.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke]
+
+Writes ``BENCH_obs_overhead.json`` (``repro-bench/1`` schema).  The PR
+acceptance bar: **disabled-vs-baseline aggregate overhead < 5%**; the
+artefact records the percentage under
+``results.aggregate.disabled_overhead_pct``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+import tempfile
+
+from _harness import BenchHarness
+from repro.analysis import boundedness
+from repro.analysis.session import AnalysisSession
+from repro.errors import AnalysisBudgetExceeded
+from repro.obs import JsonlSink, NOOP_SPAN, Tracer
+from repro.obs.metrics import GaugeMetric
+from repro.zoo import ZOO_WQO_BENCH
+
+MAX_STATES = 2_000
+REPEATS = 5
+
+
+@contextlib.contextmanager
+def _obs_stubbed():
+    """Temporarily strip the obs hooks down to no-ops (the baseline arm).
+
+    Approximates the pre-instrumentation engine: the call sites stay (the
+    whole point is measuring their residual cost is what we *cannot*
+    remove), but gauge sampling, span bookkeeping, and events all reduce
+    to constant-time stubs.
+    """
+    originals = (GaugeMetric.set, Tracer.span, Tracer.event)
+    GaugeMetric.set = lambda self, value: None
+    Tracer.span = lambda self, name, **attrs: NOOP_SPAN
+    Tracer.event = lambda self, name, **attrs: None
+    try:
+        yield
+    finally:
+        GaugeMetric.set, Tracer.span, Tracer.event = originals
+
+
+def _run_boundedness(scheme, tracer):
+    session = AnalysisSession(scheme, tracer=tracer)
+    try:
+        verdict = boundedness(scheme, max_states=MAX_STATES, session=session)
+        return {"holds": verdict.holds}
+    except AnalysisBudgetExceeded as exc:
+        return {"budget_exceeded": True, "explored": exc.explored}
+
+
+def run(smoke: bool = False) -> tuple:
+    repeats = 1 if smoke else REPEATS
+    harness = BenchHarness("obs_overhead", warmup=1, repeats=repeats)
+    trace_path = os.path.join(tempfile.gettempdir(), "bench_obs_overhead.jsonl")
+    cells = []
+    totals = {"baseline": 0.0, "disabled": 0.0, "traced": 0.0}
+    for name, factory in ZOO_WQO_BENCH:
+        row = {"scheme": name}
+        with _obs_stubbed():
+            baseline, out_base = harness.measure(
+                f"{name}/baseline", lambda: _run_boundedness(factory(), None)
+            )
+        disabled, out_disabled = harness.measure(
+            f"{name}/disabled", lambda: _run_boundedness(factory(), None)
+        )
+        sink = JsonlSink(trace_path)
+        tracer = Tracer(sink)
+        traced, out_traced = harness.measure(
+            f"{name}/traced", lambda: _run_boundedness(factory(), tracer)
+        )
+        tracer.close()
+        if not (out_base == out_disabled == out_traced):
+            raise AssertionError(
+                f"{name}: arms disagree: {out_base!r} / {out_disabled!r} / "
+                f"{out_traced!r}"
+            )
+        totals["baseline"] += baseline
+        totals["disabled"] += disabled
+        totals["traced"] += traced
+        row.update(
+            baseline_seconds=baseline,
+            disabled_seconds=disabled,
+            traced_seconds=traced,
+            disabled_overhead_pct=100.0 * (disabled - baseline) / baseline,
+            traced_overhead_pct=100.0 * (traced - baseline) / baseline,
+            outcome=out_disabled,
+        )
+        cells.append(row)
+    aggregate = {
+        "baseline_seconds": totals["baseline"],
+        "disabled_seconds": totals["disabled"],
+        "traced_seconds": totals["traced"],
+        "disabled_overhead_pct": 100.0
+        * (totals["disabled"] - totals["baseline"])
+        / totals["baseline"],
+        "traced_overhead_pct": 100.0
+        * (totals["traced"] - totals["baseline"])
+        / totals["baseline"],
+    }
+    results = {
+        "benchmark": "obs_overhead",
+        "smoke": smoke,
+        "max_states": MAX_STATES,
+        "repeats": repeats,
+        "workload": "boundedness, cold session per repeat",
+        "cells": cells,
+        "aggregate": aggregate,
+        "acceptance": {
+            "disabled_overhead_budget_pct": 5.0,
+            "within_budget": aggregate["disabled_overhead_pct"] < 5.0,
+        },
+    }
+    with contextlib.suppress(OSError):
+        os.remove(trace_path)
+    return results, harness
+
+
+def main(argv=None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    results, harness = run(smoke=smoke)
+    agg = results["aggregate"]
+    print(
+        f"disabled overhead: {agg['disabled_overhead_pct']:+.2f}% "
+        f"(baseline {agg['baseline_seconds']:.3f}s, "
+        f"disabled {agg['disabled_seconds']:.3f}s)  "
+        f"[budget < 5%: {'PASS' if results['acceptance']['within_budget'] else 'FAIL'}]"
+    )
+    print(
+        f"traced overhead  : {agg['traced_overhead_pct']:+.2f}% "
+        f"(traced {agg['traced_seconds']:.3f}s)"
+    )
+    if smoke:
+        print("smoke run: JSON not written")
+        return
+    out = harness.write(results=results, meta={"max_states": MAX_STATES})
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

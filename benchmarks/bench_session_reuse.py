@@ -12,18 +12,16 @@ Run as a script (no pytest-benchmark dependency)::
 
     PYTHONPATH=src python benchmarks/bench_session_reuse.py
 
-Writes ``BENCH_session_reuse.json`` next to the repository root with the
-per-scheme timings, the speedup, and the warm session's
-``AnalysisStats`` snapshot.  The PR acceptance bar is warm ≥ 2× cold on
+Writes ``BENCH_session_reuse.json`` at the repository root in the
+``repro-bench/1`` schema (see ``benchmarks/_harness.py``): per-scheme
+timings and speedups under ``results``, the raw per-repeat observations
+in ``metrics``/``spans``.  The PR acceptance bar is warm ≥ 2× cold on
 the aggregate.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
-import time
-
+from _harness import BenchHarness
 from repro.analysis import AnalysisSession, boundedness, halts, node_reachable
 from repro.errors import AnalysisBudgetExceeded
 from repro.zoo import ZOO_ALL
@@ -48,40 +46,28 @@ def _query_mix(scheme, session):
             pass
 
 
-def _time_cold(scheme) -> float:
-    start = time.perf_counter()
-    for procedure in (boundedness, halts):
-        try:
-            procedure(scheme, max_states=MAX_STATES)
-        except AnalysisBudgetExceeded:
-            pass
-    for node in scheme.node_ids:
-        try:
-            node_reachable(scheme, node, max_states=MAX_STATES)
-        except AnalysisBudgetExceeded:
-            pass
-    return time.perf_counter() - start
-
-
-def _time_warm(scheme):
-    session = AnalysisSession(scheme)
-    start = time.perf_counter()
-    _query_mix(scheme, session)
-    return time.perf_counter() - start, session
-
-
-def run() -> dict:
+def run() -> tuple:
+    harness = BenchHarness("session_reuse", warmup=0, repeats=REPEATS)
     results = []
     total_cold = total_warm = 0.0
     for name, factory in ZOO_ALL:
         scheme = factory()
-        cold = min(_time_cold(scheme) for _ in range(REPEATS))
+        cold, _ = harness.measure(
+            f"{name}/cold", lambda: _query_mix(scheme, None)
+        )
         warm_best = None
         warm_session = None
         for _ in range(REPEATS):
-            elapsed, session = _time_warm(scheme)
+            session = AnalysisSession(scheme)
+            elapsed, _ = harness.measure(
+                f"{name}/warm",
+                lambda: _query_mix(scheme, session),
+                warmup=0,
+                repeats=1,
+            )
             if warm_best is None or elapsed < warm_best:
                 warm_best, warm_session = elapsed, session
+        warm_session.sync_metrics()
         total_cold += cold
         total_warm += warm_best
         results.append(
@@ -94,7 +80,7 @@ def run() -> dict:
                 "warm_stats": warm_session.stats.as_dict(),
             }
         )
-    return {
+    payload = {
         "benchmark": "session_reuse",
         "max_states": MAX_STATES,
         "repeats": REPEATS,
@@ -103,12 +89,12 @@ def run() -> dict:
         "total_warm_seconds": total_warm,
         "aggregate_speedup": total_cold / total_warm if total_warm else float("inf"),
     }
+    return payload, harness
 
 
 def main() -> None:
-    payload = run()
-    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_session_reuse.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    payload, harness = run()
+    out = harness.write(results=payload, meta={"max_states": MAX_STATES})
     print(f"wrote {out}")
     print(f"aggregate speedup: {payload['aggregate_speedup']:.2f}x "
           f"(cold {payload['total_cold_seconds']:.3f}s, "

@@ -17,26 +17,28 @@ aggregate speedups and the indexed arm's embedding counters.
 
 Run as a script (no pytest-benchmark dependency)::
 
-    PYTHONPATH=src python benchmarks/bench_wqo_index.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_wqo_index.py [--smoke] [--trace F]
 
-Writes ``BENCH_wqo_index.json`` at the repository root.  ``--smoke`` runs
-a reduced matrix (one repeat, smaller budgets) without writing the JSON —
-the CI sanity pass.  The PR acceptance bar is a ≥ 2× aggregate speedup on
-at least two of the three procedures.
+Writes ``BENCH_wqo_index.json`` at the repository root in the
+``repro-bench/1`` schema (see ``benchmarks/_harness.py``).  ``--smoke``
+runs a reduced matrix (one repeat, smaller budgets) without writing the
+JSON — the CI sanity pass; ``--trace FILE`` additionally records a JSONL
+span trace of the indexed arm's sessions (uploaded as a CI artifact).
+The PR acceptance bar is a ≥ 2× aggregate speedup on at least two of the
+three procedures.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
 import sys
-import time
 
+from _harness import BenchHarness
 from repro.analysis import boundedness, inevitability, sup_reachability
 from repro.analysis.session import AnalysisSession
 from repro.core.embedding import EmbeddingIndex
 from repro.core.hstate import HState
 from repro.errors import AnalysisBudgetExceeded
+from repro.obs import JsonlSink, Tracer
 from repro.zoo import ZOO_WQO_BENCH
 
 MAX_STATES = 2_500
@@ -63,11 +65,22 @@ def _run_procedure(procedure: str, scheme, session, budget: int):
         return {"budget_exceeded": True, "explored": exc.explored}
 
 
-def _time_arm(procedure: str, factory, accelerated: bool, budget: int, repeats: int):
+def _time_arm(
+    harness: BenchHarness,
+    cell: str,
+    procedure: str,
+    factory,
+    accelerated: bool,
+    budget: int,
+    repeats: int,
+    tracer=None,
+):
     """Best-of-*repeats* timing for one (procedure, scheme, arm) cell.
 
     Every repeat gets a fresh scheme *and* session: the point is the cost
     of one procedure call on a cold session, with only the arm differing.
+    Scheme/session construction stays outside the measured region; each
+    timed repeat lands in the harness registry under the cell label.
     """
     best = None
     outcome = None
@@ -75,29 +88,38 @@ def _time_arm(procedure: str, factory, accelerated: bool, budget: int, repeats: 
     for _ in range(repeats):
         scheme = factory()
         session = AnalysisSession(
-            scheme, embedding_index=EmbeddingIndex(accelerated=accelerated)
+            scheme,
+            embedding_index=EmbeddingIndex(accelerated=accelerated),
+            tracer=tracer,
         )
-        start = time.perf_counter()
-        result = _run_procedure(procedure, scheme, session, budget)
-        elapsed = time.perf_counter() - start
+        elapsed, result = harness.measure(
+            cell,
+            lambda: _run_procedure(procedure, scheme, session, budget),
+            warmup=0,
+            repeats=1,
+        )
         if best is None or elapsed < best:
             best, outcome = elapsed, result
             counters = session.embedding_index.counters()
     return best, outcome, counters
 
 
-def run(smoke: bool = False) -> dict:
+def run(smoke: bool = False, trace: str = None) -> tuple:
     budget = 400 if smoke else MAX_STATES
     repeats = 1 if smoke else REPEATS
+    harness = BenchHarness("wqo_index", warmup=0, repeats=repeats)
+    tracer = Tracer(JsonlSink(trace)) if trace else None
     cells = []
     totals = {proc: {"naive": 0.0, "indexed": 0.0} for proc in PROCEDURES}
     for name, factory in ZOO_WQO_BENCH:
         for procedure in PROCEDURES:
             naive_s, naive_out, naive_counts = _time_arm(
-                procedure, factory, False, budget, repeats
+                harness, f"{name}/{procedure}/naive", procedure, factory,
+                False, budget, repeats,
             )
             fast_s, fast_out, fast_counts = _time_arm(
-                procedure, factory, True, budget, repeats
+                harness, f"{name}/{procedure}/indexed", procedure, factory,
+                True, budget, repeats, tracer=tracer,
             )
             if naive_out != fast_out:
                 raise AssertionError(
@@ -118,6 +140,8 @@ def run(smoke: bool = False) -> dict:
                     "indexed_counters": fast_counts,
                 }
             )
+    if tracer is not None:
+        tracer.close()
     aggregates = {
         proc: {
             "naive_seconds": t["naive"],
@@ -126,7 +150,7 @@ def run(smoke: bool = False) -> dict:
         }
         for proc, t in totals.items()
     }
-    return {
+    results = {
         "benchmark": "wqo_index",
         "smoke": smoke,
         "budget": budget,
@@ -137,24 +161,29 @@ def run(smoke: bool = False) -> dict:
             proc for proc, agg in aggregates.items() if agg["speedup"] >= 2.0
         ),
     }
+    return results, harness
 
 
 def main(argv=None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     smoke = "--smoke" in argv
-    payload = run(smoke=smoke)
-    for proc, agg in payload["aggregate_by_procedure"].items():
+    trace = None
+    if "--trace" in argv:
+        trace = argv[argv.index("--trace") + 1]
+    results, harness = run(smoke=smoke, trace=trace)
+    for proc, agg in results["aggregate_by_procedure"].items():
         print(
             f"  {proc:<18} {agg['speedup']:6.2f}x "
             f"(naive {agg['naive_seconds']:.3f}s, "
             f"indexed {agg['indexed_seconds']:.3f}s)"
         )
-    print(f"procedures at >=2x: {payload['procedures_at_2x']}")
+    print(f"procedures at >=2x: {results['procedures_at_2x']}")
+    if trace:
+        print(f"trace written to {trace}")
     if smoke:
         print("smoke run: JSON not written")
         return
-    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_wqo_index.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    out = harness.write(results=results, meta={"smoke": smoke, "budget": results["budget"]})
     print(f"wrote {out}")
 
 

@@ -1,0 +1,145 @@
+"""Validate BENCH_*.json artefacts against the ``repro-bench/1`` schema.
+
+CI runs this after regenerating benchmarks: every BENCH artefact at the
+repository root (or every file passed explicitly) must be a JSON object
+
+* with ``"schema": "repro-bench/1"``,
+* a ``meta`` object naming the ``benchmark`` (plus ``python`` and
+  ``platform`` strings),
+* a ``metrics`` object whose entries look like
+  :meth:`repro.obs.MetricsRegistry.as_dict` output (``type`` one of
+  counter/gauge/histogram with the matching value keys),
+* a ``spans`` list of span/event records as written by
+  :class:`repro.obs.JsonlSink`.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_schema.py [FILES...]
+
+Exit code 0 when every artefact validates, 1 otherwise (with one line per
+violation).  Legacy artefacts without the ``schema`` key are rejected —
+regenerate them with the converted benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any, List
+
+EXPECTED_SCHEMA = "repro-bench/1"
+
+_METRIC_KEYS = {
+    "counter": {"value"},
+    "gauge": {"value", "max", "min"},
+    "histogram": {"count", "sum", "min", "max", "mean"},
+}
+
+
+def _check_metric(name: str, body: Any, errors: List[str]) -> None:
+    if not isinstance(body, dict):
+        errors.append(f"metrics[{name!r}]: not an object")
+        return
+    kind = body.get("type")
+    if kind not in _METRIC_KEYS:
+        errors.append(f"metrics[{name!r}]: unknown type {kind!r}")
+        return
+    missing = _METRIC_KEYS[kind] - body.keys()
+    if missing:
+        errors.append(
+            f"metrics[{name!r}]: {kind} missing keys {sorted(missing)}"
+        )
+    labels = body.get("labels", {})
+    if not isinstance(labels, dict):
+        errors.append(f"metrics[{name!r}]: labels is not an object")
+        return
+    for label, child in labels.items():
+        missing = _METRIC_KEYS[kind] - child.keys()
+        if missing:
+            errors.append(
+                f"metrics[{name!r}]{label}: missing keys {sorted(missing)}"
+            )
+
+
+def _check_span(position: int, record: Any, errors: List[str]) -> None:
+    if not isinstance(record, dict):
+        errors.append(f"spans[{position}]: not an object")
+        return
+    kind = record.get("type")
+    if kind == "span":
+        missing = {"id", "name", "start", "wall", "cpu"} - record.keys()
+    elif kind == "event":
+        missing = {"name", "time"} - record.keys()
+    else:
+        errors.append(f"spans[{position}]: unknown record type {kind!r}")
+        return
+    if missing:
+        errors.append(f"spans[{position}]: {kind} missing keys {sorted(missing)}")
+
+
+def check_payload(payload: Any) -> List[str]:
+    """All schema violations of one parsed BENCH payload (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+    schema = payload.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        errors.append(f"schema is {schema!r}, expected {EXPECTED_SCHEMA!r}")
+    meta = payload.get("meta")
+    if not isinstance(meta, dict):
+        errors.append("meta: missing or not an object")
+    else:
+        if not isinstance(meta.get("benchmark"), str):
+            errors.append("meta.benchmark: missing or not a string")
+        for key in ("python", "platform"):
+            if not isinstance(meta.get(key), str):
+                errors.append(f"meta.{key}: missing or not a string")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("metrics: missing or not an object")
+    else:
+        for name, body in metrics.items():
+            _check_metric(name, body, errors)
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        errors.append("spans: missing or not a list")
+    else:
+        for position, record in enumerate(spans):
+            _check_span(position, record, errors)
+    return errors
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Schema violations of one artefact file (empty = valid)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [str(error)]
+    return check_payload(payload)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        paths = [pathlib.Path(arg) for arg in argv]
+    else:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        paths = sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        print("check_bench_schema: no BENCH_*.json artefacts found")
+        return 1
+    failed = False
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path.name}: {error}")
+        else:
+            print(f"{path.name}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

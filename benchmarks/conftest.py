@@ -3,11 +3,24 @@
 Each benchmark file regenerates one paper artefact (figure or theorem —
 see DESIGN.md §4 and EXPERIMENTS.md); the fixtures here keep scheme
 construction out of the measured regions.
+
+Benchmarks run either as scripts (``python bench_*.py``) or under
+pytest; both routes go through :class:`_harness.BenchHarness`, so every
+``BENCH_*.json`` artefact carries the standardized ``repro-bench/1``
+schema (``{schema, meta, metrics, spans, results}``) and stays
+comparable across PRs — validated by ``check_bench_schema.py`` in CI.
 """
+
+import pathlib
+import sys
 
 import pytest
 
-from repro.zoo import fig2_scheme, sigma1
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _harness import BenchHarness  # noqa: E402
+
+from repro.zoo import fig2_scheme, sigma1  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -18,3 +31,21 @@ def fig2():
 @pytest.fixture(scope="session")
 def sigma1_state():
     return sigma1()
+
+
+@pytest.fixture
+def bench_harness(request):
+    """A :class:`BenchHarness` named after the requesting test.
+
+    Measure cells with ``harness.measure(cell, fn)``; on teardown, if any
+    timed run was recorded, the fixture writes ``BENCH_<name>.json`` at
+    the repository root in the ``repro-bench/1`` schema.
+    """
+    name = request.node.name
+    for prefix in ("test_", "bench_"):
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+    harness = BenchHarness(name)
+    yield harness
+    if harness.metrics.counter("bench.runs").value:
+        harness.write(results=None, meta={"pytest": request.node.nodeid})

@@ -74,8 +74,10 @@ def boundedness(
     budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     replays = 2 if replays is None else replays
     sess = resolve_session(scheme, session, initial)
-    with sess.stats.timed("boundedness"):
-        return _session_boundedness(sess, budget, replays)
+    with sess.phase("boundedness", budget=budget, replays=replays) as span:
+        verdict = _session_boundedness(sess, budget, replays)
+        span.set(holds=verdict.holds, method=verdict.method)
+        return verdict
 
 
 def _session_boundedness(
@@ -96,9 +98,18 @@ def _session_boundedness(
         pump = _covering_ancestor(graph.parent, via, sess.embedding_index)
         if pump is None:
             return False
-        certificate = _certify_pump(
-            sess.scheme, semantics, graph.parent, pump, replays, sess.embedding_index
-        )
+        with sess.tracer.span(
+            "boundedness.certificate", pump_length=len(pump)
+        ) as span:
+            certificate = _certify_pump(
+                sess.scheme,
+                semantics,
+                graph.parent,
+                pump,
+                replays,
+                sess.embedding_index,
+            )
+            span.set(certified=certificate is not None)
         if certificate is None:
             return False
         found.append(certificate)
@@ -109,14 +120,16 @@ def _session_boundedness(
     # resuming where the last inconclusive boundedness call left off
     scan_key = ("boundedness-scanned", replays)
     scanned = sess.memo.get(scan_key, 0)
-    for state in graph.states[scanned:]:
-        scanned += 1
-        if check(state):
-            break
-    else:
-        if not graph.complete:
-            graph = sess.explore(budget, stop_when=check)
-            scanned = len(graph.states)
+    with sess.tracer.span("boundedness.scan", resume_from=scanned) as span:
+        for state in graph.states[scanned:]:
+            scanned += 1
+            if check(state):
+                break
+        else:
+            if not graph.complete:
+                graph = sess.explore(budget, stop_when=check)
+                scanned = len(graph.states)
+        span.set(scanned=scanned, pumps=len(found))
     if found:
         verdict = AnalysisVerdict(
             holds=False,

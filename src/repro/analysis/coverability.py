@@ -90,11 +90,15 @@ def backward_coverability(
     if session is not None:
         if initial is None:
             initial = session.initial
-        with session.stats.timed("backward-coverability"):
-            return _backward_coverability(
-                scheme, targets, initial, session.embedding_index
+        with session.phase(
+            "backward-coverability", targets=len(targets)
+        ) as span:
+            verdict = _backward_coverability(
+                scheme, targets, initial, session.embedding_index, session.tracer
             )
-    return _backward_coverability(scheme, targets, initial, None)
+            span.set(holds=verdict.holds, **verdict.details)
+            return verdict
+    return _backward_coverability(scheme, targets, initial, None, None)
 
 
 def _backward_coverability(
@@ -102,10 +106,15 @@ def _backward_coverability(
     targets: Sequence[HState],
     initial: Optional[HState],
     index: Optional[EmbeddingIndex],
+    tracer=None,
 ) -> AnalysisVerdict:
     start = initial if initial is not None else scheme.initial_state()
     if index is None:
         index = EmbeddingIndex()
+    if tracer is None:
+        from ..obs import Tracer
+
+        tracer = Tracer()
     if index.accelerated:
         reached = embedding_upward_closed(targets, leq=index.embeds)
     else:
@@ -113,14 +122,16 @@ def _backward_coverability(
         reached = UpwardClosedSet(tree_embedding_order(index.embeds), targets)
     frontier: List[HState] = list(reached.basis)
     iterations = 0
-    while frontier:
-        iterations += 1
-        fresh: List[HState] = []
-        for basis_element in frontier:
-            for predecessor in predecessor_basis(scheme, basis_element):
-                if reached.add(predecessor):
-                    fresh.append(predecessor)
-        frontier = fresh
+    with tracer.span("coverability.saturation", targets=len(targets)) as span:
+        while frontier:
+            iterations += 1
+            fresh: List[HState] = []
+            for basis_element in frontier:
+                for predecessor in predecessor_basis(scheme, basis_element):
+                    if reached.add(predecessor):
+                        fresh.append(predecessor)
+            frontier = fresh
+        span.set(iterations=iterations, basis_size=len(reached))
     covered = start in reached
     return AnalysisVerdict(
         holds=covered,

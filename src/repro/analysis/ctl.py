@@ -315,7 +315,7 @@ def check_ctl(
         "check_ctl", legacy, ("initial", "max_states"), (initial, max_states)
     )
     sess = resolve_session(scheme, session, initial)
-    with sess.stats.timed("check-ctl"):
+    with sess.phase("check-ctl", formula=str(formula)):
         graph = sess.explore_or_raise(max_states, what="CTL model checking")
         checker = sess.memo.get("ctl-checker")
         if checker is None:

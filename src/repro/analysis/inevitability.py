@@ -81,8 +81,12 @@ def inevitability(
     replays = 2 if replays is None else replays
     ordering = embedding if embedding is not None else PLAIN_EMBEDDING
     sess = resolve_session(scheme, session, initial)
-    with sess.stats.timed("inevitability"):
-        return _inevitability(sess, basis, ordering, max_states, replays)
+    with sess.phase(
+        "inevitability", basis_size=len(basis), budget=max_states
+    ) as span:
+        verdict = _inevitability(sess, basis, ordering, max_states, replays)
+        span.set(holds=verdict.holds, method=verdict.method)
+        return verdict
 
 
 def _inevitability(
@@ -112,51 +116,60 @@ def _inevitability(
     edges: Dict[HState, List[Transition]] = {}
     queue: deque = deque([start])
     transitions_seen = 0
-    while queue:
-        state = queue.popleft()
-        successors = semantics.successors(state)
-        edges[state] = []
-        if not successors:
-            # a maximal run terminates inside ↑I (state is ∅ by Prop 3)
-            return AnalysisVerdict(
-                holds=False,
-                method="terminating-run-inside",
-                certificate=WitnessPath(tuple(_path(parent, state))),
-                exact=True,
-                details={"explored": len(parent)},
-            )
-        for transition in successors:
-            transitions_seen += 1
-            target = transition.target
-            if not inside(target):
-                continue
-            edges[state].append(transition)
-            if target in parent:
-                continue
-            parent[target] = transition
-            pump = _covering_ancestor(parent, transition, index)
-            if pump is not None:
-                certificate = _certify_pump(
-                    scheme, semantics, parent, pump, replays, index
+    with sess.tracer.span(
+        "inevitability.restricted-exploration", budget=max_states
+    ) as span:
+        while queue:
+            state = queue.popleft()
+            successors = semantics.successors(state)
+            edges[state] = []
+            if not successors:
+                # a maximal run terminates inside ↑I (state is ∅ by Prop 3)
+                return AnalysisVerdict(
+                    holds=False,
+                    method="terminating-run-inside",
+                    certificate=WitnessPath(tuple(_path(parent, state))),
+                    exact=True,
+                    details={"explored": len(parent)},
                 )
-                if certificate is not None and _pump_stays_inside(
-                    semantics, certificate, inside, replays, index
-                ):
-                    return AnalysisVerdict(
-                        holds=False,
-                        method="self-covering-inside",
-                        certificate=certificate,
-                        exact=False,
-                        details={"explored": len(parent)},
+            for transition in successors:
+                transitions_seen += 1
+                target = transition.target
+                if not inside(target):
+                    continue
+                edges[state].append(transition)
+                if target in parent:
+                    continue
+                parent[target] = transition
+                pump = _covering_ancestor(parent, transition, index)
+                if pump is not None:
+                    with sess.tracer.span(
+                        "inevitability.certificate", pump_length=len(pump)
+                    ):
+                        certificate = _certify_pump(
+                            scheme, semantics, parent, pump, replays, index
+                        )
+                        stays = certificate is not None and _pump_stays_inside(
+                            semantics, certificate, inside, replays, index
+                        )
+                    if stays:
+                        return AnalysisVerdict(
+                            holds=False,
+                            method="self-covering-inside",
+                            certificate=certificate,
+                            exact=False,
+                            details={"explored": len(parent)},
+                        )
+                if len(parent) >= max_states:
+                    raise AnalysisBudgetExceeded(
+                        f"inevitability: restricted system did not saturate "
+                        f"within {max_states} states",
+                        explored=len(parent),
                     )
-            if len(parent) >= max_states:
-                raise AnalysisBudgetExceeded(
-                    f"inevitability: restricted system did not saturate "
-                    f"within {max_states} states",
-                    explored=len(parent),
-                )
-            queue.append(target)
-    lasso = _find_lasso(start, edges)
+                queue.append(target)
+        span.set(states=len(parent), transitions=transitions_seen)
+    with sess.tracer.span("inevitability.lasso-search", states=len(edges)):
+        lasso = _find_lasso(start, edges)
     if lasso is not None:
         return AnalysisVerdict(
             holds=False,

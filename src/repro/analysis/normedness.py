@@ -120,7 +120,7 @@ def normed(
     budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     max_witness_checks = 10 if max_witness_checks is None else max_witness_checks
     sess = resolve_session(scheme, session, initial)
-    with sess.stats.timed("normed"):
+    with sess.phase("normed", budget=budget):
         graph = sess.explore(budget)
     if graph.complete:
         conormed = _co_reachable(graph)

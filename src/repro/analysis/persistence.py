@@ -52,7 +52,7 @@ def persistent(
         scheme.node(node)  # validate early
     wanted = frozenset(nodes)
     sess = resolve_session(scheme, session, initial)
-    with sess.stats.timed("persistent"):
+    with sess.phase("persistent", nodes=len(wanted)) as span:
         witness = reaches_downward_closed(
             scheme,
             predicate=lambda s: not s.contains_any_node(wanted),
@@ -60,6 +60,7 @@ def persistent(
             session=sess,
         )
         if witness is not None:
+            span.set(holds=False)
             return AnalysisVerdict(
                 holds=False,
                 method="sup-reachability-basis",
@@ -68,6 +69,7 @@ def persistent(
                 details={"free_state": witness.to_notation()},
             )
         basis = sup_reachability(scheme, max_kept=max_kept, session=sess)
+        span.set(holds=True)
     return AnalysisVerdict(
         holds=True,
         method="sup-reachability-basis",

@@ -59,7 +59,7 @@ def state_reachable(
     )
     budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     sess = resolve_session(scheme, session, initial)
-    with sess.stats.timed("state-reachable"):
+    with sess.phase("state-reachable", budget=budget):
         graph = sess.graph
         if target not in graph and not graph.complete:
             graph = sess.explore(budget, stop_when=lambda s: s == target)
@@ -135,7 +135,7 @@ def covers(
     )
     budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     sess = resolve_session(scheme, session, initial)
-    with sess.stats.timed("covers"):
+    with sess.phase("covers", what=what, budget=budget):
         graph = sess.graph
         hit = graph.find(predicate)
         if hit is None and not graph.complete and len(graph) < budget:

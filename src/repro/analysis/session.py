@@ -42,6 +42,7 @@ from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import MemoizingSemantics
 from ..errors import AnalysisBudgetExceeded, AnalysisError
+from ..obs import MetricsRegistry, Tracer
 from .explore import DEFAULT_MAX_STATES, StateGraph
 
 
@@ -214,6 +215,8 @@ class AnalysisSession:
         *,
         progress_interval: int = 8192,
         embedding_index: Optional[EmbeddingIndex] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.scheme = scheme
         self.semantics = MemoizingSemantics(scheme)
@@ -221,6 +224,13 @@ class AnalysisSession:
         self.initial = self.semantics.intern(start)
         self.embedding_index = (
             embedding_index if embedding_index is not None else EmbeddingIndex()
+        )
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Single source of truth for frontier size (current/peak): the
+        #: explore loop samples it, everything else only reads it.
+        self._frontier_gauge = self.metrics.gauge(
+            "explore.frontier", "discovered-but-unexpanded states"
         )
         self.stats = AnalysisStats()
         self.stats._embedding_index = self.embedding_index
@@ -232,6 +242,7 @@ class AnalysisSession:
         self._expanded = 0
         self._progress_interval = max(1, progress_interval)
         self._listeners: List[ProgressListener] = []
+        self._frontier_gauge.set(len(self._queue))
         self._sync_stats()
 
     # ------------------------------------------------------------------
@@ -242,27 +253,127 @@ class AnalysisSession:
         """Register *listener* for periodic exploration progress events."""
         self._listeners.append(listener)
 
+    @contextmanager
+    def phase(self, name: str, **attrs: Any):
+        """One top-level query phase: a stats timer plus a tracer span.
+
+        Decision procedures wrap their body in this so every query shows
+        up both in :class:`AnalysisStats` (counts, cumulative seconds) and
+        in the trace (one span, with sub-phase spans nested under it).
+        Yields the span so callers can attach result attributes.
+        """
+        with self.stats.timed(name):
+            with self.tracer.span(name, **attrs) as span:
+                yield span
+
     def _sync_stats(self) -> None:
         stats = self.stats
         stats.states_discovered = len(self.graph)
         stats.states_expanded = self._expanded
-        stats.peak_frontier = max(stats.peak_frontier, len(self._queue))
+        # peak_frontier has exactly one source of truth: the frontier
+        # gauge, sampled by the explore loop (and once at construction).
+        stats.peak_frontier = int(self._frontier_gauge.max or 0)
         stats.successor_cache_hits = self.semantics.cache_hits
         stats.successor_cache_misses = self.semantics.cache_misses
         stats.interned_states = self.semantics.interned_states
         stats.sync_embedding()
 
-    def _emit_progress(self, started: float) -> None:
-        if not self._listeners:
-            return
-        event = ProgressEvent(
-            states=len(self.graph),
-            transitions=self.graph.num_transitions,
-            frontier=len(self._queue),
-            elapsed=time.perf_counter() - started,
+    def _sample_progress(self, started: float) -> None:
+        """Periodic mid-exploration sample: gauges, a trace event, and the
+        legacy :class:`ProgressEvent` listener callback (now a thin adapter
+        over the same snapshot)."""
+        states = len(self.graph)
+        transitions = self.graph.num_transitions
+        frontier = len(self._queue)
+        elapsed = time.perf_counter() - started
+        metrics = self.metrics
+        metrics.gauge("explore.states", "states discovered so far").set(states)
+        metrics.gauge("explore.transitions", "transitions recorded so far").set(
+            transitions
         )
-        for listener in self._listeners:
-            listener(event)
+        semantics = self.semantics
+        lookups = semantics.cache_hits + semantics.cache_misses
+        if lookups:
+            metrics.gauge(
+                "explore.cache_hit_rate", "successor-cache hit fraction"
+            ).set(semantics.cache_hits / lookups)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "explore.progress",
+                states=states,
+                transitions=transitions,
+                frontier=frontier,
+                elapsed=elapsed,
+            )
+        if self._listeners:
+            event = ProgressEvent(
+                states=states,
+                transitions=transitions,
+                frontier=frontier,
+                elapsed=elapsed,
+            )
+            for listener in self._listeners:
+                listener(event)
+
+    def sync_metrics(self) -> MetricsRegistry:
+        """Publish the session's counters into its metrics registry.
+
+        Hot paths (the explore loop, the Embedder) keep raw attribute
+        counters; this snapshots them into the registry via
+        :meth:`~repro.obs.CounterMetric.set_total` so reading metrics
+        never taxes exploration.  Returns the registry for convenience.
+        """
+        self._sync_stats()
+        stats = self.stats
+        metrics = self.metrics
+        metrics.counter(
+            "explore.states_discovered", "distinct states in the shared graph"
+        ).set_total(stats.states_discovered)
+        metrics.counter(
+            "explore.states_expanded", "states whose successors were expanded"
+        ).set_total(stats.states_expanded)
+        metrics.counter(
+            "explore.transitions_fired", "transitions recorded in the shared graph"
+        ).set_total(stats.transitions_fired)
+        metrics.counter(
+            "explore.explorations", "from-scratch exploration passes"
+        ).set_total(stats.explorations)
+        metrics.counter(
+            "semantics.cache_hits", "successor-cache hits"
+        ).set_total(stats.successor_cache_hits)
+        metrics.counter(
+            "semantics.cache_misses", "successor-cache misses"
+        ).set_total(stats.successor_cache_misses)
+        metrics.counter(
+            "semantics.interned_states", "distinct hash-consed states"
+        ).set_total(stats.interned_states)
+        queries = metrics.counter("session.queries", "per-procedure query counts")
+        query_time = metrics.histogram(
+            "session.query_seconds", "per-procedure wall time"
+        )
+        for name, count in stats.queries.items():
+            queries.labels(procedure=name).set_total(count)
+        for name, seconds in stats.query_seconds.items():
+            child = query_time.labels(procedure=name)
+            child.count = stats.queries.get(name, 1)
+            child.sum = seconds
+        calls = metrics.counter("embedding.calls", "embedding queries answered")
+        sig = metrics.counter(
+            "embedding.signature_refutations",
+            "embedding queries refuted by signature domination alone",
+        )
+        memo = metrics.counter(
+            "embedding.memo_hits", "embedding queries answered from the pair memo"
+        )
+        for gap_key, embedder in self.embedding_index.embedders():
+            label = "*" if gap_key is None else ",".join(sorted(gap_key))
+            calls.labels(gap=label).set_total(embedder.calls)
+            sig.labels(gap=label).set_total(embedder.sig_refutations)
+            memo.labels(gap=label).set_total(embedder.memo_hits)
+        calls.set_total(self.embedding_index.calls)
+        sig.set_total(self.embedding_index.signature_refutations)
+        memo.set_total(self.embedding_index.memo_hits)
+        return metrics
 
     # ------------------------------------------------------------------
     # Exploration
@@ -297,27 +408,35 @@ class AnalysisSession:
         semantics = self.semantics
         index = graph.index
         stats = self.stats
+        frontier_gauge = self._frontier_gauge
         stopped = False
         next_progress = self._expanded + self._progress_interval
-        while queue and not stopped and len(graph.states) < budget:
-            state = queue.popleft()
-            out = graph.edges[index[state]]
-            for transition in semantics.successors(state):
-                out.append(transition)
-                stats.transitions_fired += 1
-                target = transition.target
-                if target in index:
-                    continue
-                graph._add_state(target, transition)
-                queue.append(target)
-                if stop_when is not None and not stopped and stop_when(target):
-                    stopped = True
-            self._expanded += 1
-            if len(queue) > stats.peak_frontier:
-                stats.peak_frontier = len(queue)
-            if self._expanded >= next_progress:
-                next_progress += self._progress_interval
-                self._emit_progress(started)
+        with self.tracer.span(
+            "session.explore", budget=budget, resumed=expanded_before > 0
+        ) as span:
+            while queue and not stopped and len(graph.states) < budget:
+                state = queue.popleft()
+                out = graph.edges[index[state]]
+                for transition in semantics.successors(state):
+                    out.append(transition)
+                    stats.transitions_fired += 1
+                    target = transition.target
+                    if target in index:
+                        continue
+                    graph._add_state(target, transition)
+                    queue.append(target)
+                    if stop_when is not None and not stopped and stop_when(target):
+                        stopped = True
+                self._expanded += 1
+                frontier_gauge.set(len(queue))
+                if self._expanded >= next_progress:
+                    next_progress += self._progress_interval
+                    self._sample_progress(started)
+            span.set(
+                states=len(graph.states),
+                expanded=self._expanded - expanded_before,
+                stopped=stopped,
+            )
         graph.complete = not queue
         graph.unexpanded = list(queue)
         if expanded_before == 0 and self._expanded > 0:
@@ -358,9 +477,16 @@ class AnalysisSession:
             from .sup_reachability import _kept_states
 
             with self.stats.timed("sup-reach-engine"):
-                cached = _kept_states(
-                    self.semantics, self.initial, max_kept, index=self.embedding_index
-                )
+                with self.tracer.span(
+                    "sup-reach.antichain-saturation", max_kept=max_kept
+                ) as span:
+                    cached = _kept_states(
+                        self.semantics,
+                        self.initial,
+                        max_kept,
+                        index=self.embedding_index,
+                    )
+                    span.set(kept=len(cached))
             self.memo["kept-states"] = cached
         return cached
 

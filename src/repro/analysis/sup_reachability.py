@@ -68,7 +68,9 @@ def sup_reachability(
     )
     max_kept = DEFAULT_MAX_KEPT if max_kept is None else max_kept
     sess = resolve_session(scheme, session, initial)
-    basis, kept_count = _minimal_reach(sess, max_kept)
+    with sess.tracer.span("sup-reachability", max_kept=max_kept) as span:
+        basis, kept_count = _minimal_reach(sess, max_kept)
+        span.set(kept=kept_count, basis_size=len(basis))
     return AnalysisVerdict(
         holds=True,
         method="domination-pruned-search",
@@ -123,13 +125,17 @@ def reaches_downward_closed(
     kept = sess.memo.get("kept-states")
     if kept is None:
         with sess.stats.timed("sup-reach-engine"):
-            kept = _kept_states(
-                sess.semantics,
-                sess.initial,
-                max_kept,
-                stop_when=predicate,
-                index=sess.embedding_index,
-            )
+            with sess.tracer.span(
+                "sup-reach.antichain-saturation", max_kept=max_kept, restricted=True
+            ) as span:
+                kept = _kept_states(
+                    sess.semantics,
+                    sess.initial,
+                    max_kept,
+                    stop_when=predicate,
+                    index=sess.embedding_index,
+                )
+                span.set(kept=len(kept))
         witness = next((state for state in kept if predicate(state)), None)
         if witness is None:
             # the search ran to wqo termination: `kept` is the complete
@@ -149,13 +155,15 @@ def _minimal_reach(sess: AnalysisSession, max_kept: int) -> Tuple[List[HState], 
     if cached is not None:
         return cached
     kept = sess.kept_states(max_kept)
-    ordered = sorted(kept, key=lambda s: (s.size, s.sort_key()))
-    index = sess.embedding_index
-    if index.accelerated:
-        basis = list(embedding_upward_closed(ordered, leq=index.embeds).basis)
-    else:
-        # naive reference arm: no signature gating, plain antichain scan
-        basis = minimal_elements(tree_embedding_order(index.embeds), ordered)
+    with sess.tracer.span("sup-reach.basis-extraction", kept=len(kept)) as span:
+        ordered = sorted(kept, key=lambda s: (s.size, s.sort_key()))
+        index = sess.embedding_index
+        if index.accelerated:
+            basis = list(embedding_upward_closed(ordered, leq=index.embeds).basis)
+        else:
+            # naive reference arm: no signature gating, plain antichain scan
+            basis = minimal_elements(tree_embedding_order(index.embeds), ordered)
+        span.set(basis_size=len(basis))
     sess.memo["minimal-basis"] = (basis, len(kept))
     return basis, len(kept)
 

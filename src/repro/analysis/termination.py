@@ -54,9 +54,11 @@ def halts(
             exact=bounded.exact,
             details=bounded.details,
         )
-    with sess.stats.timed("halts"):
+    with sess.phase("halts", budget=budget) as span:
         graph = sess.explore_or_raise(budget, what="halting")
-        lasso = graph.find_lasso()
+        with sess.tracer.span("halts.lasso-search", states=len(graph)):
+            lasso = graph.find_lasso()
+        span.set(cyclic=lasso is not None)
     if lasso is not None:
         stem, loop = lasso
         return AnalysisVerdict(

@@ -11,11 +11,15 @@ Usage::
     rpcheck PROGRAM.rp --node q5        # node reachability for one node
     rpcheck PROGRAM.rp --mutex q1,q2    # mutual exclusion of two nodes
     rpcheck PROGRAM.rp --run            # execute (fully concrete programs)
+    rpcheck PROGRAM.rp --trace t.jsonl  # record a span trace (JSONL)
+    rpcheck PROGRAM.rp --metrics m.json # dump the metrics registry as JSON
+    rpcheck report t.jsonl              # self-time tree + hot spans
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -24,6 +28,7 @@ from .core.dot import scheme_to_dot
 from .errors import AnalysisBudgetExceeded, RPError
 from .interp import run_program
 from .lang import compile_source
+from .obs import JsonlSink, Tracer, load_records, render_report
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,7 +73,45 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the analysis session's counters (states, caches, timings)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a span/event trace of the analyses as JSONL "
+        "(inspect with 'rpcheck report FILE')",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the session's metrics registry as JSON",
+    )
     return parser
+
+
+def _build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rpcheck report",
+        description="summarise a JSONL trace: self-time tree and hot spans",
+    )
+    parser.add_argument("trace", help="path to a trace written by --trace")
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="how many hot spans to list (default 10)",
+    )
+    return parser
+
+
+def _report_main(argv: List[str]) -> int:
+    args = _build_report_parser().parse_args(argv)
+    try:
+        records = load_records(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"rpcheck report: {error}", file=sys.stderr)
+        return 2
+    print(render_report(records, top=args.top))
+    return 0
 
 
 def _read_source(path: str) -> str:
@@ -86,6 +129,9 @@ def _verdict_line(name: str, verdict) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     args = _build_parser().parse_args(argv)
     try:
         source = _read_source(args.program)
@@ -107,9 +153,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write(scheme_to_dot(scheme))
         print(f"dot       : written to {args.dot}")
 
+    try:
+        tracer = Tracer(JsonlSink(args.trace)) if args.trace else Tracer()
+    except OSError as error:
+        print(f"rpcheck: {error}", file=sys.stderr)
+        return 2
+
     # one session for the whole invocation: the report, --node and --mutex
     # all share a single exploration of the scheme's reachable fragment
-    session = AnalysisSession(scheme)
+    session = AnalysisSession(scheme, tracer=tracer)
+    root_span = tracer.span("rpcheck", program=scheme.name)
+    root_span.__enter__()
     report = analyze(scheme, max_states=args.max_states, session=session)
     print(f"wait-free : {'yes' if report.wait_free else 'no'}")
     print("analyses:")
@@ -185,10 +239,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {entry.variable:<12} CONFLICTS: {pairs}")
                 exit_code = 1
 
+    root_span.__exit__(None, None, None)
+    tracer.close()
+    session.sync_metrics()
+
     if args.stats:
         print("session stats:")
-        for line in session.stats.render().splitlines():
+        for line in session.metrics.render().splitlines():
             print(f"  {line}")
+
+    if args.metrics:
+        try:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                json.dump(session.metrics.as_dict(), handle, indent=2, default=repr)
+                handle.write("\n")
+            print(f"metrics   : written to {args.metrics}")
+        except OSError as error:
+            print(f"rpcheck: {error}", file=sys.stderr)
+            exit_code = 1
+
+    if args.trace:
+        print(f"trace     : written to {args.trace}")
 
     if args.run:
         try:

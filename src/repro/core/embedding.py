@@ -512,6 +512,14 @@ class EmbeddingIndex:
             "memo_hits": self.memo_hits,
         }
 
+    def embedders(self):
+        """``(gap_key, embedder)`` pairs, one per distinct gap identity.
+
+        The per-gap breakdown behind the aggregate counter properties;
+        metrics publication labels counters by gap key from this.
+        """
+        return iter(self._embedders.items())
+
     def __repr__(self) -> str:
         mode = "accelerated" if self.accelerated else "naive"
         return (

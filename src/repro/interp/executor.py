@@ -21,6 +21,7 @@ from ..errors import AnalysisBudgetExceeded, ExecutionError
 from ..core.scheme import RPScheme
 from ..lang.compiler import CompiledProgram
 from ..lts.lts import LTS
+from ..obs import Tracer
 from .interpretation import Interpretation, ProgramInterpretation
 from .isemantics import InterpretedSemantics, ITransition
 from .istate import GlobalState
@@ -37,9 +38,11 @@ class InterpretedExplorer:
         scheme: RPScheme,
         interpretation: Interpretation,
         max_states: int = 50_000,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.semantics = InterpretedSemantics(scheme, interpretation)
         self.max_states = max_states
+        self.tracer = tracer if tracer is not None else Tracer()
 
     def explore(
         self, initial: Optional[GlobalState] = None
@@ -55,18 +58,22 @@ class InterpretedExplorer:
         parents: Dict[GlobalState, Optional[ITransition]] = {start: None}
         queue: deque = deque([start])
         complete = True
-        while queue:
-            state = queue.popleft()
-            for transition in self.semantics.successors(state):
-                lts.add_transition(state, transition.label, transition.target)
-                if transition.target in parents:
-                    continue
-                if len(parents) >= self.max_states:
-                    complete = False
-                    queue.clear()
-                    break
-                parents[transition.target] = transition
-                queue.append(transition.target)
+        with self.tracer.span(
+            "interp.explore", budget=self.max_states
+        ) as span:
+            while queue:
+                state = queue.popleft()
+                for transition in self.semantics.successors(state):
+                    lts.add_transition(state, transition.label, transition.target)
+                    if transition.target in parents:
+                        continue
+                    if len(parents) >= self.max_states:
+                        complete = False
+                        queue.clear()
+                        break
+                    parents[transition.target] = transition
+                    queue.append(transition.target)
+            span.set(states=len(parents), complete=complete)
         return lts, complete, parents
 
     def explore_or_raise(self, initial: Optional[GlobalState] = None) -> LTS:
@@ -117,6 +124,7 @@ def run_scheduled(
     scheduler: Scheduler = first_scheduler,
     max_steps: int = 100_000,
     initial: Optional[GlobalState] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[GlobalState, List[ITransition]]:
     """One maximal run under *scheduler*.
 
@@ -127,13 +135,22 @@ def run_scheduled(
     semantics = InterpretedSemantics(scheme, interpretation)
     state = initial if initial is not None else semantics.initial_state
     trace: List[ITransition] = []
-    for step in range(max_steps):
-        enabled = semantics.successors(state)
-        if not enabled:
-            return state, trace
-        transition = scheduler(enabled, step)
-        trace.append(transition)
-        state = transition.target
+    if tracer is None:
+        tracer = Tracer()
+    with tracer.span(
+        "interp.scheduled-run",
+        scheduler=getattr(scheduler, "__name__", repr(scheduler)),
+        max_steps=max_steps,
+    ) as span:
+        for step in range(max_steps):
+            enabled = semantics.successors(state)
+            if not enabled:
+                span.set(steps=len(trace), terminated=True)
+                return state, trace
+            transition = scheduler(enabled, step)
+            trace.append(transition)
+            state = transition.target
+        span.set(steps=len(trace), terminated=False)
     raise ExecutionError(
         f"run did not terminate within {max_steps} steps "
         f"(current state: {state!r})"

@@ -18,12 +18,12 @@ have with :func:`profile_trace`.
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.alphabet import TAU
 from ..core.scheme import NodeKind, RPScheme
+from ..obs import MetricsRegistry, Tracer
 from .executor import Scheduler, first_scheduler, run_scheduled
 from .interpretation import Interpretation
 from .isemantics import ITransition
@@ -72,22 +72,35 @@ def profile_trace(
     scheme: RPScheme,
     trace: Sequence[ITransition],
     initial: Optional[GlobalState] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunProfile:
-    """Profile an existing ``M_I_G`` transition sequence."""
+    """Profile an existing ``M_I_G`` transition sequence.
+
+    Aggregation runs on a :class:`~repro.obs.MetricsRegistry` — the same
+    machinery used everywhere else in the stack — and the returned
+    :class:`RunProfile` is a snapshot of it.  Pass *metrics* to
+    additionally roll this run's metrics into a long-lived registry
+    (``run.*`` counters/gauges/histograms, actions and spawns as labelled
+    counters).
+    """
     entry_to_procedure = {
         entry: name for name, entry in scheme.procedures.items()
     }
     wait_nodes = {node.id for node in scheme.nodes_of_kind(NodeKind.WAIT)}
 
-    peak_parallelism = 0
-    peak_depth = 0
-    parallelism_sum = 0
-    spawned = 0
-    terminated = 0
-    waits_fired = 0
-    blocked_wait_steps = 0
-    action_counts: Counter = Counter()
-    spawns_per_procedure: Counter = Counter()
+    registry = MetricsRegistry()
+    parallelism = registry.histogram(
+        "run.parallelism", "live invocations per trace state"
+    )
+    depth = registry.gauge("run.depth", "invocation-tree nesting depth")
+    spawned = registry.counter("run.spawned", "invocations spawned (call rule)")
+    terminated = registry.counter("run.terminated", "invocations ended (end rule)")
+    waits = registry.counter("run.waits_fired", "wait rules fired")
+    blocked = registry.counter(
+        "run.blocked_wait_steps", "token-steps a wait sat blocked"
+    )
+    actions = registry.counter("run.actions", "visible steps per action label")
+    spawns = registry.counter("run.spawns", "spawns per invoked procedure")
 
     states: List[GlobalState] = []
     if trace:
@@ -95,41 +108,57 @@ def profile_trace(
     elif initial is not None:
         states = [initial]
 
+    depth.set(0)
     for state in states:
-        size = state.state.size
-        peak_parallelism = max(peak_parallelism, size)
-        parallelism_sum += size
+        parallelism.observe(state.state.size)
         for path, node_id, _memory, children in state.state.positions():
-            peak_depth = max(peak_depth, len(path))
+            if len(path) > depth.max:
+                depth.set(len(path))
             if node_id in wait_nodes and not children.is_empty():
-                blocked_wait_steps += 1
+                blocked.inc()
 
     for transition in trace:
         if transition.label != TAU:
-            action_counts[transition.label] += 1
+            actions.labels(label=transition.label).inc()
         if transition.rule == "call":
-            spawned += 1
+            spawned.inc()
             invoked = scheme.node(transition.node).invoked
             procedure = entry_to_procedure.get(invoked, invoked)
-            spawns_per_procedure[procedure] += 1
+            spawns.labels(procedure=procedure).inc()
         elif transition.rule == "end":
-            terminated += 1
+            terminated.inc()
         elif transition.rule == "wait":
-            waits_fired += 1
+            waits.inc()
 
-    total_states = max(1, len(states))
+    if metrics is not None:
+        metrics.merge(registry)
+
+    action_counts = {
+        labels["label"]: int(child.value)
+        for labels, child in (
+            (dict(key), child) for key, child in actions.children()
+        )
+        if "label" in labels
+    }
+    spawns_per_procedure = {
+        labels["procedure"]: int(child.value)
+        for labels, child in (
+            (dict(key), child) for key, child in spawns.children()
+        )
+        if "procedure" in labels
+    }
     return RunProfile(
         steps=len(trace),
         visible_steps=sum(action_counts.values()),
-        peak_parallelism=peak_parallelism,
-        average_parallelism=parallelism_sum / total_states,
-        peak_depth=peak_depth,
-        spawned=spawned + (1 if states else 0),  # the main invocation
-        terminated=terminated,
-        waits_fired=waits_fired,
-        blocked_wait_steps=blocked_wait_steps,
-        action_counts=dict(action_counts),
-        spawns_per_procedure=dict(spawns_per_procedure),
+        peak_parallelism=int(parallelism.max or 0),
+        average_parallelism=parallelism.sum / max(1, parallelism.count),
+        peak_depth=int(depth.max),
+        spawned=int(spawned.value) + (1 if states else 0),  # the main invocation
+        terminated=int(terminated.value),
+        waits_fired=int(waits.value),
+        blocked_wait_steps=int(blocked.value),
+        action_counts=action_counts,
+        spawns_per_procedure=spawns_per_procedure,
         final_live=states[-1].state.size if states else 0,
     )
 
@@ -139,10 +168,18 @@ def profile_run(
     interpretation: Interpretation,
     scheduler: Scheduler = first_scheduler,
     max_steps: int = 100_000,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[RunProfile, GlobalState]:
     """Run to termination under *scheduler* and profile the run."""
     final, trace = run_scheduled(
-        scheme, interpretation, scheduler=scheduler, max_steps=max_steps
+        scheme,
+        interpretation,
+        scheduler=scheduler,
+        max_steps=max_steps,
+        tracer=tracer,
     )
-    profile = profile_trace(scheme, trace, initial=final if not trace else None)
+    profile = profile_trace(
+        scheme, trace, initial=final if not trace else None, metrics=metrics
+    )
     return profile, final

@@ -114,16 +114,26 @@ class CounterMachine:
         self,
         initial_counters: Optional[Mapping[str, int]] = None,
         max_steps: int = 100_000,
+        tracer=None,
     ) -> Optional[Dict[str, int]]:
         """Run to halt; returns final counters, or ``None`` on step budget
         exhaustion (divergence)."""
+        if tracer is None:
+            from ..obs import Tracer
+
+            tracer = Tracer()
         location = self.initial_location
         counters = {name: 0 for name in self.counters}
         counters.update(initial_counters or {})
-        for _ in range(max_steps):
-            if location == HALT:
-                return counters
-            location, counters = self.step(location, counters)
+        with tracer.span(
+            "minsky.run", locations=len(self.instructions), max_steps=max_steps
+        ) as span:
+            for step in range(max_steps):
+                if location == HALT:
+                    span.set(steps=step, halted=True)
+                    return counters
+                location, counters = self.step(location, counters)
+            span.set(steps=max_steps, halted=False)
         return None
 
     def trace(

@@ -1,0 +1,61 @@
+"""repro.obs — dependency-free tracing and metrics for the whole stack.
+
+One observability layer feeding humans (``rpcheck report``,
+``--stats``), CI (BENCH JSON artefacts, trace uploads) and the perf
+trajectory (comparable metrics across PRs):
+
+* :class:`Tracer` — nested spans (name, attrs, wall/CPU time) and point
+  events, with a :mod:`contextvars`-tracked current span so
+  instrumentation composes across call boundaries;
+* :class:`MetricsRegistry` — typed counters / gauges / histograms with
+  labelled children and a label-cardinality cap;
+* sinks — :class:`JsonlSink` (one JSON object per record, offline
+  analysis), :class:`MemorySink` (tests), :class:`NullSink` (default;
+  near-zero overhead, tracers short-circuit);
+* :mod:`repro.obs.report` — rebuild span trees from JSONL, self-time
+  accounting, hot-span ranking.
+
+See ``docs/observability.md`` for the walkthrough.
+"""
+
+from .metrics import (
+    DEFAULT_LABEL_CARDINALITY,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    Metric,
+    MetricsRegistry,
+)
+from .report import (
+    SpanNode,
+    build_tree,
+    hot_spans,
+    load_records,
+    render_report,
+    render_tree,
+)
+from .sinks import JsonlSink, MemorySink, NullSink, Sink
+from .tracer import NOOP_SPAN, Span, Tracer, current_span
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "current_span",
+    "NOOP_SPAN",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Metric",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "DEFAULT_LABEL_CARDINALITY",
+    "SpanNode",
+    "load_records",
+    "build_tree",
+    "hot_spans",
+    "render_tree",
+    "render_report",
+]

@@ -1,0 +1,324 @@
+"""Typed metrics: counters, gauges, histograms, with labelled children.
+
+A :class:`MetricsRegistry` owns named metrics.  Each metric may have
+**labelled children** (``counter.labels(procedure="boundedness")``), a
+child per distinct label set, capped at
+:data:`DEFAULT_LABEL_CARDINALITY` distinct sets per metric — beyond the
+cap new label sets collapse into one shared overflow child, so a
+label-explosion bug degrades a metric's resolution instead of memory.
+
+The three types:
+
+* :class:`CounterMetric` — monotone totals (``inc``); snapshot adapters
+  that mirror an externally-maintained total may ``set_total``;
+* :class:`GaugeMetric` — last-value samples remembering their ``max`` and
+  ``min`` (this is the single source of truth for e.g. peak frontier);
+* :class:`HistogramMetric` — ``observe`` a stream of values; keeps count,
+  sum, min, max (and hence mean) without storing the stream.
+
+Everything renders to a flat text block (``registry.render()``) and a
+JSON-ready nested dict (``registry.as_dict()``); the registry is
+dependency-free and cheap enough to exist on every
+:class:`~repro.analysis.session.AnalysisSession`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Maximum distinct label sets per metric before overflow collapsing.
+DEFAULT_LABEL_CARDINALITY = 64
+
+#: The label marker carried by the shared overflow child.
+OVERFLOW_LABEL = ("__overflow__", "true")
+
+#: A canonicalised label set.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base: name, description, labelled children with a cardinality cap."""
+
+    kind = "metric"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        *,
+        max_label_sets: int = DEFAULT_LABEL_CARDINALITY,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.max_label_sets = max_label_sets
+        self._children: Dict[LabelKey, "Metric"] = {}
+        self.labels_dropped = 0
+
+    def labels(self, **labels: Any) -> "Metric":
+        """The child metric for this label set (created on first use).
+
+        Past the cardinality cap, every *new* label set maps to one
+        shared overflow child (labelled ``__overflow__=true``) and is
+        counted in ``labels_dropped``; existing children keep working.
+        """
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        if len(self._children) >= self.max_label_sets:
+            self.labels_dropped += 1
+            overflow = self._children.get((OVERFLOW_LABEL,))
+            if overflow is None:
+                overflow = self._spawn()
+                self._children[(OVERFLOW_LABEL,)] = overflow
+            return overflow
+        child = self._spawn()
+        self._children[key] = child
+        return child
+
+    def _spawn(self) -> "Metric":
+        return type(self)(self.name, self.description, max_label_sets=0)
+
+    def children(self) -> Iterator[Tuple[LabelKey, "Metric"]]:
+        """The labelled children, in insertion order."""
+        return iter(self._children.items())
+
+    # -- subclass hooks --------------------------------------------------
+
+    def value_dict(self) -> Dict[str, Any]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def value_text(self) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot including labelled children."""
+        out = {"type": self.kind, **self.value_dict()}
+        if self.description:
+            out["description"] = self.description
+        if self._children:
+            out["labels"] = {
+                "{" + ",".join(f"{k}={v}" for k, v in key) + "}": child.value_dict()
+                for key, child in self._children.items()
+            }
+        if self.labels_dropped:
+            out["labels_dropped"] = self.labels_dropped
+        return out
+
+
+class CounterMetric(Metric):
+    """A monotone total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "", *, max_label_sets: int = DEFAULT_LABEL_CARDINALITY) -> None:
+        super().__init__(name, description, max_label_sets=max_label_sets)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (must be ≥ 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount}")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Snapshot adapter: mirror an externally-maintained total.
+
+        Totals must not go backwards; lets subsystems that keep raw int
+        counters on their hot paths (e.g. the Embedder) publish into the
+        registry without paying per-increment method calls.
+        """
+        if value < self.value:
+            raise ValueError(
+                f"counter {self.name!r}: total went backwards "
+                f"({self.value} -> {value})"
+            )
+        self.value = value
+
+    def total(self) -> float:
+        """Own value plus all labelled children."""
+        return self.value + sum(child.value for child in self._children.values())
+
+    def value_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def value_text(self) -> str:
+        return f"{self.value:g}"
+
+
+class GaugeMetric(Metric):
+    """A sampled value remembering its extremes."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "", *, max_label_sets: int = DEFAULT_LABEL_CARDINALITY) -> None:
+        super().__init__(name, description, max_label_sets=max_label_sets)
+        self.value: Optional[float] = None
+        self.max: Optional[float] = None
+        self.min: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record a sample (updates value/max/min)."""
+        self.value = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
+
+    def value_dict(self) -> Dict[str, Any]:
+        return {"value": self.value, "max": self.max, "min": self.min}
+
+    def value_text(self) -> str:
+        if self.value is None:
+            return "(no samples)"
+        return f"{self.value:g} (max {self.max:g}, min {self.min:g})"
+
+
+class HistogramMetric(Metric):
+    """A stream summary: count, sum, min, max (mean derived)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, description: str = "", *, max_label_sets: int = DEFAULT_LABEL_CARDINALITY) -> None:
+        super().__init__(name, description, max_label_sets=max_label_sets)
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def value_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def value_text(self) -> str:
+        if not self.count:
+            return "(no observations)"
+        text = f"n={self.count} sum={self.sum:g} mean={self.mean:g}"
+        if self.min is not None and self.max is not None:
+            text += f" min={self.min:g} max={self.max:g}"
+        return text
+
+
+def _merge_metric(dst: Metric, src: Metric) -> None:
+    """Fold one metric's values (and labelled children) into another."""
+    if isinstance(src, CounterMetric):
+        dst.inc(src.value)
+    elif isinstance(src, GaugeMetric):
+        if src.value is not None:
+            dst.set(src.value)
+        if src.max is not None and (dst.max is None or src.max > dst.max):
+            dst.max = src.max
+        if src.min is not None and (dst.min is None or src.min < dst.min):
+            dst.min = src.min
+    elif isinstance(src, HistogramMetric):
+        dst.count += src.count
+        dst.sum += src.sum
+        if src.min is not None and (dst.min is None or src.min < dst.min):
+            dst.min = src.min
+        if src.max is not None and (dst.max is None or src.max > dst.max):
+            dst.max = src.max
+    for key, child in src.children():
+        _merge_metric(dst.labels(**dict(key)), child)
+    dst.labels_dropped += src.labels_dropped
+
+
+class MetricsRegistry:
+    """A namespace of metrics, get-or-create by name.
+
+    Re-requesting a name returns the existing metric; requesting it as a
+    different type raises — a registry is a schema, not a grab bag.
+    """
+
+    def __init__(
+        self, *, max_label_sets: int = DEFAULT_LABEL_CARDINALITY
+    ) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self.max_label_sets = max_label_sets
+
+    def _get(self, cls, name: str, description: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, description, max_label_sets=self.max_label_sets)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested as {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, description: str = "") -> CounterMetric:
+        """Get or create the counter *name*."""
+        return self._get(CounterMetric, name, description)
+
+    def gauge(self, name: str, description: str = "") -> GaugeMetric:
+        """Get or create the gauge *name*."""
+        return self._get(GaugeMetric, name, description)
+
+    def histogram(self, name: str, description: str = "") -> HistogramMetric:
+        """Get or create the histogram *name*."""
+        return self._get(HistogramMetric, name, description)
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The metric registered under *name*, or ``None``."""
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of every metric (sorted by name)."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s metrics into this registry.
+
+        Counters add, gauges sample the other's last value (widening
+        max/min), histograms combine their summaries; labelled children
+        merge recursively.  Lets per-run registries (one interpreted run,
+        one benchmark repetition) roll up into a long-lived one.
+        """
+        for name in other.names():
+            src = other._metrics[name]
+            dst = self._get(type(src), name, src.description)
+            _merge_metric(dst, src)
+
+    def render(self) -> str:
+        """Human-readable multi-line dump, one line per (metric, label set)."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            lines.append(f"{name:<34} {metric.value_text()}")
+            for key, child in metric.children():
+                label = "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+                lines.append(f"  {name}{label:<40} {child.value_text()}")
+        return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Sinks: where span/event records go.
+
+A sink consumes the JSON-ready dict records produced by
+:class:`~repro.obs.tracer.Tracer` (and, optionally, metric snapshots).
+Three implementations:
+
+* :class:`NullSink` — drops everything and reports itself disabled, so
+  tracers built on it skip record construction entirely (the default,
+  near-zero-overhead configuration);
+* :class:`JsonlSink` — one JSON object per line, append-only, for offline
+  analysis (``rpcheck report``, BENCH artefacts, CI uploads);
+* :class:`MemorySink` — keeps records in a list, for tests and in-process
+  consumers.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Optional, Union
+
+
+class Sink:
+    """Record consumer interface; subclasses override :meth:`emit`."""
+
+    #: Tracers consult this before building records; ``False`` short-circuits.
+    enabled: bool = True
+
+    def emit(self, record: Dict[str, Any]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent; default no-op)."""
+
+
+class NullSink(Sink):
+    """Drops every record; marks the owning tracer disabled."""
+
+    enabled = False
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullSink()"
+
+
+class MemorySink(Sink):
+    """Collects records in memory (tests, in-process analysis)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """The span records seen so far (close order: children first)."""
+        return [r for r in self.records if r.get("type") == "span"]
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The event records seen so far."""
+        return [r for r in self.records if r.get("type") == "event"]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __repr__(self) -> str:
+        return f"MemorySink({len(self.records)} records)"
+
+
+class JsonlSink(Sink):
+    """Writes one compact JSON object per record to a file.
+
+    Accepts a path (opened/truncated immediately) or any text file
+    object; ``close()`` only closes handles the sink itself opened.
+    Records with non-JSON-serialisable attribute values are degraded via
+    ``default=repr`` rather than dropped — a trace line is observability,
+    not an API.
+    """
+
+    def __init__(self, target: Union[str, "io.TextIOBase"]) -> None:
+        if isinstance(target, (str, bytes)):
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+            self.path: Optional[str] = (
+                target if isinstance(target, str) else target.decode()
+            )
+        else:
+            self._handle = target
+            self._owns_handle = False
+            self.path = getattr(target, "name", None)
+        self._closed = False
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            return
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), default=repr) + "\n"
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlSink({self.path!r})"

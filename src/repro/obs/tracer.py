@@ -1,0 +1,209 @@
+"""Nested spans and point events.
+
+A :class:`Tracer` produces **spans** — named, attributed regions of work
+with wall and CPU time — and **events**, instantaneous points attached to
+the innermost open span.  The current span is tracked in a
+:mod:`contextvars` context variable, so instrumentation composes across
+call boundaries: a span opened inside ``AnalysisSession.explore`` nests
+under whatever span the calling decision procedure opened, without either
+side knowing about the other.
+
+Spans are emitted to the tracer's :class:`~repro.obs.sinks.Sink` when they
+*close* (children before parents), one record per span/event; the tree is
+reconstructed from ``id``/``parent`` fields (:mod:`repro.obs.report`).
+
+A tracer without a sink — or with the :class:`~repro.obs.sinks.NullSink`
+— is *disabled*: :meth:`Tracer.span` returns a shared no-op context
+manager and :meth:`Tracer.event` returns immediately, so leaving
+instrumentation in hot-ish paths costs one attribute check and one method
+call.  Per-state inner loops should still not be spanned; spans are for
+*phases* (an exploration, a saturation, a certificate extraction).
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+from .sinks import NullSink, Sink
+
+#: The innermost open span of the current execution context.
+_CURRENT_SPAN: ContextVar[Optional["Span"]] = ContextVar(
+    "repro-obs-current-span", default=None
+)
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost open :class:`Span` of this context, or ``None``."""
+    return _CURRENT_SPAN.get()
+
+
+class Span:
+    """One named, timed region of work.
+
+    Mutable only while open: :meth:`set` adds/overwrites attributes (e.g.
+    a result computed just before the span closes).  Timing fields are
+    filled in when the span closes; ``wall_seconds``/``cpu_seconds`` are
+    ``None`` on a still-open span.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "start",
+        "wall_seconds",
+        "cpu_seconds",
+        "_cpu_start",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        self.wall_seconds: Optional[float] = None
+        self.cpu_seconds: Optional[float] = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns the span for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def _close(self) -> None:
+        self.wall_seconds = time.perf_counter() - self.start
+        self.cpu_seconds = time.process_time() - self._cpu_start
+
+    def record(self) -> Dict[str, Any]:
+        """The JSON-ready sink record for this (closed) span."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "wall": self.wall_seconds,
+            "cpu": self.cpu_seconds,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        state = "open" if self.wall_seconds is None else f"{self.wall_seconds:.6f}s"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class _NoopSpan:
+    """The do-nothing span handed out by a disabled tracer (a singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+#: Shared by every disabled tracer; identity-testable in the test-suite.
+NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager pairing a span with its contextvar token."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token = _CURRENT_SPAN.set(span)
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _CURRENT_SPAN.reset(self._token)
+        span = self._span
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        span._close()
+        self._tracer._sink.emit(span.record())
+
+
+class Tracer:
+    """A span/event producer writing to one :class:`~repro.obs.sinks.Sink`.
+
+    ``Tracer()`` (no sink) is disabled and safe to leave threaded through
+    production code; construct with a :class:`~repro.obs.sinks.JsonlSink`
+    or :class:`~repro.obs.sinks.MemorySink` to switch the instrumentation
+    on.  Span ids are unique per tracer.
+    """
+
+    __slots__ = ("_sink", "_next_id")
+
+    def __init__(self, sink: Optional[Sink] = None) -> None:
+        self._sink: Sink = sink if sink is not None else NullSink()
+        self._next_id = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans/events are actually recorded."""
+        return self._sink.enabled
+
+    @property
+    def sink(self) -> Sink:
+        """The tracer's sink (``NullSink`` when disabled)."""
+        return self._sink
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; use as ``with tracer.span("phase", key=val) as s:``.
+
+        Nested under the context's current span automatically.  Disabled
+        tracers return the shared no-op context manager.
+        """
+        if not self._sink.enabled:
+            return NOOP_SPAN
+        parent = _CURRENT_SPAN.get()
+        self._next_id += 1
+        span = Span(
+            name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            attrs=attrs,
+        )
+        return _SpanContext(self, span)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event attached to the current span (if any)."""
+        if not self._sink.enabled:
+            return
+        parent = _CURRENT_SPAN.get()
+        self._sink.emit(
+            {
+                "type": "event",
+                "span": None if parent is None else parent.span_id,
+                "name": name,
+                "time": time.perf_counter(),
+                "attrs": attrs,
+            }
+        )
+
+    def close(self) -> None:
+        """Flush and close the sink (idempotent)."""
+        self._sink.close()
+
+    def __repr__(self) -> str:
+        return f"Tracer(sink={self._sink!r}, enabled={self.enabled})"

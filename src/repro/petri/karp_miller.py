@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import Tracer
 from .net import Marking, PetriNet
 
 #: The ω value (unbounded component).
@@ -67,29 +68,41 @@ def _omega_fire(marking: Tuple[int, ...], pre: Marking, post: Marking) -> Tuple[
     )
 
 
-def coverability_tree(net: PetriNet, max_nodes: int = 200_000) -> KMNode:
+def coverability_tree(
+    net: PetriNet, max_nodes: int = 200_000, tracer: Optional[Tracer] = None
+) -> KMNode:
     """Build the Karp–Miller tree (guaranteed finite; budget as safety)."""
+    if tracer is None:
+        tracer = Tracer()
     root = KMNode(marking=net.initial)
     work: List[KMNode] = [root]
     count = 1
-    while work:
-        node = work.pop()
-        # stop extension when an ancestor has the identical marking
-        if any(anc.marking == node.marking for anc in node.ancestors()):
-            continue
-        for transition in net.transitions:
-            if not _omega_enabled(node.marking, transition.pre):
+    accelerations = 0
+    with tracer.span(
+        "petri.karp-miller", places=len(net.places), budget=max_nodes
+    ) as span:
+        while work:
+            node = work.pop()
+            # stop extension when an ancestor has the identical marking
+            if any(anc.marking == node.marking for anc in node.ancestors()):
                 continue
-            fired = _omega_fire(node.marking, transition.pre, transition.post)
-            for anc in [node] + list(node.ancestors()):
-                if _leq(anc.marking, fired):
-                    fired = _accelerated(anc.marking, fired)
-            child = KMNode(marking=fired, parent=node)
-            node.children.append(child)
-            work.append(child)
-            count += 1
-            if count > max_nodes:  # pragma: no cover - classical bound
-                raise RuntimeError("Karp-Miller budget exceeded")
+            for transition in net.transitions:
+                if not _omega_enabled(node.marking, transition.pre):
+                    continue
+                fired = _omega_fire(node.marking, transition.pre, transition.post)
+                for anc in [node] + list(node.ancestors()):
+                    if _leq(anc.marking, fired):
+                        widened = _accelerated(anc.marking, fired)
+                        if widened != fired:
+                            accelerations += 1
+                            fired = widened
+                child = KMNode(marking=fired, parent=node)
+                node.children.append(child)
+                work.append(child)
+                count += 1
+                if count > max_nodes:  # pragma: no cover - classical bound
+                    raise RuntimeError("Karp-Miller budget exceeded")
+        span.set(nodes=count, accelerations=accelerations)
     return root
 
 
