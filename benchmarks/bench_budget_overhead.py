@@ -1,0 +1,149 @@
+"""Overhead of resource governance on the WQO benchmark families.
+
+The robustness layer threads a cooperative :class:`repro.robust.Budget`
+through every governed procedure: one ``Budget.check`` per unit of work
+(a state expansion, a saturation round), where cancellation and deadline
+are a flag read plus one clock call and memory is sampled every
+``check_interval`` checks.  This benchmark quantifies that cost, per arm:
+
+* **ungoverned** — ``budget=None``: the pre-governance hot path (the
+  ambient-budget test in the loops short-circuits on ``None``);
+* **governed** — a live budget with a generous deadline, a memory
+  ceiling, and a cancel token, none of which ever trips: what every
+  ``rpcheck --deadline/--mem-limit`` run pays.
+
+Workload: one cold ``boundedness`` query per scheme of
+:data:`repro.zoo.ZOO_WQO_BENCH` (the embedding/exploration-heavy
+matrix), best-of-N with fresh scheme and session per repeat.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_budget_overhead.py [--smoke]
+
+Writes ``BENCH_budget_overhead.json`` (``repro-bench/1`` schema).  The
+PR acceptance bar: **governed-vs-ungoverned aggregate overhead < 5%**;
+the artefact records the percentage under
+``results.aggregate.governed_overhead_pct``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _harness import BenchHarness
+from repro.analysis import boundedness
+from repro.analysis.session import AnalysisSession
+from repro.errors import AnalysisBudgetExceeded
+from repro.robust import Budget, CancelToken
+from repro.zoo import ZOO_WQO_BENCH
+
+MAX_STATES = 2_000
+REPEATS = 5
+#: A ceiling no bench machine reaches (the sampling still happens).
+MEMORY_CEILING_BYTES = 1 << 40
+
+
+def _governing_budget() -> Budget:
+    return Budget(
+        deadline=3_600.0,
+        max_memory_bytes=MEMORY_CEILING_BYTES,
+        cancel=CancelToken(),
+    )
+
+
+def _run_boundedness(scheme, budget):
+    session = AnalysisSession(scheme)
+    try:
+        verdict = boundedness(
+            scheme, max_states=MAX_STATES, session=session, budget=budget
+        )
+        return {"holds": verdict.holds}
+    except AnalysisBudgetExceeded as exc:
+        return {"budget_exceeded": True, "explored": exc.explored}
+
+
+def run(smoke: bool = False) -> tuple:
+    repeats = 1 if smoke else REPEATS
+    harness = BenchHarness("budget_overhead", warmup=1, repeats=repeats)
+    cells = []
+    totals = {"ungoverned": 0.0, "governed": 0.0}
+    checks = 0
+    for name, factory in ZOO_WQO_BENCH:
+        ungoverned, out_plain = harness.measure(
+            f"{name}/ungoverned", lambda: _run_boundedness(factory(), None)
+        )
+        budgets = []
+
+        def governed_arm():
+            budget = _governing_budget()
+            budgets.append(budget)
+            return _run_boundedness(factory(), budget)
+
+        governed, out_governed = harness.measure(f"{name}/governed", governed_arm)
+        if out_plain != out_governed:
+            raise AssertionError(
+                f"{name}: a never-exhausted budget changed the verdict: "
+                f"{out_plain!r} vs {out_governed!r}"
+            )
+        if not any(b.checks for b in budgets):
+            raise AssertionError(f"{name}: the governed arm never checked its budget")
+        checks += max(b.checks for b in budgets)
+        totals["ungoverned"] += ungoverned
+        totals["governed"] += governed
+        cells.append(
+            {
+                "scheme": name,
+                "ungoverned_seconds": ungoverned,
+                "governed_seconds": governed,
+                "governed_overhead_pct": 100.0
+                * (governed - ungoverned)
+                / ungoverned,
+                "budget_checks": max(b.checks for b in budgets),
+                "outcome": out_governed,
+            }
+        )
+    aggregate = {
+        "ungoverned_seconds": totals["ungoverned"],
+        "governed_seconds": totals["governed"],
+        "governed_overhead_pct": 100.0
+        * (totals["governed"] - totals["ungoverned"])
+        / totals["ungoverned"],
+        "budget_checks": checks,
+    }
+    results = {
+        "benchmark": "budget_overhead",
+        "smoke": smoke,
+        "max_states": MAX_STATES,
+        "repeats": repeats,
+        "workload": "boundedness, cold session per repeat, budget never exhausts",
+        "cells": cells,
+        "aggregate": aggregate,
+        "acceptance": {
+            "governed_overhead_budget_pct": 5.0,
+            "within_budget": aggregate["governed_overhead_pct"] < 5.0,
+        },
+    }
+    return results, harness
+
+
+def main(argv=None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    results, harness = run(smoke=smoke)
+    agg = results["aggregate"]
+    print(
+        f"governed overhead: {agg['governed_overhead_pct']:+.2f}% "
+        f"(ungoverned {agg['ungoverned_seconds']:.3f}s, "
+        f"governed {agg['governed_seconds']:.3f}s, "
+        f"{agg['budget_checks']} checks)  "
+        f"[budget < 5%: {'PASS' if results['acceptance']['within_budget'] else 'FAIL'}]"
+    )
+    if smoke:
+        print("smoke run: JSON not written")
+        return
+    out = harness.write(results=results, meta={"max_states": MAX_STATES})
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,13 +32,14 @@ guessing.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..core.embedding import EmbeddingIndex
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
 from ..errors import AnalysisBudgetExceeded
+from ..robust.governance import governed
 from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, PumpCertificate, SaturationCertificate
 from .explore import DEFAULT_MAX_STATES
@@ -52,6 +53,7 @@ def boundedness(
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
     replays: Optional[int] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether ``Reach(initial)`` is finite.
 
@@ -71,13 +73,19 @@ def boundedness(
         ("initial", "max_states", "replays"),
         (initial, max_states, replays),
     )
-    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     replays = 2 if replays is None else replays
     sess = resolve_session(scheme, session, initial)
-    with sess.phase("boundedness", budget=budget, replays=replays) as span:
-        verdict = _session_boundedness(sess, budget, replays)
-        span.set(holds=verdict.holds, method=verdict.method)
-        return verdict
+
+    def body() -> AnalysisVerdict:
+        with sess.phase(
+            "boundedness", budget=state_budget, replays=replays
+        ) as span:
+            verdict = _session_boundedness(sess, state_budget, replays)
+            span.set(holds=verdict.holds, method=verdict.method)
+            return verdict
+
+    return governed(sess, budget, "boundedness", body)
 
 
 def _session_boundedness(

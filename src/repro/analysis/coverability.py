@@ -50,7 +50,7 @@ any sub-multiset of the subtrees present at that position as children.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.embedding import EmbeddingIndex
 from ..core.hstate import EMPTY, HState
@@ -72,6 +72,7 @@ def backward_coverability(
     *legacy,
     initial: Optional[HState] = None,
     session=None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether ``↑targets`` is coverable from *initial*.
 
@@ -83,21 +84,37 @@ def backward_coverability(
     graph, so a supplied ``session=`` contributes its initial state,
     query-timing instrumentation, and its :class:`EmbeddingIndex` (the
     saturation's membership/minimality tests share the session memo).
+    A ``budget=`` requires a session (the governance layer lives on it)
+    and is checked once per basis element processed by the saturation.
     """
+    from ..robust.governance import governed
+
     (initial,) = legacy_positionals(
         "backward_coverability", legacy, ("initial",), (initial,)
     )
     if session is not None:
         if initial is None:
             initial = session.initial
-        with session.phase(
-            "backward-coverability", targets=len(targets)
-        ) as span:
-            verdict = _backward_coverability(
-                scheme, targets, initial, session.embedding_index, session.tracer
-            )
-            span.set(holds=verdict.holds, **verdict.details)
-            return verdict
+        start = initial
+
+        def body() -> AnalysisVerdict:
+            with session.phase(
+                "backward-coverability", targets=len(targets)
+            ) as span:
+                verdict = _backward_coverability(
+                    scheme,
+                    targets,
+                    start,
+                    session.embedding_index,
+                    session.tracer,
+                    ambient=session.budget,
+                )
+                span.set(holds=verdict.holds, **verdict.details)
+                return verdict
+
+        return governed(session, budget, "backward-coverability", body)
+    if budget is not None:
+        raise ValueError("backward_coverability: budget= requires a session=")
     return _backward_coverability(scheme, targets, initial, None, None)
 
 
@@ -107,6 +124,7 @@ def _backward_coverability(
     initial: Optional[HState],
     index: Optional[EmbeddingIndex],
     tracer=None,
+    ambient: Optional[Any] = None,
 ) -> AnalysisVerdict:
     start = initial if initial is not None else scheme.initial_state()
     if index is None:
@@ -127,6 +145,12 @@ def _backward_coverability(
             iterations += 1
             fresh: List[HState] = []
             for basis_element in frontier:
+                if ambient is not None:
+                    ambient.check(
+                        basis_size=len(reached),
+                        frontier=len(frontier),
+                        iterations=iterations,
+                    )
                 for predecessor in predecessor_basis(scheme, basis_element):
                     if reached.add(predecessor):
                         fresh.append(predecessor)

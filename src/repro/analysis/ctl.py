@@ -28,10 +28,11 @@ finite-state hypothesis of the algorithm).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Set
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
+from ..robust.governance import governed
 from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict
 from .explore import DEFAULT_MAX_STATES, StateGraph
@@ -303,6 +304,7 @@ def check_ctl(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> CTLResult:
     """Model-check *formula* on the reachable fragment of ``M_G``.
 
@@ -310,25 +312,31 @@ def check_ctl(
     does not saturate within the budget.  With a ``session=``, the
     saturated graph, its predecessor index, and every sub-formula
     labelling are shared between checks (the checker caches by formula).
+    A ``budget=`` governs the exploration phase; the fixpoint labelling
+    itself runs on the already-saturated finite graph.
     """
     initial, max_states = legacy_positionals(
         "check_ctl", legacy, ("initial", "max_states"), (initial, max_states)
     )
     sess = resolve_session(scheme, session, initial)
-    with sess.phase("check-ctl", formula=str(formula)):
-        graph = sess.explore_or_raise(max_states, what="CTL model checking")
-        checker = sess.memo.get("ctl-checker")
-        if checker is None:
-            # safe to cache for the session's life: the checker demands a
-            # saturated graph, and a saturated graph never grows again
-            checker = CTLChecker(graph)
-            sess.memo["ctl-checker"] = checker
-        satisfying = checker.satisfying(formula)
-    return CTLResult(
-        holds=graph.initial in satisfying,
-        method="ctl-labelling",
-        details={"explored": len(graph)},
-        formula=formula,
-        satisfying=satisfying,
-        states=len(graph),
-    )
+
+    def body() -> CTLResult:
+        with sess.phase("check-ctl", formula=str(formula)):
+            graph = sess.explore_or_raise(max_states, what="CTL model checking")
+            checker = sess.memo.get("ctl-checker")
+            if checker is None:
+                # safe to cache for the session's life: the checker demands a
+                # saturated graph, and a saturated graph never grows again
+                checker = CTLChecker(graph)
+                sess.memo["ctl-checker"] = checker
+            satisfying = checker.satisfying(formula)
+        return CTLResult(
+            holds=graph.initial in satisfying,
+            method="ctl-labelling",
+            details={"explored": len(graph)},
+            formula=formula,
+            satisfying=satisfying,
+            states=len(graph),
+        )
+
+    return governed(sess, budget, f"check-ctl({formula!r})", body)

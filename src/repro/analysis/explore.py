@@ -125,43 +125,42 @@ class StateGraph:
 
         The stem leads from the initial state to the loop entry; the loop
         is a non-empty cycle.  Returns ``None`` on acyclic graphs.
+
+        Iterative three-colour DFS with an explicit trail: graphs as deep
+        as the state budget allows (long chains, deep pipelines) are
+        handled without touching the interpreter recursion limit.
         """
         WHITE, GREY, BLACK = 0, 1, 2
         colour = {state: WHITE for state in self.states}
         trail: List[Transition] = []
-
-        def dfs(state: HState) -> Optional[Tuple[HState, List[Transition]]]:
-            colour[state] = GREY
-            for transition in self.edges[self.index[state]]:
+        stack: List[Tuple[HState, int]] = [(self.initial, 0)]
+        colour[self.initial] = GREY
+        while stack:
+            state, position = stack[-1]
+            out = self.edges[self.index[state]]
+            if position < len(out):
+                stack[-1] = (state, position + 1)
+                transition = out[position]
                 target = transition.target
-                if colour.get(target, BLACK) == GREY:
-                    return target, trail + [transition]
-                if colour.get(target) == WHITE:
+                status = colour.get(target, BLACK)
+                if status == GREY:
+                    path = trail + [transition]
+                    # split the trail at the last occurrence of the entry
+                    split = 0
+                    for index, step in enumerate(path):
+                        if step.source == target:
+                            split = index
+                    return path[:split], path[split:]
+                if status == WHITE:
+                    colour[target] = GREY
                     trail.append(transition)
-                    found = dfs(target)
-                    if found:
-                        return found
+                    stack.append((target, 0))
+            else:
+                colour[state] = BLACK
+                stack.pop()
+                if trail:
                     trail.pop()
-            colour[state] = BLACK
-            return None
-
-        import sys
-
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, len(self.states) * 2 + 100))
-        try:
-            found = dfs(self.initial)
-        finally:
-            sys.setrecursionlimit(old_limit)
-        if not found:
-            return None
-        entry, path = found
-        # split the trail at the last occurrence of the loop entry
-        split = 0
-        for position, transition in enumerate(path):
-            if transition.source == entry:
-                split = position
-        return path[:split], path[split:]
+        return None
 
     def terminal_states(self) -> List[HState]:
         """Expanded states with no outgoing transition (∅ only, by Prop 3)."""

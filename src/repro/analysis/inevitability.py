@@ -33,13 +33,14 @@ see :func:`halting_via_inevitability`, cross-checked in the tests against
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.embedding import EmbeddingIndex, GapEmbedding, PLAIN_EMBEDDING
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
-from ..errors import AnalysisBudgetExceeded
+from ..errors import AnalysisBudgetExceeded, CorruptionDetected
+from ..robust.governance import governed
 from ._compat import legacy_positionals
 from .boundedness import _certify_pump, _covering_ancestor
 from .certificates import (
@@ -61,6 +62,7 @@ def inevitability(
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
     replays: Optional[int] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether all computations eventually leave ``↑basis``.
 
@@ -78,15 +80,19 @@ def inevitability(
         (initial, embedding, max_states, replays),
     )
     max_states = DEFAULT_MAX_STATES if max_states is None else max_states
-    replays = 2 if replays is None else replays
+    fixed_replays = 2 if replays is None else replays
     ordering = embedding if embedding is not None else PLAIN_EMBEDDING
     sess = resolve_session(scheme, session, initial)
-    with sess.phase(
-        "inevitability", basis_size=len(basis), budget=max_states
-    ) as span:
-        verdict = _inevitability(sess, basis, ordering, max_states, replays)
-        span.set(holds=verdict.holds, method=verdict.method)
-        return verdict
+
+    def body() -> AnalysisVerdict:
+        with sess.phase(
+            "inevitability", basis_size=len(basis), budget=max_states
+        ) as span:
+            verdict = _inevitability(sess, basis, ordering, max_states, fixed_replays)
+            span.set(holds=verdict.holds, method=verdict.method)
+            return verdict
+
+    return governed(sess, budget, "inevitability", body)
 
 
 def _inevitability(
@@ -116,12 +122,23 @@ def _inevitability(
     edges: Dict[HState, List[Transition]] = {}
     queue: deque = deque([start])
     transitions_seen = 0
+    ambient = sess.budget
     with sess.tracer.span(
         "inevitability.restricted-exploration", budget=max_states
     ) as span:
         while queue:
+            if ambient is not None:
+                ambient.check(states=len(parent), frontier=len(queue))
             state = queue.popleft()
             successors = semantics.successors(state)
+            for transition in successors:
+                if transition.source != state:
+                    raise CorruptionDetected(
+                        f"inevitability: successor computation returned a "
+                        f"transition sourced at "
+                        f"{transition.source.to_notation()} while expanding "
+                        f"{state.to_notation()}"
+                    )
             edges[state] = []
             if not successors:
                 # a maximal run terminates inside ↑I (state is ∅ by Prop 3)
@@ -193,6 +210,7 @@ def halting_via_inevitability(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Corollary 7: halting as inevitability of leaving "non-terminated".
 
@@ -210,7 +228,12 @@ def halting_via_inevitability(
     )
     basis = [HState.leaf(node) for node in scheme.node_ids]
     return inevitability(
-        scheme, basis, initial=initial, max_states=max_states, session=session
+        scheme,
+        basis,
+        initial=initial,
+        max_states=max_states,
+        session=session,
+        budget=budget,
     )
 
 

@@ -17,7 +17,7 @@ engine's exactness envelope.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
@@ -36,6 +36,7 @@ def mutually_exclusive(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether nodes *first* and *second* can never co-occur.
 
@@ -46,7 +47,12 @@ def mutually_exclusive(
         "mutually_exclusive", legacy, ("initial", "max_states"), (initial, max_states)
     )
     return nodes_never_cooccur(
-        scheme, [first, second], initial=initial, max_states=max_states, session=session
+        scheme,
+        [first, second],
+        initial=initial,
+        max_states=max_states,
+        session=session,
+        budget=budget,
     )
 
 
@@ -57,6 +63,7 @@ def nodes_never_cooccur(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Generalised exclusion: can the node multiset *nodes* never be
     simultaneously live?  (Two equal entries ask for two distinct
@@ -74,8 +81,13 @@ def nodes_never_cooccur(
         initial=initial,
         max_states=max_states,
         session=session,
+        budget=budget,
         what=f"co-occurrence of {sorted(wanted)}",
     )
+    if getattr(cover, "is_partial", False):
+        # exhaustion inside the cover query: the partial verdict passes
+        # through unnegated — UNKNOWN is its own complement
+        return cover
     return AnalysisVerdict(
         holds=not cover.holds,
         method=cover.method,
@@ -92,6 +104,7 @@ def write_conflicts(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> dict:
     """The §5.3 compiler check: which pairs of writer nodes may conflict?
 
@@ -101,6 +114,9 @@ def write_conflicts(
 
     All pair queries share one session (the caller's, or a fresh one), so
     the reachable fragment is explored once however many pairs there are.
+    A ``budget=`` governs the pairs *cumulatively* (one deadline for the
+    whole sweep); under ``on_exhaust="partial"`` the pairs that did not
+    finish map to partial verdicts.
     """
     initial, max_states = legacy_positionals(
         "write_conflicts", legacy, ("initial", "max_states"), (initial, max_states)
@@ -111,6 +127,6 @@ def write_conflicts(
     for i, a in enumerate(distinct):
         for b in distinct[i + 1 :]:
             verdicts[(a, b)] = mutually_exclusive(
-                scheme, a, b, max_states=max_states, session=sess
+                scheme, a, b, max_states=max_states, session=sess, budget=budget
             )
     return verdicts

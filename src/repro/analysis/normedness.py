@@ -21,11 +21,12 @@ Decision structure:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Any, List, Optional, Set
 
 from ..core.hstate import EMPTY, HState
 from ..core.scheme import RPScheme
-from ..errors import AnalysisBudgetExceeded
+from ..errors import AnalysisBudgetExceeded, BudgetExhausted, CorruptionDetected
+from ..robust.governance import governed
 from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, SaturationCertificate, WitnessPath
 from .explore import DEFAULT_MAX_STATES
@@ -38,6 +39,7 @@ def state_is_normed(
     *legacy,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Can *state* reach ``∅``?
 
@@ -57,41 +59,59 @@ def state_is_normed(
     (max_states,) = legacy_positionals(
         "state_is_normed", legacy, ("max_states",), (max_states,)
     )
-    max_states = DEFAULT_MAX_STATES if max_states is None else max_states
+    state_budget = DEFAULT_MAX_STATES if max_states is None else max_states
     semantics = session.semantics if session is not None else AbstractSemantics(scheme)
-    seen = {state}
-    counter = 0  # tie-breaker: heap entries must never compare HStates
-    frontier = [(state.size, 0, state)]
-    while frontier:
-        _size, _tick, current = heappop(frontier)
-        if current.is_empty():
-            return AnalysisVerdict(
-                holds=True,
-                method="greedy-termination-search",
-                certificate=None,
-                exact=True,
-                details={"explored": len(seen)},
-            )
-        for transition in semantics.successors(current):
-            target = transition.target
-            if target in seen:
-                continue
-            if len(seen) >= max_states:
-                raise AnalysisBudgetExceeded(
-                    f"state_is_normed: {max_states} states searched without "
-                    f"reaching ∅ or saturating",
-                    explored=len(seen),
+
+    def body() -> AnalysisVerdict:
+        ambient = session.budget if session is not None else None
+        seen = {state}
+        counter = 0  # tie-breaker: heap entries must never compare HStates
+        frontier = [(state.size, 0, state)]
+        while frontier:
+            if ambient is not None:
+                ambient.check(states=len(seen), frontier=len(frontier))
+            _size, _tick, current = heappop(frontier)
+            if current.is_empty():
+                return AnalysisVerdict(
+                    holds=True,
+                    method="greedy-termination-search",
+                    certificate=None,
+                    exact=True,
+                    details={"explored": len(seen)},
                 )
-            seen.add(target)
-            counter += 1
-            heappush(frontier, (target.size, counter, target))
-    return AnalysisVerdict(
-        holds=False,
-        method="greedy-termination-search",
-        certificate=SaturationCertificate(len(seen), 0),
-        exact=True,
-        details={"explored": len(seen)},
-    )
+            for transition in semantics.successors(current):
+                if transition.source != current:
+                    raise CorruptionDetected(
+                        f"state_is_normed: successor computation returned a "
+                        f"transition sourced at "
+                        f"{transition.source.to_notation()} while expanding "
+                        f"{current.to_notation()}"
+                    )
+                target = transition.target
+                if target in seen:
+                    continue
+                if len(seen) >= state_budget:
+                    raise AnalysisBudgetExceeded(
+                        f"state_is_normed: {state_budget} states searched "
+                        f"without reaching ∅ or saturating",
+                        explored=len(seen),
+                    )
+                seen.add(target)
+                counter += 1
+                heappush(frontier, (target.size, counter, target))
+        return AnalysisVerdict(
+            holds=False,
+            method="greedy-termination-search",
+            certificate=SaturationCertificate(len(seen), 0),
+            exact=True,
+            details={"explored": len(seen)},
+        )
+
+    if session is None:
+        if budget is not None:
+            raise ValueError("state_is_normed: budget= requires a session=")
+        return body()
+    return governed(session, budget, "state-is-normed", body)
 
 
 def normed(
@@ -101,6 +121,7 @@ def normed(
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
     max_witness_checks: Optional[int] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Is every reachable state normed?
 
@@ -117,55 +138,65 @@ def normed(
         ("initial", "max_states", "max_witness_checks"),
         (initial, max_states, max_witness_checks),
     )
-    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     max_witness_checks = 10 if max_witness_checks is None else max_witness_checks
     sess = resolve_session(scheme, session, initial)
-    with sess.phase("normed", budget=budget):
-        graph = sess.explore(budget)
-    if graph.complete:
-        conormed = _co_reachable(graph)
-        for state in graph.states:
-            if state not in conormed:
+
+    def body() -> AnalysisVerdict:
+        with sess.phase("normed", budget=state_budget):
+            graph = sess.explore(state_budget)
+        if graph.complete:
+            conormed = _co_reachable(graph)
+            for state in graph.states:
+                if state not in conormed:
+                    return AnalysisVerdict(
+                        holds=False,
+                        method="backward-sweep",
+                        certificate=WitnessPath(tuple(graph.path_to(state))),
+                        exact=True,
+                        details={"explored": len(graph)},
+                    )
+            return AnalysisVerdict(
+                holds=True,
+                method="backward-sweep",
+                certificate=SaturationCertificate(len(graph), graph.num_transitions),
+                exact=True,
+                details={"explored": len(graph)},
+            )
+        # unbounded fragment: look for an expanded state provably not normed,
+        # preferring the largest explored states (blocked waits accumulate
+        # there) and capping the number of expensive per-state searches
+        pending = set(graph.unexpanded)
+        candidates = sorted(
+            (s for s in graph.states if s not in pending),
+            key=lambda s: -s.size,
+        )[:max_witness_checks]
+        for state in candidates:
+            try:
+                verdict = state_is_normed(
+                    scheme, state, max_states=state_budget, session=sess
+                )
+            except BudgetExhausted:
+                # the ambient deadline/memory/cancel budget ran out — that
+                # is not "this witness was inconclusive", stop the sweep
+                raise
+            except AnalysisBudgetExceeded:
+                continue
+            if not verdict.holds:
                 return AnalysisVerdict(
                     holds=False,
-                    method="backward-sweep",
+                    method="non-normed-witness",
                     certificate=WitnessPath(tuple(graph.path_to(state))),
                     exact=True,
-                    details={"explored": len(graph)},
+                    details={"witness": state.to_notation()},
                 )
-        return AnalysisVerdict(
-            holds=True,
-            method="backward-sweep",
-            certificate=SaturationCertificate(len(graph), graph.num_transitions),
-            exact=True,
-            details={"explored": len(graph)},
+        raise AnalysisBudgetExceeded(
+            f"normedness: no saturation and no non-normed witness within "
+            f"{state_budget} states",
+            explored=len(graph),
         )
-    # unbounded fragment: look for an expanded state provably not normed,
-    # preferring the largest explored states (blocked waits accumulate
-    # there) and capping the number of expensive per-state searches
-    pending = set(graph.unexpanded)
-    candidates = sorted(
-        (s for s in graph.states if s not in pending),
-        key=lambda s: -s.size,
-    )[:max_witness_checks]
-    for state in candidates:
-        try:
-            verdict = state_is_normed(scheme, state, max_states=budget, session=sess)
-        except AnalysisBudgetExceeded:
-            continue
-        if not verdict.holds:
-            return AnalysisVerdict(
-                holds=False,
-                method="non-normed-witness",
-                certificate=WitnessPath(tuple(graph.path_to(state))),
-                exact=True,
-                details={"witness": state.to_notation()},
-            )
-    raise AnalysisBudgetExceeded(
-        f"normedness: no saturation and no non-normed witness within "
-        f"{budget} states",
-        explored=len(graph),
-    )
+
+    return governed(sess, budget, "normed", body)
 
 
 def _co_reachable(graph) -> Set[HState]:

@@ -16,10 +16,11 @@ the paper's Proposition 14.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
+from ..robust.governance import governed
 from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, BasisCertificate
 from .session import AnalysisSession, resolve_session
@@ -33,6 +34,7 @@ def persistent(
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether the node set *nodes* is persistent from *initial*.
 
@@ -52,31 +54,37 @@ def persistent(
         scheme.node(node)  # validate early
     wanted = frozenset(nodes)
     sess = resolve_session(scheme, session, initial)
-    with sess.phase("persistent", nodes=len(wanted)) as span:
-        witness = reaches_downward_closed(
-            scheme,
-            predicate=lambda s: not s.contains_any_node(wanted),
-            max_kept=max_kept,
-            session=sess,
-        )
-        if witness is not None:
-            span.set(holds=False)
-            return AnalysisVerdict(
-                holds=False,
-                method="sup-reachability-basis",
-                certificate=witness,
-                exact=True,
-                details={"free_state": witness.to_notation()},
+
+    def body() -> AnalysisVerdict:
+        with sess.phase("persistent", nodes=len(wanted)) as span:
+            # nested calls run budget-less: the ambient budget installed by
+            # this wrapper governs them and exhaustion propagates here
+            witness = reaches_downward_closed(
+                scheme,
+                predicate=lambda s: not s.contains_any_node(wanted),
+                max_kept=max_kept,
+                session=sess,
             )
-        basis = sup_reachability(scheme, max_kept=max_kept, session=sess)
-        span.set(holds=True)
-    return AnalysisVerdict(
-        holds=True,
-        method="sup-reachability-basis",
-        certificate=basis.certificate,
-        exact=True,
-        details=basis.details,
-    )
+            if witness is not None:
+                span.set(holds=False)
+                return AnalysisVerdict(
+                    holds=False,
+                    method="sup-reachability-basis",
+                    certificate=witness,
+                    exact=True,
+                    details={"free_state": witness.to_notation()},
+                )
+            basis = sup_reachability(scheme, max_kept=max_kept, session=sess)
+            span.set(holds=True)
+        return AnalysisVerdict(
+            holds=True,
+            method="sup-reachability-basis",
+            certificate=basis.certificate,
+            exact=True,
+            details=basis.details,
+        )
+
+    return governed(sess, budget, "persistent", body)
 
 
 def never_terminates_procedure(
@@ -86,6 +94,7 @@ def never_terminates_procedure(
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Is some invocation of *procedure* alive in every reachable state?
 
@@ -109,5 +118,10 @@ def never_terminates_procedure(
                 region.add(succ)
                 frontier.append(succ)
     return persistent(
-        scheme, sorted(region), initial=initial, max_kept=max_kept, session=session
+        scheme,
+        sorted(region),
+        initial=initial,
+        max_kept=max_kept,
+        session=session,
+        budget=budget,
     )

@@ -29,11 +29,12 @@ from ``σ0``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..errors import AnalysisBudgetExceeded
+from ..robust.governance import governed
 from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, SaturationCertificate, WitnessPath
 from .coverability import backward_coverability
@@ -48,42 +49,54 @@ def state_reachable(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether *target* is reachable from *initial* (exactly).
 
     Positive verdicts carry a :class:`WitnessPath`; negative verdicts are
     produced by saturation and carry a :class:`SaturationCertificate`.
+    A ``budget=`` (:class:`repro.robust.Budget`) governs the run; under
+    ``on_exhaust="partial"`` exhaustion returns a
+    :class:`repro.robust.PartialVerdict` instead of raising.
     """
     initial, max_states = legacy_positionals(
         "state_reachable", legacy, ("initial", "max_states"), (initial, max_states)
     )
-    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     sess = resolve_session(scheme, session, initial)
-    with sess.phase("state-reachable", budget=budget):
-        graph = sess.graph
-        if target not in graph and not graph.complete:
-            graph = sess.explore(budget, stop_when=lambda s: s == target)
-        if target in graph:
-            return AnalysisVerdict(
-                holds=True,
-                method="forward-search",
-                certificate=WitnessPath(tuple(graph.path_to(target))),
-                exact=True,
-                details={"explored": len(graph)},
+
+    def body() -> AnalysisVerdict:
+        with sess.phase("state-reachable", budget=state_budget):
+            graph = sess.graph
+            if target not in graph and not graph.complete:
+                graph = sess.explore(state_budget, stop_when=lambda s: s == target)
+            if target in graph:
+                return AnalysisVerdict(
+                    holds=True,
+                    method="forward-search",
+                    certificate=WitnessPath(tuple(graph.path_to(target))),
+                    exact=True,
+                    details={"explored": len(graph)},
+                )
+            if graph.complete:
+                return AnalysisVerdict(
+                    holds=False,
+                    method="saturation",
+                    certificate=SaturationCertificate(
+                        len(graph), graph.num_transitions
+                    ),
+                    exact=True,
+                    details={"explored": len(graph)},
+                )
+            raise AnalysisBudgetExceeded(
+                f"reachability: target not found within {state_budget} states "
+                f"and the scheme did not saturate",
+                explored=len(graph),
             )
-        if graph.complete:
-            return AnalysisVerdict(
-                holds=False,
-                method="saturation",
-                certificate=SaturationCertificate(len(graph), graph.num_transitions),
-                exact=True,
-                details={"explored": len(graph)},
-            )
-        raise AnalysisBudgetExceeded(
-            f"reachability: target not found within {budget} states and the "
-            f"scheme did not saturate",
-            explored=len(graph),
-        )
+
+    return governed(
+        sess, budget, f"state-reachable({target.to_notation()})", body
+    )
 
 
 def node_reachable(
@@ -93,6 +106,7 @@ def node_reachable(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether some reachable state contains an occurrence of *node*.
 
@@ -111,6 +125,7 @@ def node_reachable(
         initial=initial,
         max_states=max_states,
         session=session,
+        budget=budget,
         what=f"node reachability of {node!r}",
     )
 
@@ -123,6 +138,7 @@ def covers(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
     what: str = "coverability",
 ) -> AnalysisVerdict:
     """Shared engine: can a state satisfying the upward-closed *predicate*
@@ -133,44 +149,50 @@ def covers(
     initial, max_states = legacy_positionals(
         "covers", legacy, ("initial", "max_states"), (initial, max_states)
     )
-    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     sess = resolve_session(scheme, session, initial)
-    with sess.phase("covers", what=what, budget=budget):
-        graph = sess.graph
-        hit = graph.find(predicate)
-        if hit is None and not graph.complete and len(graph) < budget:
-            already = len(graph)
-            graph = sess.explore(budget, stop_when=predicate)
-            for state in graph.states[already:]:
-                if predicate(state):
-                    hit = state
-                    break
-        if hit is not None:
-            return AnalysisVerdict(
-                holds=True,
-                method="forward-search",
-                certificate=WitnessPath(tuple(graph.path_to(hit))),
-                exact=True,
-                details={"explored": len(graph)},
+
+    def body() -> AnalysisVerdict:
+        with sess.phase("covers", what=what, budget=state_budget):
+            graph = sess.graph
+            hit = graph.find(predicate)
+            if hit is None and not graph.complete and len(graph) < state_budget:
+                already = len(graph)
+                graph = sess.explore(state_budget, stop_when=predicate)
+                for state in graph.states[already:]:
+                    if predicate(state):
+                        hit = state
+                        break
+            if hit is not None:
+                return AnalysisVerdict(
+                    holds=True,
+                    method="forward-search",
+                    certificate=WitnessPath(tuple(graph.path_to(hit))),
+                    exact=True,
+                    details={"explored": len(graph)},
+                )
+            if graph.complete:
+                return AnalysisVerdict(
+                    holds=False,
+                    method="saturation",
+                    certificate=SaturationCertificate(
+                        len(graph), graph.num_transitions
+                    ),
+                    exact=True,
+                    details={"explored": len(graph)},
+                )
+            backward = backward_coverability(
+                scheme, targets, initial=sess.initial, session=sess
             )
-        if graph.complete:
-            return AnalysisVerdict(
-                holds=False,
-                method="saturation",
-                certificate=SaturationCertificate(len(graph), graph.num_transitions),
-                exact=True,
-                details={"explored": len(graph)},
+            if not backward.holds:
+                return backward
+            if backward.exact:
+                return backward
+            raise AnalysisBudgetExceeded(
+                f"{what}: forward budget of {state_budget} states exhausted "
+                f"and the backward answer is only an over-approximation on "
+                f"this scheme (wait nodes present)",
+                explored=len(graph),
             )
-        backward = backward_coverability(
-            scheme, targets, initial=sess.initial, session=sess
-        )
-        if not backward.holds:
-            return backward
-        if backward.exact:
-            return backward
-        raise AnalysisBudgetExceeded(
-            f"{what}: forward budget of {budget} states exhausted and the "
-            f"backward answer is only an over-approximation on this scheme "
-            f"(wait nodes present)",
-            explored=len(graph),
-        )
+
+    return governed(sess, budget, what, body)

@@ -41,7 +41,7 @@ from ..core.embedding import EmbeddingIndex
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import MemoizingSemantics
-from ..errors import AnalysisBudgetExceeded, AnalysisError
+from ..errors import AnalysisBudgetExceeded, AnalysisError, CorruptionDetected
 from ..obs import MetricsRegistry, Tracer
 from .explore import DEFAULT_MAX_STATES, StateGraph
 
@@ -187,6 +187,16 @@ class AnalysisSession:
         ``EmbeddingIndex(accelerated=False)`` to run every embedding
         query through the naive reference path — the A/B switch of
         ``benchmarks/bench_wqo_index.py``.
+    semantics:
+        The successor engine (default: a fresh
+        :class:`MemoizingSemantics`).  Injection point for the chaos
+        harness (:class:`repro.robust.ChaosSemantics`) and any other
+        instrumented backend; must be built for the same scheme.
+    budget:
+        The session's ambient :class:`~repro.robust.Budget`.  Checked
+        once per state expansion (and inside the procedures' auxiliary
+        search loops); usually installed per-call by the governed
+        procedure wrappers rather than at construction.
 
     Attributes
     ----------
@@ -217,9 +227,19 @@ class AnalysisSession:
         embedding_index: Optional[EmbeddingIndex] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        semantics: Optional[MemoizingSemantics] = None,
+        budget: Optional[Any] = None,
     ) -> None:
         self.scheme = scheme
-        self.semantics = MemoizingSemantics(scheme)
+        if semantics is not None and semantics.scheme is not scheme:
+            raise AnalysisError(
+                "session semantics was built for a different scheme "
+                f"({semantics.scheme.name!r}, session scheme {scheme.name!r})"
+            )
+        self.semantics = semantics if semantics is not None else MemoizingSemantics(scheme)
+        #: Ambient resource budget (duck-typed; see repro.robust.Budget).
+        #: ``None`` means ungoverned — the historical behaviour.
+        self.budget = budget
         start = initial if initial is not None else self.semantics.initial_state
         self.initial = self.semantics.intern(start)
         self.embedding_index = (
@@ -376,6 +396,67 @@ class AnalysisSession:
         return metrics
 
     # ------------------------------------------------------------------
+    # Resource governance & checkpointing
+    # ------------------------------------------------------------------
+
+    @property
+    def frontier(self):
+        """The discovered-but-unexpanded states, in BFS queue order."""
+        return self._queue
+
+    @property
+    def expanded_count(self) -> int:
+        """States whose successors have been expanded into the graph."""
+        return self._expanded
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of the session's resumable state.
+
+        Captures the scheme, the explored BFS prefix (states in discovery
+        order plus the recorded transitions of every expanded state), the
+        frontier and the memoized antichains; feed the result to
+        :meth:`restore` — in this process or another — to continue
+        exactly where this session paused.
+        """
+        from ..robust.checkpoint import checkpoint_session
+
+        return checkpoint_session(self)
+
+    @classmethod
+    def restore(
+        cls,
+        data: Dict[str, Any],
+        *,
+        scheme: Optional[RPScheme] = None,
+        **session_kwargs: Any,
+    ) -> "AnalysisSession":
+        """Rebuild a session from a :meth:`checkpoint` snapshot.
+
+        With *scheme* given, the checkpoint must have been taken for a
+        structurally identical scheme; otherwise the scheme embedded in
+        the checkpoint is used.  Extra keyword arguments pass through to
+        the constructor (``tracer=``, ``metrics=``, ``budget=``, ...).
+        """
+        from ..robust.checkpoint import restore_session
+
+        return restore_session(data, scheme=scheme, **session_kwargs)
+
+    def _restore_frontier(self, expanded: int, complete: bool) -> None:
+        """Reset the explore cursor after a checkpoint replay.
+
+        The frontier of a BFS prefix is exactly the discovery-ordered
+        suffix of un-expanded states, so the queue is rebuilt from the
+        graph rather than stored separately.
+        """
+        self._expanded = expanded
+        self._queue = deque(self.graph.states[expanded:])
+        self.graph.unexpanded = list(self._queue)
+        self.graph.complete = complete and not self._queue
+        self.stats.transitions_fired = self.graph.num_transitions
+        self._frontier_gauge.set(len(self._queue))
+        self._sync_stats()
+
+    # ------------------------------------------------------------------
     # Exploration
     # ------------------------------------------------------------------
 
@@ -393,12 +474,25 @@ class AnalysisSession:
         current state's expansion is finished — keeping the graph a clean
         BFS prefix — and growth pauses.
 
-        States are expanded whole: the budget is checked between
-        expansions, so the graph may overshoot ``max_states`` by at most
-        one branching factor.  The rule is deterministic, which is what
-        makes paused-and-resumed growth bit-identical to a fresh run.
+        **Overshoot contract.**  States are expanded whole and the state
+        budget is checked *between* expansions, so the graph may exceed
+        ``max_states`` by at most one expansion batch — the out-degree of
+        the last state expanded — and never by more.  The rule is
+        deterministic, which is what makes paused-and-resumed growth
+        bit-identical to a fresh run.
+
+        Under an ambient :attr:`budget`, its ``max_states`` tightens the
+        cap and ``budget.check`` runs once per expansion (deadline,
+        cancellation, periodic memory sampling).  Expansion is atomic:
+        successors are computed and validated *before* the state leaves
+        the frontier, so an interruption — budget exhaustion, an injected
+        fault, a detected corruption — always leaves the graph a clean
+        resumable BFS prefix.
         """
         budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+        ambient = self.budget
+        if ambient is not None:
+            budget = ambient.effective_max_states(budget)
         graph = self.graph
         if not self._queue:
             return graph
@@ -411,51 +505,80 @@ class AnalysisSession:
         frontier_gauge = self._frontier_gauge
         stopped = False
         next_progress = self._expanded + self._progress_interval
-        with self.tracer.span(
-            "session.explore", budget=budget, resumed=expanded_before > 0
-        ) as span:
-            while queue and not stopped and len(graph.states) < budget:
-                state = queue.popleft()
-                out = graph.edges[index[state]]
-                for transition in semantics.successors(state):
-                    out.append(transition)
-                    stats.transitions_fired += 1
-                    target = transition.target
-                    if target in index:
-                        continue
-                    graph._add_state(target, transition)
-                    queue.append(target)
-                    if stop_when is not None and not stopped and stop_when(target):
-                        stopped = True
-                self._expanded += 1
-                frontier_gauge.set(len(queue))
-                if self._expanded >= next_progress:
-                    next_progress += self._progress_interval
-                    self._sample_progress(started)
-            span.set(
-                states=len(graph.states),
-                expanded=self._expanded - expanded_before,
-                stopped=stopped,
-            )
-        graph.complete = not queue
-        graph.unexpanded = list(queue)
-        if expanded_before == 0 and self._expanded > 0:
-            stats.explorations += 1
-        stats.explore_seconds += time.perf_counter() - started
-        self._sync_stats()
+        try:
+            with self.tracer.span(
+                "session.explore", budget=budget, resumed=expanded_before > 0
+            ) as span:
+                while queue and not stopped and len(graph.states) < budget:
+                    if ambient is not None:
+                        ambient.check(
+                            states=len(graph.states),
+                            frontier=len(queue),
+                            expanded=self._expanded,
+                        )
+                    state = queue[0]
+                    successors = semantics.successors(state)
+                    for transition in successors:
+                        if transition.source != state:
+                            raise CorruptionDetected(
+                                f"successor computation returned a transition "
+                                f"sourced at {transition.source.to_notation()} "
+                                f"while expanding {state.to_notation()}"
+                            )
+                    queue.popleft()
+                    out = graph.edges[index[state]]
+                    for transition in successors:
+                        out.append(transition)
+                        stats.transitions_fired += 1
+                        target = transition.target
+                        if target in index:
+                            continue
+                        graph._add_state(target, transition)
+                        queue.append(target)
+                        if (
+                            stop_when is not None
+                            and not stopped
+                            and stop_when(target)
+                        ):
+                            stopped = True
+                    self._expanded += 1
+                    frontier_gauge.set(len(queue))
+                    if self._expanded >= next_progress:
+                        next_progress += self._progress_interval
+                        self._sample_progress(started)
+                span.set(
+                    states=len(graph.states),
+                    expanded=self._expanded - expanded_before,
+                    stopped=stopped,
+                )
+        finally:
+            graph.complete = not queue
+            graph.unexpanded = list(queue)
+            if expanded_before == 0 and self._expanded > 0:
+                stats.explorations += 1
+            stats.explore_seconds += time.perf_counter() - started
+            self._sync_stats()
         return graph
 
     def explore_or_raise(
         self, max_states: Optional[int] = None, what: str = "exploration"
     ) -> StateGraph:
-        """Grow to saturation; raise when the budget does not suffice."""
+        """Grow to saturation; raise when the budget does not suffice.
+
+        The exception reports the *exact* exploration extent at
+        exhaustion — discovered states and frontier size — not the
+        requested budget, which the overshoot contract of
+        :meth:`explore` allows the graph to exceed by one batch.
+        """
         budget = max_states if max_states is not None else DEFAULT_MAX_STATES
         graph = self.explore(budget)
         if not graph.complete:
             raise AnalysisBudgetExceeded(
-                f"{what}: state budget of {budget} exhausted "
-                f"(the scheme may be unbounded; raise max_states or use a "
-                f"procedure with an unboundedness certificate)",
+                f"{what}: state budget of {budget} exhausted at exactly "
+                f"{len(graph)} discovered states "
+                f"({len(graph.unexpanded)} still unexpanded; the scheme may "
+                f"be unbounded — raise max_states or use a procedure with an "
+                f"unboundedness certificate)",
                 explored=len(graph),
             )
         return graph
@@ -485,6 +608,7 @@ class AnalysisSession:
                         self.initial,
                         max_kept,
                         index=self.embedding_index,
+                        budget=self.budget,
                     )
                     span.set(kept=len(cached))
             self.memo["kept-states"] = cached

@@ -11,7 +11,7 @@ formatting; tests get one object to assert on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
@@ -82,6 +82,8 @@ class SchemeReport:
     def _verdict_line(name: str, verdict: Optional[AnalysisVerdict]) -> str:
         if verdict is None:
             return f"  {name:<18} inconclusive (budget exhausted)"
+        if getattr(verdict, "is_partial", False):
+            return f"  {name:<18} {verdict.describe()}"
         answer = "yes" if verdict.holds else "no"
         exactness = "" if verdict.exact else " (replay-verified, not a proof)"
         return f"  {name:<18} {answer:<4} [{verdict.method}]{exactness}"
@@ -108,6 +110,7 @@ def analyze(
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
     normedness_max_states: Optional[int] = None,
+    budget: Optional[Any] = None,
 ) -> SchemeReport:
     """Run the standard battery with graceful budget handling.
 
@@ -121,13 +124,20 @@ def analyze(
     multiplies exploration by per-witness searches on unbounded schemes
     (default :data:`DEFAULT_NORMEDNESS_MAX_STATES`, additionally clamped
     to *max_states*).
+
+    A ``budget=`` (:class:`~repro.robust.Budget`) governs the battery
+    *cumulatively*: one deadline/memory/cancellation envelope for all
+    passes.  Exhaustion mid-battery never aborts the report — the pass
+    that ran out (and every later pass, which trips the spent budget
+    immediately) is reported inconclusive, exactly like a ``max_states``
+    overrun, regardless of the budget's ``on_exhaust`` policy.
     """
     (max_states,) = legacy_positionals(
         "analyze", legacy, ("max_states",), (max_states,)
     )
-    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     normedness_budget = min(
-        budget,
+        state_budget,
         DEFAULT_NORMEDNESS_MAX_STATES
         if normedness_max_states is None
         else normedness_max_states,
@@ -135,34 +145,48 @@ def analyze(
     sess = resolve_session(scheme, session, None)
 
     def guarded(procedure) -> Optional[AnalysisVerdict]:
+        # BudgetExhausted subclasses AnalysisBudgetExceeded, so a spent
+        # Budget degrades a pass to "inconclusive" the same way a state
+        # budget does — the battery itself never raises
         try:
             return procedure()
         except AnalysisBudgetExceeded:
             return None
 
-    bounded = guarded(lambda: boundedness(scheme, max_states=budget, session=sess))
-    halting = guarded(lambda: halts(scheme, max_states=budget, session=sess))
-    normedness = guarded(
-        lambda: normed(scheme, max_states=normedness_budget, session=sess)
-    )
-
-    unreachable: List[str] = []
-    inconclusive: List[str] = []
-    for node in scheme.node_ids:
-        try:
-            if not node_reachable(
-                scheme, node, max_states=budget, session=sess
-            ).holds:
-                unreachable.append(node)
-        except AnalysisBudgetExceeded:
-            inconclusive.append(node)
-
+    previous_budget = sess.budget
+    if budget is not None:
+        sess.budget = budget
+        budget.start()
     try:
-        basis: Optional[Tuple[HState, ...]] = tuple(
-            sup_reachability(scheme, session=sess).certificate.basis
+        bounded = guarded(
+            lambda: boundedness(scheme, max_states=state_budget, session=sess)
         )
-    except AnalysisBudgetExceeded:
-        basis = None
+        halting = guarded(lambda: halts(scheme, max_states=state_budget, session=sess))
+        normedness = guarded(
+            lambda: normed(scheme, max_states=normedness_budget, session=sess)
+        )
+
+        unreachable: List[str] = []
+        inconclusive: List[str] = []
+        for node in scheme.node_ids:
+            try:
+                if not node_reachable(
+                    scheme, node, max_states=state_budget, session=sess
+                ).holds:
+                    unreachable.append(node)
+            except AnalysisBudgetExceeded:
+                inconclusive.append(node)
+
+        try:
+            basis: Optional[Tuple[HState, ...]] = tuple(
+                sup_reachability(scheme, session=sess).certificate.basis
+            )
+        except AnalysisBudgetExceeded:
+            basis = None
+    finally:
+        if budget is not None:
+            sess.budget = previous_budget
+            budget.export(sess.metrics)
 
     return SchemeReport(
         scheme_name=scheme.name,

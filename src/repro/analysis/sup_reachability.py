@@ -32,13 +32,14 @@ persistence (§5.2) is decided.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.embedding import EmbeddingIndex
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
-from ..errors import AnalysisBudgetExceeded
+from ..errors import AnalysisBudgetExceeded, CorruptionDetected
+from ..robust.governance import governed
 from ..wqo.kruskal import embedding_upward_closed, tree_embedding_order
 from ..wqo.orderings import minimal_elements
 from ._compat import legacy_positionals
@@ -57,6 +58,7 @@ def sup_reachability(
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Compute a finite basis of ``↑Reach(initial)``.
 
@@ -66,18 +68,22 @@ def sup_reachability(
     initial, max_kept = legacy_positionals(
         "sup_reachability", legacy, ("initial", "max_kept"), (initial, max_kept)
     )
-    max_kept = DEFAULT_MAX_KEPT if max_kept is None else max_kept
+    kept_budget = DEFAULT_MAX_KEPT if max_kept is None else max_kept
     sess = resolve_session(scheme, session, initial)
-    with sess.tracer.span("sup-reachability", max_kept=max_kept) as span:
-        basis, kept_count = _minimal_reach(sess, max_kept)
-        span.set(kept=kept_count, basis_size=len(basis))
-    return AnalysisVerdict(
-        holds=True,
-        method="domination-pruned-search",
-        certificate=BasisCertificate(basis=tuple(basis)),
-        exact=True,
-        details={"kept": kept_count, "basis_size": len(basis)},
-    )
+
+    def body() -> AnalysisVerdict:
+        with sess.tracer.span("sup-reachability", max_kept=kept_budget) as span:
+            basis, kept_count = _minimal_reach(sess, kept_budget)
+            span.set(kept=kept_count, basis_size=len(basis))
+        return AnalysisVerdict(
+            holds=True,
+            method="domination-pruned-search",
+            certificate=BasisCertificate(basis=tuple(basis)),
+            exact=True,
+            details={"kept": kept_count, "basis_size": len(basis)},
+        )
+
+    return governed(sess, budget, "sup-reachability", body)
 
 
 def minimal_reachable_states(
@@ -86,15 +92,25 @@ def minimal_reachable_states(
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> List[HState]:
-    """The minimal elements of ``Reach(initial)`` w.r.t. ``⪯``."""
+    """The minimal elements of ``Reach(initial)`` w.r.t. ``⪯``.
+
+    Returns a plain list, so a ``budget=`` always *raises* on exhaustion
+    (no partial-verdict conversion, even under ``on_exhaust="partial"``).
+    """
     initial, max_kept = legacy_positionals(
         "minimal_reachable_states", legacy, ("initial", "max_kept"), (initial, max_kept)
     )
-    max_kept = DEFAULT_MAX_KEPT if max_kept is None else max_kept
+    kept_budget = DEFAULT_MAX_KEPT if max_kept is None else max_kept
     sess = resolve_session(scheme, session, initial)
-    basis, _ = _minimal_reach(sess, max_kept)
-    return basis
+    return governed(
+        sess,
+        budget,
+        "minimal-reachable-states",
+        lambda: _minimal_reach(sess, kept_budget)[0],
+        allow_partial=False,
+    )
 
 
 def reaches_downward_closed(
@@ -104,6 +120,7 @@ def reaches_downward_closed(
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> Optional[HState]:
     """A reachable state satisfying a *downward-closed* predicate, or None.
 
@@ -116,33 +133,45 @@ def reaches_downward_closed(
     earlier persistence/sup-reachability query) the answer is a pure scan;
     conversely, a search that completes without a witness *is* the full
     kept set and is cached on the session.
+
+    ``None`` means a conclusive "does not reach", so a ``budget=``
+    always *raises* on exhaustion (no partial-verdict conversion).
     """
     initial, max_kept = legacy_positionals(
         "reaches_downward_closed", legacy, ("initial", "max_kept"), (initial, max_kept)
     )
-    max_kept = DEFAULT_MAX_KEPT if max_kept is None else max_kept
+    kept_budget = DEFAULT_MAX_KEPT if max_kept is None else max_kept
     sess = resolve_session(scheme, session, initial)
-    kept = sess.memo.get("kept-states")
-    if kept is None:
-        with sess.stats.timed("sup-reach-engine"):
-            with sess.tracer.span(
-                "sup-reach.antichain-saturation", max_kept=max_kept, restricted=True
-            ) as span:
-                kept = _kept_states(
-                    sess.semantics,
-                    sess.initial,
-                    max_kept,
-                    stop_when=predicate,
-                    index=sess.embedding_index,
-                )
-                span.set(kept=len(kept))
-        witness = next((state for state in kept if predicate(state)), None)
-        if witness is None:
-            # the search ran to wqo termination: `kept` is the complete
-            # domination-pruned set, reusable by any later query
-            sess.memo["kept-states"] = kept
-        return witness
-    return next((state for state in kept if predicate(state)), None)
+
+    def body() -> Optional[HState]:
+        kept = sess.memo.get("kept-states")
+        if kept is None:
+            with sess.stats.timed("sup-reach-engine"):
+                with sess.tracer.span(
+                    "sup-reach.antichain-saturation",
+                    max_kept=kept_budget,
+                    restricted=True,
+                ) as span:
+                    kept = _kept_states(
+                        sess.semantics,
+                        sess.initial,
+                        kept_budget,
+                        stop_when=predicate,
+                        index=sess.embedding_index,
+                        budget=sess.budget,
+                    )
+                    span.set(kept=len(kept))
+            witness = next((state for state in kept if predicate(state)), None)
+            if witness is None:
+                # the search ran to wqo termination: `kept` is the complete
+                # domination-pruned set, reusable by any later query
+                sess.memo["kept-states"] = kept
+            return witness
+        return next((state for state in kept if predicate(state)), None)
+
+    return governed(
+        sess, budget, "reaches-downward-closed", body, allow_partial=False
+    )
 
 
 # ----------------------------------------------------------------------
@@ -174,6 +203,7 @@ def _kept_states(
     max_kept: int,
     stop_when: Optional[Callable[[HState], bool]] = None,
     index: Optional[EmbeddingIndex] = None,
+    budget: Optional[Any] = None,
 ) -> List[HState]:
     """Forward search keeping only non-dominated states.
 
@@ -184,6 +214,11 @@ def _kept_states(
     surviving embedding tests run through the session's
     :class:`~repro.core.embedding.EmbeddingIndex` (signature refutation +
     session-lifetime memo).
+
+    *budget* (the session's ambient :class:`repro.robust.Budget`) is
+    checked once per expansion; successor lists are validated against
+    their queried source so a corrupted backend surfaces as
+    :class:`~repro.errors.CorruptionDetected` rather than a wrong basis.
     """
     start = initial if initial is not None else semantics.initial_state
     if index is None:
@@ -225,8 +260,16 @@ def _kept_states(
     if offer(start):
         return kept
     while queue:
+        if budget is not None:
+            budget.check(kept=len(kept), frontier=len(queue))
         state = queue.popleft()
         for transition in semantics.successors(state):
+            if transition.source != state:
+                raise CorruptionDetected(
+                    f"sup-reachability: successor computation returned a "
+                    f"transition sourced at {transition.source.to_notation()} "
+                    f"while expanding {state.to_notation()}"
+                )
             if offer(transition.target):
                 return kept
     return kept

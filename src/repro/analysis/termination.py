@@ -19,10 +19,11 @@ verdicts carry a concrete :class:`LassoCertificate` (finite case) or
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
+from ..robust.governance import governed
 from ._compat import legacy_positionals
 from .boundedness import boundedness
 from .certificates import AnalysisVerdict, LassoCertificate, SaturationCertificate
@@ -36,45 +37,54 @@ def halts(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether all computations from *initial* terminate."""
     initial, max_states = legacy_positionals(
         "halts", legacy, ("initial", "max_states"), (initial, max_states)
     )
-    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     sess = resolve_session(scheme, session, initial)
-    bounded = boundedness(scheme, max_states=budget, session=sess)
-    if not bounded.holds:
-        # an unbounded system has infinite runs by König's lemma; the pump
-        # certificate exhibits ever-growing reachable states
+
+    def body() -> AnalysisVerdict:
+        # the nested boundedness call runs WITHOUT its own budget: the
+        # ambient budget installed here still governs it, and exhaustion
+        # propagates to this wrapper — an inner partial verdict must never
+        # be misread as a conclusive "unbounded"
+        bounded = boundedness(scheme, max_states=state_budget, session=sess)
+        if not bounded.holds:
+            # an unbounded system has infinite runs by König's lemma; the
+            # pump certificate exhibits ever-growing reachable states
+            return AnalysisVerdict(
+                holds=False,
+                method="unbounded-implies-nonhalting",
+                certificate=bounded.certificate,
+                exact=bounded.exact,
+                details=bounded.details,
+            )
+        with sess.phase("halts", budget=state_budget) as span:
+            graph = sess.explore_or_raise(state_budget, what="halting")
+            with sess.tracer.span("halts.lasso-search", states=len(graph)):
+                lasso = graph.find_lasso()
+            span.set(cyclic=lasso is not None)
+        if lasso is not None:
+            stem, loop = lasso
+            return AnalysisVerdict(
+                holds=False,
+                method="reachable-cycle",
+                certificate=LassoCertificate(stem=tuple(stem), loop=tuple(loop)),
+                exact=True,
+                details={"explored": len(graph)},
+            )
         return AnalysisVerdict(
-            holds=False,
-            method="unbounded-implies-nonhalting",
-            certificate=bounded.certificate,
-            exact=bounded.exact,
-            details=bounded.details,
-        )
-    with sess.phase("halts", budget=budget) as span:
-        graph = sess.explore_or_raise(budget, what="halting")
-        with sess.tracer.span("halts.lasso-search", states=len(graph)):
-            lasso = graph.find_lasso()
-        span.set(cyclic=lasso is not None)
-    if lasso is not None:
-        stem, loop = lasso
-        return AnalysisVerdict(
-            holds=False,
-            method="reachable-cycle",
-            certificate=LassoCertificate(stem=tuple(stem), loop=tuple(loop)),
+            holds=True,
+            method="bounded-acyclic",
+            certificate=SaturationCertificate(len(graph), graph.num_transitions),
             exact=True,
             details={"explored": len(graph)},
         )
-    return AnalysisVerdict(
-        holds=True,
-        method="bounded-acyclic",
-        certificate=SaturationCertificate(len(graph), graph.num_transitions),
-        exact=True,
-        details={"explored": len(graph)},
-    )
+
+    return governed(sess, budget, "halts", body)
 
 
 def may_terminate(
@@ -83,6 +93,7 @@ def may_terminate(
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether **some** computation from *initial* terminates.
 
@@ -95,6 +106,12 @@ def may_terminate(
     initial, max_states = legacy_positionals(
         "may_terminate", legacy, ("initial", "max_states"), (initial, max_states)
     )
-    return state_reachable(
-        scheme, EMPTY, initial=initial, max_states=max_states, session=session
+    sess = resolve_session(scheme, session, initial)
+    return governed(
+        sess,
+        budget,
+        "may-terminate",
+        lambda: state_reachable(
+            scheme, EMPTY, max_states=max_states, session=sess
+        ),
     )

@@ -13,7 +13,16 @@ Usage::
     rpcheck PROGRAM.rp --run            # execute (fully concrete programs)
     rpcheck PROGRAM.rp --trace t.jsonl  # record a span trace (JSONL)
     rpcheck PROGRAM.rp --metrics m.json # dump the metrics registry as JSON
+    rpcheck PROGRAM.rp --deadline 5     # wall-clock budget (seconds)
+    rpcheck PROGRAM.rp --mem-limit 512  # memory budget (MiB)
+    rpcheck PROGRAM.rp --checkpoint c.json   # save resumable state
+    rpcheck PROGRAM.rp --resume c.json       # continue a saved run
     rpcheck report t.jsonl              # self-time tree + hot spans
+
+Budgeted runs degrade gracefully: when the deadline or memory ceiling is
+hit, finished analyses keep their verdicts, unfinished ones report
+``inconclusive``, and ``--checkpoint`` captures the explored prefix so a
+later ``--resume`` run continues instead of restarting.
 """
 
 from __future__ import annotations
@@ -83,6 +92,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics",
         metavar="FILE",
         help="write the session's metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; analyses left unfinished when it expires "
+        "are reported inconclusive instead of running on",
+    )
+    parser.add_argument(
+        "--mem-limit",
+        type=float,
+        metavar="MIB",
+        help="memory ceiling in MiB (sampled periodically during analysis)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write a resumable snapshot of the explored state space after "
+        "the run (finished or not)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="FILE",
+        help="continue from a snapshot written by --checkpoint "
+        "(the program must compile to the same scheme)",
     )
     return parser
 
@@ -159,17 +193,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"rpcheck: {error}", file=sys.stderr)
         return 2
 
+    budget = None
+    if args.deadline is not None or args.mem_limit is not None:
+        from .robust import Budget
+
+        budget = Budget(
+            deadline=args.deadline,
+            max_memory_bytes=(
+                int(args.mem_limit * 1024 * 1024)
+                if args.mem_limit is not None
+                else None
+            ),
+            on_exhaust="partial",
+        )
+
     # one session for the whole invocation: the report, --node and --mutex
     # all share a single exploration of the scheme's reachable fragment
-    session = AnalysisSession(scheme, tracer=tracer)
+    if args.resume:
+        from .robust import CheckpointError, load_checkpoint
+
+        try:
+            session = AnalysisSession.restore(
+                load_checkpoint(args.resume), scheme=scheme, tracer=tracer
+            )
+        except (CheckpointError, RPError) as error:
+            print(f"rpcheck: cannot resume from {args.resume}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(
+            f"resumed   : {args.resume} "
+            f"({len(session.graph)} states, {session.expanded_count} expanded)"
+        )
+    else:
+        session = AnalysisSession(scheme, tracer=tracer)
     root_span = tracer.span("rpcheck", program=scheme.name)
     root_span.__enter__()
-    report = analyze(scheme, max_states=args.max_states, session=session)
+    report = analyze(
+        scheme, max_states=args.max_states, session=session, budget=budget
+    )
     print(f"wait-free : {'yes' if report.wait_free else 'no'}")
     print("analyses:")
     # skip the scheme/nodes/wait-free header lines the report duplicates
     print("\n".join(report.render().splitlines()[4:]))
     exit_code = 0 if report.conclusive else 1
+    if budget is not None and budget.exhausted is not None:
+        hint = " (checkpoint below resumes this run)" if args.checkpoint else ""
+        print(
+            f"budget    : {budget.exhausted} exhausted after "
+            f"{budget.elapsed():.2f}s — partial results above{hint}"
+        )
+        exit_code = 1
 
     if args.node:
         try:
@@ -242,6 +315,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     root_span.__exit__(None, None, None)
     tracer.close()
     session.sync_metrics()
+
+    if args.checkpoint:
+        from .robust import CheckpointError, save_checkpoint
+
+        try:
+            save_checkpoint(session.checkpoint(), args.checkpoint)
+            print(f"checkpoint: written to {args.checkpoint}")
+        except (CheckpointError, OSError) as error:
+            print(f"rpcheck: cannot write checkpoint: {error}", file=sys.stderr)
+            exit_code = 1
 
     if args.stats:
         print("session stats:")

@@ -72,6 +72,53 @@ class AnalysisBudgetExceeded(AnalysisError):
         self.explored = explored
 
 
+class BudgetExhausted(AnalysisBudgetExceeded):
+    """A governed analysis ran out of a :class:`repro.robust.Budget` resource.
+
+    ``resource`` names what ran out (``"deadline"``, ``"memory"``,
+    ``"states"`` or ``"cancelled"``); ``progress`` is a free-form snapshot
+    of how far the analysis got (states explored, frontier size, elapsed
+    seconds, ...).  Subclassing :class:`AnalysisBudgetExceeded` keeps every
+    existing budget guard (``analyze``'s graceful degradation, the CLI's
+    inconclusive reporting) working unchanged for governed runs.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str,
+        progress: "dict | None" = None,
+        explored: int = 0,
+    ) -> None:
+        super().__init__(message, explored=explored)
+        self.resource = resource
+        self.progress = dict(progress or {})
+
+
+class FaultInjected(RPError):
+    """A fault deliberately injected by the chaos harness surfaced.
+
+    Raised by :class:`repro.robust.chaos.ChaosSemantics` at plan-selected
+    successor computations; reaching the caller uncaught *is* the correct
+    behaviour (a clean, typed failure instead of a corrupted verdict).
+    """
+
+
+class CorruptionDetected(AnalysisError):
+    """An analysis engine noticed semantically inconsistent transitions.
+
+    The exploration loops validate that every transition returned by a
+    semantics object actually leaves the state being expanded; a mismatch
+    means the semantics layer (or a chaos wrapper) handed back corrupt
+    data, and the analysis refuses to build a verdict on top of it.
+    """
+
+
+class CheckpointError(RPError):
+    """A checkpoint could not be written, parsed, or restored."""
+
+
 class InterpretationError(RPError):
     """An interpretation is inconsistent with the scheme it interprets."""
 

@@ -1,0 +1,296 @@
+"""Resource budgets for governed analyses.
+
+A :class:`Budget` bounds an analysis run along four axes:
+
+* **wall-clock deadline** — seconds from the budget's first use;
+* **state budget** — a cap on discovered states, folded into the
+  exploration budgets of every procedure running under the budget;
+* **memory ceiling** — bytes, enforced by periodic sampling (tracemalloc
+  when tracing is active, RSS otherwise);
+* **cooperative cancellation** — a thread-safe :class:`CancelToken` that
+  any other thread (a signal handler, a service timeout, a UI button)
+  can flip.
+
+Budgets are *cooperative*: the analysis loops call :meth:`Budget.check`
+between units of work (one state expansion, one saturation round), so a
+budget can only interrupt at clean points — which is exactly what makes
+an interrupted exploration resumable.  ``check`` is engineered to be
+cheap enough for per-expansion use: cancellation and deadline tests are
+a flag read and one clock call; memory sampling runs every
+``check_interval`` calls only.
+
+Exhaustion raises :class:`~repro.errors.BudgetExhausted` with the
+exhausted ``resource`` and a progress snapshot.  Under
+``on_exhaust="partial"`` the governed procedure wrappers convert the
+exception into a :class:`~repro.robust.PartialVerdict` instead (see
+:mod:`repro.robust.governance`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import BudgetExhausted
+
+__all__ = ["Budget", "CancelToken", "memory_bytes"]
+
+
+class CancelToken:
+    """A thread-safe cooperative cancellation flag.
+
+    ``cancel()`` may be called from any thread (or a signal handler); the
+    analysis observes it at its next :meth:`Budget.check`.  Tokens are
+    reusable across budgets and carry an optional reason for reporting.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request cancellation (idempotent)."""
+        if reason is not None:
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def reset(self) -> None:
+        """Clear the flag so the token can govern another run."""
+        self._event.clear()
+        self.reason = None
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancelToken({state})"
+
+
+def memory_bytes() -> int:
+    """The process's current memory footprint in bytes (best effort).
+
+    Prefers ``tracemalloc`` (exact traced allocations) when tracing is
+    active; otherwise reads RSS from ``/proc/self/statm`` (Linux) and
+    falls back to ``resource.getrusage`` peak RSS elsewhere.  Returns 0
+    when no source is available — a budget with a memory ceiling then
+    simply never trips, it does not crash.
+    """
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        current, _peak = tracemalloc.get_traced_memory()
+        return current
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        import os
+
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS
+        import sys
+
+        return usage if sys.platform == "darwin" else usage * 1024
+    except Exception:  # pragma: no cover - exotic platforms
+        return 0
+
+
+class Budget:
+    """A resource envelope for one (or several sequential) analyses.
+
+    Parameters
+    ----------
+    deadline:
+        Wall-clock seconds the analysis may run, measured from the first
+        :meth:`check` (or an explicit :meth:`start`).  ``None`` = no
+        deadline.
+    max_states:
+        Cap on discovered states.  Folded into every governed
+        procedure's exploration budget (the procedure's own
+        ``max_states`` still applies; the tighter bound wins).
+    max_memory_bytes:
+        Ceiling on the process footprint, sampled every
+        ``check_interval`` checks via *memory_sampler*.
+    cancel:
+        A :class:`CancelToken` observed at every check.
+    on_exhaust:
+        ``"raise"`` (default): exhaustion raises
+        :class:`~repro.errors.BudgetExhausted`.  ``"partial"``: governed
+        procedures return a :class:`~repro.robust.PartialVerdict`
+        carrying a progress certificate and a resumable checkpoint.
+    check_interval:
+        How many checks between memory samples (memory sampling is the
+        only non-trivially-cheap test).
+    clock / memory_sampler:
+        Injectable time and memory sources — the tests drive budgets
+        deterministically through these.
+    """
+
+    def __init__(
+        self,
+        *,
+        deadline: Optional[float] = None,
+        max_states: Optional[int] = None,
+        max_memory_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
+        on_exhaust: str = "raise",
+        check_interval: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+        memory_sampler: Callable[[], int] = memory_bytes,
+    ) -> None:
+        if on_exhaust not in ("raise", "partial"):
+            raise ValueError(
+                f"on_exhaust must be 'raise' or 'partial', got {on_exhaust!r}"
+            )
+        self.deadline = deadline
+        self.max_states = max_states
+        self.max_memory_bytes = max_memory_bytes
+        self.cancel = cancel
+        self.on_exhaust = on_exhaust
+        self.check_interval = max(1, check_interval)
+        self.clock = clock
+        self.memory_sampler = memory_sampler
+        #: Number of check() calls so far (≈ units of analysis work).
+        self.checks = 0
+        #: Memory samples taken and the last sampled value (bytes).
+        self.memory_samples = 0
+        self.last_memory_bytes = 0
+        #: The resource that exhausted this budget, once one has.
+        self.exhausted: Optional[str] = None
+        self._started_at: Optional[float] = None
+        self._exported_checks = 0
+        self._exported_exhausted = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Start the deadline clock (idempotent; check() starts it too)."""
+        if self._started_at is None:
+            self._started_at = self.clock()
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._started_at is not None
+
+    def elapsed(self) -> float:
+        """Seconds since the budget started (0.0 before the first check)."""
+        if self._started_at is None:
+            return 0.0
+        return self.clock() - self._started_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline, or ``None`` without one."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.elapsed()
+
+    def effective_max_states(self, requested: int) -> int:
+        """The tighter of the caller's state budget and this budget's."""
+        if self.max_states is None:
+            return requested
+        return min(requested, self.max_states)
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+
+    def check(self, **progress: Any) -> None:
+        """Raise :class:`~repro.errors.BudgetExhausted` if any resource ran out.
+
+        *progress* (e.g. ``states=len(graph), frontier=len(queue)``) is
+        embedded in the exception so even a bare ``except`` site can
+        report how far the analysis got.  Called between units of work;
+        cancellation and deadline are tested every call, memory every
+        ``check_interval`` calls.
+        """
+        self.checks += 1
+        if self._started_at is None:
+            self._started_at = self.clock()
+        if self.cancel is not None and self.cancel.cancelled:
+            reason = self.cancel.reason or "cancelled by caller"
+            self._exhaust("cancelled", reason, progress)
+        if self.deadline is not None:
+            elapsed = self.clock() - self._started_at
+            if elapsed > self.deadline:
+                self._exhaust(
+                    "deadline",
+                    f"wall-clock deadline of {self.deadline:.3f}s exceeded "
+                    f"({elapsed:.3f}s elapsed)",
+                    progress,
+                )
+        if (
+            self.max_memory_bytes is not None
+            and self.checks % self.check_interval == 0
+        ):
+            self.memory_samples += 1
+            self.last_memory_bytes = self.memory_sampler()
+            if self.last_memory_bytes > self.max_memory_bytes:
+                self._exhaust(
+                    "memory",
+                    f"memory ceiling of {self.max_memory_bytes} bytes exceeded "
+                    f"(sampled {self.last_memory_bytes} bytes)",
+                    progress,
+                )
+
+    def _exhaust(self, resource: str, why: str, progress: Dict[str, Any]) -> None:
+        self.exhausted = resource
+        snapshot = dict(progress)
+        snapshot.setdefault("elapsed_seconds", self.elapsed())
+        snapshot.setdefault("checks", self.checks)
+        raise BudgetExhausted(
+            f"budget exhausted ({resource}): {why}",
+            resource=resource,
+            progress=snapshot,
+            explored=int(progress.get("states", 0) or 0),
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def export(self, metrics) -> None:
+        """Publish the budget's counters into a metrics registry.
+
+        Feeds the existing ``repro.obs`` pipeline: ``rpcheck --metrics``,
+        ``--stats`` and the BENCH artefacts all pick these up.
+        """
+        delta = self.checks - self._exported_checks
+        if delta > 0:
+            metrics.counter("budget.checks", "budget checks performed").inc(delta)
+            self._exported_checks = self.checks
+        metrics.gauge("budget.elapsed_seconds", "governed wall time").set(
+            self.elapsed()
+        )
+        if self.max_memory_bytes is not None:
+            metrics.gauge(
+                "budget.memory_bytes", "last sampled process footprint"
+            ).set(self.last_memory_bytes)
+        if self.exhausted is not None and not self._exported_exhausted:
+            self._exported_exhausted = True
+            metrics.counter(
+                "budget.exhausted", "budget exhaustion events by resource"
+            ).labels(resource=self.exhausted).inc()
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline}s")
+        if self.max_states is not None:
+            parts.append(f"max_states={self.max_states}")
+        if self.max_memory_bytes is not None:
+            parts.append(f"max_memory={self.max_memory_bytes}B")
+        if self.cancel is not None:
+            parts.append(repr(self.cancel))
+        parts.append(f"on_exhaust={self.on_exhaust!r}")
+        return f"Budget({', '.join(parts)})"

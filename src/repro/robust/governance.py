@@ -1,0 +1,120 @@
+"""Budget installation and exhaustion policy for decision procedures.
+
+Every decision procedure accepts a keyword-only ``budget=`` and runs its
+body through :func:`governed`, which
+
+1. installs the budget as the session's ambient budget (so the explore
+   loop, the sup-reachability engine, the restricted inevitability
+   search, ... all observe it without further plumbing);
+2. starts the deadline clock and, on the way out, exports the budget's
+   counters into the session's metrics registry;
+3. applies the exhaustion policy: with ``on_exhaust="raise"`` (or no
+   budget at all) a :class:`~repro.errors.BudgetExhausted` /
+   :class:`~repro.errors.AnalysisBudgetExceeded` propagates; with
+   ``on_exhaust="partial"`` it is converted into a
+   :class:`~repro.robust.PartialVerdict` carrying a progress certificate
+   and a resumable checkpoint of the session.
+
+Only the procedure that was *called with* the budget converts — nested
+procedure calls (``halts`` → ``boundedness``, ``persistent`` →
+``reaches_downward_closed``) pass ``budget=None`` and let exhaustion
+propagate, so a composite procedure never mistakes an inner UNKNOWN for
+a conclusive sub-answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TypeVar
+
+from ..errors import AnalysisBudgetExceeded, BudgetExhausted
+from .budget import Budget
+from .partial import PartialVerdict, ProgressCertificate
+
+__all__ = ["governed", "partial_verdict_from"]
+
+T = TypeVar("T")
+
+
+def governed(
+    session,
+    budget: Optional[Budget],
+    question: str,
+    body: Callable[[], T],
+    *,
+    allow_partial: bool = True,
+) -> T:
+    """Run *body* under *budget* on *session* (see module docstring).
+
+    ``allow_partial=False`` disables the partial-verdict conversion even
+    under ``on_exhaust="partial"`` — used by helpers whose return type is
+    a witness or a list, where callers test ``is None`` and a truthy
+    sentinel object would be misread.  Such helpers always raise on
+    exhaustion (the budget is still installed and exported).
+    """
+    if budget is None:
+        return body()
+    previous = session.budget
+    session.budget = budget
+    budget.start()
+    try:
+        return body()
+    except BudgetExhausted as error:
+        if not allow_partial or budget.on_exhaust != "partial":
+            raise
+        return partial_verdict_from(  # type: ignore[return-value]
+            session, question, error.resource, error
+        )
+    except AnalysisBudgetExceeded as error:
+        # a plain state-budget exhaustion (max_states ran out) under a
+        # partial-mode budget also degrades to a typed partial verdict
+        if not allow_partial or budget.on_exhaust != "partial":
+            raise
+        return partial_verdict_from(  # type: ignore[return-value]
+            session, question, "states", error
+        )
+    finally:
+        session.budget = previous
+        budget.export(session.metrics)
+
+
+def partial_verdict_from(
+    session, question: str, resource: str, error: Exception
+) -> PartialVerdict:
+    """Build the UNKNOWN-with-progress verdict for an interrupted run."""
+    kept = session.memo.get("kept-states")
+    progress_attrs = dict(getattr(error, "progress", None) or {})
+    budget = session.budget
+    progress = ProgressCertificate(
+        resource=resource,
+        states_explored=len(session.graph),
+        frontier_size=len(session.frontier),
+        elapsed_seconds=float(
+            progress_attrs.pop("elapsed_seconds", None)
+            or (budget.elapsed() if budget is not None else 0.0)
+        ),
+        checks=int(
+            progress_attrs.pop("checks", None)
+            or (budget.checks if budget is not None else 0)
+        ),
+        antichain_size=len(kept) if kept is not None else None,
+        details={"message": str(error), **progress_attrs},
+    )
+    try:
+        checkpoint = session.checkpoint()
+    except Exception:  # pragma: no cover - checkpointing must never mask
+        checkpoint = None
+    verdict = PartialVerdict(
+        holds=False,
+        method="partial",
+        certificate=progress,
+        exact=False,
+        details={"resource": resource, "question": question},
+        question=question,
+        resource=resource,
+        progress=progress,
+        checkpoint=checkpoint,
+    )
+    session.metrics.counter(
+        "analysis.partial_verdicts", "queries answered with a partial verdict"
+    ).labels(resource=resource).inc()
+    return verdict

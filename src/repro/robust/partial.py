@@ -1,0 +1,92 @@
+"""Typed partial verdicts: UNKNOWN with a progress certificate.
+
+Well-structured transition systems make partial exploration a
+first-class citizen: an interrupted coverability or boundedness run
+still carries a *sound* partial result — the BFS prefix explored so far,
+its frontier, and the surviving antichain all remain valid inputs for a
+resumed run.  A :class:`PartialVerdict` packages exactly that: instead
+of dying with an exception, a governed procedure under
+``on_exhaust="partial"`` answers UNKNOWN *plus* everything needed to (a)
+report progress honestly and (b) continue later, possibly in another
+process, via the embedded checkpoint.
+
+A ``PartialVerdict`` is an :class:`~repro.analysis.certificates.AnalysisVerdict`
+so it flows through every existing consumer (``SchemeReport``, the CLI,
+benchmark harnesses); it is falsy and flagged ``exact=False`` so no
+boolean use can mistake it for a proof of anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..analysis.certificates import AnalysisVerdict
+
+__all__ = ["PartialVerdict", "ProgressCertificate"]
+
+
+@dataclass(frozen=True)
+class ProgressCertificate:
+    """How far an interrupted analysis got, in re-checkable terms.
+
+    ``states_explored``/``frontier_size`` describe the session's shared
+    BFS prefix (a sound under-approximation of ``Reach(σ0)``);
+    ``antichain_size`` is the surviving domination-pruned antichain when
+    the sup-reachability engine had run (``None`` otherwise);
+    ``resource`` names the budget axis that ran out.
+    """
+
+    resource: str
+    states_explored: int
+    frontier_size: int
+    elapsed_seconds: float
+    checks: int
+    antichain_size: Optional[int] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PartialVerdict(AnalysisVerdict):
+    """UNKNOWN, with progress and (usually) a resumable checkpoint.
+
+    ``holds`` is pinned ``False`` and :meth:`__bool__` returns ``False``
+    — a partial verdict never asserts the property either way; consult
+    :attr:`verdict` (always ``"UNKNOWN"``) and :attr:`progress`.
+    ``checkpoint`` is a JSON-ready dict accepted by
+    :meth:`repro.analysis.AnalysisSession.restore`; ``None`` when the
+    interrupted engine had no session state worth saving.
+    """
+
+    question: str = ""
+    resource: str = ""
+    progress: Optional[ProgressCertificate] = None
+    checkpoint: Optional[Dict[str, Any]] = None
+
+    #: Uniform three-valued answer; conclusive verdicts answer via ``holds``.
+    verdict: str = "UNKNOWN"
+
+    @property
+    def is_partial(self) -> bool:
+        return True
+
+    @property
+    def resumable(self) -> bool:
+        """``True`` when a checkpoint is attached."""
+        return self.checkpoint is not None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        """One-line human rendering (used by ``rpcheck``)."""
+        prefix = f"{self.question}: " if self.question else ""
+        progress = self.progress
+        if progress is None:
+            return f"{prefix}unknown ({self.resource} budget exhausted)"
+        return (
+            f"{prefix}unknown ({self.resource} budget exhausted after "
+            f"{progress.states_explored} states, frontier "
+            f"{progress.frontier_size}, {progress.elapsed_seconds:.3f}s"
+            f"{', resumable' if self.resumable else ''})"
+        )

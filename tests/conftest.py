@@ -1,0 +1,53 @@
+"""Shared test configuration: a per-test wall-clock guard.
+
+The robustness contract of this repo is "never a hang": every analysis
+either returns, raises a structured error, or yields a partial verdict.
+A test that blocks forever would mask exactly the bugs the robustness
+suite exists to catch, so every test runs under a 120-second limit.
+
+When the ``pytest-timeout`` plugin is installed (CI does this) it is
+configured directly.  The plugin is not a hard dependency: without it, a
+``SIGALRM``-based fallback provides the same guard on POSIX main-thread
+runs (a no-op on platforms without ``SIGALRM`` — better no guard than a
+hard dependency the environment cannot satisfy).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+TEST_TIMEOUT_SECONDS = 120
+
+
+def pytest_configure(config):
+    if config.pluginmanager.hasplugin("timeout"):
+        # honour an explicit user/CI override (CLI flag or ini setting)
+        if not config.getoption("--timeout", None) and not config.getini("timeout"):
+            config.option.timeout = TEST_TIMEOUT_SECONDS
+
+
+def _plugin_active(item) -> bool:
+    return item.config.pluginmanager.hasplugin("timeout")
+
+
+@pytest.fixture(autouse=True)
+def _wallclock_guard(request):
+    """SIGALRM fallback when pytest-timeout is unavailable."""
+    if _plugin_active(request.node) or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT_SECONDS}s wall-clock guard"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -153,3 +153,62 @@ class TestCLIExtensions:
     def test_lint_flag_clean(self, fig1_file, capsys):
         main([fig1_file, "--max-states", "2000", "--lint"])
         assert "(clean)" in capsys.readouterr().out
+
+
+class TestGovernanceFlags:
+    def test_deadline_zero_reports_budget_and_fails(self, fig1_file, capsys):
+        code = main([fig1_file, "--deadline", "0"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "budget    : deadline exhausted" in out
+        assert "inconclusive" in out
+
+    def test_checkpoint_roundtrip_through_cli(self, fig1_file, tmp_path, capsys):
+        checkpoint = tmp_path / "run.json"
+        code = main(
+            [fig1_file, "--max-states", "2000", "--checkpoint", str(checkpoint)]
+        )
+        first = capsys.readouterr().out
+        assert code == 0
+        assert f"checkpoint: written to {checkpoint}" in first
+        assert checkpoint.exists()
+
+        code = main([fig1_file, "--max-states", "2000", "--resume", str(checkpoint)])
+        second = capsys.readouterr().out
+        assert code == 0
+        assert "resumed   :" in second
+
+        def analyses(text):
+            return [l for l in text.splitlines() if l.startswith("  ")]
+
+        assert analyses(first) == analyses(second)
+
+    def test_interrupted_checkpoint_resumes_to_full_verdict(
+        self, fig1_file, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "partial.json"
+        code = main([fig1_file, "--deadline", "0", "--checkpoint", str(checkpoint)])
+        out = capsys.readouterr().out
+        assert code == 1 and "inconclusive" in out
+
+        code = main([fig1_file, "--max-states", "2000", "--resume", str(checkpoint)])
+        resumed = capsys.readouterr().out
+        assert "boundedness        no" in resumed
+
+        code = main([fig1_file, "--max-states", "2000"])
+        fresh = capsys.readouterr().out
+        assert [l for l in resumed.splitlines() if l.startswith("  ")] == [
+            l for l in fresh.splitlines() if l.startswith("  ")
+        ]
+
+    def test_resume_rejects_garbage(self, fig1_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main([fig1_file, "--resume", str(bad)])
+        assert code == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_mem_limit_flag_accepted(self, fig1_file, capsys):
+        # a generous ceiling must not change the outcome
+        code = main([fig1_file, "--max-states", "2000", "--mem-limit", "4096"])
+        assert code == 0

@@ -123,3 +123,81 @@ class TestStateGraph:
         lts = graph.to_lts()
         assert lts.initial == graph.initial
         assert len(lts.states) == len(graph)
+
+
+class TestDeepGraphs:
+    """Regression: traversals must not depend on the recursion limit.
+
+    ``find_lasso`` used to recurse per graph edge and grow
+    ``sys.setrecursionlimit`` without bound; these tests pin the
+    iterative behaviour on graphs deeper than the interpreter limit.
+    """
+
+    def test_find_lasso_on_deep_chain_without_recursion_limit(self, monkeypatch):
+        import sys
+
+        depth = sys.getrecursionlimit() * 3
+        graph = Explorer(terminating_chain(depth), max_states=depth + 10).explore()
+        assert graph.complete and len(graph) == depth + 2
+
+        def forbidden(_limit):
+            raise AssertionError("find_lasso must not touch the recursion limit")
+
+        monkeypatch.setattr(sys, "setrecursionlimit", forbidden)
+        assert graph.find_lasso() is None
+
+    def test_find_lasso_on_deep_pipeline_prefix(self, monkeypatch):
+        import sys
+
+        from repro.analysis.session import AnalysisSession
+        from repro.zoo import deep_pipeline
+
+        sess = AnalysisSession(deep_pipeline(4))
+        graph = sess.explore(3_000)
+        assert not graph.complete  # unbounded family, truncated prefix
+
+        def forbidden(_limit):
+            raise AssertionError("find_lasso must not touch the recursion limit")
+
+        monkeypatch.setattr(sys, "setrecursionlimit", forbidden)
+        assert graph.find_lasso() is None  # tall acyclic prefix
+
+    def test_find_lasso_split_still_correct_after_rewrite(self):
+        graph = Explorer(spawner_loop(), max_states=200).explore()
+        lasso = graph.find_lasso()
+        assert lasso is not None
+        stem, loop = lasso
+        assert loop and loop[-1].target == loop[0].source
+        for earlier, later in zip(loop, loop[1:]):
+            assert earlier.target == later.source
+        current = graph.initial
+        for step in stem:
+            assert step.source == current
+            current = step.target
+        assert current == loop[0].source
+
+
+class TestOvershootContract:
+    """``AnalysisSession.explore`` may overshoot ``max_states`` by at most
+    one expansion batch (the out-degree of the last expanded state)."""
+
+    def test_overshoot_bounded_by_one_batch(self):
+        from repro.analysis.session import AnalysisSession
+
+        for cap in (1, 2, 3, 5, 8, 13):
+            sess = AnalysisSession(spawner_loop())
+            graph = sess.explore(cap)
+            max_out_degree = max(
+                (len(edges) for edges in graph.edges if edges), default=0
+            )
+            assert len(graph) >= min(cap, 1)
+            assert len(graph) <= cap + max_out_degree
+
+    def test_explore_or_raise_reports_exact_exhaustion_point(self):
+        from repro.analysis.session import AnalysisSession
+
+        sess = AnalysisSession(spawner_loop())
+        with pytest.raises(AnalysisBudgetExceeded) as info:
+            sess.explore_or_raise(10, what="overshoot probe")
+        assert f"exactly {len(sess.graph)} discovered states" in str(info.value)
+        assert info.value.explored == len(sess.graph)
