@@ -21,6 +21,12 @@ centralises both:
 
   validated by ``benchmarks/check_bench_schema.py`` in CI.
 
+When the ``RPCHECK_LEDGER`` environment variable names a run-ledger
+file, :meth:`BenchHarness.write` additionally appends a ``kind="bench"``
+``rpcheck-ledger/1`` entry (cell timings, metrics snapshot, span
+rollup), so benchmark runs land in the same cross-run history as
+analysis runs and ``rpcheck diff`` / ``rpcheck history`` see them.
+
 Run any benchmark with ``PYTHONPATH=src``; the harness has no
 dependencies beyond ``repro.obs``.
 """
@@ -33,7 +39,8 @@ import platform
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.obs import MemorySink, MetricsRegistry, Tracer
+from repro.obs import Ledger, MemorySink, MetricsRegistry, Tracer, make_entry
+from repro.obs.ledger import default_ledger_path
 
 #: The BENCH artefact schema version (bump on breaking shape changes).
 BENCH_SCHEMA = "repro-bench/1"
@@ -124,9 +131,24 @@ class BenchHarness:
         meta: Optional[Dict[str, Any]] = None,
         path: Optional[pathlib.Path] = None,
     ) -> pathlib.Path:
-        """Write ``BENCH_<name>.json`` at the repo root; returns the path."""
+        """Write ``BENCH_<name>.json`` at the repo root; returns the path.
+
+        With ``RPCHECK_LEDGER`` set, also appends a ``kind="bench"``
+        entry to the run ledger (see the module docstring).
+        """
         target = path if path is not None else REPO_ROOT / f"BENCH_{self.name}.json"
-        write_bench(target, self.payload(results=results, meta=meta))
+        payload = self.payload(results=results, meta=meta)
+        write_bench(target, payload)
+        ledger_path = default_ledger_path()
+        if ledger_path:
+            Ledger(ledger_path).append(
+                make_entry(
+                    kind="bench",
+                    metrics=payload["metrics"],
+                    span_records=payload["spans"],
+                    extra={"benchmark": self.name, "artefact": str(target)},
+                )
+            )
         return target
 
 

@@ -8,23 +8,34 @@ benchmark quantifies what that costs, per arm:
 * **baseline** — the obs hooks monkeypatched to pure no-ops
   (``GaugeMetric.set``, ``Tracer.span``, ``Tracer.event``): a proxy for
   the pre-instrumentation hot path;
-* **disabled** — the shipped default: a sink-less :class:`Tracer` (shared
-  no-op span) and a live :class:`MetricsRegistry`.  This is what every
-  user who does not pass ``--trace`` runs;
+* **disabled** — a sink-less :class:`Tracer` (shared no-op span) and a
+  live :class:`MetricsRegistry`: what a run with tracing explicitly
+  turned off pays;
+* **recorder** — the shipped default: a session constructed without a
+  tracer, recording into the process-wide ambient
+  :class:`~repro.obs.recorder.FlightRecorder` ring buffer.  This is what
+  every user who does not pass a tracer runs, so the flight recorder's
+  "always on at near-zero cost" claim is measured here;
 * **traced** — full JSONL tracing to a scratch file, for context.
 
 Workload: one cold ``boundedness`` query per scheme of
 :data:`repro.zoo.ZOO_WQO_BENCH` (the embedding/exploration-heavy matrix),
-best-of-N with fresh scheme and session per repeat.
+best-of-N with fresh scheme and session per repeat.  Arms are
+interleaved round-robin so machine drift hits all of them equally, and
+the overhead percentages are computed from **CPU time**
+(``time.process_time``) rather than wall clock: instrumentation cost is
+CPU work, and on a shared single-core box scheduler preemption inflates
+wall time by far more than the effect being measured.  Wall-clock cells
+still land in the artefact for the regression watchdog.
 
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke]
 
-Writes ``BENCH_obs_overhead.json`` (``repro-bench/1`` schema).  The PR
-acceptance bar: **disabled-vs-baseline aggregate overhead < 5%**; the
-artefact records the percentage under
-``results.aggregate.disabled_overhead_pct``.
+Writes ``BENCH_obs_overhead.json`` (``repro-bench/1`` schema).  The
+acceptance bar: **disabled-vs-baseline AND recorder-vs-baseline
+aggregate overhead < 5%**; the artefact records both percentages under
+``results.aggregate``.
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ import contextlib
 import os
 import sys
 import tempfile
+import time
 
 from _harness import BenchHarness
 from repro.analysis import boundedness
@@ -43,7 +55,9 @@ from repro.obs.metrics import GaugeMetric
 from repro.zoo import ZOO_WQO_BENCH
 
 MAX_STATES = 2_000
-REPEATS = 5
+REPEATS = 7
+
+ARMS = ("baseline", "disabled", "recorder", "traced")
 
 
 @contextlib.contextmanager
@@ -79,61 +93,93 @@ def run(smoke: bool = False) -> tuple:
     harness = BenchHarness("obs_overhead", warmup=1, repeats=repeats)
     trace_path = os.path.join(tempfile.gettempdir(), "bench_obs_overhead.jsonl")
     cells = []
-    totals = {"baseline": 0.0, "disabled": 0.0, "traced": 0.0}
+    totals = {arm: 0.0 for arm in ARMS}
+    totals_cpu = {arm: 0.0 for arm in ARMS}
     for name, factory in ZOO_WQO_BENCH:
         row = {"scheme": name}
-        with _obs_stubbed():
-            baseline, out_base = harness.measure(
-                f"{name}/baseline", lambda: _run_boundedness(factory(), None)
+        outcomes = {}
+        best = {arm: None for arm in ARMS}
+        best_cpu = {arm: None for arm in ARMS}
+        # interleave the arms round-robin (one repeat each per round)
+        # so slow machine drift hits every arm equally instead of
+        # masquerading as per-arm overhead
+        trace_sink = JsonlSink(trace_path)
+        trace_tracer = Tracer(trace_sink)
+
+        def one(arm):
+            if arm == "baseline":
+                run = lambda: _run_boundedness(factory(), Tracer())
+            elif arm == "disabled":
+                run = lambda: _run_boundedness(factory(), Tracer())
+            elif arm == "recorder":
+                # tracer=None is the shipped default: the ambient recorder
+                run = lambda: _run_boundedness(factory(), None)
+            else:
+                run = lambda: _run_boundedness(factory(), trace_tracer)
+            cpu_box = {}
+
+            def timed():
+                t0 = time.process_time()
+                out = run()
+                cpu_box["cpu"] = time.process_time() - t0
+                return out
+
+            ctx = _obs_stubbed() if arm == "baseline" else contextlib.nullcontext()
+            with ctx:
+                wall, outcome = harness.measure(
+                    f"{name}/{arm}", timed, warmup=0, repeats=1
+                )
+            return wall, cpu_box["cpu"], outcome
+
+        _run_boundedness(factory(), Tracer())  # shared warmup (cache prime)
+        for _ in range(repeats):
+            for arm in ARMS:
+                wall, cpu, outcomes[arm] = one(arm)
+                if best[arm] is None or wall < best[arm]:
+                    best[arm] = wall
+                if best_cpu[arm] is None or cpu < best_cpu[arm]:
+                    best_cpu[arm] = cpu
+        trace_tracer.close()
+        if any(outcomes[arm] != outcomes["baseline"] for arm in ARMS):
+            raise AssertionError(f"{name}: arms disagree: {outcomes!r}")
+        for arm in ARMS:
+            totals[arm] += best[arm]
+            totals_cpu[arm] += best_cpu[arm]
+            row[f"{arm}_seconds"] = best[arm]
+            row[f"{arm}_cpu_seconds"] = best_cpu[arm]
+        base = row["baseline_cpu_seconds"]
+        for arm in ARMS[1:]:
+            row[f"{arm}_overhead_pct"] = (
+                100.0 * (row[f"{arm}_cpu_seconds"] - base) / base
             )
-        disabled, out_disabled = harness.measure(
-            f"{name}/disabled", lambda: _run_boundedness(factory(), None)
-        )
-        sink = JsonlSink(trace_path)
-        tracer = Tracer(sink)
-        traced, out_traced = harness.measure(
-            f"{name}/traced", lambda: _run_boundedness(factory(), tracer)
-        )
-        tracer.close()
-        if not (out_base == out_disabled == out_traced):
-            raise AssertionError(
-                f"{name}: arms disagree: {out_base!r} / {out_disabled!r} / "
-                f"{out_traced!r}"
-            )
-        totals["baseline"] += baseline
-        totals["disabled"] += disabled
-        totals["traced"] += traced
-        row.update(
-            baseline_seconds=baseline,
-            disabled_seconds=disabled,
-            traced_seconds=traced,
-            disabled_overhead_pct=100.0 * (disabled - baseline) / baseline,
-            traced_overhead_pct=100.0 * (traced - baseline) / baseline,
-            outcome=out_disabled,
-        )
+        row["outcome"] = outcomes["disabled"]
         cells.append(row)
-    aggregate = {
-        "baseline_seconds": totals["baseline"],
-        "disabled_seconds": totals["disabled"],
-        "traced_seconds": totals["traced"],
-        "disabled_overhead_pct": 100.0
-        * (totals["disabled"] - totals["baseline"])
-        / totals["baseline"],
-        "traced_overhead_pct": 100.0
-        * (totals["traced"] - totals["baseline"])
-        / totals["baseline"],
-    }
+    aggregate = {f"{arm}_seconds": totals[arm] for arm in ARMS}
+    aggregate.update({f"{arm}_cpu_seconds": totals_cpu[arm] for arm in ARMS})
+    for arm in ARMS[1:]:
+        aggregate[f"{arm}_overhead_pct"] = (
+            100.0
+            * (totals_cpu[arm] - totals_cpu["baseline"])
+            / totals_cpu["baseline"]
+        )
     results = {
         "benchmark": "obs_overhead",
         "smoke": smoke,
         "max_states": MAX_STATES,
         "repeats": repeats,
-        "workload": "boundedness, cold session per repeat",
+        "workload": (
+            "boundedness, cold session per repeat, arms interleaved; "
+            "overhead percentages from best-of CPU time"
+        ),
         "cells": cells,
         "aggregate": aggregate,
         "acceptance": {
             "disabled_overhead_budget_pct": 5.0,
-            "within_budget": aggregate["disabled_overhead_pct"] < 5.0,
+            "recorder_overhead_budget_pct": 5.0,
+            "within_budget": (
+                aggregate["disabled_overhead_pct"] < 5.0
+                and aggregate["recorder_overhead_pct"] < 5.0
+            ),
         },
     }
     with contextlib.suppress(OSError):
@@ -146,15 +192,20 @@ def main(argv=None) -> None:
     smoke = "--smoke" in argv
     results, harness = run(smoke=smoke)
     agg = results["aggregate"]
+    verdict = "PASS" if results["acceptance"]["within_budget"] else "FAIL"
     print(
         f"disabled overhead: {agg['disabled_overhead_pct']:+.2f}% "
-        f"(baseline {agg['baseline_seconds']:.3f}s, "
-        f"disabled {agg['disabled_seconds']:.3f}s)  "
-        f"[budget < 5%: {'PASS' if results['acceptance']['within_budget'] else 'FAIL'}]"
+        f"(baseline {agg['baseline_cpu_seconds']:.3f}s cpu, "
+        f"disabled {agg['disabled_cpu_seconds']:.3f}s cpu)"
+    )
+    print(
+        f"recorder overhead: {agg['recorder_overhead_pct']:+.2f}% "
+        f"(recorder {agg['recorder_cpu_seconds']:.3f}s cpu)"
+        f"  [budget < 5%: {verdict}]"
     )
     print(
         f"traced overhead  : {agg['traced_overhead_pct']:+.2f}% "
-        f"(traced {agg['traced_seconds']:.3f}s)"
+        f"(traced {agg['traced_cpu_seconds']:.3f}s cpu)"
     )
     if smoke:
         print("smoke run: JSON not written")

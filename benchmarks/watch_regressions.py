@@ -1,0 +1,235 @@
+"""Perf-regression watchdog over ``repro-bench/1`` artefacts.
+
+The committed ``BENCH_*.json`` files at the repository root are the
+project's perf baselines.  This script keeps them honest in two modes:
+
+* **audit** (no ``--fresh``) — validate every committed baseline: the
+  schema tag must be ``repro-bench/1``, the timing metrics must be
+  well-formed, and any recorded acceptance verdict
+  (``results.acceptance.within_budget``) must be true.  A baseline that
+  was committed in a failing state is itself a regression.
+
+* **compare** (``--fresh DIR``) — match freshly generated artefacts in
+  *DIR* against the committed baselines by file name and flag
+
+  - any ``bench.seconds{cell=...}`` timing that slowed beyond the
+    tolerance band (default: > 25% relative AND > 5ms absolute — both
+    must trip, so micro-cells can't alarm on scheduler noise and slow
+    cells can't hide a real slide under the absolute floor), and
+  - any acceptance verdict that flipped from passing to failing.
+
+  Speedups and new cells are reported informationally, never fatal.
+
+Usage::
+
+    python benchmarks/watch_regressions.py                 # audit baselines
+    python benchmarks/watch_regressions.py --fresh OUT/    # compare run
+    python benchmarks/watch_regressions.py --tolerance 40 --floor-ms 10 ...
+
+Exit code 0 when clean, 1 on any regression (one line per finding), 2 on
+usage/IO errors.  Dependency-free on purpose: CI runs it before the
+package is importable-from-anywhere, and a watchdog that needs the code
+it polices is no watchdog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+EXPECTED_SCHEMA = "repro-bench/1"
+
+#: Relative slowdown a cell may show before it is flagged (percent).
+DEFAULT_TOLERANCE_PCT = 25.0
+
+#: Absolute slowdown a cell may show before it is flagged (milliseconds).
+DEFAULT_FLOOR_MS = 5.0
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load(path: pathlib.Path) -> Dict[str, Any]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path.name}: top level is not a JSON object")
+    schema = payload.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        raise ValueError(
+            f"{path.name}: schema is {schema!r}, expected {EXPECTED_SCHEMA!r}"
+        )
+    return payload
+
+
+def bench_cells(payload: Dict[str, Any]) -> Dict[str, float]:
+    """The per-cell best-of-N seconds recorded in a BENCH payload.
+
+    Cells live in the metrics block as labelled children of the
+    ``bench.seconds`` histogram; each child observed one value per
+    harness run, so its ``min`` is the best-of-N figure.
+    """
+    metric = (payload.get("metrics") or {}).get("bench.seconds") or {}
+    out: Dict[str, float] = {}
+    for label, child in (metric.get("labels") or {}).items():
+        value = child.get("min")
+        if isinstance(value, (int, float)):
+            out[label] = float(value)
+    return out
+
+
+def acceptance_flag(payload: Dict[str, Any]) -> Optional[bool]:
+    """``results.acceptance.within_budget`` when present, else ``None``."""
+    results = payload.get("results")
+    if not isinstance(results, dict):
+        return None
+    acceptance = results.get("acceptance")
+    if not isinstance(acceptance, dict):
+        return None
+    flag = acceptance.get("within_budget")
+    return bool(flag) if flag is not None else None
+
+
+def audit_baseline(payload: Dict[str, Any], name: str) -> List[str]:
+    """Regressions recorded *inside* one committed baseline (empty = ok)."""
+    problems = []
+    if not bench_cells(payload):
+        problems.append(f"{name}: no bench.seconds cells recorded")
+    if acceptance_flag(payload) is False:
+        problems.append(f"{name}: committed with within_budget=false")
+    return problems
+
+
+def compare(
+    baseline: Dict[str, Any],
+    fresh: Dict[str, Any],
+    name: str,
+    *,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+    floor_ms: float = DEFAULT_FLOOR_MS,
+) -> Tuple[List[str], List[str]]:
+    """``(regressions, notes)`` for one fresh artefact vs its baseline."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    base_cells = bench_cells(baseline)
+    fresh_cells = bench_cells(fresh)
+    floor = floor_ms / 1000.0
+    for cell in sorted(base_cells):
+        if cell not in fresh_cells:
+            notes.append(f"{name}: cell {cell} missing from fresh run")
+            continue
+        base, now = base_cells[cell], fresh_cells[cell]
+        delta = now - base
+        pct = 100.0 * delta / base if base > 0 else float("inf")
+        if delta > floor and pct > tolerance_pct:
+            regressions.append(
+                f"{name}: {cell} regressed {base * 1000:.2f}ms -> "
+                f"{now * 1000:.2f}ms ({pct:+.1f}%, tolerance "
+                f"{tolerance_pct:g}% and {floor_ms:g}ms)"
+            )
+        elif pct < -tolerance_pct and -delta > floor:
+            notes.append(
+                f"{name}: {cell} sped up {base * 1000:.2f}ms -> "
+                f"{now * 1000:.2f}ms ({pct:+.1f}%)"
+            )
+    for cell in sorted(set(fresh_cells) - set(base_cells)):
+        notes.append(f"{name}: new cell {cell} (no baseline)")
+    base_flag, fresh_flag = acceptance_flag(baseline), acceptance_flag(fresh)
+    if base_flag is not False and fresh_flag is False:
+        regressions.append(
+            f"{name}: acceptance flipped to within_budget=false"
+        )
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="watch_regressions",
+        description="compare fresh repro-bench/1 results against the "
+        "committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "baselines",
+        nargs="*",
+        help="baseline artefacts (default: BENCH_*.json at the repo root)",
+    )
+    parser.add_argument(
+        "--fresh",
+        metavar="DIR",
+        help="directory of freshly generated artefacts to compare "
+        "(default: only audit the committed baselines)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE_PCT,
+        metavar="PCT",
+        help=f"relative tolerance band (default {DEFAULT_TOLERANCE_PCT:g}%%)",
+    )
+    parser.add_argument(
+        "--floor-ms",
+        type=float,
+        default=DEFAULT_FLOOR_MS,
+        metavar="MS",
+        help=f"absolute tolerance floor (default {DEFAULT_FLOOR_MS:g}ms)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.baselines:
+        paths = [pathlib.Path(arg) for arg in args.baselines]
+    else:
+        paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("watch_regressions: no baseline artefacts found")
+        return 2
+
+    regressions: List[str] = []
+    notes: List[str] = []
+    compared = 0
+    for path in paths:
+        try:
+            baseline = _load(path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"watch_regressions: {error}")
+            return 2
+        regressions.extend(audit_baseline(baseline, path.name))
+        if args.fresh:
+            fresh_path = pathlib.Path(args.fresh) / path.name
+            if not fresh_path.exists():
+                notes.append(f"{path.name}: no fresh artefact in {args.fresh}")
+                continue
+            try:
+                fresh = _load(fresh_path)
+            except (OSError, ValueError, json.JSONDecodeError) as error:
+                print(f"watch_regressions: {error}")
+                return 2
+            found, info = compare(
+                baseline,
+                fresh,
+                path.name,
+                tolerance_pct=args.tolerance,
+                floor_ms=args.floor_ms,
+            )
+            regressions.extend(found)
+            notes.extend(info)
+            compared += 1
+
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        for finding in regressions:
+            print(f"REGRESSION: {finding}")
+        print(f"watch_regressions: {len(regressions)} regression(s)")
+        return 1
+    mode = (
+        f"compared {compared} artefact(s) against baselines"
+        if args.fresh
+        else f"audited {len(paths)} baseline(s)"
+    )
+    print(f"watch_regressions: clean ({mode})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,8 +41,15 @@ from ..core.embedding import EmbeddingIndex
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..core.semantics import MemoizingSemantics
-from ..errors import AnalysisBudgetExceeded, AnalysisError, CorruptionDetected
+from ..errors import (
+    AnalysisBudgetExceeded,
+    AnalysisError,
+    BudgetExhausted,
+    CorruptionDetected,
+    RPError,
+)
 from ..obs import MetricsRegistry, Tracer
+from ..obs.recorder import ambient_recorder, record_incident
 from .explore import DEFAULT_MAX_STATES, StateGraph
 
 
@@ -245,7 +252,12 @@ class AnalysisSession:
         self.embedding_index = (
             embedding_index if embedding_index is not None else EmbeddingIndex()
         )
-        self.tracer = tracer if tracer is not None else Tracer()
+        # Flight-recorder default: sessions without an explicit tracer
+        # record their phase spans into the process-wide bounded ring
+        # buffer, so an incident dump always has recent telemetry.  Span
+        # discipline (phases, never per-state work) keeps this within
+        # the <5% obs-overhead bar (benchmarks/bench_obs_overhead.py).
+        self.tracer = tracer if tracer is not None else Tracer(ambient_recorder())
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Single source of truth for frontier size (current/peak): the
         #: explore loop samples it, everything else only reads it.
@@ -281,10 +293,33 @@ class AnalysisSession:
         up both in :class:`AnalysisStats` (counts, cumulative seconds) and
         in the trace (one span, with sub-phase spans nested under it).
         Yields the span so callers can attach result attributes.
+
+        The phase is also the flight-recorder trigger point: a
+        :class:`~repro.errors.BudgetExhausted`, a
+        :class:`~repro.errors.CorruptionDetected`, or any *unexpected*
+        exception (anything outside the typed :class:`RPError`
+        hierarchy) escaping the body dumps a diagnostic bundle via
+        :func:`repro.obs.record_incident` — a no-op unless a dump target
+        is configured, idempotent per exception, and never masking the
+        original error.  Routine :class:`AnalysisBudgetExceeded` state
+        overruns stay quiet; they are an answer, not an incident.
         """
         with self.stats.timed(name):
             with self.tracer.span(name, **attrs) as span:
-                yield span
+                try:
+                    yield span
+                except (BudgetExhausted, CorruptionDetected) as error:
+                    record_incident(
+                        self, error, reason=f"{type(error).__name__} in {name}"
+                    )
+                    raise
+                except RPError:
+                    raise
+                except Exception as error:
+                    record_incident(
+                        self, error, reason=f"uncaught {type(error).__name__} in {name}"
+                    )
+                    raise
 
     def _sync_stats(self) -> None:
         stats = self.stats

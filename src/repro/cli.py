@@ -17,19 +17,33 @@ Usage::
     rpcheck PROGRAM.rp --mem-limit 512  # memory budget (MiB)
     rpcheck PROGRAM.rp --checkpoint c.json   # save resumable state
     rpcheck PROGRAM.rp --resume c.json       # continue a saved run
+    rpcheck PROGRAM.rp --ledger runs.jsonl   # append this run to a ledger
     rpcheck report t.jsonl              # self-time tree + hot spans
+    rpcheck report t.jsonl --format json     # machine-readable span tree
+    rpcheck history --ledger runs.jsonl      # tail/filter the run ledger
+    rpcheck diff RUN_A RUN_B --ledger runs.jsonl  # compare two runs
+    rpcheck flamegraph t.jsonl          # collapsed stacks for flamegraph.pl
 
 Budgeted runs degrade gracefully: when the deadline or memory ceiling is
 hit, finished analyses keep their verdicts, unfinished ones report
 ``inconclusive``, and ``--checkpoint`` captures the explored prefix so a
 later ``--resume`` run continues instead of restarting.
+
+Every analysis run carries a **flight recorder** — a bounded ring buffer
+of recent spans/events.  With a ledger configured (``--ledger`` or the
+``RPCHECK_LEDGER`` environment variable), the run is appended to the
+append-only ``rpcheck-ledger/1`` history, and any incident — budget
+exhaustion, detected corruption, an unexpected crash — dumps a
+``rpcheck-flight/1`` diagnostic bundle next to the ledger.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import List, Optional
 
 from .analysis import AnalysisSession, analyze, mutually_exclusive, node_reachable
@@ -37,13 +51,32 @@ from .core.dot import scheme_to_dot
 from .errors import AnalysisBudgetExceeded, RPError
 from .interp import run_program
 from .lang import compile_source
-from .obs import JsonlSink, Tracer, load_records, render_report
+from .obs import (
+    FlightRecorder,
+    JsonlSink,
+    Ledger,
+    LedgerSink,
+    TeeSink,
+    Tracer,
+    default_ledger_path,
+    diff_entries,
+    load_records,
+    render_diff,
+    render_report,
+    report_as_dict,
+    resolve_entry,
+)
+from .obs.diff import DEFAULT_SPAN_FLOOR_SECONDS, DEFAULT_SPAN_THRESHOLD_PCT
+from .obs.ledger import DEFAULT_LEDGER_NAME
+from .obs.report import build_tree, collapse_stacks
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rpcheck",
         description="analyse recursive-parallel (RP) programs",
+        epilog="subcommands: rpcheck report | history | diff | flamegraph "
+        "(each accepts --help)",
     )
     parser.add_argument("program", help="path to an RP source file ('-' for stdin)")
     parser.add_argument("--dot", metavar="FILE", help="write the scheme as DOT")
@@ -94,6 +127,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the session's metrics registry as JSON",
     )
     parser.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help="append this run to an rpcheck-ledger/1 JSONL run history "
+        "(default: the RPCHECK_LEDGER environment variable); incidents "
+        "dump flight-recorder bundles next to the ledger",
+    )
+    parser.add_argument(
         "--deadline",
         type=float,
         metavar="SECONDS",
@@ -121,6 +161,11 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ----------------------------------------------------------------------
+# Subcommands: report / history / diff / flamegraph
+# ----------------------------------------------------------------------
+
+
 def _build_report_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rpcheck report",
@@ -134,6 +179,13 @@ def _build_report_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="how many hot spans to list (default 10)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human tree (text) or the rpcheck-report/1 "
+        "JSON payload (json)",
+    )
     return parser
 
 
@@ -144,8 +196,189 @@ def _report_main(argv: List[str]) -> int:
     except (OSError, ValueError) as error:
         print(f"rpcheck report: {error}", file=sys.stderr)
         return 2
-    print(render_report(records, top=args.top))
+    if args.format == "json":
+        print(json.dumps(report_as_dict(records, top=args.top), indent=2,
+                         default=repr))
+    else:
+        print(render_report(records, top=args.top))
     return 0
+
+
+def _ledger_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help="the run-ledger file (default: $RPCHECK_LEDGER, then "
+        f"./{DEFAULT_LEDGER_NAME})",
+    )
+
+
+def _open_ledger(path_arg: Optional[str]) -> Ledger:
+    return Ledger(default_ledger_path(path_arg) or DEFAULT_LEDGER_NAME)
+
+
+def _build_history_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rpcheck history",
+        description="tail and filter the rpcheck-ledger/1 run history",
+    )
+    _ledger_argument(parser)
+    parser.add_argument("--scheme", metavar="NAME", help="only runs of this scheme")
+    parser.add_argument("--kind", metavar="KIND", help="only runs of this kind")
+    parser.add_argument(
+        "--procedure", metavar="NAME", help="only runs answering this procedure"
+    )
+    parser.add_argument(
+        "--tail", type=int, default=20, metavar="N",
+        help="show the last N matching runs (default 20; 0 = all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print matching entries as JSON lines"
+    )
+    return parser
+
+
+def _verdict_digest(entry: dict) -> str:
+    parts = []
+    for name, block in sorted((entry.get("procedures") or {}).items()):
+        parts.append(f"{name}={block.get('verdict')}")
+    return " ".join(parts) or "-"
+
+
+def _history_main(argv: List[str]) -> int:
+    args = _build_history_parser().parse_args(argv)
+    ledger = _open_ledger(args.ledger)
+    try:
+        entries = ledger.filter(
+            kind=args.kind, scheme=args.scheme, procedure=args.procedure
+        )
+    except (OSError, ValueError) as error:
+        print(f"rpcheck history: {error}", file=sys.stderr)
+        return 2
+    if args.tail > 0:
+        entries = entries[-args.tail:]
+    if not entries:
+        print(f"(no matching runs in {ledger.path})")
+        return 0
+    if args.json:
+        for entry in entries:
+            print(json.dumps(entry, separators=(",", ":"), default=repr))
+        return 0
+    for entry in entries:
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(entry.get("timestamp", 0))
+        )
+        scheme = (entry.get("scheme") or {}).get("name") or "-"
+        wall = (entry.get("totals") or {}).get("wall_seconds")
+        wall_text = f"{wall:8.3f}s" if isinstance(wall, (int, float)) else "       -"
+        print(
+            f"{entry.get('run_id'):<28} {stamp}  {entry.get('kind', '-'):<8} "
+            f"{scheme:<18} {entry.get('outcome', '-'):<9} {wall_text}  "
+            f"{_verdict_digest(entry)}"
+        )
+    return 0
+
+
+def _build_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rpcheck diff",
+        description="compare two ledger runs: verdict drift, metric deltas, "
+        "per-span self-time deltas",
+    )
+    parser.add_argument("run_a", help="run id, unique prefix, or ledger index")
+    parser.add_argument("run_b", help="run id, unique prefix, or ledger index")
+    _ledger_argument(parser)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_SPAN_THRESHOLD_PCT,
+        metavar="PCT",
+        help="span self-time noise threshold in percent "
+        f"(default {DEFAULT_SPAN_THRESHOLD_PCT:g})",
+    )
+    parser.add_argument(
+        "--floor-ms",
+        type=float,
+        default=DEFAULT_SPAN_FLOOR_SECONDS * 1000,
+        metavar="MS",
+        help="spans faster than this on both sides are never flagged "
+        f"(default {DEFAULT_SPAN_FLOOR_SECONDS * 1000:g}ms)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the structured diff as JSON"
+    )
+    return parser
+
+
+def _diff_main(argv: List[str]) -> int:
+    args = _build_diff_parser().parse_args(argv)
+    ledger = _open_ledger(args.ledger)
+    try:
+        entries = ledger.entries()
+        entry_a = resolve_entry(entries, args.run_a)
+        entry_b = resolve_entry(entries, args.run_b)
+    except (OSError, ValueError) as error:
+        print(f"rpcheck diff: {error}", file=sys.stderr)
+        return 2
+    diff = diff_entries(
+        entry_a,
+        entry_b,
+        span_threshold_pct=args.threshold,
+        span_floor_seconds=args.floor_ms / 1000.0,
+    )
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2, default=repr))
+    else:
+        print(render_diff(diff))
+    return 0 if diff.clean else 1
+
+
+def _build_flamegraph_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rpcheck flamegraph",
+        description="export a JSONL trace as collapsed stacks "
+        "(flamegraph.pl / speedscope input; values = self time in µs)",
+    )
+    parser.add_argument("trace", help="path to a trace written by --trace")
+    parser.add_argument(
+        "--out", metavar="FILE", help="write to FILE instead of stdout"
+    )
+    return parser
+
+
+def _flamegraph_main(argv: List[str]) -> int:
+    args = _build_flamegraph_parser().parse_args(argv)
+    try:
+        records = load_records(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"rpcheck flamegraph: {error}", file=sys.stderr)
+        return 2
+    lines = collapse_stacks(build_tree(records))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as error:
+            print(f"rpcheck flamegraph: {error}", file=sys.stderr)
+            return 2
+        print(f"flamegraph: {len(lines)} stacks written to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+_SUBCOMMANDS = {
+    "report": _report_main,
+    "history": _history_main,
+    "diff": _diff_main,
+    "flamegraph": _flamegraph_main,
+}
+
+
+# ----------------------------------------------------------------------
+# The analysis command
+# ----------------------------------------------------------------------
 
 
 def _read_source(path: str) -> str:
@@ -164,8 +397,8 @@ def _verdict_line(name: str, verdict) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "report":
-        return _report_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     args = _build_parser().parse_args(argv)
     try:
         source = _read_source(args.program)
@@ -187,11 +420,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write(scheme_to_dot(scheme))
         print(f"dot       : written to {args.dot}")
 
+    # sink composition: the flight recorder is always on; a --trace file
+    # and a --ledger aggregation sink join it on one tee
+    recorder = FlightRecorder()
+    sinks = [recorder]
     try:
-        tracer = Tracer(JsonlSink(args.trace)) if args.trace else Tracer()
+        if args.trace:
+            sinks.append(JsonlSink(args.trace))
     except OSError as error:
         print(f"rpcheck: {error}", file=sys.stderr)
         return 2
+    ledger_path = default_ledger_path(args.ledger)
+    ledger_sink = None
+    if ledger_path:
+        ledger_sink = LedgerSink(Ledger(ledger_path), kind="analysis")
+        sinks.append(ledger_sink)
+        # incidents (budget exhaustion, corruption, crashes) dump their
+        # diagnostic bundles next to the ledger
+        recorder.dump_dir = os.path.dirname(os.path.abspath(ledger_path))
+    tracer = Tracer(sinks[0] if len(sinks) == 1 else TeeSink(sinks))
 
     budget = None
     if args.deadline is not None or args.mem_limit is not None:
@@ -226,11 +473,76 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     else:
         session = AnalysisSession(scheme, tracer=tracer)
-    root_span = tracer.span("rpcheck", program=scheme.name)
-    root_span.__enter__()
+
+    started_wall = time.perf_counter()
+    started_cpu = time.process_time()
+    procedures: dict = {}
+    outcome, run_error, exit_code = "error", None, 3
+    try:
+        exit_code = _run_analyses(
+            args, compiled, scheme, session, tracer, budget, procedures
+        )
+        outcome = "partial" if budget is not None and budget.exhausted else "ok"
+    except Exception as error:
+        # post-mortem path: dump a diagnostic bundle (target permitting)
+        # and leave an error entry in the ledger before reporting
+        from .obs import record_incident
+
+        bundle = record_incident(
+            session, error, reason=f"rpcheck crashed: {type(error).__name__}"
+        )
+        run_error = error
+        print(f"rpcheck: analysis failed: {error}", file=sys.stderr)
+        if bundle:
+            print(f"rpcheck: flight-recorder bundle: {bundle}", file=sys.stderr)
+        if not isinstance(error, RPError):
+            raise
+    finally:
+        if ledger_sink is not None:
+            try:
+                entry = ledger_sink.finish(
+                    scheme=scheme,
+                    procedures=procedures,
+                    metrics=session.metrics.as_dict(),
+                    budget=budget,
+                    outcome=outcome,
+                    error=run_error,
+                    checkpoint=args.checkpoint,
+                    wall_seconds=time.perf_counter() - started_wall,
+                    cpu_seconds=time.process_time() - started_cpu,
+                )
+                print(f"ledger    : appended {entry['run_id']} to {ledger_path}")
+            except (OSError, ValueError) as ledger_error:
+                print(f"rpcheck: cannot append ledger entry: {ledger_error}",
+                      file=sys.stderr)
+        tracer.close()
+    return exit_code
+
+
+def _run_analyses(
+    args, compiled, scheme, session, tracer, budget, procedures: dict
+) -> int:
+    """The analysis body of ``main`` (extracted for post-mortem wrapping).
+
+    Fills *procedures* with verdict objects as queries complete, so the
+    ledger entry reflects exactly the answers that were reached even when
+    a later step dies.
+    """
+    with tracer.span("rpcheck", program=scheme.name):
+        return _run_analyses_body(
+            args, compiled, scheme, session, budget, procedures
+        )
+
+
+def _run_analyses_body(
+    args, compiled, scheme, session, budget, procedures: dict
+) -> int:
     report = analyze(
         scheme, max_states=args.max_states, session=session, budget=budget
     )
+    procedures["boundedness"] = report.bounded
+    procedures["halting"] = report.halting
+    procedures["normedness"] = report.normedness
     print(f"wait-free : {'yes' if report.wait_free else 'no'}")
     print("analyses:")
     # skip the scheme/nodes/wait-free header lines the report duplicates
@@ -249,8 +561,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             verdict = node_reachable(
                 scheme, args.node, max_states=args.max_states, session=session
             )
+            procedures[f"reach:{args.node}"] = verdict
             print(_verdict_line(f"reach {args.node}", verdict))
         except (RPError, AnalysisBudgetExceeded) as error:
+            procedures[f"reach:{args.node}"] = None
             print(f"  reach {args.node}: {error}")
             exit_code = 1
 
@@ -264,8 +578,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_states=args.max_states,
                 session=session,
             )
+            procedures[f"mutex:{args.mutex}"] = verdict
             print(_verdict_line(f"mutex {args.mutex}", verdict))
         except (RPError, AnalysisBudgetExceeded) as error:
+            procedures[f"mutex:{args.mutex}"] = None
             print(f"  mutex {args.mutex}: {error}")
             exit_code = 1
 
@@ -290,20 +606,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.optimize:
         from .lang.optimize import optimize as optimize_scheme
 
-        report = optimize_scheme(scheme)
+        opt_report = optimize_scheme(scheme)
         print("optimizer:")
-        print(f"  dead nodes removed : {report.removed_dead}")
-        print(f"  nodes merged       : {report.merged}")
-        print(f"  size               : {len(scheme)} -> {len(report.scheme)}")
+        print(f"  dead nodes removed : {opt_report.removed_dead}")
+        print(f"  nodes merged       : {opt_report.merged}")
+        print(f"  size               : {len(scheme)} -> {len(opt_report.scheme)}")
 
     if args.races:
         from .analysis.races import race_report
 
-        report = race_report(compiled, max_states=args.max_states)
+        races = race_report(compiled, max_states=args.max_states)
         print("write conflicts:")
-        if not report.variables:
+        if not races.variables:
             print("  (no global-variable writers)")
-        for entry in report.variables:
+        for entry in races.variables:
             if entry.is_safe:
                 print(f"  {entry.variable:<12} safe "
                       f"(writers: {', '.join(entry.writer_nodes) or 'none'})")
@@ -312,8 +628,6 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {entry.variable:<12} CONFLICTS: {pairs}")
                 exit_code = 1
 
-    root_span.__exit__(None, None, None)
-    tracer.close()
     session.sync_metrics()
 
     if args.checkpoint:
@@ -355,7 +669,6 @@ def main(argv: Optional[List[str]] = None) -> int:
             exit_code = 1
 
     return exit_code
-
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,14 +10,33 @@ trajectory (comparable metrics across PRs):
 * :class:`MetricsRegistry` — typed counters / gauges / histograms with
   labelled children and a label-cardinality cap;
 * sinks — :class:`JsonlSink` (one JSON object per record, offline
-  analysis), :class:`MemorySink` (tests), :class:`NullSink` (default;
-  near-zero overhead, tracers short-circuit);
+  analysis), :class:`MemorySink` (tests), :class:`NullSink` (disabled;
+  near-zero overhead, tracers short-circuit), :class:`TeeSink`
+  (composition);
 * :mod:`repro.obs.report` — rebuild span trees from JSONL, self-time
-  accounting, hot-span ranking.
+  accounting, hot-span ranking, collapsed-stack flamegraph export;
+* :mod:`repro.obs.recorder` — the always-on :class:`FlightRecorder`
+  ring buffer and ``rpcheck-flight/1`` incident bundles;
+* :mod:`repro.obs.ledger` — the append-only ``rpcheck-ledger/1`` run
+  history (:class:`Ledger`, :class:`LedgerSink`);
+* :mod:`repro.obs.diff` — cross-run comparison of ledger entries
+  (verdict drift, metric deltas, span self-time deltas).
 
 See ``docs/observability.md`` for the walkthrough.
 """
 
+from .diff import RunDiff, diff_entries, flatten_metrics, render_diff, resolve_entry
+from .ledger import (
+    LEDGER_ENV,
+    LEDGER_SCHEMA,
+    Ledger,
+    LedgerSink,
+    default_ledger_path,
+    make_entry,
+    new_run_id,
+    scheme_fingerprint,
+    verdict_summary,
+)
 from .metrics import (
     DEFAULT_LABEL_CARDINALITY,
     CounterMetric,
@@ -26,18 +45,55 @@ from .metrics import (
     Metric,
     MetricsRegistry,
 )
+from .recorder import (
+    FLIGHT_DIR_ENV,
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    ambient_recorder,
+    find_recorder,
+    record_incident,
+)
 from .report import (
     SpanNode,
     build_tree,
+    collapse_stacks,
     hot_spans,
     load_records,
     render_report,
     render_tree,
+    report_as_dict,
+    self_time_rollup,
+    tree_as_dict,
 )
-from .sinks import JsonlSink, MemorySink, NullSink, Sink
+from .sinks import JsonlSink, MemorySink, NullSink, Sink, TeeSink
 from .tracer import NOOP_SPAN, Span, Tracer, current_span
 
 __all__ = [
+    "RunDiff",
+    "diff_entries",
+    "flatten_metrics",
+    "render_diff",
+    "resolve_entry",
+    "LEDGER_ENV",
+    "LEDGER_SCHEMA",
+    "Ledger",
+    "LedgerSink",
+    "default_ledger_path",
+    "make_entry",
+    "new_run_id",
+    "scheme_fingerprint",
+    "verdict_summary",
+    "FLIGHT_DIR_ENV",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "ambient_recorder",
+    "find_recorder",
+    "record_incident",
+    "TeeSink",
+    "collapse_stacks",
+    "report_as_dict",
+    "self_time_rollup",
+    "tree_as_dict",
     "Tracer",
     "Span",
     "current_span",

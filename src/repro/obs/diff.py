@@ -1,0 +1,283 @@
+"""Cross-run diffing of ledger entries (``rpcheck diff``).
+
+Two runs of the same scheme/procedure should agree on every verdict and
+cost about the same; this module turns that expectation into a checkable
+report.  :func:`diff_entries` compares two ``rpcheck-ledger/1`` entries
+along three axes:
+
+* **verdict drift** — procedures present in both runs whose verdict
+  changed (``yes`` → ``no``, conclusive → ``partial``, ...).  Drift on
+  a matching scheme fingerprint is the red flag: same subject,
+  different answer;
+* **metric deltas** — numeric leaves of the two metrics snapshots
+  (counter values, gauge values, histogram count/sum), filtered by a
+  relative threshold so counting noise doesn't drown signal;
+* **span self-time deltas** — the per-span-name self-time rollups, with
+  a *noise threshold* (relative percentage **and** an absolute floor in
+  seconds): a span is only *flagged* when it moved by at least the
+  threshold and the larger side exceeds the floor, so micro-spans
+  jittering by microseconds stay quiet while a real ≥ 20% slowdown of a
+  hot phase is called out.
+
+Entry references accepted by :func:`resolve_entry` (and the CLI):
+exact ``run_id``, unique ``run_id`` prefix, or an integer index into
+the ledger (``0`` oldest, ``-1`` latest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_SPAN_THRESHOLD_PCT",
+    "DEFAULT_SPAN_FLOOR_SECONDS",
+    "DEFAULT_METRIC_THRESHOLD_PCT",
+    "RunDiff",
+    "resolve_entry",
+    "diff_entries",
+    "render_diff",
+    "flatten_metrics",
+]
+
+#: A span self-time change below this percentage is noise, not a delta.
+DEFAULT_SPAN_THRESHOLD_PCT = 10.0
+
+#: Spans faster than this on both sides are never flagged (seconds).
+DEFAULT_SPAN_FLOOR_SECONDS = 0.0005
+
+#: Metric deltas below this percentage are dropped from the report.
+DEFAULT_METRIC_THRESHOLD_PCT = 10.0
+
+
+def resolve_entry(entries: List[Dict[str, Any]], ref: str) -> Dict[str, Any]:
+    """The entry *ref* names: run_id, unique prefix, or integer index."""
+    if not entries:
+        raise ValueError("ledger is empty")
+    for entry in entries:
+        if entry.get("run_id") == ref:
+            return entry
+    try:
+        index = int(ref)
+    except ValueError:
+        pass
+    else:
+        try:
+            return entries[index]
+        except IndexError:
+            raise ValueError(
+                f"ledger index {index} out of range "
+                f"(have {len(entries)} entries)"
+            )
+    matches = [
+        entry
+        for entry in entries
+        if str(entry.get("run_id", "")).startswith(ref)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        ids = ", ".join(str(m.get("run_id")) for m in matches[:5])
+        raise ValueError(f"run reference {ref!r} is ambiguous ({ids}, ...)")
+    raise ValueError(f"no ledger entry matches {ref!r}")
+
+
+def flatten_metrics(metrics: Dict[str, Any]) -> Dict[str, float]:
+    """Numeric leaves of a metrics snapshot, keyed by dotted/labelled path.
+
+    Counters and gauges contribute their ``value``; histograms their
+    ``count`` and ``sum``; labelled children contribute the same leaves
+    under ``name{label=...}``.  Non-numeric and ``None`` leaves are
+    skipped.
+    """
+    flat: Dict[str, float] = {}
+
+    def leaves(prefix: str, body: Dict[str, Any]) -> None:
+        kind = body.get("type")
+        keys = ("count", "sum") if kind == "histogram" else ("value",)
+        for key in keys:
+            value = body.get(key)
+            if isinstance(value, (int, float)):
+                flat[f"{prefix}.{key}"] = float(value)
+        for label, child in (body.get("labels") or {}).items():
+            child_keys = ("count", "sum") if kind == "histogram" else ("value",)
+            for key in child_keys:
+                value = child.get(key)
+                if isinstance(value, (int, float)):
+                    flat[f"{prefix}{label}.{key}"] = float(value)
+
+    for name, body in (metrics or {}).items():
+        if isinstance(body, dict):
+            leaves(name, body)
+    return flat
+
+
+def _pct(a: float, b: float) -> Optional[float]:
+    if a == 0:
+        return None if b == 0 else float("inf")
+    return 100.0 * (b - a) / a
+
+
+@dataclass
+class RunDiff:
+    """The structured outcome of comparing two ledger entries."""
+
+    run_a: str
+    run_b: str
+    #: Same scheme fingerprint on both sides (None = not comparable).
+    same_scheme: Optional[bool]
+    #: Procedures whose verdict changed: {procedure, a, b}.
+    verdict_drift: List[Dict[str, Any]] = field(default_factory=list)
+    #: Procedures present on only one side.
+    procedures_only_a: List[str] = field(default_factory=list)
+    procedures_only_b: List[str] = field(default_factory=list)
+    #: Numeric metric changes over the threshold: {metric, a, b, pct}.
+    metric_deltas: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-span-name self-time rows (always complete): {span, a_self,
+    #: b_self, pct, flagged}.
+    span_deltas: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def flagged_spans(self) -> List[Dict[str, Any]]:
+        """The span rows that cleared the noise threshold."""
+        return [row for row in self.span_deltas if row["flagged"]]
+
+    @property
+    def clean(self) -> bool:
+        """No verdict drift (cost deltas alone don't make a diff dirty)."""
+        return not self.verdict_drift
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "same_scheme": self.same_scheme,
+            "verdict_drift": self.verdict_drift,
+            "procedures_only_a": self.procedures_only_a,
+            "procedures_only_b": self.procedures_only_b,
+            "metric_deltas": self.metric_deltas,
+            "span_deltas": self.span_deltas,
+        }
+
+
+def diff_entries(
+    a: Dict[str, Any],
+    b: Dict[str, Any],
+    *,
+    span_threshold_pct: float = DEFAULT_SPAN_THRESHOLD_PCT,
+    span_floor_seconds: float = DEFAULT_SPAN_FLOOR_SECONDS,
+    metric_threshold_pct: float = DEFAULT_METRIC_THRESHOLD_PCT,
+) -> RunDiff:
+    """Compare two ledger entries (see module docstring for the axes)."""
+    fp_a = (a.get("scheme") or {}).get("fingerprint")
+    fp_b = (b.get("scheme") or {}).get("fingerprint")
+    same_scheme = (fp_a == fp_b) if fp_a and fp_b else None
+    diff = RunDiff(
+        run_a=str(a.get("run_id")),
+        run_b=str(b.get("run_id")),
+        same_scheme=same_scheme,
+    )
+
+    procs_a = a.get("procedures") or {}
+    procs_b = b.get("procedures") or {}
+    diff.procedures_only_a = sorted(set(procs_a) - set(procs_b))
+    diff.procedures_only_b = sorted(set(procs_b) - set(procs_a))
+    for name in sorted(set(procs_a) & set(procs_b)):
+        verdict_a = (procs_a[name] or {}).get("verdict")
+        verdict_b = (procs_b[name] or {}).get("verdict")
+        if verdict_a != verdict_b:
+            diff.verdict_drift.append(
+                {"procedure": name, "a": verdict_a, "b": verdict_b}
+            )
+
+    flat_a = flatten_metrics(a.get("metrics") or {})
+    flat_b = flatten_metrics(b.get("metrics") or {})
+    for metric in sorted(set(flat_a) & set(flat_b)):
+        pct = _pct(flat_a[metric], flat_b[metric])
+        if pct is None or pct == 0:
+            continue
+        if abs(pct) >= metric_threshold_pct:
+            diff.metric_deltas.append(
+                {
+                    "metric": metric,
+                    "a": flat_a[metric],
+                    "b": flat_b[metric],
+                    "pct": pct,
+                }
+            )
+
+    spans_a = a.get("spans") or {}
+    spans_b = b.get("spans") or {}
+    for span in sorted(set(spans_a) | set(spans_b)):
+        self_a = float((spans_a.get(span) or {}).get("self") or 0.0)
+        self_b = float((spans_b.get(span) or {}).get("self") or 0.0)
+        pct = _pct(self_a, self_b)
+        over_floor = max(self_a, self_b) >= span_floor_seconds
+        flagged = (
+            span in spans_a
+            and span in spans_b
+            and over_floor
+            and (pct is None or pct == float("inf") or abs(pct) >= span_threshold_pct)
+            and self_a != self_b
+        )
+        diff.span_deltas.append(
+            {
+                "span": span,
+                "a_self": self_a,
+                "b_self": self_b,
+                "pct": None if pct == float("inf") else pct,
+                "flagged": flagged,
+            }
+        )
+    return diff
+
+
+def render_diff(diff: RunDiff) -> str:
+    """The human-readable ``rpcheck diff`` report."""
+    lines = [f"diff {diff.run_a} -> {diff.run_b}"]
+    if diff.same_scheme is True:
+        lines.append("scheme    : identical fingerprint")
+    elif diff.same_scheme is False:
+        lines.append("scheme    : DIFFERENT fingerprints (cost deltas may be moot)")
+    else:
+        lines.append("scheme    : fingerprint unavailable on one side")
+
+    if diff.verdict_drift:
+        lines.append(f"verdicts  : {len(diff.verdict_drift)} DRIFTED")
+        for row in diff.verdict_drift:
+            lines.append(
+                f"  {row['procedure']:<22} {row['a']} -> {row['b']}"
+            )
+    else:
+        lines.append("verdicts  : no drift")
+    for name in diff.procedures_only_a:
+        lines.append(f"  {name:<22} only in {diff.run_a}")
+    for name in diff.procedures_only_b:
+        lines.append(f"  {name:<22} only in {diff.run_b}")
+
+    flagged = diff.flagged_spans
+    lines.append(
+        f"spans     : {len(flagged)} of {len(diff.span_deltas)} over threshold"
+    )
+    for row in diff.span_deltas:
+        if not row["flagged"]:
+            continue
+        pct = row["pct"]
+        pct_text = "  (new)" if pct is None else f" {pct:+8.1f}%"
+        lines.append(
+            f"  {row['span']:<30} self {row['a_self'] * 1000:9.3f}ms "
+            f"-> {row['b_self'] * 1000:9.3f}ms{pct_text}"
+        )
+
+    if diff.metric_deltas:
+        lines.append(f"metrics   : {len(diff.metric_deltas)} over threshold")
+        for row in diff.metric_deltas[:20]:
+            lines.append(
+                f"  {row['metric']:<44} {row['a']:g} -> {row['b']:g} "
+                f"({row['pct']:+.1f}%)"
+            )
+        if len(diff.metric_deltas) > 20:
+            lines.append(f"  ... {len(diff.metric_deltas) - 20} more")
+    else:
+        lines.append("metrics   : no deltas over threshold")
+    return "\n".join(lines)

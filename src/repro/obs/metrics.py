@@ -24,6 +24,7 @@ dependency-free and cheap enough to exist on every
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 #: Maximum distinct label sets per metric before overflow collapsing.
@@ -56,6 +57,7 @@ class Metric:
         self.description = description
         self.max_label_sets = max_label_sets
         self._children: Dict[LabelKey, "Metric"] = {}
+        self._children_lock = threading.Lock()
         self.labels_dropped = 0
 
     def labels(self, **labels: Any) -> "Metric":
@@ -64,21 +66,29 @@ class Metric:
         Past the cardinality cap, every *new* label set maps to one
         shared overflow child (labelled ``__overflow__=true``) and is
         counted in ``labels_dropped``; existing children keep working.
+
+        Thread-safe: child creation is locked, so two threads requesting
+        the same new label set get the same child (the fast path — an
+        existing child — stays lock-free).
         """
         key = _label_key(labels)
         child = self._children.get(key)
         if child is not None:
             return child
-        if len(self._children) >= self.max_label_sets:
-            self.labels_dropped += 1
-            overflow = self._children.get((OVERFLOW_LABEL,))
-            if overflow is None:
-                overflow = self._spawn()
-                self._children[(OVERFLOW_LABEL,)] = overflow
-            return overflow
-        child = self._spawn()
-        self._children[key] = child
-        return child
+        with self._children_lock:
+            child = self._children.get(key)
+            if child is not None:
+                return child
+            if len(self._children) >= self.max_label_sets:
+                self.labels_dropped += 1
+                overflow = self._children.get((OVERFLOW_LABEL,))
+                if overflow is None:
+                    overflow = self._spawn()
+                    self._children[(OVERFLOW_LABEL,)] = overflow
+                return overflow
+            child = self._spawn()
+            self._children[key] = child
+            return child
 
     def _spawn(self) -> "Metric":
         return type(self)(self.name, self.description, max_label_sets=0)
@@ -256,18 +266,23 @@ class MetricsRegistry:
     ) -> None:
         self._metrics: Dict[str, Metric] = {}
         self.max_label_sets = max_label_sets
+        self._lock = threading.RLock()
 
     def _get(self, cls, name: str, description: str) -> Metric:
         metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, description, max_label_sets=self.max_label_sets)
-            self._metrics[name] = metric
-        elif type(metric) is not cls:
-            raise TypeError(
-                f"metric {name!r} already registered as {metric.kind}, "
-                f"requested as {cls.kind}"
-            )
-        return metric
+        if metric is not None and type(metric) is cls:
+            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, description, max_label_sets=self.max_label_sets)
+                self._metrics[name] = metric
+            elif type(metric) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested as {cls.kind}"
+                )
+            return metric
 
     def counter(self, name: str, description: str = "") -> CounterMetric:
         """Get or create the counter *name*."""
@@ -306,11 +321,18 @@ class MetricsRegistry:
         max/min), histograms combine their summaries; labelled children
         merge recursively.  Lets per-run registries (one interpreted run,
         one benchmark repetition) roll up into a long-lived one.
+
+        Thread-safe with respect to this registry's structure: the whole
+        fold runs under the registry lock, so concurrent merges from
+        several worker registries serialise instead of interleaving
+        half-applied children.  (See ``docs/observability.md`` for the
+        full concurrency contract.)
         """
-        for name in other.names():
-            src = other._metrics[name]
-            dst = self._get(type(src), name, src.description)
-            _merge_metric(dst, src)
+        with self._lock:
+            for name in other.names():
+                src = other._metrics[name]
+                dst = self._get(type(src), name, src.description)
+                _merge_metric(dst, src)
 
     def render(self) -> str:
         """Human-readable multi-line dump, one line per (metric, label set)."""

@@ -5,7 +5,14 @@ engine of the ``rpcheck report`` subcommand:
 
 * :func:`load_records` — parse a JSONL trace back into records;
 * :func:`build_tree` — reconstruct the span forest from ``id``/``parent``;
-* :func:`render_report` — a self-time tree plus the top-k hot spans.
+* :func:`render_report` — a self-time tree plus the top-k hot spans;
+* :func:`report_as_dict` — the same report as a machine-readable dict
+  (``rpcheck report --format json``), built on :func:`tree_as_dict`;
+* :func:`self_time_rollup` — per-span-name totals (count, wall, self),
+  the per-run shape the run ledger stores and ``rpcheck diff`` compares;
+* :func:`collapse_stacks` — collapsed-stack export (``a;b;c value``
+  lines, self time in integer microseconds) for speedscope or
+  ``flamegraph.pl`` (``rpcheck flamegraph``).
 
 **Self time** of a span is its wall time minus its children's wall time:
 the work attributed to the span itself.  Summed over a (single-rooted)
@@ -119,6 +126,101 @@ def hot_spans(roots: Iterable[SpanNode], top: int = 10) -> List[SpanNode]:
     everything = [node for root in roots for node in root.walk()]
     everything.sort(key=lambda node: node.self_wall, reverse=True)
     return everything[:top]
+
+
+def self_time_rollup(roots: Iterable[SpanNode]) -> Dict[str, Dict[str, float]]:
+    """Per-span-name totals across the forest: count, wall, self seconds.
+
+    This is the run ledger's span summary and the unit ``rpcheck diff``
+    compares across runs.  Wall times of *nested* same-name spans are
+    both counted (wall is a per-occurrence total, not a flattened one);
+    self times never double-count, so the self column still sums to the
+    roots' wall time.
+    """
+    rollup: Dict[str, Dict[str, float]] = {}
+    for root in roots:
+        for node in root.walk():
+            row = rollup.setdefault(
+                node.name, {"count": 0, "wall": 0.0, "self": 0.0}
+            )
+            row["count"] += 1
+            row["wall"] += node.wall
+            row["self"] += node.self_wall
+    return rollup
+
+
+def tree_as_dict(node: SpanNode) -> Dict[str, Any]:
+    """One span subtree as a JSON-ready dict (children recursive)."""
+    return {
+        "id": node.span_id,
+        "name": node.name,
+        "start": node.start,
+        "wall": node.wall,
+        "cpu": node.cpu,
+        "self": node.self_wall,
+        "attrs": node.attrs,
+        "events": [
+            {"name": event.get("name"), "attrs": event.get("attrs") or {}}
+            for event in node.events
+        ],
+        "children": [tree_as_dict(child) for child in node.children],
+    }
+
+
+def report_as_dict(
+    records: Iterable[Dict[str, Any]], top: int = 10
+) -> Dict[str, Any]:
+    """The ``rpcheck report --format json`` payload.
+
+    Same data as :func:`render_report` — span forest with self times,
+    hot spans, per-name rollup — as one JSON-ready object (schema
+    ``rpcheck-report/1``).  The ``rollup`` block is byte-compatible with
+    the ``spans`` block of a run-ledger entry, so ``rpcheck diff`` and
+    offline consumers share one shape.
+    """
+    roots = build_tree(records)
+    return {
+        "schema": "rpcheck-report/1",
+        "roots": [tree_as_dict(root) for root in roots],
+        "hot": [
+            {
+                "name": node.name,
+                "self": node.self_wall,
+                "wall": node.wall,
+                "attrs": node.attrs,
+            }
+            for node in hot_spans(roots, top=top)
+        ],
+        "rollup": self_time_rollup(roots),
+    }
+
+
+def collapse_stacks(roots: Iterable[SpanNode]) -> List[str]:
+    """Collapsed-stack lines (``root;child;leaf <microseconds>``).
+
+    One line per distinct span-name stack, value = total **self** time
+    in integer microseconds — the input format of ``flamegraph.pl`` and
+    speedscope's collapsed-stack importer.  Stacks whose self time
+    rounds to zero microseconds are omitted; lines are sorted for
+    deterministic output.
+    """
+    totals: Dict[Tuple[str, ...], float] = {}
+
+    def visit(node: SpanNode, prefix: Tuple[str, ...]) -> None:
+        stack = prefix + (node.name,)
+        totals[stack] = totals.get(stack, 0.0) + node.self_wall
+        for child in node.children:
+            visit(child, stack)
+
+    for root in roots:
+        visit(root, ())
+    lines = []
+    for stack, seconds in totals.items():
+        micros = round(seconds * 1e6)
+        if micros <= 0:
+            continue
+        lines.append(f"{';'.join(stack)} {micros}")
+    return sorted(lines)
 
 
 def _format_attrs(attrs: Dict[str, Any], limit: int = 60) -> str:

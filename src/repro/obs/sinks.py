@@ -2,22 +2,30 @@
 
 A sink consumes the JSON-ready dict records produced by
 :class:`~repro.obs.tracer.Tracer` (and, optionally, metric snapshots).
-Three implementations:
+The implementations:
 
 * :class:`NullSink` — drops everything and reports itself disabled, so
-  tracers built on it skip record construction entirely (the default,
+  tracers built on it skip record construction entirely (the
   near-zero-overhead configuration);
 * :class:`JsonlSink` — one JSON object per line, append-only, for offline
   analysis (``rpcheck report``, BENCH artefacts, CI uploads);
 * :class:`MemorySink` — keeps records in a list, for tests and in-process
-  consumers.
+  consumers (thread-safe; see ``docs/observability.md``);
+* :class:`TeeSink` — fans every record out to several sinks, which is how
+  the CLI composes a :class:`~repro.obs.recorder.FlightRecorder`, a
+  :class:`~repro.obs.ledger.LedgerSink` and a trace file on one tracer.
+
+Related sinks living elsewhere in the package:
+:class:`repro.obs.recorder.FlightRecorder` (bounded ring buffer) and
+:class:`repro.obs.ledger.LedgerSink` (run-ledger aggregation).
 """
 
 from __future__ import annotations
 
 import io
 import json
-from typing import Any, Dict, List, Optional, Union
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 
 class Sink:
@@ -46,27 +54,77 @@ class NullSink(Sink):
 
 
 class MemorySink(Sink):
-    """Collects records in memory (tests, in-process analysis)."""
+    """Collects records in memory (tests, in-process analysis).
+
+    Thread-safe: ``emit``/``clear`` lock around the list mutation and the
+    read accessors take a consistent snapshot, so tracers on worker
+    threads can share one sink.  The ``records`` attribute itself stays a
+    plain list for backwards compatibility — prefer :meth:`snapshot` (or
+    :meth:`spans`/:meth:`events`) when other threads may still be
+    emitting.
+    """
 
     def __init__(self) -> None:
         self.records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
 
     def emit(self, record: Dict[str, Any]) -> None:
-        self.records.append(record)
+        with self._lock:
+            self.records.append(record)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """A point-in-time copy of every record seen so far."""
+        with self._lock:
+            return list(self.records)
 
     def spans(self) -> List[Dict[str, Any]]:
         """The span records seen so far (close order: children first)."""
-        return [r for r in self.records if r.get("type") == "span"]
+        return [r for r in self.snapshot() if r.get("type") == "span"]
 
     def events(self) -> List[Dict[str, Any]]:
         """The event records seen so far."""
-        return [r for r in self.records if r.get("type") == "event"]
+        return [r for r in self.snapshot() if r.get("type") == "event"]
 
     def clear(self) -> None:
-        self.records.clear()
+        with self._lock:
+            self.records.clear()
 
     def __repr__(self) -> str:
         return f"MemorySink({len(self.records)} records)"
+
+
+class TeeSink(Sink):
+    """Fans every record out to several sinks.
+
+    Enabled whenever *any* child is enabled; disabled children are
+    skipped on emit (so a :class:`NullSink` child costs nothing).
+    ``close()`` closes every child, even if an earlier close raises.
+    """
+
+    def __init__(self, sinks: Iterable[Sink]) -> None:
+        self.sinks: List[Sink] = list(sinks)
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return any(sink.enabled for sink in self.sinks)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            if sink.enabled:
+                sink.emit(record)
+
+    def close(self) -> None:
+        errors: List[Exception] = []
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception as error:  # pragma: no cover - defensive
+                errors.append(error)
+        if errors:
+            raise errors[0]
+
+    def __repr__(self) -> str:
+        return f"TeeSink({self.sinks!r})"
 
 
 class JsonlSink(Sink):

@@ -20,6 +20,14 @@ procedure calls (``halts`` → ``boundedness``, ``persistent`` →
 ``reaches_downward_closed``) pass ``budget=None`` and let exhaustion
 propagate, so a composite procedure never mistakes an inner UNKNOWN for
 a conclusive sub-answer.
+
+Exhaustion is also a **flight-recorder incident**: when a dump target is
+configured (``RPCHECK_FLIGHT_DIR`` or a recorder ``dump_dir``), the
+wrapper dumps a ``rpcheck-flight/1`` diagnostic bundle — recent spans,
+metrics snapshot, the resumable checkpoint — and a partial verdict
+carries the bundle path in ``details["flight_bundle"]``.  The dump is
+idempotent per exception (the session's :meth:`phase` hook may already
+have recorded it) and a no-op when no target is configured.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, TypeVar
 
 from ..errors import AnalysisBudgetExceeded, BudgetExhausted
+from ..obs.recorder import record_incident
 from .budget import Budget
 from .partial import PartialVerdict, ProgressCertificate
 
@@ -103,12 +112,21 @@ def partial_verdict_from(
         checkpoint = session.checkpoint()
     except Exception:  # pragma: no cover - checkpointing must never mask
         checkpoint = None
+    bundle = record_incident(
+        session,
+        error,
+        reason=f"{type(error).__name__} answering {question!r}",
+        context={"question": question, "resource": resource},
+    )
+    details = {"resource": resource, "question": question}
+    if bundle is not None:
+        details["flight_bundle"] = bundle
     verdict = PartialVerdict(
         holds=False,
         method="partial",
         certificate=progress,
         exact=False,
-        details={"resource": resource, "question": question},
+        details=details,
         question=question,
         resource=resource,
         progress=progress,

@@ -1,4 +1,4 @@
-"""Shared test configuration: a per-test wall-clock guard.
+"""Shared test configuration: a wall-clock guard and flight-recorder dumps.
 
 The robustness contract of this repo is "never a hang": every analysis
 either returns, raises a structured error, or yields a partial verdict.
@@ -10,10 +10,18 @@ configured directly.  The plugin is not a hard dependency: without it, a
 ``SIGALRM``-based fallback provides the same guard on POSIX main-thread
 runs (a no-op on platforms without ``SIGALRM`` — better no guard than a
 hard dependency the environment cannot satisfy).
+
+When ``RPCHECK_FLIGHT_DIR`` is set (CI sets it for the tier-1 job), a
+failing test additionally dumps the process-wide ambient flight
+recorder — the last N spans/events any default-constructed
+``AnalysisSession`` emitted — as an ``rpcheck-flight/1`` bundle in that
+directory, which CI uploads as an artifact.  Post-mortems of flaky
+failures then start from telemetry, not from a bare traceback.
 """
 
 from __future__ import annotations
 
+import os
 import signal
 
 import pytest
@@ -51,3 +59,24 @@ def _wallclock_guard(request):
     finally:
         signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def pytest_runtest_logreport(report):
+    """Dump the ambient flight recorder when a test fails (see docstring)."""
+    if report.when != "call" or not report.failed:
+        return
+    target = os.environ.get("RPCHECK_FLIGHT_DIR")
+    if not target:
+        return
+    try:
+        from repro.obs.recorder import _next_bundle_path, ambient_recorder
+
+        recorder = ambient_recorder()
+        recorder.dump(
+            _next_bundle_path(target),
+            reason=f"test failed: {report.nodeid}",
+            context={"nodeid": report.nodeid, "duration": report.duration},
+        )
+    except Exception:
+        # diagnostics must never turn one red test into two
+        pass
