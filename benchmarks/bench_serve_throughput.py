@@ -1,0 +1,293 @@
+"""Daemon-vs-fork throughput benchmark for ``repro.serve`` (PR 6).
+
+The serving claim in one number: a warm-pool daemon answering a mixed
+zoo workload sustains at least **2×** the queries/sec of the historical
+fork-per-query model (one fresh process, one cold session, one query,
+exit).  Both arms run the same workload at the same concurrency:
+
+* **workload** — the ``ZOO_WQO_BENCH`` families (deep_pipeline /
+  wide_mix / mixed_grove) × four procedures (boundedness, halts,
+  node_reachable, normed), every query capped at ``MAX_STATES``;
+* **daemon arm** — one :class:`~repro.serve.ServeDaemon` on a unix
+  socket with the families pre-pooled; ``CLIENTS`` threads each drive a
+  :class:`~repro.serve.ServeClient` through the full mix;
+* **fork arm** — every query is its own ``python -c`` subprocess paying
+  interpreter start, imports and a cold exploration, with the same
+  ``CLIENTS``-way concurrency.
+
+The bench double-checks the differential gate while it measures: the
+two arms' :meth:`~repro.api.AnalysisResponse.comparable` views must be
+identical per query, or the artefact records the drift and fails
+acceptance.
+
+Run as a script (``--smoke`` shrinks it for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py
+
+Writes ``BENCH_serve_throughput.json`` at the repository root in the
+``repro-bench/1`` schema; ``results.acceptance.within_budget`` is the
+committed ≥2× claim ``watch_regressions.py`` audits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+from _harness import BenchHarness
+from repro.api import AnalysisRequest, execute
+from repro.obs import scheme_fingerprint
+from repro.serve import ServeClient, daemon_in_thread
+from repro.zoo import ZOO_WQO_BENCH
+
+#: State cap per query: cheap enough to repeat, deep enough to amortise.
+MAX_STATES = 4_000
+
+#: Concurrent clients (threads / concurrent subprocesses) per arm.
+CLIENTS = 4
+
+PROCEDURES = ("boundedness", "halts", "node_reachable", "normed")
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The fork arm's per-query body: fresh interpreter, cold session.
+_FORK_SNIPPET = """\
+import json, sys
+from repro.api import AnalysisRequest, execute
+from repro.obs import scheme_fingerprint
+from repro.zoo import ZOO_WQO_BENCH
+family, procedure, params = sys.argv[1], sys.argv[2], json.loads(sys.argv[3])
+scheme = dict(ZOO_WQO_BENCH)[family]()
+response = execute(
+    AnalysisRequest(
+        procedure=procedure,
+        fingerprint=scheme_fingerprint(scheme),
+        params=params,
+    ),
+    scheme=scheme,
+)
+print(json.dumps(response.comparable()))
+"""
+
+
+def _workload() -> List[Tuple[str, str, Dict[str, Any]]]:
+    """(family, procedure, params) — the mixed query matrix, 12 entries."""
+    queries = []
+    for family, factory in ZOO_WQO_BENCH:
+        scheme = factory()
+        node = sorted(scheme.node_ids)[0]
+        for procedure in PROCEDURES:
+            params: Dict[str, Any] = {"max_states": MAX_STATES}
+            if procedure == "node_reachable":
+                params["node"] = node
+            queries.append((family, procedure, params))
+    return queries
+
+
+def _key(family: str, procedure: str, params: Dict[str, Any]) -> str:
+    return f"{family}/{procedure}"
+
+
+def _run_threads(count: int, body) -> None:
+    threads = [threading.Thread(target=body, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def run_daemon_arm(
+    harness: BenchHarness,
+    queries,
+    fingerprints: Dict[str, str],
+    socket_path: str,
+    *,
+    clients: int,
+    repeats: int,
+) -> Tuple[float, Dict[str, Any]]:
+    """Best seconds for ``clients`` threads each running the full mix."""
+    answers: Dict[str, Any] = {}
+    failures: List[BaseException] = []
+
+    def mix(_index: int) -> None:
+        try:
+            with ServeClient(socket_path) as client:
+                for family, procedure, params in queries:
+                    response = client.query(
+                        procedure,
+                        fingerprint=fingerprints[family],
+                        **params,
+                    )
+                    answers[_key(family, procedure, params)] = (
+                        response.comparable()
+                    )
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            failures.append(error)
+
+    # one un-timed round warms the pool: the daemon's steady state is
+    # exactly what this benchmark claims to measure
+    _run_threads(clients, mix)
+    best, _ = harness.measure(
+        "daemon", lambda: _run_threads(clients, mix), warmup=0, repeats=repeats
+    )
+    if failures:
+        raise RuntimeError(f"daemon arm failed: {failures[0]!r}")
+    return best, answers
+
+
+def run_fork_arm(
+    harness: BenchHarness,
+    queries,
+    *,
+    clients: int,
+    repeats: int,
+) -> Tuple[float, Dict[str, Any]]:
+    """Best seconds for the same workload, one subprocess per query."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    answers: Dict[str, Any] = {}
+    failures: List[str] = []
+    gate = threading.Semaphore(clients)
+
+    def one(family: str, procedure: str, params: Dict[str, Any]) -> None:
+        with gate:
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    "-c",
+                    _FORK_SNIPPET,
+                    family,
+                    procedure,
+                    json.dumps(params),
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+        if proc.returncode != 0:
+            failures.append(proc.stderr.strip()[-400:])
+            return
+        answers[_key(family, procedure, params)] = json.loads(
+            proc.stdout.strip().splitlines()[-1]
+        )
+
+    def full_mix() -> None:
+        # clients× the per-client mix, matching the daemon arm's volume
+        jobs = [
+            threading.Thread(target=one, args=query)
+            for query in queries
+            for _ in range(clients)
+        ]
+        for job in jobs:
+            job.start()
+        for job in jobs:
+            job.join()
+
+    best, _ = harness.measure("fork", full_mix, warmup=0, repeats=repeats)
+    if failures:
+        raise RuntimeError(f"fork arm failed: {failures[0]}")
+    return best, answers
+
+
+def run(
+    *, clients: int = CLIENTS, repeats: int = 2, smoke: bool = False
+) -> Tuple[pathlib.Path, Dict[str, Any]]:
+    if smoke:
+        clients, repeats = 2, 1
+    harness = BenchHarness("serve_throughput", warmup=0, repeats=repeats)
+    queries = _workload()
+    total_queries = len(queries) * clients
+
+    tmp = f"/tmp/rpb-{uuid.uuid4().hex[:8]}"
+    os.makedirs(tmp, exist_ok=True)
+    socket_path = os.path.join(tmp, "s.sock")
+    fingerprints: Dict[str, str] = {}
+    with daemon_in_thread(socket_path, concurrency=clients) as daemon:
+        for family, factory in ZOO_WQO_BENCH:
+            fingerprints[family] = daemon.pool.adopt(factory()).fingerprint
+        daemon_best, daemon_answers = run_daemon_arm(
+            harness,
+            queries,
+            fingerprints,
+            socket_path,
+            clients=clients,
+            repeats=repeats,
+        )
+    fork_best, fork_answers = run_fork_arm(
+        harness, queries, clients=clients, repeats=1 if smoke else repeats
+    )
+
+    drift = {
+        key: {"daemon": daemon_answers.get(key), "fork": fork_answers.get(key)}
+        for key in sorted(set(daemon_answers) | set(fork_answers))
+        if daemon_answers.get(key) != fork_answers.get(key)
+    }
+    daemon_qps = total_queries / daemon_best
+    fork_qps = total_queries / fork_best
+    speedup = daemon_qps / fork_qps
+    results = {
+        "workload": {
+            "families": [name for name, _ in ZOO_WQO_BENCH],
+            "procedures": list(PROCEDURES),
+            "queries_per_client": len(queries),
+            "clients": clients,
+            "total_queries": total_queries,
+            "max_states": MAX_STATES,
+            "smoke": smoke,
+        },
+        "daemon": {"seconds": daemon_best, "qps": daemon_qps},
+        "fork": {"seconds": fork_best, "qps": fork_qps},
+        "speedup": speedup,
+        "verdict_drift": drift,
+        "acceptance": {
+            "within_budget": speedup >= 2.0 and not drift,
+            "criterion": "warm-pool daemon ≥ 2x fork-per-query queries/sec "
+            "with zero verdict drift between arms",
+        },
+    }
+    out: Optional[pathlib.Path] = None
+    out = harness.write(results=results)
+    return out, results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients", type=int, default=CLIENTS, help="concurrent clients"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timed repeats per arm"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI configuration (2 clients, 1 repeat)",
+    )
+    args = parser.parse_args(argv)
+    out, results = run(
+        clients=args.clients, repeats=args.repeats, smoke=args.smoke
+    )
+    print(f"workload   : {results['workload']['total_queries']} queries "
+          f"({results['workload']['clients']} clients)")
+    print(f"daemon     : {results['daemon']['seconds']:.3f}s "
+          f"({results['daemon']['qps']:.1f} q/s)")
+    print(f"fork       : {results['fork']['seconds']:.3f}s "
+          f"({results['fork']['qps']:.1f} q/s)")
+    print(f"speedup    : {results['speedup']:.2f}x")
+    if results["verdict_drift"]:
+        print(f"DRIFT      : {sorted(results['verdict_drift'])}")
+    print(f"acceptance : within_budget="
+          f"{results['acceptance']['within_budget']}")
+    print(f"artefact   : {out}")
+    return 0 if results["acceptance"]["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

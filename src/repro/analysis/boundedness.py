@@ -40,7 +40,6 @@ from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
 from ..errors import AnalysisBudgetExceeded
 from ..robust.governance import governed
-from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, PumpCertificate, SaturationCertificate
 from .explore import DEFAULT_MAX_STATES
 from .session import AnalysisSession, resolve_session
@@ -48,7 +47,7 @@ from .session import AnalysisSession, resolve_session
 
 def boundedness(
     scheme: RPScheme,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -67,12 +66,6 @@ def boundedness(
     and conclusive verdicts are memoized on the session (a saturation or
     pump proof is budget-independent).
     """
-    initial, max_states, replays = legacy_positionals(
-        "boundedness",
-        legacy,
-        ("initial", "max_states", "replays"),
-        (initial, max_states, replays),
-    )
     state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     replays = 2 if replays is None else replays
     sess = resolve_session(scheme, session, initial)

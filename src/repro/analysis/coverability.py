@@ -58,7 +58,6 @@ from ..core.scheme import NodeKind, RPScheme
 from ..errors import AnalysisError
 from ..wqo.basis import UpwardClosedSet
 from ..wqo.kruskal import embedding_upward_closed, tree_embedding_order
-from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict
 
 #: Widths above this make sub-multiset enumeration explode; the guard turns
@@ -69,7 +68,7 @@ MAX_FOREST_WIDTH = 14
 def backward_coverability(
     scheme: RPScheme,
     targets: Sequence[HState],
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     session=None,
     budget: Optional[Any] = None,
@@ -89,9 +88,6 @@ def backward_coverability(
     """
     from ..robust.governance import governed
 
-    (initial,) = legacy_positionals(
-        "backward_coverability", legacy, ("initial",), (initial,)
-    )
     if session is not None:
         if initial is None:
             initial = session.initial

@@ -33,7 +33,6 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..robust.governance import governed
-from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict
 from .explore import DEFAULT_MAX_STATES, StateGraph
 from .session import AnalysisSession, resolve_session
@@ -300,7 +299,7 @@ class CTLChecker:
 def check_ctl(
     scheme: RPScheme,
     formula: Formula,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -315,9 +314,6 @@ def check_ctl(
     A ``budget=`` governs the exploration phase; the fixpoint labelling
     itself runs on the already-saturated finite graph.
     """
-    initial, max_states = legacy_positionals(
-        "check_ctl", legacy, ("initial", "max_states"), (initial, max_states)
-    )
     sess = resolve_session(scheme, session, initial)
 
     def body() -> CTLResult:

@@ -41,7 +41,6 @@ from ..core.scheme import RPScheme
 from ..core.semantics import AbstractSemantics, Transition
 from ..errors import AnalysisBudgetExceeded, CorruptionDetected
 from ..robust.governance import governed
-from ._compat import legacy_positionals
 from .boundedness import _certify_pump, _covering_ancestor
 from .certificates import (
     AnalysisVerdict,
@@ -56,7 +55,7 @@ from .session import AnalysisSession, resolve_session
 def inevitability(
     scheme: RPScheme,
     basis: Sequence[HState],
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     embedding: Optional[GapEmbedding] = None,
     max_states: Optional[int] = None,
@@ -73,12 +72,6 @@ def inevitability(
     state graph, but runs through the session's memoizing semantics, so
     successor computations are shared with every other query.
     """
-    initial, embedding, max_states, replays = legacy_positionals(
-        "inevitability",
-        legacy,
-        ("initial", "embedding", "max_states", "replays"),
-        (initial, embedding, max_states, replays),
-    )
     max_states = DEFAULT_MAX_STATES if max_states is None else max_states
     fixed_replays = 2 if replays is None else replays
     ordering = embedding if embedding is not None else PLAIN_EMBEDDING
@@ -206,7 +199,7 @@ def _inevitability(
 
 def halting_via_inevitability(
     scheme: RPScheme,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -220,12 +213,6 @@ def halting_via_inevitability(
     tests against the direct bounded-and-acyclic characterisation of
     :mod:`repro.analysis.termination`.
     """
-    initial, max_states = legacy_positionals(
-        "halting_via_inevitability",
-        legacy,
-        ("initial", "max_states"),
-        (initial, max_states),
-    )
     basis = [HState.leaf(node) for node in scheme.node_ids]
     return inevitability(
         scheme,

@@ -21,7 +21,6 @@ from typing import Any, Optional, Sequence
 
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
-from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict
 from .coverability import arrangements
 from .reachability import covers
@@ -32,7 +31,7 @@ def mutually_exclusive(
     scheme: RPScheme,
     first: str,
     second: str,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -43,9 +42,6 @@ def mutually_exclusive(
     ``holds=True`` means the nodes are mutually exclusive.  When they are
     not, the certificate is a witness path to a state containing both.
     """
-    initial, max_states = legacy_positionals(
-        "mutually_exclusive", legacy, ("initial", "max_states"), (initial, max_states)
-    )
     return nodes_never_cooccur(
         scheme,
         [first, second],
@@ -59,7 +55,7 @@ def mutually_exclusive(
 def nodes_never_cooccur(
     scheme: RPScheme,
     nodes: Sequence[str],
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -68,9 +64,6 @@ def nodes_never_cooccur(
     """Generalised exclusion: can the node multiset *nodes* never be
     simultaneously live?  (Two equal entries ask for two distinct
     invocations at the same node.)"""
-    initial, max_states = legacy_positionals(
-        "nodes_never_cooccur", legacy, ("initial", "max_states"), (initial, max_states)
-    )
     for node in nodes:
         scheme.node(node)  # validate early
     wanted = list(nodes)
@@ -100,7 +93,7 @@ def nodes_never_cooccur(
 def write_conflicts(
     scheme: RPScheme,
     writer_nodes: Sequence[str],
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -118,9 +111,6 @@ def write_conflicts(
     whole sweep); under ``on_exhaust="partial"`` the pairs that did not
     finish map to partial verdicts.
     """
-    initial, max_states = legacy_positionals(
-        "write_conflicts", legacy, ("initial", "max_states"), (initial, max_states)
-    )
     sess = resolve_session(scheme, session, initial)
     verdicts = {}
     distinct = sorted(set(writer_nodes))

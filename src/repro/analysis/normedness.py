@@ -27,7 +27,6 @@ from ..core.hstate import EMPTY, HState
 from ..core.scheme import RPScheme
 from ..errors import AnalysisBudgetExceeded, BudgetExhausted, CorruptionDetected
 from ..robust.governance import governed
-from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, SaturationCertificate, WitnessPath
 from .explore import DEFAULT_MAX_STATES
 from .session import AnalysisSession, resolve_session
@@ -36,7 +35,7 @@ from .session import AnalysisSession, resolve_session
 def state_is_normed(
     scheme: RPScheme,
     state: HState,
-    *legacy,
+    *,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
     budget: Optional[Any] = None,
@@ -56,9 +55,6 @@ def state_is_normed(
 
     from ..core.semantics import AbstractSemantics
 
-    (max_states,) = legacy_positionals(
-        "state_is_normed", legacy, ("max_states",), (max_states,)
-    )
     state_budget = DEFAULT_MAX_STATES if max_states is None else max_states
     semantics = session.semantics if session is not None else AbstractSemantics(scheme)
 
@@ -116,7 +112,7 @@ def state_is_normed(
 
 def normed(
     scheme: RPScheme,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -132,12 +128,6 @@ def normed(
     :class:`~repro.errors.AnalysisBudgetExceeded` when neither a witness
     nor saturation materialises.
     """
-    initial, max_states, max_witness_checks = legacy_positionals(
-        "normed",
-        legacy,
-        ("initial", "max_states", "max_witness_checks"),
-        (initial, max_states, max_witness_checks),
-    )
     state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     max_witness_checks = 10 if max_witness_checks is None else max_witness_checks
     sess = resolve_session(scheme, session, initial)

@@ -21,7 +21,6 @@ from typing import Any, Optional, Sequence
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..robust.governance import governed
-from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, BasisCertificate
 from .session import AnalysisSession, resolve_session
 from .sup_reachability import DEFAULT_MAX_KEPT, reaches_downward_closed, sup_reachability
@@ -30,7 +29,7 @@ from .sup_reachability import DEFAULT_MAX_KEPT, reaches_downward_closed, sup_rea
 def persistent(
     scheme: RPScheme,
     nodes: Sequence[str],
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -47,9 +46,6 @@ def persistent(
     test goes through the session's shared
     :class:`~repro.core.embedding.EmbeddingIndex`.
     """
-    initial, max_kept = legacy_positionals(
-        "persistent", legacy, ("initial", "max_kept"), (initial, max_kept)
-    )
     for node in nodes:
         scheme.node(node)  # validate early
     wanted = frozenset(nodes)
@@ -90,7 +86,7 @@ def persistent(
 def never_terminates_procedure(
     scheme: RPScheme,
     procedure: str,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -102,9 +98,6 @@ def never_terminates_procedure(
     (the graph region reachable from its entry without crossing other
     procedure entries) and checks persistence of that set.
     """
-    initial, max_kept = legacy_positionals(
-        "never_terminates_procedure", legacy, ("initial", "max_kept"), (initial, max_kept)
-    )
     entry = scheme.procedures.get(procedure)
     if entry is None:
         raise KeyError(f"unknown procedure {procedure!r}")

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..lang.compiler import CompiledProgram
-from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict
 from .mutex import nodes_never_cooccur
 from .session import AnalysisSession, resolve_session
@@ -75,7 +74,7 @@ class RaceReport:
 def race_report(
     compiled: CompiledProgram,
     variables: Optional[Sequence[str]] = None,
-    *legacy,
+    *,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
 ) -> RaceReport:
@@ -89,9 +88,6 @@ def race_report(
     reachable fragment is explored once however many variables and writer
     pairs the report covers.
     """
-    (max_states,) = legacy_positionals(
-        "race_report", legacy, ("max_states",), (max_states,)
-    )
     sess = resolve_session(compiled.scheme, session, None)
     writers = variable_writers(compiled)
     wanted = list(variables) if variables is not None else sorted(writers)

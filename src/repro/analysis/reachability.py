@@ -35,7 +35,6 @@ from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..errors import AnalysisBudgetExceeded
 from ..robust.governance import governed
-from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, SaturationCertificate, WitnessPath
 from .coverability import backward_coverability
 from .explore import DEFAULT_MAX_STATES
@@ -45,7 +44,7 @@ from .session import AnalysisSession, resolve_session
 def state_reachable(
     scheme: RPScheme,
     target: HState,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -59,9 +58,6 @@ def state_reachable(
     ``on_exhaust="partial"`` exhaustion returns a
     :class:`repro.robust.PartialVerdict` instead of raising.
     """
-    initial, max_states = legacy_positionals(
-        "state_reachable", legacy, ("initial", "max_states"), (initial, max_states)
-    )
     state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     sess = resolve_session(scheme, session, initial)
 
@@ -102,7 +98,7 @@ def state_reachable(
 def node_reachable(
     scheme: RPScheme,
     node: str,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -114,9 +110,6 @@ def node_reachable(
     saturation-based negatives), then backward coverability of
     ``↑{(node,∅)}`` — whose negative answers are exact on every scheme.
     """
-    initial, max_states = legacy_positionals(
-        "node_reachable", legacy, ("initial", "max_states"), (initial, max_states)
-    )
     scheme.node(node)  # validate early
     return covers(
         scheme,
@@ -134,7 +127,7 @@ def covers(
     scheme: RPScheme,
     targets: Sequence[HState],
     predicate,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -146,9 +139,6 @@ def covers(
 
     *predicate* must characterise ``↑targets`` (the callers guarantee it).
     """
-    initial, max_states = legacy_positionals(
-        "covers", legacy, ("initial", "max_states"), (initial, max_states)
-    )
     state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     sess = resolve_session(scheme, session, initial)
 

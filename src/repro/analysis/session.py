@@ -31,6 +31,7 @@ a breaking change.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -274,6 +275,14 @@ class AnalysisSession:
         self._expanded = 0
         self._progress_interval = max(1, progress_interval)
         self._listeners: List[ProgressListener] = []
+        # ensure_explored concurrency contract (see the method docstring)
+        self._explore_cv = threading.Condition()
+        self._explore_active = False
+        self._explore_target = 0
+        #: Exploration requests answered by waiting on an in-flight
+        #: exploration instead of running one (the serve daemon's
+        #: coalescing counter; purely informational).
+        self.coalesced_explorations = 0
         self._frontier_gauge.set(len(self._queue))
         self._sync_stats()
 
@@ -594,6 +603,60 @@ class AnalysisSession:
             stats.explore_seconds += time.perf_counter() - started
             self._sync_stats()
         return graph
+
+    def ensure_explored(
+        self, max_states: Optional[int] = None
+    ) -> StateGraph:
+        """Grow the shared graph to *max_states*, safely from many threads.
+
+        **Concurrency contract.**  :meth:`explore` itself is
+        single-threaded — it mutates the frontier queue and the graph in
+        place.  ``ensure_explored`` is the thread-safe entry point the
+        serve daemon routes through:
+
+        * at most one exploration runs per session at any time
+          (exploration is *serialized*);
+        * a caller whose requested budget is already covered — by the
+          current graph, or by an exploration in flight whose target is
+          at least as large — **waits and coalesces** onto that result
+          instead of queueing a redundant exploration
+          (:attr:`coalesced_explorations` counts these);
+        * a caller asking for *more* than the in-flight target waits its
+          turn and then resumes exploration from the saved frontier —
+          never from scratch — so the total work is the same as one big
+          exploration.
+
+        Returns the shared graph, grown to at least the requested budget
+        or to completion.  Note this method only serializes
+        *exploration*; query-level state (``memo``, stats, the embedding
+        index) is serialized by the caller (the serve pool holds one
+        lock per pooled scheme around each query).
+        """
+        budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+        if self.budget is not None:
+            budget = self.budget.effective_max_states(budget)
+        coalesced = False
+        while True:
+            with self._explore_cv:
+                if self.graph.complete or len(self.graph) >= budget:
+                    return self.graph
+                if not self._explore_active:
+                    self._explore_active = True
+                    self._explore_target = budget
+                    break
+                # an exploration is in flight; wait for it (coalescing
+                # when its target already covers this request)
+                if self._explore_target >= budget and not coalesced:
+                    coalesced = True
+                    self.coalesced_explorations += 1
+                self._explore_cv.wait()
+        try:
+            self.explore(budget)
+        finally:
+            with self._explore_cv:
+                self._explore_active = False
+                self._explore_cv.notify_all()
+        return self.graph
 
     def explore_or_raise(
         self, max_states: Optional[int] = None, what: str = "exploration"

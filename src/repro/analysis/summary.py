@@ -16,7 +16,6 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..errors import AnalysisBudgetExceeded
-from ._compat import legacy_positionals
 from .boundedness import boundedness
 from .certificates import AnalysisVerdict
 from .explore import DEFAULT_MAX_STATES
@@ -106,7 +105,7 @@ class SchemeReport:
 
 def analyze(
     scheme: RPScheme,
-    *legacy,
+    *,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
     normedness_max_states: Optional[int] = None,
@@ -132,9 +131,6 @@ def analyze(
     immediately) is reported inconclusive, exactly like a ``max_states``
     overrun, regardless of the budget's ``on_exhaust`` policy.
     """
-    (max_states,) = legacy_positionals(
-        "analyze", legacy, ("max_states",), (max_states,)
-    )
     state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     normedness_budget = min(
         state_budget,

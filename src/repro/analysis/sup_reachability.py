@@ -42,7 +42,6 @@ from ..errors import AnalysisBudgetExceeded, CorruptionDetected
 from ..robust.governance import governed
 from ..wqo.kruskal import embedding_upward_closed, tree_embedding_order
 from ..wqo.orderings import minimal_elements
-from ._compat import legacy_positionals
 from .certificates import AnalysisVerdict, BasisCertificate
 from .session import AnalysisSession, resolve_session
 
@@ -54,7 +53,7 @@ DEFAULT_MAX_KEPT = 200_000
 
 def sup_reachability(
     scheme: RPScheme,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -65,9 +64,6 @@ def sup_reachability(
     The verdict always ``holds`` (the problem is a computation, not a
     yes/no question); the basis is in the certificate.
     """
-    initial, max_kept = legacy_positionals(
-        "sup_reachability", legacy, ("initial", "max_kept"), (initial, max_kept)
-    )
     kept_budget = DEFAULT_MAX_KEPT if max_kept is None else max_kept
     sess = resolve_session(scheme, session, initial)
 
@@ -88,7 +84,7 @@ def sup_reachability(
 
 def minimal_reachable_states(
     scheme: RPScheme,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -99,9 +95,6 @@ def minimal_reachable_states(
     Returns a plain list, so a ``budget=`` always *raises* on exhaustion
     (no partial-verdict conversion, even under ``on_exhaust="partial"``).
     """
-    initial, max_kept = legacy_positionals(
-        "minimal_reachable_states", legacy, ("initial", "max_kept"), (initial, max_kept)
-    )
     kept_budget = DEFAULT_MAX_KEPT if max_kept is None else max_kept
     sess = resolve_session(scheme, session, initial)
     return governed(
@@ -116,7 +109,7 @@ def minimal_reachable_states(
 def reaches_downward_closed(
     scheme: RPScheme,
     predicate: Callable[[HState], bool],
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_kept: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -137,9 +130,6 @@ def reaches_downward_closed(
     ``None`` means a conclusive "does not reach", so a ``budget=``
     always *raises* on exhaustion (no partial-verdict conversion).
     """
-    initial, max_kept = legacy_positionals(
-        "reaches_downward_closed", legacy, ("initial", "max_kept"), (initial, max_kept)
-    )
     kept_budget = DEFAULT_MAX_KEPT if max_kept is None else max_kept
     sess = resolve_session(scheme, session, initial)
 

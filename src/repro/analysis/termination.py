@@ -24,7 +24,6 @@ from typing import Any, Optional
 from ..core.hstate import HState
 from ..core.scheme import RPScheme
 from ..robust.governance import governed
-from ._compat import legacy_positionals
 from .boundedness import boundedness
 from .certificates import AnalysisVerdict, LassoCertificate, SaturationCertificate
 from .explore import DEFAULT_MAX_STATES
@@ -33,16 +32,13 @@ from .session import AnalysisSession, resolve_session
 
 def halts(
     scheme: RPScheme,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
     budget: Optional[Any] = None,
 ) -> AnalysisVerdict:
     """Decide whether all computations from *initial* terminate."""
-    initial, max_states = legacy_positionals(
-        "halts", legacy, ("initial", "max_states"), (initial, max_states)
-    )
     state_budget = max_states if max_states is not None else DEFAULT_MAX_STATES
     sess = resolve_session(scheme, session, initial)
 
@@ -89,7 +85,7 @@ def halts(
 
 def may_terminate(
     scheme: RPScheme,
-    *legacy,
+    *,
     initial: Optional[HState] = None,
     max_states: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
@@ -103,9 +99,6 @@ def may_terminate(
     from ..core.hstate import EMPTY
     from .reachability import state_reachable
 
-    initial, max_states = legacy_positionals(
-        "may_terminate", legacy, ("initial", "max_states"), (initial, max_states)
-    )
     sess = resolve_session(scheme, session, initial)
     return governed(
         sess,

@@ -18,6 +18,8 @@ Usage::
     rpcheck PROGRAM.rp --checkpoint c.json   # save resumable state
     rpcheck PROGRAM.rp --resume c.json       # continue a saved run
     rpcheck PROGRAM.rp --ledger runs.jsonl   # append this run to a ledger
+    rpcheck serve --socket /tmp/rp.sock      # warm-session analysis daemon
+    rpcheck client --socket /tmp/rp.sock boundedness --file PROGRAM.rp
     rpcheck report t.jsonl              # self-time tree + hot spans
     rpcheck report t.jsonl --format json     # machine-readable span tree
     rpcheck history --ledger runs.jsonl      # tail/filter the run ledger
@@ -46,9 +48,10 @@ import sys
 import time
 from typing import List, Optional
 
-from .analysis import AnalysisSession, analyze, mutually_exclusive, node_reachable
+from .analysis import AnalysisSession
+from .api import AnalysisRequest, execute
 from .core.dot import scheme_to_dot
-from .errors import AnalysisBudgetExceeded, RPError
+from .errors import RPError
 from .interp import run_program
 from .lang import compile_source
 from .obs import (
@@ -65,6 +68,7 @@ from .obs import (
     render_report,
     report_as_dict,
     resolve_entry,
+    scheme_fingerprint,
 )
 from .obs.diff import DEFAULT_SPAN_FLOOR_SECONDS, DEFAULT_SPAN_THRESHOLD_PCT
 from .obs.ledger import DEFAULT_LEDGER_NAME
@@ -75,8 +79,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rpcheck",
         description="analyse recursive-parallel (RP) programs",
-        epilog="subcommands: rpcheck report | history | diff | flamegraph "
-        "(each accepts --help)",
+        epilog="subcommands: rpcheck serve | client | report | history | "
+        "diff | flamegraph (each accepts --help)",
     )
     parser.add_argument("program", help="path to an RP source file ('-' for stdin)")
     parser.add_argument("--dot", metavar="FILE", help="write the scheme as DOT")
@@ -368,11 +372,25 @@ def _flamegraph_main(argv: List[str]) -> int:
     return 0
 
 
+def _serve_main(argv: List[str]) -> int:
+    from .serve import serve_main  # deferred: pulls in asyncio machinery
+
+    return serve_main(argv)
+
+
+def _client_main(argv: List[str]) -> int:
+    from .serve import client_main
+
+    return client_main(argv)
+
+
 _SUBCOMMANDS = {
     "report": _report_main,
     "history": _history_main,
     "diff": _diff_main,
     "flamegraph": _flamegraph_main,
+    "serve": _serve_main,
+    "client": _client_main,
 }
 
 
@@ -388,10 +406,15 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
-def _verdict_line(name: str, verdict) -> str:
-    answer = "yes" if verdict.holds else "no"
-    exactness = "" if verdict.exact else " (replay-verified, not a proof)"
-    return f"  {name:<18} {answer:<4} [{verdict.method}]{exactness}"
+def _summary_line(name: str, summary: dict) -> str:
+    """Render one :func:`~repro.obs.ledger.verdict_summary` block."""
+    verdict = summary.get("verdict")
+    if verdict in ("yes", "no"):
+        exactness = "" if summary.get("exact") else " (replay-verified, not a proof)"
+        return f"  {name:<18} {verdict:<4} [{summary.get('method')}]{exactness}"
+    if verdict == "partial":
+        return f"  {name:<18} unknown [{summary.get('resource')} exhausted]"
+    return f"  {name:<18} {verdict}"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -534,20 +557,47 @@ def _run_analyses(
         )
 
 
+def _query(args, procedure: str, fingerprint, scheme, session, budget, **params):
+    """One :func:`repro.api.execute` call sharing the CLI's session/budget."""
+    request = AnalysisRequest(
+        procedure=procedure,
+        fingerprint=fingerprint,
+        params={"max_states": args.max_states, **params},
+    )
+    return execute(
+        request, scheme=scheme, session=session, budget=budget
+    )
+
+
+def _print_query(name: str, response, procedures: dict, key: str) -> int:
+    """Print one query response; returns its contribution to the exit code."""
+    summary = next(iter(response.procedures.values()), None)
+    procedures[key] = summary
+    if response.error is not None:
+        print(f"  {name}: {response.error['message']}")
+        return 1
+    if response.verdict == "inconclusive":
+        print(f"  {name}: {response.details.get('message', 'inconclusive')}")
+        return 1
+    print(_summary_line(name, summary or {"verdict": response.verdict}))
+    return 0
+
+
 def _run_analyses_body(
     args, compiled, scheme, session, budget, procedures: dict
 ) -> int:
-    report = analyze(
-        scheme, max_states=args.max_states, session=session, budget=budget
-    )
-    procedures["boundedness"] = report.bounded
-    procedures["halting"] = report.halting
-    procedures["normedness"] = report.normedness
-    print(f"wait-free : {'yes' if report.wait_free else 'no'}")
+    # the CLI is a thin adapter over repro.api.execute — the same
+    # evaluation path the serve daemon and library callers use
+    fingerprint = scheme_fingerprint(scheme)
+    battery = _query(args, "analyze", fingerprint, scheme, session, budget)
+    if battery.error is not None:
+        raise RPError(battery.error["message"])
+    procedures.update(battery.procedures)
+    print(f"wait-free : {'yes' if battery.details.get('wait_free') else 'no'}")
     print("analyses:")
     # skip the scheme/nodes/wait-free header lines the report duplicates
-    print("\n".join(report.render().splitlines()[4:]))
-    exit_code = 0 if report.conclusive else 1
+    print("\n".join(battery.details.get("render", "").splitlines()[4:]))
+    exit_code = 0 if battery.verdict == "conclusive" else 1
     if budget is not None and budget.exhausted is not None:
         hint = " (checkpoint below resumes this run)" if args.checkpoint else ""
         print(
@@ -557,33 +607,23 @@ def _run_analyses_body(
         exit_code = 1
 
     if args.node:
-        try:
-            verdict = node_reachable(
-                scheme, args.node, max_states=args.max_states, session=session
-            )
-            procedures[f"reach:{args.node}"] = verdict
-            print(_verdict_line(f"reach {args.node}", verdict))
-        except (RPError, AnalysisBudgetExceeded) as error:
-            procedures[f"reach:{args.node}"] = None
-            print(f"  reach {args.node}: {error}")
-            exit_code = 1
+        response = _query(
+            args, "node_reachable", fingerprint, scheme, session, budget,
+            node=args.node,
+        )
+        exit_code |= _print_query(
+            f"reach {args.node}", response, procedures, f"reach:{args.node}"
+        )
 
     if args.mutex:
         first, _, second = args.mutex.partition(",")
-        try:
-            verdict = mutually_exclusive(
-                scheme,
-                first.strip(),
-                second.strip(),
-                max_states=args.max_states,
-                session=session,
-            )
-            procedures[f"mutex:{args.mutex}"] = verdict
-            print(_verdict_line(f"mutex {args.mutex}", verdict))
-        except (RPError, AnalysisBudgetExceeded) as error:
-            procedures[f"mutex:{args.mutex}"] = None
-            print(f"  mutex {args.mutex}: {error}")
-            exit_code = 1
+        response = _query(
+            args, "mutually_exclusive", fingerprint, scheme, session, budget,
+            first=first.strip(), second=second.strip(),
+        )
+        exit_code |= _print_query(
+            f"mutex {args.mutex}", response, procedures, f"mutex:{args.mutex}"
+        )
 
     if args.lint:
         from .lang.lint import lint

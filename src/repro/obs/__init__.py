@@ -49,9 +49,13 @@ from .recorder import (
     FLIGHT_DIR_ENV,
     FLIGHT_SCHEMA,
     FlightRecorder,
+    ScopedSink,
+    SinkScope,
     ambient_recorder,
+    current_sink_scope,
     find_recorder,
     record_incident,
+    sink_scope,
 )
 from .report import (
     SpanNode,
@@ -86,9 +90,13 @@ __all__ = [
     "FLIGHT_DIR_ENV",
     "FLIGHT_SCHEMA",
     "FlightRecorder",
+    "ScopedSink",
+    "SinkScope",
     "ambient_recorder",
+    "current_sink_scope",
     "find_recorder",
     "record_incident",
+    "sink_scope",
     "TeeSink",
     "collapse_stacks",
     "report_as_dict",

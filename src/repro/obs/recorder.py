@@ -30,6 +30,15 @@ configured, so library users never find surprise files on disk:
 Dumping is idempotent per exception object: an error re-raised through
 several instrumented layers produces one bundle, whose path is cached on
 the exception as ``_flight_bundle``.
+
+Ambient state is **contextvar-scoped**: a long-lived process serving
+concurrent requests (the :mod:`repro.serve` daemon) gives every request
+its own :class:`SinkScope` — a private recorder, extra per-request sinks
+and a private dump directory — via :func:`sink_scope`, so two
+overlapping faulting requests dump *disjoint* incident bundles instead
+of interleaving one shared ring buffer.  Inside a scope the
+process-ambient defaults (the process-wide recorder, ``RPCHECK_FLIGHT_DIR``)
+are **not** consulted: the scope is the whole sink set.
 """
 
 from __future__ import annotations
@@ -40,7 +49,9 @@ import platform
 import threading
 import time
 from collections import deque
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .sinks import Sink
 
@@ -49,9 +60,13 @@ __all__ = [
     "FLIGHT_SCHEMA",
     "FLIGHT_DIR_ENV",
     "FlightRecorder",
+    "ScopedSink",
+    "SinkScope",
     "ambient_recorder",
+    "current_sink_scope",
     "find_recorder",
     "record_incident",
+    "sink_scope",
 ]
 
 #: Ring-buffer capacity (records, spans + events) of a default recorder.
@@ -167,13 +182,114 @@ _DUMP_SEQ = 0
 _DUMP_SEQ_LOCK = threading.Lock()
 
 
-def ambient_recorder() -> FlightRecorder:
-    """The process-wide :class:`FlightRecorder`.
+class SinkScope:
+    """A request-scoped sink set: recorder, extra sinks, dump directory.
 
-    This is the sink behind every :class:`~repro.analysis.session.AnalysisSession`
-    constructed without an explicit ``tracer=`` — the "always on" half of
-    the flight-recorder contract.
+    While a scope is active (see :func:`sink_scope`), it *replaces* the
+    process-ambient defaults for the current execution context:
+    :func:`ambient_recorder` returns the scope's recorder, a
+    :class:`ScopedSink` routes emits to the scope's recorder and extra
+    sinks, and :func:`record_incident` dumps into the scope's
+    ``dump_dir`` only — never into ``RPCHECK_FLIGHT_DIR`` — so
+    concurrent requests cannot interleave each other's telemetry or
+    incident bundles.
     """
+
+    __slots__ = ("recorder", "sinks", "dump_dir")
+
+    def __init__(
+        self,
+        recorder: Optional[FlightRecorder] = None,
+        *,
+        sinks: Tuple[Sink, ...] = (),
+        dump_dir: Optional[str] = None,
+    ) -> None:
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self.sinks = tuple(sinks)
+        self.dump_dir = dump_dir
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.recorder.emit(record)
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def __repr__(self) -> str:
+        return (
+            f"SinkScope({self.recorder!r}, sinks={len(self.sinks)}, "
+            f"dump_dir={self.dump_dir!r})"
+        )
+
+
+#: The active per-context sink scope (None = process-ambient defaults).
+_SCOPE: "ContextVar[Optional[SinkScope]]" = ContextVar(
+    "rpcheck_sink_scope", default=None
+)
+
+
+def current_sink_scope() -> Optional[SinkScope]:
+    """The :class:`SinkScope` active in this execution context, if any."""
+    return _SCOPE.get()
+
+
+@contextmanager
+def sink_scope(
+    recorder: Optional[FlightRecorder] = None,
+    *,
+    sinks: Tuple[Sink, ...] = (),
+    dump_dir: Optional[str] = None,
+) -> Iterator[SinkScope]:
+    """Install a :class:`SinkScope` for the duration of the ``with`` body.
+
+    Contextvar-carried, so it follows the logical execution context —
+    across ``await`` points, and into worker threads entered via
+    ``contextvars.copy_context()`` / ``asyncio.to_thread``.
+    """
+    scope = SinkScope(recorder, sinks=sinks, dump_dir=dump_dir)
+    token = _SCOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _SCOPE.reset(token)
+
+
+class ScopedSink(Sink):
+    """A sink that routes to the active :class:`SinkScope`, else a fallback.
+
+    This is the tracer sink of a *shared* long-lived
+    :class:`~repro.analysis.session.AnalysisSession` (the serve pool's):
+    the session object is shared between requests, but every span/event
+    it emits lands in the sink set of whichever request is executing —
+    its private recorder, its streaming sink — and falls back to the
+    process-wide recorder outside any scope.
+    """
+
+    enabled = True
+
+    def __init__(self, fallback: Optional[Sink] = None) -> None:
+        self.fallback = fallback
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        scope = _SCOPE.get()
+        if scope is not None:
+            scope.emit(record)
+        elif self.fallback is not None:
+            self.fallback.emit(record)
+        else:
+            _AMBIENT.emit(record)
+
+
+def ambient_recorder() -> FlightRecorder:
+    """The ambient :class:`FlightRecorder` for this execution context.
+
+    Inside a :func:`sink_scope` this is the scope's private recorder;
+    otherwise the process-wide one.  This is the sink behind every
+    :class:`~repro.analysis.session.AnalysisSession` constructed without
+    an explicit ``tracer=`` — the "always on" half of the
+    flight-recorder contract.
+    """
+    scope = _SCOPE.get()
+    if scope is not None:
+        return scope.recorder
     return _AMBIENT
 
 
@@ -208,24 +324,37 @@ def record_incident(
     """Dump a diagnostic bundle for *error*, if a dump target is configured.
 
     Resolution order for the target directory: the *directory* argument,
-    the recorder's own :attr:`~FlightRecorder.dump_dir`, then the
-    ``RPCHECK_FLIGHT_DIR`` environment variable; with none set this is a
-    no-op returning ``None``.  The recorder is the one on *session*'s
-    tracer when present, else the ambient recorder.  Idempotent per
-    exception object; never raises (a failed post-mortem must not mask
-    the original error).
+    then — inside a :func:`sink_scope` — the scope's ``dump_dir`` *only*
+    (the process-ambient ``RPCHECK_FLIGHT_DIR`` is deliberately not
+    consulted, so a daemon request without a dump dir stays quiet
+    instead of spraying bundles into a process-wide directory); outside
+    any scope, the recorder's own :attr:`~FlightRecorder.dump_dir`, then
+    the ``RPCHECK_FLIGHT_DIR`` environment variable.  With no target
+    this is a no-op returning ``None``.  The recorder is the scope's
+    when one is active, else the one on *session*'s tracer, else the
+    process ambient.  Idempotent per exception object; never raises (a
+    failed post-mortem must not mask the original error).
     """
     existing = getattr(error, "_flight_bundle", None)
     if existing is not None:
         return existing
     try:
+        scope = _SCOPE.get()
         recorder = None
-        tracer = getattr(session, "tracer", None)
-        if tracer is not None:
-            recorder = find_recorder(getattr(tracer, "sink", None))
+        if scope is not None:
+            recorder = scope.recorder
+        if recorder is None:
+            tracer = getattr(session, "tracer", None)
+            if tracer is not None:
+                recorder = find_recorder(getattr(tracer, "sink", None))
         if recorder is None:
             recorder = _AMBIENT
-        target = directory or recorder.dump_dir or os.environ.get(FLIGHT_DIR_ENV)
+        if scope is not None:
+            target = directory or scope.dump_dir
+        else:
+            target = (
+                directory or recorder.dump_dir or os.environ.get(FLIGHT_DIR_ENV)
+            )
         if not target:
             return None
         metrics = None

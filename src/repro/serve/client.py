@@ -1,0 +1,274 @@
+"""A synchronous client for the ``rpcheck serve`` daemon.
+
+:class:`ServeClient` wraps one unix-socket connection and speaks the
+NDJSON protocol :mod:`repro.serve.daemon` documents: write one
+``rpcheck-request/1`` line, read ``{"type": "event"}`` lines (forwarded
+to an ``on_event`` callback) until the ``{"type": "response"}`` line
+arrives, return it as a typed
+:class:`~repro.api.AnalysisResponse`.  The CLI (``rpcheck client``),
+the serve integration tests and the throughput benchmark all drive the
+daemon through this one class, so a protocol change breaks loudly in
+three places at once.
+
+Blocking and thread-compatible, not thread-*safe*: one client per
+thread (each opens its own connection; the daemon multiplexes).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable, Dict, List, Optional
+
+from ..api import (
+    AnalysisRequest,
+    AnalysisResponse,
+    ApiError,
+    BudgetSpec,
+    TraceOptions,
+)
+
+__all__ = ["ServeClient", "client_main"]
+
+
+class ServeError(ApiError):
+    """The daemon answered with a protocol-level error (or hung up)."""
+
+
+class ServeClient:
+    """One blocking NDJSON connection to a :class:`ServeDaemon`."""
+
+    def __init__(self, socket_path: str, *, timeout: float = 120.0) -> None:
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _send_line(self, payload: Dict[str, Any]) -> None:
+        self._file.write(
+            json.dumps(payload, separators=(",", ":"), default=repr).encode(
+                "utf-8"
+            )
+            + b"\n"
+        )
+        self._file.flush()
+
+    def _read_line(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServeError("daemon closed the connection")
+        payload = json.loads(line)
+        if not isinstance(payload, dict):
+            raise ServeError(f"daemon sent a non-object line: {payload!r}")
+        return payload
+
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        request: AnalysisRequest,
+        *,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> AnalysisResponse:
+        """Send one :class:`AnalysisRequest`, return the typed response.
+
+        ``on_event`` receives each streamed ``record`` dict as it
+        arrives (only meaningful with ``trace.stream=True``); event
+        callback errors are the caller's problem — they propagate.
+        """
+        self._send_line(request.to_json_dict())
+        while True:
+            payload = self._read_line()
+            kind = payload.get("type")
+            if kind == "event":
+                if on_event is not None:
+                    on_event(payload.get("record") or {})
+                continue
+            if kind == "response":
+                return AnalysisResponse.from_json_dict(
+                    payload.get("response") or {}
+                )
+            if kind == "error":
+                raise ServeError(str(payload.get("message")))
+            raise ServeError(f"unexpected line type {kind!r}")
+
+    def query(
+        self,
+        procedure: str,
+        *,
+        source: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        budget: Optional[BudgetSpec] = None,
+        stream: bool = False,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        request_id: Optional[str] = None,
+        **params: Any,
+    ) -> AnalysisResponse:
+        """Convenience wrapper building the request from keyword arguments."""
+        request = AnalysisRequest(
+            procedure=procedure,
+            source=source,
+            fingerprint=fingerprint,
+            params=params,
+            budget=budget,
+            trace=TraceOptions(stream=stream),
+            request_id=request_id,
+        )
+        return self.request(request, on_event=on_event)
+
+    # ------------------------------------------------------------------
+
+    def _op(self, op: str, expect: str) -> Dict[str, Any]:
+        self._send_line({"op": op})
+        payload = self._read_line()
+        if payload.get("type") != expect:
+            raise ServeError(
+                f"op {op!r} answered with {payload.get('type')!r}"
+            )
+        return payload
+
+    def ping(self) -> Dict[str, Any]:
+        """Daemon liveness + counters (``{"type": "pong", ...}`` payload)."""
+        return self._op("ping", "pong")
+
+    def pool_stats(self) -> Dict[str, Any]:
+        """The daemon's :meth:`~repro.serve.pool.SessionPool.snapshot`."""
+        return self._op("pool", "pool")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to exit (the daemon closes this connection)."""
+        return self._op("shutdown", "shutdown")
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+
+
+def _parse_params(pairs: List[str]) -> Dict[str, Any]:
+    """``k=v`` pairs with JSON-decoded values (bare words stay strings)."""
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"rpcheck client: --param needs k=v, got {pair!r}")
+        try:
+            params[name] = json.loads(raw)
+        except ValueError:
+            params[name] = raw
+    return params
+
+
+def client_main(argv: Optional[List[str]] = None) -> int:
+    """``rpcheck client``: query a running daemon from the command line."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="rpcheck client",
+        description="Send one query (or op) to a running rpcheck serve daemon.",
+    )
+    parser.add_argument("--socket", required=True, help="daemon unix socket")
+    parser.add_argument(
+        "command",
+        help="a procedure name (boundedness, analyze, node_reachable, ...) "
+        "or an op: ping, pool, shutdown",
+    )
+    parser.add_argument("--file", help="RP program file to analyse")
+    parser.add_argument(
+        "--fingerprint", help="query a scheme the daemon already holds"
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="procedure parameter (repeatable; values parsed as JSON)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, help="budget: wall-clock seconds"
+    )
+    parser.add_argument(
+        "--max-states", type=int, help="budget: exploration state cap"
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="print tracer events as they arrive",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the raw response JSON"
+    )
+    args = parser.parse_args(argv)
+    try:
+        return _client_run(args)
+    except BrokenPipeError:
+        # stdout's reader went away (e.g. ``rpcheck client ... | head``);
+        # point stdout at /dev/null so the interpreter's exit-time flush
+        # does not raise a second time, and exit quietly
+        import os
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _client_run(args) -> int:
+    with ServeClient(args.socket) as client:
+        if args.command in ("ping", "pool", "shutdown"):
+            payload = getattr(
+                client, {"pool": "pool_stats"}.get(args.command, args.command)
+            )()
+            print(json.dumps(payload, indent=2, default=repr))
+            return 0
+        source = None
+        if args.file:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        budget = None
+        if args.deadline is not None or args.max_states is not None:
+            budget = BudgetSpec(
+                deadline=args.deadline, max_states=args.max_states
+            )
+
+        def on_event(record: Dict[str, Any]) -> None:
+            print(f"event: {json.dumps(record, default=repr)}")
+
+        response = client.query(
+            args.command,
+            source=source,
+            fingerprint=args.fingerprint,
+            budget=budget,
+            stream=args.stream,
+            on_event=on_event if args.stream else None,
+            **_parse_params(args.param),
+        )
+    if args.json:
+        print(json.dumps(response.to_json_dict(), indent=2, default=repr))
+    else:
+        render = response.details.get("render")
+        if render:
+            print(render)
+        else:
+            print(f"{response.procedure}: {response.verdict}")
+            for name, summary in response.procedures.items():
+                print(f"  {name}: {json.dumps(summary, default=repr)}")
+        if response.error is not None:
+            print(f"error: {response.error['type']}: {response.error['message']}")
+    return 0 if response.ok else 1

@@ -1,0 +1,649 @@
+"""The ``rpcheck serve`` daemon: warm analysis sessions behind a socket.
+
+Transports
+----------
+
+* **Unix socket** (primary): newline-delimited JSON.  Each request line
+  is either an ``rpcheck-request/1`` object (one analysis query) or an
+  operations object ``{"op": "ping" | "pool" | "shutdown"}``.  The
+  daemon answers a query with zero or more ``{"type": "event", ...}``
+  lines (tracer records, when the request asked for ``trace.stream``)
+  followed by exactly one ``{"type": "response", "response": {...}}``
+  line carrying the ``rpcheck-response/1`` object.
+* **Localhost HTTP** (optional): a minimal HTTP/1.1 front on
+  ``127.0.0.1`` — ``POST /v1/analyze`` with a request JSON body returns
+  the response JSON; ``GET /v1/ping`` and ``GET /v1/pool`` expose the
+  health and pool snapshots.  No streaming over HTTP; that is the unix
+  socket's job.
+
+Scheduling
+----------
+
+Admission is **FIFO-with-deadline**: a query's
+:class:`~repro.robust.Budget` clock starts at *arrival* (so time spent
+queued counts against its deadline), then the query waits its turn on a
+FIFO semaphore bounding worker-thread concurrency.  A budget that
+expires in the queue still runs — its first cooperative
+``budget.check()`` fires immediately, so the client gets exactly the
+structured partial an in-process caller would get, which is what the
+differential gate pins.
+
+Isolation
+---------
+
+Each query executes inside its own
+:func:`~repro.obs.recorder.sink_scope`: a private
+:class:`~repro.obs.FlightRecorder`, the client's streaming sink, and the
+daemon's incident-dump directory.  The pooled session's tracer is a
+:class:`~repro.obs.recorder.ScopedSink`, so spans from the *shared*
+session land in whichever request is executing — two overlapping
+faulting requests produce two disjoint flight bundles.
+
+Every served query is appended to the run ledger (``kind="serve"``)
+when the daemon was given a ledger path, making served history
+first-class in ``rpcheck history`` / ``rpcheck diff``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..api import AnalysisRequest, AnalysisResponse, ApiError, execute
+from ..errors import RPError
+from ..obs import FlightRecorder, Ledger, default_ledger_path
+from ..obs.recorder import sink_scope
+from ..obs.sinks import Sink
+from ..robust import Budget, CancelToken
+from .pool import DEFAULT_MAX_ENTRIES, SessionPool
+
+__all__ = [
+    "DEFAULT_CONCURRENCY",
+    "ServeDaemon",
+    "daemon_in_thread",
+    "serve_main",
+]
+
+#: Worker threads executing queries concurrently (per daemon).
+DEFAULT_CONCURRENCY = 4
+
+
+def _encode(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, separators=(",", ":"), default=repr).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+class _StreamSink(Sink):
+    """Forwards tracer records from the worker thread to the event loop.
+
+    ``call_soon_threadsafe`` callbacks run FIFO, and the worker's result
+    is delivered through the same mechanism *after* its last emit, so
+    every streamed event is written before the final response line.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        deliver: Callable[[Dict[str, Any]], None],
+    ) -> None:
+        self._loop = loop
+        self._deliver = deliver
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._deliver, record)
+        except RuntimeError:
+            pass  # loop already closed (shutdown race); drop the record
+
+
+class ServeDaemon:
+    """A long-lived analysis server over a :class:`SessionPool`."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        http_port: Optional[int] = None,
+        pool_size: int = DEFAULT_MAX_ENTRIES,
+        concurrency: int = DEFAULT_CONCURRENCY,
+        ledger_path: Optional[str] = None,
+        flight_dir: Optional[str] = None,
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self.http_port = http_port  # 0 = ephemeral; None = no HTTP front
+        self.bound_http_port: Optional[int] = None
+        self.pool = SessionPool(pool_size)
+        self.concurrency = max(1, concurrency)
+        self.ledger = (
+            Ledger(ledger_path) if ledger_path is not None else None
+        )
+        self.flight_dir = flight_dir
+        self.served = 0
+        self.errors = 0
+        self._connections: "set[asyncio.Task]" = set()
+        self._servers: List[asyncio.AbstractServer] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._admission: Optional[asyncio.Semaphore] = None
+        self._shutdown: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the unix socket (and the optional HTTP port)."""
+        self._loop = asyncio.get_running_loop()
+        self._admission = asyncio.Semaphore(self.concurrency)
+        self._shutdown = asyncio.Event()
+        with contextlib.suppress(OSError):
+            os.unlink(self.socket_path)
+        self._servers.append(
+            await asyncio.start_unix_server(self._handle_ndjson, self.socket_path)
+        )
+        if self.http_port is not None:
+            server = await asyncio.start_server(
+                self._handle_http, host="127.0.0.1", port=self.http_port
+            )
+            self.bound_http_port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+
+    async def run(self, on_started: Optional[Callable[[], None]] = None) -> None:
+        """Start, serve until shutdown is requested, then clean up."""
+        await self.start()
+        if on_started is not None:
+            on_started()
+        assert self._shutdown is not None
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await server.wait_closed()
+        self._servers.clear()
+        # connection handlers outlive server.close() (it only stops the
+        # listeners); cancel them so shutdown is clean, not best-effort
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        with contextlib.suppress(OSError):
+            os.unlink(self.socket_path)
+
+    def request_shutdown(self) -> None:
+        """Ask the daemon to stop (thread-safe; idempotent)."""
+        loop, event = self._loop, self._shutdown
+        if loop is None or event is None or loop.is_closed():
+            return
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(event.set)
+
+    # ------------------------------------------------------------------
+    # NDJSON transport (unix socket)
+    # ------------------------------------------------------------------
+
+    async def _handle_ndjson(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: sequential queries, EOF cancels in-flight.
+
+        While a query runs, the handler keeps a ``readline`` pending so a
+        client hanging up mid-stream is noticed immediately: its
+        :class:`~repro.robust.CancelToken` is cancelled and the analysis
+        unwinds at the next cooperative budget check.  A *non-empty*
+        early line is a pipelined next request; it is parked and served
+        after the current query finishes.
+        """
+        me = asyncio.current_task()
+        if me is not None:
+            self._connections.add(me)
+        read_task: Optional["asyncio.Task[bytes]"] = None
+        pending: Optional[bytes] = None
+        try:
+            while True:
+                if pending is not None:
+                    line, pending = pending, None
+                else:
+                    if read_task is None:
+                        read_task = asyncio.ensure_future(reader.readline())
+                    line = await read_task
+                    read_task = None
+                if not line:
+                    return
+                text = line.decode("utf-8", "replace").strip()
+                if not text:
+                    continue
+                try:
+                    payload = json.loads(text)
+                except ValueError:
+                    await self._send(
+                        writer, {"type": "error", "message": "malformed JSON line"}
+                    )
+                    continue
+                if not isinstance(payload, dict):
+                    await self._send(
+                        writer, {"type": "error", "message": "expected a JSON object"}
+                    )
+                    continue
+                if "op" in payload:
+                    if await self._handle_op(payload, writer):
+                        return
+                    continue
+                token = CancelToken()
+                query = asyncio.ensure_future(
+                    self._serve_query(payload, token, writer)
+                )
+                read_task = asyncio.ensure_future(reader.readline())
+                done, _ = await asyncio.wait(
+                    {query, read_task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if read_task in done:
+                    head = read_task.result()
+                    read_task = None
+                    if not head:
+                        token.cancel("client disconnected")
+                        await query
+                        return
+                    pending = head
+                await query
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # only ``close()`` cancels connection tasks; finishing
+            # normally here matters because 3.11's StreamReaderProtocol
+            # calls ``task.exception()`` on this task without checking
+            # ``task.cancelled()`` first and would log the cancellation
+            # as a stray callback exception during teardown
+            pass
+        finally:
+            if me is not None:
+                self._connections.discard(me)
+            if read_task is not None:
+                read_task.cancel()
+            writer.close()
+            # CancelledError included: an already-cancelled handler must
+            # still complete this cleanup without logging a stray task
+            # exception during event-loop teardown
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _handle_op(
+        self, payload: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Answer an operations line; ``True`` means close the connection."""
+        op = payload.get("op")
+        if op == "ping":
+            await self._send(
+                writer,
+                {
+                    "type": "pong",
+                    "pid": os.getpid(),
+                    "served": self.served,
+                    "errors": self.errors,
+                    "schemes": len(self.pool),
+                },
+            )
+            return False
+        if op == "pool":
+            await self._send(writer, {"type": "pool", **self.pool.snapshot()})
+            return False
+        if op == "shutdown":
+            await self._send(writer, {"type": "shutdown"})
+            self.request_shutdown()
+            return True
+        await self._send(
+            writer, {"type": "error", "message": f"unknown op {op!r}"}
+        )
+        return False
+
+    async def _serve_query(
+        self,
+        payload: Dict[str, Any],
+        token: CancelToken,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = AnalysisRequest.from_json_dict(payload)
+        except ApiError as error:
+            self.errors += 1
+            response = AnalysisResponse(
+                procedure=str(payload.get("procedure") or ""),
+                verdict="error",
+                error={"type": "ApiError", "message": str(error)},
+                request_id=payload.get("request_id"),
+            )
+            await self._send(
+                writer, {"type": "response", "response": response.to_json_dict()}
+            )
+            return
+        deliver: Optional[Callable[[Dict[str, Any]], None]] = None
+        if request.trace.stream:
+            request_id = request.request_id
+
+            def deliver(record: Dict[str, Any]) -> None:
+                if not writer.is_closing():
+                    writer.write(
+                        _encode(
+                            {
+                                "type": "event",
+                                "request_id": request_id,
+                                "record": record,
+                            }
+                        )
+                    )
+
+        response = await self._execute(request, token, deliver)
+        if not writer.is_closing():
+            await self._send(
+                writer, {"type": "response", "response": response.to_json_dict()}
+            )
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> None:
+        writer.write(_encode(payload))
+        with contextlib.suppress(
+            ConnectionResetError, BrokenPipeError, asyncio.CancelledError
+        ):
+            await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Query execution (shared by both transports)
+    # ------------------------------------------------------------------
+
+    async def _execute(
+        self,
+        request: AnalysisRequest,
+        token: CancelToken,
+        deliver: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> AnalysisResponse:
+        # The budget clock starts now — at arrival — so queueing counts
+        # against the deadline (the "with-deadline" half of the policy).
+        # Without a spec the budget exists only to carry the cancel token;
+        # on_exhaust="raise" keeps a plain max_states exhaustion identical
+        # to an in-process unbudgeted call (inconclusive, not partial),
+        # which the differential gate pins.
+        budget = (
+            request.budget.to_budget(cancel=token)
+            if request.budget is not None
+            else Budget(cancel=token, on_exhaust="raise")
+        ).start()
+        loop = asyncio.get_running_loop()
+        sinks: Tuple[Sink, ...] = ()
+        if deliver is not None:
+            sinks = (_StreamSink(loop, deliver),)
+        assert self._admission is not None
+        async with self._admission:  # FIFO: asyncio wakes waiters in order
+            response = await asyncio.to_thread(
+                self._run_query, request, budget, sinks
+            )
+        self.served += 1
+        if response.error is not None:
+            self.errors += 1
+        return response
+
+    def _run_query(
+        self,
+        request: AnalysisRequest,
+        budget: Budget,
+        sinks: Tuple[Sink, ...],
+    ) -> AnalysisResponse:
+        """Worker-thread body: resolve the pooled session, run the query.
+
+        Runs under a fresh :func:`sink_scope` so this request's tracer
+        records, flight-recorder ring and incident bundles are disjoint
+        from every concurrently executing request's.
+        """
+        with sink_scope(
+            FlightRecorder(), sinks=sinks, dump_dir=self.flight_dir
+        ):
+            if request.fingerprint is not None:
+                entry = self.pool.get(request.fingerprint)
+                if entry is None:
+                    return AnalysisResponse(
+                        procedure=request.procedure,
+                        verdict="error",
+                        error={
+                            "type": "ApiError",
+                            "message": (
+                                f"no pooled scheme with fingerprint "
+                                f"{request.fingerprint!r}"
+                            ),
+                        },
+                        request_id=request.request_id,
+                    )
+            else:
+                try:
+                    entry = self.pool.get_or_compile(request.source or "")
+                except RPError as error:
+                    return AnalysisResponse(
+                        procedure=request.procedure,
+                        verdict="error",
+                        error={
+                            "type": type(error).__name__,
+                            "message": str(error),
+                        },
+                        request_id=request.request_id,
+                    )
+            self.pool.checkout(entry)
+            try:
+                with entry.lock:
+                    return execute(
+                        request,
+                        scheme=entry.scheme,
+                        session=entry.session,
+                        budget=budget,
+                        ledger=self.ledger,
+                        ledger_kind="serve",
+                    )
+            finally:
+                self.pool.checkin(entry)
+
+    # ------------------------------------------------------------------
+    # HTTP transport (localhost, optional)
+    # ------------------------------------------------------------------
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """A deliberately small HTTP/1.1 front: one request per connection."""
+        me = asyncio.current_task()
+        if me is not None:
+            self._connections.add(me)
+        try:
+            status, body = await self._http_dispatch(reader)
+        except (asyncio.IncompleteReadError, ConnectionResetError, ValueError):
+            status, body = 400, {"error": "malformed HTTP request"}
+        except asyncio.CancelledError:
+            # daemon shutdown: finish normally so the 3.11 streams
+            # done-callback does not log the cancellation (see
+            # ``_handle_ndjson``)
+            if me is not None:
+                self._connections.discard(me)
+            writer.close()
+            return
+        except Exception as error:  # pragma: no cover - defensive
+            status, body = 500, {"error": repr(error)}
+        data = json.dumps(body, default=repr).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Internal Server Error"
+        )
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("ascii")
+            + data
+        )
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            await writer.drain()
+        writer.close()
+        if me is not None:
+            self._connections.discard(me)
+        with contextlib.suppress(Exception, asyncio.CancelledError):
+            await writer.wait_closed()
+
+    async def _http_dispatch(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        request_line = (await reader.readline()).decode("ascii", "replace")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("ascii", "replace")
+            if header in ("\r\n", "\n", ""):
+                break
+            name, _, value = header.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if method == "GET" and path == "/v1/ping":
+            return 200, {
+                "pid": os.getpid(),
+                "served": self.served,
+                "errors": self.errors,
+                "schemes": len(self.pool),
+            }
+        if method == "GET" and path == "/v1/pool":
+            return 200, self.pool.snapshot()
+        if method == "POST" and path == "/v1/analyze":
+            body = await reader.readexactly(content_length)
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                return 400, {"error": "request body is not JSON"}
+            if not isinstance(payload, dict):
+                return 400, {"error": "request body is not an object"}
+            try:
+                request = AnalysisRequest.from_json_dict(payload)
+            except ApiError as error:
+                self.errors += 1
+                return 200, AnalysisResponse(
+                    procedure=str(payload.get("procedure") or ""),
+                    verdict="error",
+                    error={"type": "ApiError", "message": str(error)},
+                    request_id=payload.get("request_id"),
+                ).to_json_dict()
+            response = await self._execute(request, CancelToken())
+            return 200, response.to_json_dict()
+        return 404, {"error": f"no route for {method} {path}"}
+
+
+# ----------------------------------------------------------------------
+# Embedding helpers and CLI entry point
+# ----------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def daemon_in_thread(
+    socket_path: str, **kwargs: Any
+) -> Iterator[ServeDaemon]:
+    """Run a :class:`ServeDaemon` on a background thread (tests, benchmarks).
+
+    Yields the started daemon; on exit requests shutdown and joins the
+    thread.  Raises ``RuntimeError`` if the daemon fails to bind.
+    """
+    daemon = ServeDaemon(socket_path, **kwargs)
+    started = threading.Event()
+    failure: List[BaseException] = []
+
+    def body() -> None:
+        try:
+            asyncio.run(daemon.run(on_started=started.set))
+        except BaseException as error:  # noqa: BLE001 - reported to starter
+            failure.append(error)
+            started.set()
+
+    thread = threading.Thread(target=body, name="rpcheck-serve", daemon=True)
+    thread.start()
+    started.wait(timeout=30.0)
+    if failure:
+        raise RuntimeError(f"serve daemon failed to start: {failure[0]!r}")
+    if not os.path.exists(daemon.socket_path):
+        daemon.request_shutdown()
+        thread.join(timeout=10.0)
+        raise RuntimeError("serve daemon did not bind its socket in time")
+    try:
+        yield daemon
+    finally:
+        daemon.request_shutdown()
+        thread.join(timeout=30.0)
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``rpcheck serve``: run the analysis daemon in the foreground."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="rpcheck serve",
+        description="Serve warm analysis sessions over a unix socket.",
+    )
+    parser.add_argument(
+        "--socket", required=True, help="unix socket path to bind"
+    )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="also serve a localhost HTTP front on this port (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=DEFAULT_MAX_ENTRIES,
+        help=f"warm sessions to keep (default {DEFAULT_MAX_ENTRIES})",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=DEFAULT_CONCURRENCY,
+        help=f"concurrent query workers (default {DEFAULT_CONCURRENCY})",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="ledger file for kind=serve entries (default: $RPCHECK_LEDGER)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        help="directory for per-request incident bundles",
+    )
+    args = parser.parse_args(argv)
+    daemon = ServeDaemon(
+        args.socket,
+        http_port=args.http_port,
+        pool_size=args.pool_size,
+        concurrency=args.concurrency,
+        ledger_path=default_ledger_path(args.ledger),
+        flight_dir=args.flight_dir,
+    )
+
+    def announce() -> None:
+        print(f"rpcheck serve: listening on {daemon.socket_path}")
+        if daemon.bound_http_port is not None:
+            print(
+                f"rpcheck serve: http on 127.0.0.1:{daemon.bound_http_port}"
+            )
+
+    try:
+        asyncio.run(daemon.run(on_started=announce))
+    except KeyboardInterrupt:
+        pass
+    return 0

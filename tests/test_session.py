@@ -4,8 +4,8 @@ The session contract: every procedure run on a shared session returns
 the *same verdict* a fresh per-call exploration would, while exploring
 ``M_G`` once; pausing at budget ``N`` and resuming to ``2N`` yields
 state-for-state the graph a fresh ``2N`` run builds; the stats counters
-obey their documented invariants; and the legacy positional call shims
-keep old call sites working (with a DeprecationWarning).
+obey their documented invariants; and positional calls against the
+keyword-only signatures raise ``TypeError``.
 """
 
 import warnings
@@ -253,31 +253,32 @@ class TestResolveSession:
         assert session.stats.explorations == 1
 
 
-class TestLegacyPositionalShims:
-    def test_positional_calls_warn_and_work(self):
+class TestKeywordOnlySignatures:
+    """The PR-1 positional-argument grace period is over: keyword-only
+    signatures are the documented contract, and positional calls raise
+    ``TypeError`` like any other Python keyword-only violation."""
+
+    def test_positional_calls_raise_type_error(self):
         scheme = terminating_chain(4)
-        with pytest.warns(DeprecationWarning):
-            verdict = boundedness(scheme, None, 1_000)
-        assert verdict.holds
-        with pytest.warns(DeprecationWarning):
-            verdict = node_reachable(scheme, next(iter(scheme.node_ids)), None, 1_000)
-        assert verdict.holds
-        with pytest.warns(DeprecationWarning):
-            verdict = halts(scheme, None, 1_000)
-        assert verdict.holds
-        with pytest.warns(DeprecationWarning):
-            state_reachable(scheme, EMPTY, None, 1_000)
-
-    def test_positional_and_keyword_conflict_raises(self):
-        scheme = terminating_chain(3)
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                boundedness(scheme, None, 500, max_states=600)
-
-    def test_surplus_positionals_raise(self):
-        scheme = terminating_chain(3)
+        node = next(iter(scheme.node_ids))
         with pytest.raises(TypeError):
-            halts(scheme, None, 500, 2, "extra")
+            boundedness(scheme, None, 1_000)
+        with pytest.raises(TypeError):
+            node_reachable(scheme, node, None, 1_000)
+        with pytest.raises(TypeError):
+            halts(scheme, None, 1_000)
+        with pytest.raises(TypeError):
+            state_reachable(scheme, EMPTY, None, 1_000)
+        with pytest.raises(TypeError):
+            sup_reachability(scheme, None, 1_000)
+        with pytest.raises(TypeError):
+            normed(scheme, 1_000)
+        with pytest.raises(TypeError):
+            persistent(scheme, [node], None, 1_000)
+        with pytest.raises(TypeError):
+            mutually_exclusive(scheme, node, node, None, 1_000)
+        with pytest.raises(TypeError):
+            analyze(scheme, 1_000)
 
     def test_keyword_calls_do_not_warn(self):
         scheme = terminating_chain(3)
