@@ -19,6 +19,12 @@ project's perf baselines.  This script keeps them honest in two modes:
   - any acceptance verdict that flipped from passing to failing.
 
   Speedups and new cells are reported informationally, never fatal.
+  A fresh artefact with **no committed baseline counterpart** is a new
+  baseline, not a regression: it is schema-validated and audited (a new
+  benchmark must still pass its own acceptance), then reported as a
+  PASS-with-notice — landing a new ``BENCH_*.json`` is a one-step
+  change.  Likewise a baseline present in the working tree but not yet
+  tracked by git (best-effort ``git ls-files`` check) is noted as new.
 
 Usage::
 
@@ -37,8 +43,9 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import subprocess
 import sys
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 EXPECTED_SCHEMA = "repro-bench/1"
 
@@ -143,6 +150,27 @@ def compare(
     return regressions, notes
 
 
+def tracked_baselines() -> Optional[Set[str]]:
+    """Names of ``BENCH_*.json`` files git tracks, or ``None`` off-repo.
+
+    Best-effort on purpose: the watchdog must work from a tarball or a
+    partial checkout, where "is it committed?" has no answer.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--", "BENCH_*.json"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return {pathlib.Path(line).name for line in out.stdout.splitlines() if line}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="watch_regressions",
@@ -187,6 +215,7 @@ def main(argv=None) -> int:
     regressions: List[str] = []
     notes: List[str] = []
     compared = 0
+    tracked = tracked_baselines()
     for path in paths:
         try:
             baseline = _load(path)
@@ -194,6 +223,11 @@ def main(argv=None) -> int:
             print(f"watch_regressions: {error}")
             return 2
         regressions.extend(audit_baseline(baseline, path.name))
+        if tracked is not None and path.name not in tracked:
+            notes.append(
+                f"{path.name}: new baseline (in the working tree but not "
+                f"yet tracked by git) — audited, PASS with notice"
+            )
         if args.fresh:
             fresh_path = pathlib.Path(args.fresh) / path.name
             if not fresh_path.exists():
@@ -214,6 +248,25 @@ def main(argv=None) -> int:
             regressions.extend(found)
             notes.extend(info)
             compared += 1
+
+    if args.fresh:
+        # fresh artefacts with no baseline counterpart: new benchmarks
+        # landing for the first time — validate and audit them, but a
+        # missing baseline is a notice, never a failure
+        known = {path.name for path in paths}
+        for fresh_path in sorted(pathlib.Path(args.fresh).glob("BENCH_*.json")):
+            if fresh_path.name in known:
+                continue
+            try:
+                fresh = _load(fresh_path)
+            except (OSError, ValueError, json.JSONDecodeError) as error:
+                print(f"watch_regressions: {error}")
+                return 2
+            regressions.extend(audit_baseline(fresh, fresh_path.name))
+            notes.append(
+                f"{fresh_path.name}: new baseline (no committed "
+                f"counterpart) — audited, PASS with notice"
+            )
 
     for note in notes:
         print(f"note: {note}")

@@ -1,0 +1,651 @@
+"""Sharded parallel exploration of ``M_G`` (``AnalysisSession(workers=N)``).
+
+Every decision procedure funnels through one BFS over the reachable
+fragment of ``M_G``; this module spreads the expensive half of that BFS
+— successor computation — across a ``multiprocessing`` worker pool while
+keeping the resulting graph **state-for-state identical** to the
+sequential exploration.  The design is *window-synchronous*:
+
+1. the coordinator (the session's process) takes a window of frontier
+   states, shards them by state-signature hash into chunks, and hands
+   chunks to workers — a worker that drains its own shard **steals**
+   chunks from the largest remaining shard, so an uneven signature
+   distribution cannot idle half the pool;
+2. each worker runs its own :class:`~repro.core.semantics.
+   MemoizingSemantics` over its own copy of the scheme and returns, per
+   chunk, the successor rows plus a batch of **newly announced states**
+   (ref-interned: a state crosses the pipe at most once per worker,
+   repeats travel as integers);
+3. the coordinator owns the global visited store (the session's graph
+   index and intern table), deduplicates cross-shard successors as the
+   batches arrive, and **applies expansions strictly in frontier
+   order** — the same pop/append/budget-check cycle as the sequential
+   loop, one whole state at a time.
+
+Step 3 is what buys determinism: scheduling, stealing and message
+arrival order only affect *when* a successor row is ready, never the
+order it is applied in, so the grown graph (states, discovery order,
+transitions) is exactly the sequential one for any worker count.  That
+makes verdict parity a construction property rather than a test hope,
+and it means the existing ``rpcheck-checkpoint/1`` format round-trips
+unchanged: a parallel run checkpoints a clean BFS prefix that a
+sequential run resumes, and vice versa.
+
+Budget governance stays at the coordinator: the ambient
+:class:`~repro.robust.Budget` is checked between applied expansions (the
+sequential contract) and while waiting for workers, so a deadline, state
+cap, memory ceiling or cancellation surfaces as the usual
+:class:`~repro.errors.BudgetExhausted` with a resumable frontier —
+successor rows computed for the abandoned window are discarded (bounded
+wasted work, never a corrupted graph).  The memory ceiling samples the
+coordinator process only; worker footprints are bounded by their
+successor caches.
+
+Workers report their counters through the established registry
+``merge()`` contract (docs/observability.md): each result message
+carries a delta ``MetricsRegistry.as_dict()`` snapshot that the
+coordinator rebuilds via :func:`~repro.obs.registry_from_dict` and folds
+into the session registry, so ``parallel.states_expanded{worker=i}``,
+worker cache hit rates and per-chunk busy seconds land in the same
+artefacts as every other metric.
+
+Start method: ``fork`` where available (Linux; ~3ms per worker), else
+``spawn``; override with the ``RP_PARALLEL_START`` environment
+variable.  Workers import nothing at runtime — everything they need is
+imported when this module loads — which keeps ``fork`` safe even when
+the pool is spawned from a threaded host like the serve daemon.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from collections import deque
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing.connection import wait as _wait_ready
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.hstate import HState, Signature
+from ..core.semantics import MemoizingSemantics, Transition
+from ..core.serialize import scheme_from_dict, scheme_to_dict
+from ..errors import AnalysisError
+from ..obs.metrics import MetricsRegistry, registry_from_dict
+from .explore import DEFAULT_MAX_STATES, StateGraph
+
+__all__ = [
+    "DEFAULT_CHUNK_STATES",
+    "START_METHOD_ENV",
+    "WINDOW_CHUNKS_PER_WORKER",
+    "WorkerPool",
+    "default_start_method",
+    "explore_parallel",
+]
+
+#: Frontier states per work chunk (one message each way per chunk).
+DEFAULT_CHUNK_STATES = 32
+
+#: Window size in chunks per worker: large enough that stealing has
+#: something to steal and apply overlaps compute, small enough that an
+#: abandoned window (budget stop) wastes little work.
+WINDOW_CHUNKS_PER_WORKER = 4
+
+#: Environment variable overriding the multiprocessing start method.
+START_METHOD_ENV = "RP_PARALLEL_START"
+
+#: Chunks a worker may have in flight (double-buffering hides dispatch).
+_MAX_INFLIGHT = 2
+
+#: Seconds between budget checks while waiting on worker results.
+_WAIT_INTERVAL = 0.05
+
+#: Seconds to wait for a worker to exit cleanly before terminating it.
+_JOIN_TIMEOUT = 2.0
+
+
+def default_start_method() -> str:
+    """The multiprocessing start method the pool will use.
+
+    ``RP_PARALLEL_START`` wins when set; otherwise ``fork`` where the
+    platform offers it (cheap, shares the already-imported interpreter),
+    falling back to ``spawn``.
+    """
+    methods = get_all_start_methods()
+    override = os.environ.get(START_METHOD_ENV)
+    if override:
+        if override not in methods:
+            raise AnalysisError(
+                f"{START_METHOD_ENV}={override!r} is not a supported start "
+                f"method (available: {', '.join(methods)})"
+            )
+        return override
+    return "fork" if "fork" in methods else "spawn"
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in the child process)
+# ----------------------------------------------------------------------
+
+
+def _worker_main(connection, scheme_payload: Dict[str, Any], index: int) -> None:
+    """One exploration worker: expand chunks until told to stop.
+
+    Protocol (coordinator -> worker)::
+
+        ("expand", round_id, chunk_id, [("s", HState) | ("r", ref), ...])
+        ("stop",)
+
+    and back::
+
+        ("result", round_id, chunk_id, rows, announced, metrics_dict)
+        ("error", round_id, chunk_id, message)
+
+    where ``rows[i]`` lists ``(label, ref, rule, node, path, branch)``
+    for the i-th chunk state and ``announced`` carries ``(ref, state)``
+    pairs for states this worker ships for the first time — refs are
+    allocated densely per worker, so both sides mirror one append-only
+    table and every repeat crosses the pipe as a single integer.
+    """
+    import signal
+
+    try:
+        # the coordinator owns interruption; workers die via "stop",
+        # closed pipes, or their daemon flag
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    scheme = scheme_from_dict(scheme_payload)
+    semantics = MemoizingSemantics(scheme)
+    label = str(index)
+    by_ref: List[HState] = []
+    refs: Dict[HState, int] = {}
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "stop":
+                break
+            _op, round_id, chunk_id, items = message
+            try:
+                started = time.perf_counter()
+                hits_before = semantics.cache_hits
+                misses_before = semantics.cache_misses
+                announced: List[Tuple[int, HState]] = []
+                rows = []
+                fired = 0
+                for kind, payload in items:
+                    if kind == "r":
+                        state = by_ref[payload]
+                    else:
+                        state = semantics.intern(payload)
+                    row = []
+                    for transition in semantics.successors(state):
+                        target = transition.target
+                        ref = refs.get(target)
+                        if ref is None:
+                            ref = len(by_ref)
+                            refs[target] = ref
+                            by_ref.append(target)
+                            announced.append((ref, target))
+                        row.append(
+                            (
+                                transition.label,
+                                ref,
+                                transition.rule,
+                                transition.node,
+                                transition.path,
+                                transition.branch,
+                            )
+                        )
+                    fired += len(row)
+                    rows.append(row)
+                registry = MetricsRegistry()
+                registry.counter(
+                    "parallel.states_expanded",
+                    "states expanded by sharded workers",
+                ).labels(worker=label).inc(len(rows))
+                registry.counter(
+                    "parallel.transitions",
+                    "successor transitions computed by sharded workers",
+                ).labels(worker=label).inc(fired)
+                registry.counter(
+                    "parallel.worker_cache_hits",
+                    "worker-local successor-cache hits",
+                ).labels(worker=label).inc(semantics.cache_hits - hits_before)
+                registry.counter(
+                    "parallel.worker_cache_misses",
+                    "worker-local successor-cache misses",
+                ).labels(worker=label).inc(semantics.cache_misses - misses_before)
+                registry.histogram(
+                    "parallel.worker_seconds",
+                    "per-chunk worker busy time",
+                ).labels(worker=label).observe(time.perf_counter() - started)
+                connection.send(
+                    ("result", round_id, chunk_id, rows, announced, registry.as_dict())
+                )
+            except Exception as error:  # ship the failure, then die
+                try:
+                    connection.send(
+                        (
+                            "error",
+                            round_id,
+                            chunk_id,
+                            f"{type(error).__name__}: {error}",
+                        )
+                    )
+                except (OSError, ValueError):
+                    pass
+                raise
+    finally:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+def _reintern_signatures(state: HState) -> None:
+    """Swap a deserialised state's signatures for the interned instances.
+
+    Unpickled states are value-correct but carry private ``Signature``
+    copies; re-interning restores the ``self is other`` fast paths the
+    embedding layer leans on, so states adopted from workers behave
+    exactly like locally built ones.
+    """
+    for _node, child in state.items:
+        _reintern_signatures(child)
+    sig = state._signature
+    state._signature = Signature.of(sig.size, sig.height, sig.width, sig.counts)
+
+
+class _WorkerHandle:
+    """Coordinator-side view of one worker process."""
+
+    __slots__ = ("index", "process", "connection", "table")
+
+    def __init__(self, index, process, connection) -> None:
+        self.index = index
+        self.process = process
+        self.connection = connection
+        #: Mirror of the worker's announcement table: ref -> canonical
+        #: (coordinator-interned) state.
+        self.table: List[HState] = []
+
+
+class WorkerPool:
+    """A pool of exploration workers for one scheme.
+
+    Pools are cheap to keep warm (idle workers block in ``recv``) and
+    are reused across explorations of the owning session; they are
+    **not** thread-safe — the session serializes exploration through
+    ``ensure_explored`` already.
+    """
+
+    def __init__(self, scheme, size: int, *, start_method: Optional[str] = None) -> None:
+        if not isinstance(size, int) or isinstance(size, bool) or size < 1:
+            raise AnalysisError(f"worker pool size must be a positive int, got {size!r}")
+        self.scheme = scheme
+        self.size = size
+        self.start_method = start_method or default_start_method()
+        self.closed = False
+        #: Chunks executed by a worker outside its own signature shard.
+        self.steals = 0
+        #: Window-synchronous rounds run through this pool.
+        self.rounds = 0
+        self.workers: List[_WorkerHandle] = []
+        self._round_seq = itertools.count(1)
+        #: canonical state -> (worker index, ref) of its first announcer;
+        #: lets chunk dispatch send known states back as bare integers.
+        self._origin: Dict[HState, Tuple[int, int]] = {}
+        #: signature (interned, identity-keyed) -> shard index.
+        self._shards: Dict[Signature, int] = {}
+        context = get_context(self.start_method)
+        payload = scheme_to_dict(scheme)
+        try:
+            for index in range(size):
+                ours, theirs = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(theirs, payload, index),
+                    name=f"rpcheck-explore-{index}",
+                    daemon=True,
+                )
+                process.start()
+                theirs.close()
+                self.workers.append(_WorkerHandle(index, process, ours))
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+
+    def shard_of(self, state: HState) -> int:
+        """The worker shard owning *state*, by signature hash."""
+        sig = state.signature
+        shard = self._shards.get(sig)
+        if shard is None:
+            key = (sig.size, sig.height, sig.width, tuple(sorted(sig.counts.items())))
+            shard = hash(key) % self.size
+            self._shards[sig] = shard
+        return shard
+
+    def adopt(self, state: HState, semantics: MemoizingSemantics) -> HState:
+        """The canonical coordinator instance for a worker-shipped state."""
+        canonical = semantics.intern(state)
+        if canonical is state:
+            _reintern_signatures(state)
+        return canonical
+
+    def register(self, handle: _WorkerHandle, announced, semantics) -> None:
+        """Mirror one result message's state announcements.
+
+        Runs for stale (abandoned-round) messages too — announcement
+        tables are append-only and shared across rounds, so every
+        message must extend them even when its successor rows are
+        discarded.
+        """
+        table = handle.table
+        origin = self._origin
+        for ref, state in announced:
+            if ref != len(table):
+                raise AnalysisError(
+                    f"exploration worker {handle.index} announced ref {ref}, "
+                    f"expected {len(table)} (protocol corruption)"
+                )
+            canonical = self.adopt(state, semantics)
+            table.append(canonical)
+            if canonical not in origin:
+                origin[canonical] = (handle.index, ref)
+
+    def drain(self, semantics, registry: Optional[MetricsRegistry] = None) -> int:
+        """Consume pending messages from abandoned rounds (keep tables in sync)."""
+        drained = 0
+        for handle in self.workers:
+            connection = handle.connection
+            while connection.poll():
+                message = connection.recv()
+                if message[0] == "result":
+                    self.register(handle, message[4], semantics)
+                    if registry is not None and message[5]:
+                        registry.merge(registry_from_dict(message[5]))
+                drained += 1
+        return drained
+
+    def check_alive(self) -> None:
+        for handle in self.workers:
+            if not handle.process.is_alive():
+                raise AnalysisError(
+                    f"exploration worker {handle.index} died "
+                    f"(exit code {handle.process.exitcode})"
+                )
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop and reap every worker (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for handle in self.workers:
+            try:
+                handle.connection.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for handle in self.workers:
+            handle.process.join(_JOIN_TIMEOUT)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(_JOIN_TIMEOUT)
+            try:
+                handle.connection.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{self.size} workers"
+        return f"WorkerPool({self.scheme.name!r}, {state}, {self.start_method})"
+
+
+# ----------------------------------------------------------------------
+# The parallel explore loop
+# ----------------------------------------------------------------------
+
+
+def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
+    """Grow *session*'s shared graph with its worker pool.
+
+    Drop-in replacement for the sequential
+    :meth:`~repro.analysis.AnalysisSession.explore` body: same budget
+    resolution, same overshoot contract, same stop-when semantics, same
+    stats/span bookkeeping — and, by the window-synchronous design, the
+    same graph, state for state.  Called by the session when
+    ``workers > 1``; not part of the public API.
+    """
+    budget = max_states if max_states is not None else DEFAULT_MAX_STATES
+    ambient = session.budget
+    if ambient is not None:
+        budget = ambient.effective_max_states(budget)
+    graph = session.graph
+    if not session._queue:
+        return graph
+    pool = session._ensure_pool()
+    started = time.perf_counter()
+    expanded_before = session._expanded
+    queue = session._queue
+    semantics = session.semantics
+    index = graph.index
+    stats = session.stats
+    frontier_gauge = session._frontier_gauge
+    metrics = session.metrics
+    metrics.gauge(
+        "parallel.workers", "worker processes of the sharded explorer"
+    ).set(pool.size)
+    rounds_counter = metrics.counter(
+        "parallel.rounds", "window-synchronous exploration rounds"
+    )
+    steals_counter = metrics.counter(
+        "parallel.steals", "chunks executed outside their signature shard"
+    )
+    stopped = False
+    next_progress = session._expanded + session._progress_interval
+    window_cap = DEFAULT_CHUNK_STATES * pool.size * WINDOW_CHUNKS_PER_WORKER
+    connections = [handle.connection for handle in pool.workers]
+    by_connection = {handle.connection: handle for handle in pool.workers}
+    try:
+        with session.tracer.span(
+            "session.explore",
+            budget=budget,
+            resumed=expanded_before > 0,
+            workers=pool.size,
+        ) as span:
+            while queue and not stopped and len(graph.states) < budget:
+                if ambient is not None:
+                    ambient.check(
+                        states=len(graph.states),
+                        frontier=len(queue),
+                        expanded=session._expanded,
+                    )
+                pool.drain(semantics, metrics)
+                pool.check_alive()
+                round_id = next(pool._round_seq)
+                pool.rounds += 1
+                rounds_counter.inc()
+                window = list(itertools.islice(queue, min(len(queue), window_cap)))
+
+                # shard by signature, then cut shards into chunks
+                shards: List[List[int]] = [[] for _ in range(pool.size)]
+                for position, state in enumerate(window):
+                    shards[pool.shard_of(state)].append(position)
+                pending: List[deque] = []
+                total_chunks = 0
+                for shard in shards:
+                    chunks = deque(
+                        shard[cut : cut + DEFAULT_CHUNK_STATES]
+                        for cut in range(0, len(shard), DEFAULT_CHUNK_STATES)
+                    )
+                    total_chunks += len(chunks)
+                    pending.append(chunks)
+
+                chunk_seq = itertools.count()
+                chunk_positions: Dict[int, List[int]] = {}
+                inflight = [0] * pool.size
+                results: List[Optional[Tuple[List[HState], list]]] = [None] * len(window)
+                origin = pool._origin
+
+                def dispatch(worker: int) -> bool:
+                    """Hand one chunk to *worker* (own shard, else steal)."""
+                    source = worker
+                    if not pending[source]:
+                        candidates = [i for i in range(pool.size) if pending[i]]
+                        if not candidates:
+                            return False
+                        source = max(candidates, key=lambda i: len(pending[i]))
+                        pool.steals += 1
+                        steals_counter.inc()
+                    positions = pending[source].popleft()
+                    payload = []
+                    for position in positions:
+                        state = window[position]
+                        known = origin.get(state)
+                        if known is not None and known[0] == worker:
+                            payload.append(("r", known[1]))
+                        else:
+                            payload.append(("s", state))
+                    chunk_id = next(chunk_seq)
+                    chunk_positions[chunk_id] = positions
+                    pool.workers[worker].connection.send(
+                        ("expand", round_id, chunk_id, payload)
+                    )
+                    inflight[worker] += 1
+                    return True
+
+                for worker in range(pool.size):
+                    while inflight[worker] < _MAX_INFLIGHT and dispatch(worker):
+                        pass
+
+                next_apply = 0
+                completed = 0
+                aborted = False
+                while completed < total_chunks and not aborted:
+                    ready = _wait_ready(connections, _WAIT_INTERVAL)
+                    if not ready:
+                        # nothing arrived: keep the budget honest and
+                        # notice dead workers instead of hanging
+                        if ambient is not None:
+                            ambient.check(
+                                states=len(graph.states),
+                                frontier=len(queue),
+                                expanded=session._expanded,
+                            )
+                        pool.check_alive()
+                        continue
+                    for connection in ready:
+                        handle = by_connection[connection]
+                        try:
+                            message = connection.recv()
+                        except EOFError:
+                            raise AnalysisError(
+                                f"exploration worker {handle.index} exited "
+                                f"mid-round"
+                            )
+                        if message[0] == "error":
+                            raise AnalysisError(
+                                f"exploration worker {handle.index} failed: "
+                                f"{message[3]}"
+                            )
+                        _op, rid, chunk_id, rows, announced, worker_metrics = message
+                        pool.register(handle, announced, semantics)
+                        if worker_metrics:
+                            metrics.merge(registry_from_dict(worker_metrics))
+                        if rid != round_id:
+                            continue  # abandoned round: rows are void
+                        inflight[handle.index] -= 1
+                        completed += 1
+                        for position, row in zip(
+                            chunk_positions.pop(chunk_id), rows
+                        ):
+                            results[position] = (handle.table, row)
+                        if not aborted and not stopped:
+                            while (
+                                inflight[handle.index] < _MAX_INFLIGHT
+                                and dispatch(handle.index)
+                            ):
+                                pass
+
+                    # apply every ready expansion, strictly in frontier
+                    # order — this is the sequential loop, verbatim
+                    while next_apply < len(window) and results[next_apply] is not None:
+                        if stopped or len(graph.states) >= budget:
+                            aborted = True
+                            break
+                        if ambient is not None:
+                            ambient.check(
+                                states=len(graph.states),
+                                frontier=len(queue),
+                                expanded=session._expanded,
+                            )
+                        table, row = results[next_apply]
+                        state = window[next_apply]
+                        popped = queue.popleft()
+                        if popped is not state:  # pragma: no cover - invariant
+                            raise AnalysisError(
+                                "parallel frontier desynchronised from the "
+                                "shared graph (coordinator bug)"
+                            )
+                        out = graph.edges[index[state]]
+                        cached: List[Transition] = []
+                        for label, ref, rule, node, path, branch in row:
+                            target = table[ref]
+                            transition = Transition(
+                                state, label, target, rule, node, path, branch
+                            )
+                            out.append(transition)
+                            cached.append(transition)
+                            stats.transitions_fired += 1
+                            if target not in index:
+                                graph._add_state(target, transition)
+                                queue.append(target)
+                                if (
+                                    stop_when is not None
+                                    and not stopped
+                                    and stop_when(target)
+                                ):
+                                    stopped = True
+                        # adopt the rows into the coordinator's successor
+                        # cache so post-exploration queries replay them
+                        if state in semantics._successors:
+                            semantics.cache_hits += 1
+                        else:
+                            semantics._successors[state] = cached
+                            semantics.cache_misses += 1
+                        session._expanded += 1
+                        frontier_gauge.set(len(queue))
+                        if session._expanded >= next_progress:
+                            next_progress += session._progress_interval
+                            session._sample_progress(started)
+                        next_apply += 1
+            span.set(
+                states=len(graph.states),
+                expanded=session._expanded - expanded_before,
+                stopped=stopped,
+            )
+    finally:
+        graph.complete = not queue
+        graph.unexpanded = list(queue)
+        if expanded_before == 0 and session._expanded > 0:
+            stats.explorations += 1
+        stats.explore_seconds += time.perf_counter() - started
+        session._sync_stats()
+    return graph

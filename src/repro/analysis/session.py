@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -205,6 +206,17 @@ class AnalysisSession:
         once per state expansion (and inside the procedures' auxiliary
         search loops); usually installed per-call by the governed
         procedure wrappers rather than at construction.
+    workers:
+        Exploration worker processes (default 1).  With ``workers=1``
+        the session runs the historical in-process BFS, byte-identical
+        to previous releases; with ``workers=N`` successor computation
+        is sharded across a :class:`repro.analysis.parallel.WorkerPool`
+        while the coordinator applies expansions in frontier order, so
+        the grown graph — and therefore every verdict, checkpoint and
+        stat derived from it — matches the sequential run state for
+        state.  The pool is spawned lazily on the first parallel
+        exploration and torn down by :meth:`close` (or the session's
+        finalizer).
 
     Attributes
     ----------
@@ -237,6 +249,7 @@ class AnalysisSession:
         metrics: Optional[MetricsRegistry] = None,
         semantics: Optional[MemoizingSemantics] = None,
         budget: Optional[Any] = None,
+        workers: int = 1,
     ) -> None:
         self.scheme = scheme
         if semantics is not None and semantics.scheme is not scheme:
@@ -283,6 +296,13 @@ class AnalysisSession:
         #: exploration instead of running one (the serve daemon's
         #: coalescing counter; purely informational).
         self.coalesced_explorations = 0
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise AnalysisError(
+                f"workers must be a positive int, got {workers!r}"
+            )
+        self._workers = workers
+        #: Lazily spawned repro.analysis.parallel.WorkerPool (workers > 1).
+        self._pool = None
         self._frontier_gauge.set(len(self._queue))
         self._sync_stats()
 
@@ -440,6 +460,59 @@ class AnalysisSession:
         return metrics
 
     # ------------------------------------------------------------------
+    # Parallel exploration pool
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Exploration worker processes (1 = the sequential fast path)."""
+        return self._workers
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise AnalysisError(f"workers must be a positive int, got {value!r}")
+        if value != self._workers and self._pool is not None and self._pool.size != value:
+            # wrong-sized pool: tear it down now, respawn lazily on the
+            # next parallel exploration (a pool left warm while workers
+            # is 1 costs nothing — its processes block in recv)
+            self._pool.close()
+            self._pool = None
+        self._workers = value
+
+    def _ensure_pool(self):
+        """The session's :class:`~repro.analysis.parallel.WorkerPool`."""
+        pool = self._pool
+        if pool is None or pool.closed or pool.size != self._workers:
+            from .parallel import WorkerPool
+
+            if pool is not None:
+                pool.close()
+            pool = WorkerPool(self.scheme, self._workers)
+            self._pool = pool
+            # a dropped session must not leak worker processes; close()
+            # is idempotent so explicit close + finalize coexist safely
+            weakref.finalize(self, pool.close)
+        return pool
+
+    def close(self) -> None:
+        """Release the worker pool, if one was spawned (idempotent).
+
+        Sequential sessions hold no external resources; calling this is
+        always safe and the session remains usable afterwards — the pool
+        respawns lazily if another parallel exploration runs.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Resource governance & checkpointing
     # ------------------------------------------------------------------
 
@@ -532,7 +605,17 @@ class AnalysisSession:
         the frontier, so an interruption — budget exhaustion, an injected
         fault, a detected corruption — always leaves the graph a clean
         resumable BFS prefix.
+
+        With :attr:`workers` > 1 the body below is replaced by the
+        sharded engine (:func:`repro.analysis.parallel.explore_parallel`),
+        which upholds every contract above — same budget resolution, same
+        overshoot rule, same stop-when semantics — and grows the same
+        graph, state for state.
         """
+        if self._workers > 1:
+            from .parallel import explore_parallel
+
+            return explore_parallel(self, max_states, stop_when=stop_when)
         budget = max_states if max_states is not None else DEFAULT_MAX_STATES
         ambient = self.budget
         if ambient is not None:

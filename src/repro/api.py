@@ -64,6 +64,7 @@ __all__ = [
     "AnalysisResponse",
     "resolve_scheme",
     "execute",
+    "worker_expansions",
 ]
 
 #: Wire schema tag of a serialised :class:`AnalysisRequest`.
@@ -186,6 +187,10 @@ class AnalysisRequest:
     budget: Optional[BudgetSpec] = None
     trace: TraceOptions = field(default_factory=TraceOptions)
     request_id: Optional[str] = None
+    #: Exploration worker processes for this query (``None`` = the
+    #: server's default, which is the sequential path).  Honored by
+    #: :func:`execute` and the serve daemon; see docs/performance.md.
+    workers: Optional[int] = None
 
     def validate(self) -> "AnalysisRequest":
         """Raise :class:`ApiError` on structural problems; returns self."""
@@ -200,6 +205,12 @@ class AnalysisRequest:
             raise ApiError("request may carry a source or a fingerprint, not both")
         if not isinstance(self.params, Mapping):
             raise ApiError("params must be a mapping")
+        if self.workers is not None and (
+            not isinstance(self.workers, int)
+            or isinstance(self.workers, bool)
+            or self.workers < 1
+        ):
+            raise ApiError(f"workers must be a positive int, got {self.workers!r}")
         return self
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -212,6 +223,7 @@ class AnalysisRequest:
             "budget": self.budget.as_dict() if self.budget is not None else None,
             "trace": self.trace.as_dict(),
             "request_id": self.request_id,
+            "workers": self.workers,
         }
 
     @classmethod
@@ -233,6 +245,7 @@ class AnalysisRequest:
             budget=BudgetSpec.from_dict(budget) if budget is not None else None,
             trace=TraceOptions.from_dict(trace) if trace is not None else TraceOptions(),
             request_id=payload.get("request_id"),
+            workers=payload.get("workers"),
         ).validate()
 
 
@@ -395,6 +408,28 @@ PROCEDURES: Dict[str, Callable[..., Any]] = {
 # ----------------------------------------------------------------------
 
 
+def worker_expansions(metrics: Mapping[str, Any]) -> Dict[str, int]:
+    """Per-worker states-expanded counts from a metrics snapshot.
+
+    Reads the ``parallel.states_expanded{worker=i}`` labelled children a
+    sharded exploration folds into the session registry; empty for
+    sequential runs.  Keys are worker indices as strings (JSON-stable).
+    """
+    counter = metrics.get("parallel.states_expanded")
+    if not isinstance(counter, Mapping):
+        return {}
+    labels = counter.get("labels")
+    if not isinstance(labels, Mapping):
+        return {}
+    out: Dict[str, int] = {}
+    for key, child in labels.items():
+        if not isinstance(child, Mapping):
+            continue
+        worker = key.strip("{}").split("=", 1)[-1]
+        out[worker] = int(child.get("value", 0))
+    return out
+
+
 def resolve_scheme(request: AnalysisRequest) -> RPScheme:
     """Compile the request's source into a scheme (source requests only)."""
     if request.source is None:
@@ -516,7 +551,16 @@ def execute(
             request_id=request.request_id,
             elapsed_seconds=time.perf_counter() - started_wall,
         )
-    sess = session if session is not None else AnalysisSession(subject)
+    owns_session = session is None
+    if owns_session:
+        sess = AnalysisSession(subject, workers=request.workers or 1)
+    else:
+        sess = session
+        if request.workers is not None:
+            # honor the request's knob on a shared (pooled) session; the
+            # serve daemon resets this per query so worker counts never
+            # leak between requests
+            sess.workers = request.workers
     live_budget = budget
     if live_budget is None and request.budget is not None:
         live_budget = request.budget.to_budget(cancel=cancel)
@@ -582,22 +626,30 @@ def execute(
     if ledger is not None:
         try:
             sess.sync_metrics()
+            metrics_snapshot = sess.metrics.as_dict()
+            extra = {
+                "procedure": request.procedure,
+                "request_id": request.request_id,
+                "workers": sess.workers,
+            }
+            expansions = worker_expansions(metrics_snapshot)
+            if expansions:
+                # per-worker attribution, so `rpcheck diff` can tell a
+                # parallelism win from an algorithmic one
+                extra["worker_expansions"] = expansions
             ledger.append(
                 make_entry(
                     kind=ledger_kind,
                     scheme=subject,
                     procedures=dict(response.procedures),
-                    metrics=sess.metrics.as_dict(),
+                    metrics=metrics_snapshot,
                     budget=live_budget,
                     outcome=outcome,
                     error=run_error,
                     wall_seconds=elapsed,
                     cpu_seconds=time.process_time() - started_cpu,
                     run_id=rid,
-                    extra={
-                        "procedure": request.procedure,
-                        "request_id": request.request_id,
-                    },
+                    extra=extra,
                 )
             )
         except (OSError, ValueError):
@@ -606,4 +658,6 @@ def execute(
                 response,
                 details={**response.details, "ledger_error": True},
             )
+    if owns_session:
+        sess.close()
     return response

@@ -18,11 +18,13 @@ Usage::
     rpcheck PROGRAM.rp --checkpoint c.json   # save resumable state
     rpcheck PROGRAM.rp --resume c.json       # continue a saved run
     rpcheck PROGRAM.rp --ledger runs.jsonl   # append this run to a ledger
+    rpcheck PROGRAM.rp --workers 4           # sharded parallel exploration
     rpcheck serve --socket /tmp/rp.sock      # warm-session analysis daemon
     rpcheck client --socket /tmp/rp.sock boundedness --file PROGRAM.rp
     rpcheck report t.jsonl              # self-time tree + hot spans
     rpcheck report t.jsonl --format json     # machine-readable span tree
     rpcheck history --ledger runs.jsonl      # tail/filter the run ledger
+    rpcheck history --compact 50             # keep newest 50 runs per scheme
     rpcheck diff RUN_A RUN_B --ledger runs.jsonl  # compare two runs
     rpcheck flamegraph t.jsonl          # collapsed stacks for flamegraph.pl
 
@@ -113,6 +115,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=20_000,
         metavar="N",
         help="state budget for the semi-decision procedures (default 20000)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="exploration worker processes (default 1 = sequential; N>1 "
+        "shards successor computation across a multiprocessing pool with "
+        "identical verdicts — see docs/performance.md)",
     )
     parser.add_argument(
         "--stats",
@@ -239,6 +250,14 @@ def _build_history_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="print matching entries as JSON lines"
     )
+    parser.add_argument(
+        "--compact",
+        type=int,
+        metavar="N",
+        help="retention: rewrite the ledger keeping only the newest N "
+        "entries per scheme fingerprint (atomic in-place rewrite), then "
+        "exit; combines with no other option",
+    )
     return parser
 
 
@@ -252,6 +271,20 @@ def _verdict_digest(entry: dict) -> str:
 def _history_main(argv: List[str]) -> int:
     args = _build_history_parser().parse_args(argv)
     ledger = _open_ledger(args.ledger)
+    if args.compact is not None:
+        if args.compact < 1:
+            print("rpcheck history: --compact needs a positive N", file=sys.stderr)
+            return 2
+        try:
+            kept, dropped = ledger.compact(args.compact)
+        except (OSError, ValueError) as error:
+            print(f"rpcheck history: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"compacted {ledger.path}: kept {kept} "
+            f"(newest {args.compact} per scheme), dropped {dropped}"
+        )
+        return 0
     try:
         entries = ledger.filter(
             kind=args.kind, scheme=args.scheme, procedure=args.procedure
@@ -484,7 +517,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         try:
             session = AnalysisSession.restore(
-                load_checkpoint(args.resume), scheme=scheme, tracer=tracer
+                load_checkpoint(args.resume), scheme=scheme, tracer=tracer,
+                workers=args.workers,
             )
         except (CheckpointError, RPError) as error:
             print(f"rpcheck: cannot resume from {args.resume}: {error}",
@@ -495,7 +529,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({len(session.graph)} states, {session.expanded_count} expanded)"
         )
     else:
-        session = AnalysisSession(scheme, tracer=tracer)
+        session = AnalysisSession(scheme, tracer=tracer, workers=args.workers)
 
     started_wall = time.perf_counter()
     started_cpu = time.process_time()
@@ -523,21 +557,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if ledger_sink is not None:
             try:
+                from .api import worker_expansions
+
+                metrics_snapshot = session.metrics.as_dict()
+                extra = {"workers": args.workers}
+                expansions = worker_expansions(metrics_snapshot)
+                if expansions:
+                    extra["worker_expansions"] = expansions
                 entry = ledger_sink.finish(
                     scheme=scheme,
                     procedures=procedures,
-                    metrics=session.metrics.as_dict(),
+                    metrics=metrics_snapshot,
                     budget=budget,
                     outcome=outcome,
                     error=run_error,
                     checkpoint=args.checkpoint,
                     wall_seconds=time.perf_counter() - started_wall,
                     cpu_seconds=time.process_time() - started_cpu,
+                    extra=extra,
                 )
                 print(f"ledger    : appended {entry['run_id']} to {ledger_path}")
             except (OSError, ValueError) as ledger_error:
                 print(f"rpcheck: cannot append ledger entry: {ledger_error}",
                       file=sys.stderr)
+        session.close()
         tracer.close()
     return exit_code
 

@@ -44,6 +44,7 @@ from .metrics import (
     HistogramMetric,
     Metric,
     MetricsRegistry,
+    registry_from_dict,
 )
 from .recorder import (
     FLIGHT_DIR_ENV,
@@ -111,6 +112,7 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "MetricsRegistry",
+    "registry_from_dict",
     "Metric",
     "CounterMetric",
     "GaugeMetric",

@@ -42,7 +42,7 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .report import build_tree, self_time_rollup
 from .sinks import Sink
@@ -338,6 +338,53 @@ class Ledger:
                 continue
             out.append(entry)
         return out
+
+    def compact(self, keep_per_scheme: int) -> "Tuple[int, int]":
+        """Retention: rewrite the ledger keeping the newest entries only.
+
+        Groups entries by scheme fingerprint (entries without a scheme
+        block — e.g. free-standing bench artefacts — group by their
+        ``kind`` instead, so unrelated histories never crowd each other
+        out), keeps the newest *keep_per_scheme* entries of each group in
+        their original chronological order, and atomically replaces the
+        file (write-temp + ``os.replace``) so a concurrent reader sees
+        either the old history or the new one, never a torn file.
+
+        Returns ``(kept, dropped)``.  A strict read precedes the rewrite:
+        a malformed ledger raises instead of being silently truncated.
+        """
+        if keep_per_scheme < 1:
+            raise ValueError(
+                f"keep_per_scheme must be a positive int, got {keep_per_scheme!r}"
+            )
+        with self._lock:
+            entries = self.entries()
+            if not entries:
+                return (0, 0)
+            budgets: Dict[str, int] = {}
+            kept_flags: List[bool] = [False] * len(entries)
+            # walk newest-first so "newest N per group" is a simple count
+            for position in range(len(entries) - 1, -1, -1):
+                entry = entries[position]
+                scheme_block = entry.get("scheme") or {}
+                group = scheme_block.get("fingerprint") or f"kind:{entry.get('kind')}"
+                used = budgets.get(group, 0)
+                if used < keep_per_scheme:
+                    budgets[group] = used + 1
+                    kept_flags[position] = True
+            kept = [e for e, flag in zip(entries, kept_flags) if flag]
+            dropped = len(entries) - len(kept)
+            if dropped == 0:
+                return (len(kept), 0)
+            tmp_path = f"{self.path}.compact.{os.getpid()}.tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for entry in kept:
+                    handle.write(
+                        json.dumps(entry, separators=(",", ":"), default=repr)
+                        + "\n"
+                    )
+            os.replace(tmp_path, self.path)
+            return (len(kept), dropped)
 
     def __len__(self) -> int:
         return len(self.entries())

@@ -344,3 +344,91 @@ class MetricsRegistry:
                 label = "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
                 lines.append(f"  {name}{label:<40} {child.value_text()}")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Wire round-trip: as_dict() -> registry
+# ----------------------------------------------------------------------
+
+_KIND_FACTORIES = {
+    CounterMetric.kind: "counter",
+    GaugeMetric.kind: "gauge",
+    HistogramMetric.kind: "histogram",
+}
+
+
+def _parse_label_key(text: str) -> Dict[str, str]:
+    """Invert the ``{k=v,...}`` rendering used by :meth:`Metric.as_dict`.
+
+    Label values containing ``,`` or ``=`` do not round-trip — the wire
+    format is for the registry's own label discipline (worker indices,
+    procedure names, cell names), not arbitrary strings.
+    """
+    body = text.strip()
+    if body.startswith("{") and body.endswith("}"):
+        body = body[1:-1]
+    labels: Dict[str, str] = {}
+    for part in body.split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        labels[key] = value
+    return labels
+
+
+def _apply_values(metric: Metric, values: Dict[str, Any]) -> None:
+    if isinstance(metric, CounterMetric):
+        value = values.get("value")
+        if isinstance(value, (int, float)) and value > metric.value:
+            metric.value = value
+    elif isinstance(metric, GaugeMetric):
+        for field in ("value", "max", "min"):
+            raw = values.get(field)
+            if isinstance(raw, (int, float)):
+                setattr(metric, field, raw)
+    elif isinstance(metric, HistogramMetric):
+        count = values.get("count")
+        total = values.get("sum")
+        metric.count = int(count) if isinstance(count, (int, float)) else 0
+        metric.sum = float(total) if isinstance(total, (int, float)) else 0.0
+        for field in ("min", "max"):
+            raw = values.get(field)
+            if isinstance(raw, (int, float)):
+                setattr(metric, field, raw)
+
+
+def registry_from_dict(payload: Dict[str, Any]) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from :meth:`~MetricsRegistry.as_dict`.
+
+    This is the wire half of the worker-registry contract: a subprocess
+    (one sharded exploration worker, a remote bench runner) snapshots its
+    registry with ``as_dict()``, ships the plain dict across a pipe, and
+    the coordinator rebuilds it here and folds it into the long-lived
+    registry with :meth:`~MetricsRegistry.merge` — counters add, gauges
+    widen their extremes, histograms combine, labelled children
+    reattach.  Unknown metric types are skipped rather than rejected, so
+    a newer worker can talk to an older coordinator.
+    """
+    registry = MetricsRegistry()
+    if not isinstance(payload, dict):
+        return registry
+    for name, block in payload.items():
+        if not isinstance(block, dict):
+            continue
+        kind = block.get("type")
+        factory = _KIND_FACTORIES.get(kind)
+        if factory is None:
+            continue
+        metric = getattr(registry, factory)(name, block.get("description", ""))
+        _apply_values(metric, block)
+        labels = block.get("labels")
+        if isinstance(labels, dict):
+            for label_text, values in labels.items():
+                if not isinstance(values, dict):
+                    continue
+                child = metric.labels(**_parse_label_key(label_text))
+                _apply_values(child, values)
+        dropped = block.get("labels_dropped")
+        if isinstance(dropped, int):
+            metric.labels_dropped = dropped
+    return registry

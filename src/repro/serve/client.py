@@ -119,6 +119,7 @@ class ServeClient:
         stream: bool = False,
         on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
         request_id: Optional[str] = None,
+        workers: Optional[int] = None,
         **params: Any,
     ) -> AnalysisResponse:
         """Convenience wrapper building the request from keyword arguments."""
@@ -130,6 +131,7 @@ class ServeClient:
             budget=budget,
             trace=TraceOptions(stream=stream),
             request_id=request_id,
+            workers=workers,
         )
         return self.request(request, on_event=on_event)
 
@@ -208,6 +210,13 @@ def client_main(argv: Optional[List[str]] = None) -> int:
         "--max-states", type=int, help="budget: exploration state cap"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="exploration worker processes for this query (server-side "
+        "sharded exploration; verdicts are identical to sequential)",
+    )
+    parser.add_argument(
         "--stream",
         action="store_true",
         help="print tracer events as they arrive",
@@ -255,6 +264,7 @@ def _client_run(args) -> int:
             source=source,
             fingerprint=args.fingerprint,
             budget=budget,
+            workers=args.workers,
             stream=args.stream,
             on_event=on_event if args.stream else None,
             **_parse_params(args.param),

@@ -179,6 +179,10 @@ class ServeDaemon:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._connections.clear()
+        # reap exploration worker pools held by warm sessions (no-op for
+        # the common all-sequential pool)
+        for entry in self.pool.entries():
+            entry.session.close()
         with contextlib.suppress(OSError):
             os.unlink(self.socket_path)
 
@@ -440,6 +444,13 @@ class ServeDaemon:
             self.pool.checkout(entry)
             try:
                 with entry.lock:
+                    # per-query worker knob on the pooled session: an
+                    # explicit request.workers switches the sharded
+                    # explorer on (execute honors it); an absent field
+                    # resets to the sequential path so one caller's
+                    # worker count never leaks into the next query
+                    if request.workers is None:
+                        entry.session.workers = 1
                     return execute(
                         request,
                         scheme=entry.scheme,

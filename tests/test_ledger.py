@@ -40,7 +40,7 @@ from repro.obs import (
 from repro.obs.ledger import LEDGER_SCHEMA, default_ledger_path
 from repro.obs.recorder import FLIGHT_DIR_ENV, FLIGHT_SCHEMA
 from repro.robust import ChaosSemantics, FaultPlan
-from repro.zoo import FIG1_PROGRAM, spawner_loop
+from repro.zoo import FIG1_PROGRAM, mutex_pair, spawner_loop
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -497,6 +497,55 @@ class TestCli:
         assert main(["flamegraph", str(tmp_path / "missing.jsonl")]) == 2
 
 
+class TestLedgerCompaction:
+    """``rpcheck history --compact N`` retention (:meth:`Ledger.compact`)."""
+
+    def test_compact_keeps_newest_n_per_scheme(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+        a, b = spawner_loop(), mutex_pair()
+        ids = {"a": [], "b": []}
+        for _ in range(5):
+            ids["a"].append(ledger.append(_entry(a))["run_id"])
+            ids["b"].append(ledger.append(_entry(b))["run_id"])
+        kept, dropped = ledger.compact(2)
+        assert (kept, dropped) == (4, 6)
+        assert [e["run_id"] for e in ledger.entries()] == [
+            ids["a"][-2], ids["b"][-2], ids["a"][-1], ids["b"][-1]
+        ]  # newest two per scheme, chronological order preserved
+
+    def test_compact_groups_schemeless_entries_by_kind(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+        for _ in range(3):
+            ledger.append(make_entry(kind="bench"))
+        ledger.append(_entry(spawner_loop()))
+        kept, dropped = ledger.compact(1)
+        assert (kept, dropped) == (2, 2)
+        assert [entry["kind"] for entry in ledger.entries()] == [
+            "bench",
+            "analysis",
+        ]
+
+    def test_compact_noop_and_validation(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+        assert ledger.compact(3) == (0, 0)
+        ledger.append(_entry(spawner_loop()))
+        assert ledger.compact(5) == (1, 0)  # nothing dropped, file untouched
+        assert len(ledger.entries()) == 1
+        with pytest.raises(ValueError):
+            ledger.compact(0)
+
+    def test_history_compact_cli(self, tmp_path, capsys):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = Ledger(path)
+        for _ in range(4):
+            ledger.append(_entry(spawner_loop()))
+        assert main(["history", "--ledger", path, "--compact", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "kept 2" in out and "dropped 2" in out
+        assert len(ledger.entries()) == 2
+        assert main(["history", "--ledger", path, "--compact", "0"]) == 2
+
+
 def _load_watchdog():
     path = REPO_ROOT / "benchmarks" / "watch_regressions.py"
     spec = importlib.util.spec_from_file_location("watch_regressions", path)
@@ -594,3 +643,36 @@ class TestWatchRegressions:
             json.dumps(_bench_payload({"fast": 0.020}, within_budget=False))
         )
         assert watchdog.main([str(base)]) == 1
+
+    def test_fresh_artefact_without_baseline_is_a_notice(self, tmp_path, capsys):
+        # a brand-new benchmark landing for the first time: its fresh
+        # artefact has no committed counterpart, which must be a PASS
+        # with notice (audited, not compared), never a failure
+        watchdog = _load_watchdog()
+        base = tmp_path / "BENCH_old.json"
+        base.write_text(json.dumps(_bench_payload({"fast": 0.020})))
+        fresh_dir = tmp_path / "fresh"
+        fresh_dir.mkdir()
+        (fresh_dir / base.name).write_text(base.read_text())
+        (fresh_dir / "BENCH_brand_new.json").write_text(
+            json.dumps(_bench_payload({"cell": 0.010}))
+        )
+        assert watchdog.main([str(base), "--fresh", str(fresh_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_brand_new.json: new baseline" in out
+        assert "PASS with notice" in out
+
+    def test_fresh_new_baseline_is_still_audited(self, tmp_path, capsys):
+        # new-baseline leniency is not an audit bypass: a first-time
+        # artefact that fails its own acceptance stays a regression
+        watchdog = _load_watchdog()
+        base = tmp_path / "BENCH_old.json"
+        base.write_text(json.dumps(_bench_payload({"fast": 0.020})))
+        fresh_dir = tmp_path / "fresh"
+        fresh_dir.mkdir()
+        (fresh_dir / base.name).write_text(base.read_text())
+        (fresh_dir / "BENCH_brand_new.json").write_text(
+            json.dumps(_bench_payload({"cell": 0.010}, within_budget=False))
+        )
+        assert watchdog.main([str(base), "--fresh", str(fresh_dir)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
