@@ -39,7 +39,14 @@ import platform
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.obs import Ledger, MemorySink, MetricsRegistry, Tracer, make_entry
+from repro.obs import (
+    Ledger,
+    MemorySink,
+    MetricsRegistry,
+    SamplingProfiler,
+    Tracer,
+    make_entry,
+)
 from repro.obs.ledger import default_ledger_path
 
 #: The BENCH artefact schema version (bump on breaking shape changes).
@@ -62,15 +69,29 @@ class BenchHarness:
         (cache priming; 0 for cold-cost benchmarks).
     repeats:
         Timed runs per cell; the reported figure is the minimum.
+    profile:
+        Opt-in sampling rate in Hz.  When set, a
+        :class:`~repro.obs.SamplingProfiler` runs across every timed
+        call and its collapsed stacks land in the artefact
+        (``results`` consumers find them via :meth:`profile_stacks`).
+        Default off — sampling is cheap but not free.
     """
 
-    def __init__(self, name: str, *, warmup: int = 0, repeats: int = 3) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        warmup: int = 0,
+        repeats: int = 3,
+        profile: Optional[int] = None,
+    ) -> None:
         self.name = name
         self.warmup = warmup
         self.repeats = repeats
         self.metrics = MetricsRegistry()
         self.sink = MemorySink()
         self.tracer = Tracer(self.sink)
+        self.profiler = SamplingProfiler(hz=profile) if profile else None
         self._seconds = self.metrics.histogram(
             "bench.seconds", "best-of-N seconds per measured cell"
         )
@@ -101,15 +122,27 @@ class BenchHarness:
         best: Optional[float] = None
         result: Any = None
         for repeat in range(max(1, repeats)):
-            with self.tracer.span(f"bench.{cell}", repeat=repeat):
-                start = time.perf_counter()
-                result = fn()
-                elapsed = time.perf_counter() - start
+            if self.profiler is not None:
+                self.profiler.start()
+            try:
+                with self.tracer.span(f"bench.{cell}", repeat=repeat):
+                    start = time.perf_counter()
+                    result = fn()
+                    elapsed = time.perf_counter() - start
+            finally:
+                if self.profiler is not None:
+                    self.profiler.stop()
             self._runs.inc()
             if best is None or elapsed < best:
                 best = elapsed
         self._seconds.labels(cell=cell).observe(best)
         return best, result
+
+    def profile_stacks(self) -> list:
+        """Collapsed stacks accumulated by the opt-in profiler (or [])."""
+        if self.profiler is None:
+            return []
+        return self.profiler.collapsed()
 
     def payload(
         self,

@@ -16,26 +16,35 @@ benchmark quantifies what that costs, per arm:
   :class:`~repro.obs.recorder.FlightRecorder` ring buffer.  This is what
   every user who does not pass a tracer runs, so the flight recorder's
   "always on at near-zero cost" claim is measured here;
-* **traced** — full JSONL tracing to a scratch file, for context.
+* **traced** — full JSONL tracing to a scratch file, for context;
+* **profiler** — the recorder default plus an active
+  :class:`~repro.obs.SamplingProfiler` at its default rate: what
+  ``rpcheck flamegraph --sample`` and the harness ``profile=`` knob add
+  on top of a normal run.
 
 Workload: one cold ``boundedness`` query per scheme of
 :data:`repro.zoo.ZOO_WQO_BENCH` (the embedding/exploration-heavy matrix),
 best-of-N with fresh scheme and session per repeat.  Arms are
 interleaved round-robin so machine drift hits all of them equally, and
-the overhead percentages are computed from **CPU time**
-(``time.process_time``) rather than wall clock: instrumentation cost is
-CPU work, and on a shared single-core box scheduler preemption inflates
-wall time by far more than the effect being measured.  Wall-clock cells
-still land in the artefact for the regression watchdog.
+the overhead percentages are computed from **CPU time** rather than
+wall clock: instrumentation cost is CPU work, and on a shared
+single-core box scheduler preemption inflates wall time by far more
+than the effect being measured.  The clock is ``time.thread_time``
+(the workload is single-threaded), not ``time.process_time``: an armed
+``ITIMER_PROF`` makes ``CLOCK_PROCESS_CPUTIME_ID`` advance in coarse
+chunks on some kernels, which would zero out the profiler arm's
+sub-millisecond readings, while the per-thread clock stays precise.
+Wall-clock cells still land in the artefact for the regression
+watchdog.
 
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke]
 
 Writes ``BENCH_obs_overhead.json`` (``repro-bench/1`` schema).  The
-acceptance bar: **disabled-vs-baseline AND recorder-vs-baseline
-aggregate overhead < 5%**; the artefact records both percentages under
-``results.aggregate``.
+acceptance bar: **disabled-vs-baseline, recorder-vs-baseline AND
+profiler-vs-baseline aggregate overhead < 5%**; the artefact records
+the percentages under ``results.aggregate``.
 """
 
 from __future__ import annotations
@@ -50,14 +59,14 @@ from _harness import BenchHarness
 from repro.analysis import boundedness
 from repro.analysis.session import AnalysisSession
 from repro.errors import AnalysisBudgetExceeded
-from repro.obs import JsonlSink, NOOP_SPAN, Tracer
+from repro.obs import JsonlSink, NOOP_SPAN, SamplingProfiler, Tracer
 from repro.obs.metrics import GaugeMetric
 from repro.zoo import ZOO_WQO_BENCH
 
 MAX_STATES = 2_000
 REPEATS = 7
 
-ARMS = ("baseline", "disabled", "recorder", "traced")
+ARMS = ("baseline", "disabled", "recorder", "traced", "profiler")
 
 
 @contextlib.contextmanager
@@ -114,14 +123,21 @@ def run(smoke: bool = False) -> tuple:
             elif arm == "recorder":
                 # tracer=None is the shipped default: the ambient recorder
                 run = lambda: _run_boundedness(factory(), None)
+            elif arm == "profiler":
+                # recorder default + active sampling profiler; start/stop
+                # lands inside the timed region because a profiled run
+                # pays for it too
+                def run():
+                    with SamplingProfiler():
+                        return _run_boundedness(factory(), None)
             else:
                 run = lambda: _run_boundedness(factory(), trace_tracer)
             cpu_box = {}
 
             def timed():
-                t0 = time.process_time()
+                t0 = time.thread_time()
                 out = run()
-                cpu_box["cpu"] = time.process_time() - t0
+                cpu_box["cpu"] = time.thread_time() - t0
                 return out
 
             ctx = _obs_stubbed() if arm == "baseline" else contextlib.nullcontext()
@@ -176,9 +192,11 @@ def run(smoke: bool = False) -> tuple:
         "acceptance": {
             "disabled_overhead_budget_pct": 5.0,
             "recorder_overhead_budget_pct": 5.0,
+            "profiler_overhead_budget_pct": 5.0,
             "within_budget": (
                 aggregate["disabled_overhead_pct"] < 5.0
                 and aggregate["recorder_overhead_pct"] < 5.0
+                and aggregate["profiler_overhead_pct"] < 5.0
             ),
         },
     }
@@ -206,6 +224,10 @@ def main(argv=None) -> None:
     print(
         f"traced overhead  : {agg['traced_overhead_pct']:+.2f}% "
         f"(traced {agg['traced_cpu_seconds']:.3f}s cpu)"
+    )
+    print(
+        f"profiler overhead: {agg['profiler_overhead_pct']:+.2f}% "
+        f"(profiler {agg['profiler_cpu_seconds']:.3f}s cpu)"
     )
     if smoke:
         print("smoke run: JSON not written")

@@ -333,22 +333,33 @@ class AnalysisSession:
         original error.  Routine :class:`AnalysisBudgetExceeded` state
         overruns stay quiet; they are an answer, not an incident.
         """
-        with self.stats.timed(name):
-            with self.tracer.span(name, **attrs) as span:
-                try:
-                    yield span
-                except (BudgetExhausted, CorruptionDetected) as error:
-                    record_incident(
-                        self, error, reason=f"{type(error).__name__} in {name}"
-                    )
-                    raise
-                except RPError:
-                    raise
-                except Exception as error:
-                    record_incident(
-                        self, error, reason=f"uncaught {type(error).__name__} in {name}"
-                    )
-                    raise
+        start = time.perf_counter()
+        try:
+            with self.stats.timed(name):
+                with self.tracer.span(name, **attrs) as span:
+                    try:
+                        yield span
+                    except (BudgetExhausted, CorruptionDetected) as error:
+                        record_incident(
+                            self, error, reason=f"{type(error).__name__} in {name}"
+                        )
+                        raise
+                    except RPError:
+                        raise
+                    except Exception as error:
+                        record_incident(
+                            self,
+                            error,
+                            reason=f"uncaught {type(error).__name__} in {name}",
+                        )
+                        raise
+        finally:
+            # live per-observation feed: the query-latency histogram gets
+            # real samples (bucketed p50/p95/p99), not just a count/sum
+            # snapshot synced after the fact
+            self.metrics.histogram(
+                "session.query_seconds", "per-procedure wall time"
+            ).labels(procedure=name).observe(time.perf_counter() - start)
 
     def _sync_stats(self) -> None:
         stats = self.stats
@@ -439,8 +450,15 @@ class AnalysisSession:
             queries.labels(procedure=name).set_total(count)
         for name, seconds in stats.query_seconds.items():
             child = query_time.labels(procedure=name)
-            child.count = stats.queries.get(name, 1)
-            child.sum = seconds
+            behind = stats.queries.get(name, 1) - child.count
+            if behind > 0:
+                # queries recorded outside phase() (sub-engines timing
+                # straight into stats, restored checkpoints): fold the
+                # missing mass in as average-valued observations so the
+                # histogram's count/sum stay consistent with the stats
+                average = max(0.0, (seconds - child.sum) / behind)
+                for _ in range(behind):
+                    child.observe(average)
         calls = metrics.counter("embedding.calls", "embedding queries answered")
         sig = metrics.counter(
             "embedding.signature_refutations",

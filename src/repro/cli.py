@@ -27,6 +27,8 @@ Usage::
     rpcheck history --compact 50             # keep newest 50 runs per scheme
     rpcheck diff RUN_A RUN_B --ledger runs.jsonl  # compare two runs
     rpcheck flamegraph t.jsonl          # collapsed stacks for flamegraph.pl
+    rpcheck flamegraph P.rp --sample 97 # sampling-profiler flamegraph
+    rpcheck dashboard -o out.html       # self-contained ledger dashboard
 
 Budgeted runs degrade gracefully: when the deadline or memory ceiling is
 hit, finished analyses keep their verdicts, unfinished ones report
@@ -73,6 +75,7 @@ from .obs import (
     scheme_fingerprint,
 )
 from .obs.diff import DEFAULT_SPAN_FLOOR_SECONDS, DEFAULT_SPAN_THRESHOLD_PCT
+from .obs.export import OTLP_ENV, OtlpJsonSink
 from .obs.ledger import DEFAULT_LEDGER_NAME
 from .obs.report import build_tree, collapse_stacks
 
@@ -82,7 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="rpcheck",
         description="analyse recursive-parallel (RP) programs",
         epilog="subcommands: rpcheck serve | client | report | history | "
-        "diff | flamegraph (each accepts --help)",
+        "diff | flamegraph | dashboard (each accepts --help)",
     )
     parser.add_argument("program", help="path to an RP source file ('-' for stdin)")
     parser.add_argument("--dot", metavar="FILE", help="write the scheme as DOT")
@@ -135,6 +138,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record a span/event trace of the analyses as JSONL "
         "(inspect with 'rpcheck report FILE')",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "otlp"),
+        default="jsonl",
+        help="format of the --trace file: native JSONL records (jsonl, "
+        "default) or OTLP/JSON export requests (otlp) for standard "
+        "collectors",
     )
     parser.add_argument(
         "--metrics",
@@ -373,24 +384,71 @@ def _diff_main(argv: List[str]) -> int:
 def _build_flamegraph_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rpcheck flamegraph",
-        description="export a JSONL trace as collapsed stacks "
-        "(flamegraph.pl / speedscope input; values = self time in µs)",
+        description="export collapsed stacks (flamegraph.pl / speedscope "
+        "input; values in µs) — from a recorded JSONL trace, or, with "
+        "--sample, by profiling a fresh analysis of an RP program",
     )
-    parser.add_argument("trace", help="path to a trace written by --trace")
+    parser.add_argument(
+        "trace",
+        help="path to a trace written by --trace (or, with --sample, "
+        "an RP program to analyse under the sampling profiler)",
+    )
     parser.add_argument(
         "--out", metavar="FILE", help="write to FILE instead of stdout"
     )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        metavar="HZ",
+        help="sample Python stacks at HZ while running the full analysis "
+        "battery on the program (SIGPROF timer, thread fallback) instead "
+        "of collapsing recorded spans",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="state budget for the profiled analyses (with --sample)",
+    )
     return parser
+
+
+def _sampled_stacks(args) -> List[str]:
+    """Run the analysis battery under the sampling profiler."""
+    from .obs.profiler import SamplingProfiler
+
+    compiled = compile_source(_read_source(args.trace))
+    scheme = compiled.scheme
+    profiler = SamplingProfiler(hz=args.sample)
+    with profiler:
+        session = AnalysisSession(scheme)
+        request = AnalysisRequest(
+            procedure="analyze",
+            fingerprint=scheme_fingerprint(scheme),
+            params={"max_states": args.max_states},
+        )
+        execute(request, scheme=scheme, session=session)
+        session.close()
+    stats = profiler.stats()
+    print(
+        f"flamegraph: sampled {stats['samples']} stacks at {args.sample}Hz "
+        f"({stats['mode']} mode) over {stats['elapsed_seconds']:.2f}s",
+        file=sys.stderr,
+    )
+    return profiler.collapsed()
 
 
 def _flamegraph_main(argv: List[str]) -> int:
     args = _build_flamegraph_parser().parse_args(argv)
     try:
-        records = load_records(args.trace)
-    except (OSError, ValueError) as error:
+        if args.sample:
+            lines = _sampled_stacks(args)
+        else:
+            lines = collapse_stacks(build_tree(load_records(args.trace)))
+    except (OSError, ValueError, RPError) as error:
         print(f"rpcheck flamegraph: {error}", file=sys.stderr)
         return 2
-    lines = collapse_stacks(build_tree(records))
     text = "\n".join(lines) + ("\n" if lines else "")
     if args.out:
         try:
@@ -402,6 +460,63 @@ def _flamegraph_main(argv: List[str]) -> int:
         print(f"flamegraph: {len(lines)} stacks written to {args.out}")
     else:
         sys.stdout.write(text)
+    return 0
+
+
+def _build_dashboard_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rpcheck dashboard",
+        description="render the run ledger as one self-contained HTML file "
+        "(inline SVG/CSS, no scripts, no network fetches)",
+    )
+    _ledger_argument(parser)
+    parser.add_argument(
+        "-o",
+        "--out",
+        default="rpcheck-dashboard.html",
+        metavar="FILE",
+        help="output HTML path (default rpcheck-dashboard.html)",
+    )
+    parser.add_argument(
+        "--scheme", metavar="NAME", help="only runs of this scheme"
+    )
+    parser.add_argument("--kind", metavar="KIND", help="only runs of this kind")
+    parser.add_argument(
+        "--tail",
+        type=int,
+        default=200,
+        metavar="N",
+        help="render the last N matching runs (default 200; 0 = all)",
+    )
+    parser.add_argument(
+        "--title", default="rpcheck run ledger", help="page title"
+    )
+    return parser
+
+
+def _dashboard_main(argv: List[str]) -> int:
+    from .obs.dashboard import render_dashboard
+
+    args = _build_dashboard_parser().parse_args(argv)
+    ledger = _open_ledger(args.ledger)
+    try:
+        entries = ledger.filter(kind=args.kind, scheme=args.scheme)
+    except (OSError, ValueError) as error:
+        print(f"rpcheck dashboard: {error}", file=sys.stderr)
+        return 2
+    if args.tail > 0:
+        entries = entries[-args.tail:]
+    page = render_dashboard(entries, title=args.title, source=ledger.path)
+    try:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(page)
+    except OSError as error:
+        print(f"rpcheck dashboard: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"dashboard: {len(entries)} runs from {ledger.path} "
+        f"rendered to {args.out}"
+    )
     return 0
 
 
@@ -422,6 +537,7 @@ _SUBCOMMANDS = {
     "history": _history_main,
     "diff": _diff_main,
     "flamegraph": _flamegraph_main,
+    "dashboard": _dashboard_main,
     "serve": _serve_main,
     "client": _client_main,
 }
@@ -480,9 +596,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     # and a --ledger aggregation sink join it on one tee
     recorder = FlightRecorder()
     sinks = [recorder]
+    otlp_sink = None
     try:
         if args.trace:
-            sinks.append(JsonlSink(args.trace))
+            if args.trace_format == "otlp":
+                otlp_sink = OtlpJsonSink(args.trace)
+                sinks.append(otlp_sink)
+            else:
+                sinks.append(JsonlSink(args.trace))
+        # RPCHECK_OTLP ships telemetry to a collector (file path or
+        # http(s) endpoint) without touching the command line
+        otlp_target = os.environ.get(OTLP_ENV)
+        if otlp_target and otlp_sink is None:
+            otlp_sink = OtlpJsonSink(otlp_target)
+            sinks.append(otlp_sink)
     except OSError as error:
         print(f"rpcheck: {error}", file=sys.stderr)
         return 2
@@ -580,6 +707,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             except (OSError, ValueError) as ledger_error:
                 print(f"rpcheck: cannot append ledger entry: {ledger_error}",
                       file=sys.stderr)
+        if otlp_sink is not None:
+            # one cumulative metrics snapshot rides along with the spans
+            otlp_sink.export_metrics(session.metrics)
         session.close()
         tracer.close()
     return exit_code

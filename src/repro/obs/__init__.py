@@ -25,7 +25,22 @@ trajectory (comparable metrics across PRs):
 See ``docs/observability.md`` for the walkthrough.
 """
 
-from .diff import RunDiff, diff_entries, flatten_metrics, render_diff, resolve_entry
+from .diff import (
+    DIFF_SCHEMA,
+    RunDiff,
+    diff_entries,
+    flatten_metrics,
+    render_diff,
+    resolve_entry,
+)
+from .export import (
+    OTLP_ENV,
+    OtlpJsonSink,
+    otlp_metrics_request,
+    otlp_span,
+    otlp_spans_request,
+    prometheus_exposition,
+)
 from .ledger import (
     LEDGER_ENV,
     LEDGER_SCHEMA,
@@ -37,6 +52,8 @@ from .ledger import (
     scheme_fingerprint,
     verdict_summary,
 )
+from .dashboard import render_dashboard
+from .profiler import DEFAULT_HZ, SamplingProfiler
 from .metrics import (
     DEFAULT_LABEL_CARDINALITY,
     CounterMetric,
@@ -63,6 +80,7 @@ from .report import (
     build_tree,
     collapse_stacks,
     hot_spans,
+    latency_percentiles,
     load_records,
     render_report,
     render_tree,
@@ -74,6 +92,16 @@ from .sinks import JsonlSink, MemorySink, NullSink, Sink, TeeSink
 from .tracer import NOOP_SPAN, Span, Tracer, current_span
 
 __all__ = [
+    "DIFF_SCHEMA",
+    "OTLP_ENV",
+    "OtlpJsonSink",
+    "otlp_metrics_request",
+    "otlp_span",
+    "otlp_spans_request",
+    "prometheus_exposition",
+    "SamplingProfiler",
+    "DEFAULT_HZ",
+    "render_dashboard",
     "RunDiff",
     "diff_entries",
     "flatten_metrics",
@@ -100,6 +128,7 @@ __all__ = [
     "sink_scope",
     "TeeSink",
     "collapse_stacks",
+    "latency_percentiles",
     "report_as_dict",
     "self_time_rollup",
     "tree_as_dict",

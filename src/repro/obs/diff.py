@@ -49,6 +49,9 @@ DEFAULT_SPAN_FLOOR_SECONDS = 0.0005
 #: Metric deltas below this percentage are dropped from the report.
 DEFAULT_METRIC_THRESHOLD_PCT = 10.0
 
+#: Schema tag stamped on ``RunDiff.as_dict()`` documents.
+DIFF_SCHEMA = "rpcheck-diff/1"
+
 
 def resolve_entry(entries: List[Dict[str, Any]], ref: str) -> Dict[str, Any]:
     """The entry *ref* names: run_id, unique prefix, or integer index."""
@@ -148,7 +151,10 @@ class RunDiff:
         return not self.verdict_drift
 
     def as_dict(self) -> Dict[str, Any]:
+        """The stable ``rpcheck-diff/1`` document (``rpcheck diff --json``)."""
         return {
+            "schema": DIFF_SCHEMA,
+            "clean": self.clean,
             "run_a": self.run_a,
             "run_b": self.run_b,
             "same_scheme": self.same_scheme,

@@ -1,0 +1,504 @@
+"""Telemetry export: OTLP/JSON spans & metrics, Prometheus exposition.
+
+Two standard wire formats, both dependency-free:
+
+* :class:`OtlpJsonSink` — a :class:`~repro.obs.sinks.Sink` that maps
+  tracer span/event records onto the OTLP/JSON ``resourceSpans`` shape
+  (and :class:`~repro.obs.metrics.MetricsRegistry` snapshots onto
+  ``resourceMetrics``), writing one export request per line to a file or
+  POSTing batches to an OTLP/HTTP endpoint.  Batching is bounded: a full
+  queue or a failing endpoint *drops and counts* rather than blocking
+  the traced hot path or growing without limit.
+* :func:`prometheus_exposition` — renders a registry as Prometheus text
+  exposition format 0.0.4 (the ``GET /v1/metrics`` scrape surface of the
+  serve daemon).
+
+Tracer spans carry ``time.perf_counter()`` starts, not epoch seconds;
+the sink anchors them to the epoch once at construction
+(``time.time() - time.perf_counter()``), which keeps every span from one
+process on one consistent clock.
+
+Selection: ``rpcheck --trace out.jsonl --trace-format otlp`` or the
+``RPCHECK_OTLP`` environment variable (a file path, or an ``http(s)://``
+endpoint URL).  Default-off; nothing here runs unless asked for.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+import uuid
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .metrics import (
+    HISTOGRAM_BUCKET_BOUNDS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from .sinks import Sink
+
+#: Environment variable selecting an OTLP target for CLI runs.
+OTLP_ENV = "RPCHECK_OTLP"
+
+#: Scope name stamped on every exported batch.
+INSTRUMENTATION_SCOPE = "repro.obs"
+
+#: Default bound on buffered span queue length before drops begin.
+DEFAULT_QUEUE_SIZE = 2048
+
+#: Spans per export request when flushing.
+DEFAULT_BATCH_SIZE = 256
+
+#: Seconds allowed per HTTP POST before the batch is counted dropped.
+DEFAULT_HTTP_TIMEOUT = 5.0
+
+
+def _attr_value(value: Any) -> Dict[str, Any]:
+    """One attribute value in OTLP/JSON ``AnyValue`` form."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        # proto3 JSON maps int64 onto decimal strings
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _attributes(attrs: Optional[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    if not attrs:
+        return []
+    return [{"key": str(k), "value": _attr_value(v)} for k, v in attrs.items()]
+
+
+def _span_id(raw: Any) -> str:
+    """A 16-hex-digit OTLP span id from a tracer's integer span id."""
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        value = 0
+    return format(value & 0xFFFFFFFFFFFFFFFF, "016x")
+
+
+def _nanos(seconds: float) -> str:
+    return str(int(seconds * 1e9))
+
+
+def otlp_span(
+    record: Dict[str, Any],
+    *,
+    trace_id: str,
+    epoch_anchor: float,
+    events: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Map one tracer span record onto an OTLP/JSON ``Span``.
+
+    *epoch_anchor* is ``time.time() - time.perf_counter()`` sampled in
+    the emitting process; tracer ``start`` values are perf-counter
+    seconds and become epoch nanoseconds through it.
+    """
+    start = float(record.get("start", 0.0)) + epoch_anchor
+    wall = float(record.get("wall", 0.0))
+    attrs = dict(record.get("attrs") or {})
+    cpu = record.get("cpu")
+    if cpu is not None:
+        attrs["repro.cpu_seconds"] = cpu
+    span: Dict[str, Any] = {
+        "traceId": trace_id,
+        "spanId": _span_id(record.get("id")),
+        "name": str(record.get("name", "")),
+        "kind": 1,  # SPAN_KIND_INTERNAL
+        "startTimeUnixNano": _nanos(start),
+        "endTimeUnixNano": _nanos(start + wall),
+        "attributes": _attributes(attrs),
+    }
+    parent = record.get("parent")
+    if parent is not None:
+        span["parentSpanId"] = _span_id(parent)
+    if events:
+        span["events"] = [
+            {
+                "name": str(event.get("name", "")),
+                "timeUnixNano": _nanos(float(event.get("time", 0.0)) + epoch_anchor),
+                "attributes": _attributes(event.get("attrs")),
+            }
+            for event in events
+        ]
+    return span
+
+
+def otlp_spans_request(
+    spans: List[Dict[str, Any]], *, service_name: str = "rpcheck"
+) -> Dict[str, Any]:
+    """Wrap mapped spans in an OTLP/JSON ``ExportTraceServiceRequest``."""
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": _attributes({"service.name": service_name})
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": INSTRUMENTATION_SCOPE},
+                        "spans": spans,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def _metric_data_points(
+    metric: Union[CounterMetric, GaugeMetric, HistogramMetric],
+    now_nanos: str,
+) -> Tuple[str, List[Dict[str, Any]]]:
+    """(otlp field name, data points) for one metric and its children."""
+    points: List[Dict[str, Any]] = []
+    members: List[Tuple[Dict[str, str], Any]] = [({}, metric)]
+    members.extend((dict(key), child) for key, child in metric.children())
+    if isinstance(metric, CounterMetric):
+        for labels, member in members:
+            points.append(
+                {
+                    "attributes": _attributes(labels),
+                    "timeUnixNano": now_nanos,
+                    "asDouble": float(member.value),
+                }
+            )
+        return "sum", points
+    if isinstance(metric, GaugeMetric):
+        for labels, member in members:
+            if member.value is None:
+                continue
+            points.append(
+                {
+                    "attributes": _attributes(labels),
+                    "timeUnixNano": now_nanos,
+                    "asDouble": float(member.value),
+                }
+            )
+        return "gauge", points
+    for labels, member in members:
+        if not member.count:
+            continue
+        point: Dict[str, Any] = {
+            "attributes": _attributes(labels),
+            "timeUnixNano": now_nanos,
+            "count": str(member.count),
+            "sum": float(member.sum),
+            "bucketCounts": [str(c) for c in member.buckets],
+            "explicitBounds": list(HISTOGRAM_BUCKET_BOUNDS),
+        }
+        if member.min is not None:
+            point["min"] = float(member.min)
+        if member.max is not None:
+            point["max"] = float(member.max)
+        points.append(point)
+    return "histogram", points
+
+
+def otlp_metrics_request(
+    registry: MetricsRegistry, *, service_name: str = "rpcheck"
+) -> Dict[str, Any]:
+    """Map a registry snapshot onto ``ExportMetricsServiceRequest``."""
+    now_nanos = _nanos(time.time())
+    metrics: List[Dict[str, Any]] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        if metric is None:
+            continue
+        field, points = _metric_data_points(metric, now_nanos)  # type: ignore[arg-type]
+        if not points:
+            continue
+        body: Dict[str, Any] = {"dataPoints": points}
+        if field == "sum":
+            body["aggregationTemporality"] = 2  # CUMULATIVE
+            body["isMonotonic"] = True
+        elif field == "histogram":
+            body["aggregationTemporality"] = 2
+        entry: Dict[str, Any] = {"name": name, field: body}
+        if metric.description:
+            entry["description"] = metric.description
+        metrics.append(entry)
+    return {
+        "resourceMetrics": [
+            {
+                "resource": {
+                    "attributes": _attributes({"service.name": service_name})
+                },
+                "scopeMetrics": [
+                    {
+                        "scope": {"name": INSTRUMENTATION_SCOPE},
+                        "metrics": metrics,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+class OtlpJsonSink(Sink):
+    """A tracer sink exporting OTLP/JSON to a file or HTTP endpoint.
+
+    ``target`` is a filesystem path (one JSON export request per line,
+    append-friendly for offline shipment) or an ``http(s)://`` URL
+    (each batch POSTed with ``Content-Type: application/json``, the
+    OTLP/HTTP transport).
+
+    Events arrive from the tracer *before* their owning span closes, so
+    they are staged by span id and attached when the span record lands;
+    events whose span never closes (crash, still-open at ``close()``)
+    are dropped and counted in ``dropped_events``.  The span queue is
+    bounded: once ``queue_size`` spans are waiting and a flush cannot
+    drain them (endpoint down), new spans are dropped and counted in
+    ``dropped_spans`` — the traced process never blocks on its exporter.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        *,
+        service_name: str = "rpcheck",
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        http_timeout: float = DEFAULT_HTTP_TIMEOUT,
+    ) -> None:
+        self.target = target
+        self.service_name = service_name
+        self.queue_size = queue_size
+        self.batch_size = max(1, batch_size)
+        self.http_timeout = http_timeout
+        self.trace_id = uuid.uuid4().hex
+        self.epoch_anchor = time.time() - time.perf_counter()
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        self.export_failures = 0
+        self.exported_spans = 0
+        self._queue: List[Dict[str, Any]] = []
+        self._pending_events: Dict[Any, List[Dict[str, Any]]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._is_http = target.startswith(("http://", "https://"))
+        if not self._is_http:
+            # open eagerly so a bad path fails at construction, not mid-run
+            self._handle = open(target, "w", encoding="utf-8")
+        else:
+            self._handle = None
+
+    # -- Sink interface --------------------------------------------------
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            return
+        kind = record.get("type")
+        if kind == "event":
+            with self._lock:
+                staged = self._pending_events.setdefault(record.get("span"), [])
+                if len(staged) < self.queue_size:
+                    staged.append(record)
+                else:
+                    self.dropped_events += 1
+            return
+        if kind != "span":
+            return
+        with self._lock:
+            events = self._pending_events.pop(record.get("id"), None)
+            span = otlp_span(
+                record,
+                trace_id=self.trace_id,
+                epoch_anchor=self.epoch_anchor,
+                events=events,
+            )
+            if len(self._queue) >= self.queue_size:
+                self.dropped_spans += 1
+                return
+            self._queue.append(span)
+            should_flush = len(self._queue) >= self.batch_size
+        if should_flush:
+            self.flush()
+
+    def flush(self) -> None:
+        """Export every queued span now (one request per batch)."""
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return
+                batch = self._queue[: self.batch_size]
+                del self._queue[: len(batch)]
+            request = otlp_spans_request(batch, service_name=self.service_name)
+            if self._write_request(request):
+                self.exported_spans += len(batch)
+            else:
+                self.dropped_spans += len(batch)
+
+    def export_metrics(self, registry: MetricsRegistry) -> bool:
+        """Export one registry snapshot as a metrics request."""
+        if self._closed:
+            return False
+        request = otlp_metrics_request(registry, service_name=self.service_name)
+        return self._write_request(request)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        with self._lock:
+            # events whose spans never closed have nowhere to attach
+            self.dropped_events += sum(
+                len(staged) for staged in self._pending_events.values()
+            )
+            self._pending_events.clear()
+            self._closed = True
+            if self._handle is not None:
+                self._handle.flush()
+                self._handle.close()
+                self._handle = None
+
+    # -- transport -------------------------------------------------------
+
+    def _write_request(self, request: Dict[str, Any]) -> bool:
+        payload = json.dumps(request, separators=(",", ":"), default=repr)
+        if self._is_http:
+            http_request = urllib.request.Request(
+                self.target,
+                data=payload.encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                with urllib.request.urlopen(
+                    http_request, timeout=self.http_timeout
+                ) as response:
+                    response.read()
+                return True
+            except (urllib.error.URLError, OSError, ValueError):
+                self.export_failures += 1
+                return False
+        with self._lock:
+            if self._handle is None:
+                return False
+            self._handle.write(payload + "\n")
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """Exporter health counters (for ``--stats`` and tests)."""
+        with self._lock:
+            return {
+                "exported_spans": self.exported_spans,
+                "dropped_spans": self.dropped_spans,
+                "dropped_events": self.dropped_events,
+                "export_failures": self.export_failures,
+                "queued": len(self._queue),
+            }
+
+    def __repr__(self) -> str:
+        return f"OtlpJsonSink({self.target!r})"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name for Prometheus ([a-zA-Z_:][a-zA-Z0-9_:]*)."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_prom_name(k)}="{_prom_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_number(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    return repr(number) if not number.is_integer() else str(int(number))
+
+
+def prometheus_exposition(registry: MetricsRegistry) -> str:
+    """Render a registry in Prometheus text exposition format 0.0.4.
+
+    Counters gain the conventional ``_total`` suffix; gauges export
+    their last sample; histograms export cumulative ``_bucket{le=...}``
+    series over :data:`HISTOGRAM_BUCKET_BOUNDS` plus ``_sum`` and
+    ``_count``.  Labelled children become label sets on the same family.
+    """
+    lines: List[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        if metric is None:
+            continue
+        base = _prom_name(name)
+        members: List[Tuple[Dict[str, str], Any]] = [({}, metric)]
+        members.extend((dict(key), child) for key, child in metric.children())
+        if isinstance(metric, CounterMetric):
+            family = base if base.endswith("_total") else base + "_total"
+            if metric.description:
+                lines.append(f"# HELP {family} {metric.description}")
+            lines.append(f"# TYPE {family} counter")
+            for labels, member in members:
+                lines.append(
+                    f"{family}{_prom_labels(labels)} {_prom_number(member.value)}"
+                )
+        elif isinstance(metric, GaugeMetric):
+            if metric.description:
+                lines.append(f"# HELP {base} {metric.description}")
+            lines.append(f"# TYPE {base} gauge")
+            for labels, member in members:
+                if member.value is None:
+                    continue
+                lines.append(
+                    f"{base}{_prom_labels(labels)} {_prom_number(member.value)}"
+                )
+        elif isinstance(metric, HistogramMetric):
+            if metric.description:
+                lines.append(f"# HELP {base} {metric.description}")
+            lines.append(f"# TYPE {base} histogram")
+            for labels, member in members:
+                if not member.count:
+                    continue
+                cumulative = 0
+                for bound, bucket_count in zip(
+                    HISTOGRAM_BUCKET_BOUNDS, member.buckets
+                ):
+                    cumulative += bucket_count
+                    le = 'le="%s"' % _prom_number(bound)
+                    lines.append(
+                        f"{base}_bucket{_prom_labels(labels, le)} {cumulative}"
+                    )
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{base}_bucket{_prom_labels(labels, inf)} {member.count}"
+                )
+                lines.append(
+                    f"{base}_sum{_prom_labels(labels)} {_prom_number(member.sum)}"
+                )
+                lines.append(f"{base}_count{_prom_labels(labels)} {member.count}")
+    return "\n".join(lines) + "\n"

@@ -255,6 +255,29 @@ def make_entry(
     }
 
 
+#: One lock per ledger *path* (abspath-keyed), shared by every Ledger
+#: instance in the process.  Compaction reads the file, filters, and
+#: atomically replaces it — if an append through a *different* Ledger
+#: instance landed between the read and the replace, that entry would
+#: be silently erased (e.g. ``rpcheck history --compact`` racing a
+#: daemon's in-flight ``LedgerSink.finish``).  With a per-instance lock
+#: this race was real; keying the lock by path closes it for every
+#: in-process combination.  Cross-process appends remain safe against
+#: *tearing* (O_APPEND), but cross-process compaction retains the
+#: lost-append window — compact from one process at a time.
+_PATH_LOCKS: Dict[str, threading.RLock] = {}
+_PATH_LOCKS_GUARD = threading.Lock()
+
+
+def _lock_for_path(path: str) -> threading.RLock:
+    key = os.path.abspath(path)
+    with _PATH_LOCKS_GUARD:
+        lock = _PATH_LOCKS.get(key)
+        if lock is None:
+            lock = _PATH_LOCKS[key] = threading.RLock()
+        return lock
+
+
 class Ledger:
     """An append-only JSONL run history at a fixed path.
 
@@ -264,11 +287,15 @@ class Ledger:
     sees a torn entry it can't diagnose.  Reading is strict: a malformed
     line raises ``ValueError`` naming the line number — history that
     does not round-trip is a bug, not something to skip silently.
+
+    Mutations lock a **per-path** (not per-instance) lock, so an
+    ``append`` through one instance cannot vanish under a concurrent
+    :meth:`compact` through another instance of the same file.
     """
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
-        self._lock = threading.Lock()
+        self._lock = _lock_for_path(self.path)
 
     def append(self, entry: Dict[str, Any]) -> Dict[str, Any]:
         """Append one entry (must carry the ledger schema tag)."""

@@ -14,7 +14,9 @@ The three types:
 * :class:`GaugeMetric` — last-value samples remembering their ``max`` and
   ``min`` (this is the single source of truth for e.g. peak frontier);
 * :class:`HistogramMetric` — ``observe`` a stream of values; keeps count,
-  sum, min, max (and hence mean) without storing the stream.
+  sum, min, max (and hence mean) plus a fixed geometric bucket layout
+  (:data:`HISTOGRAM_BUCKET_BOUNDS`) from which p50/p95/p99 percentiles
+  are estimated — all without storing the stream.
 
 Everything renders to a flat text block (``registry.render()``) and a
 JSON-ready nested dict (``registry.as_dict()``); the registry is
@@ -24,11 +26,29 @@ dependency-free and cheap enough to exist on every
 
 from __future__ import annotations
 
+import bisect
 import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 #: Maximum distinct label sets per metric before overflow collapsing.
 DEFAULT_LABEL_CARDINALITY = 64
+
+
+def _geometric_bounds() -> Tuple[float, ...]:
+    # three buckets per decade, 1µs .. 10ks: wide enough for seconds-flavoured
+    # timings at one end and small integer observations (parallelism, depths)
+    # at the other, narrow enough (±~47% per bucket) for honest percentiles
+    bounds: List[float] = []
+    for decade in range(-6, 5):
+        for mantissa in (1.0, 2.15, 4.64):
+            bounds.append(round(mantissa * 10.0 ** decade, 10))
+    return tuple(bounds)
+
+
+#: Upper bounds (``le`` semantics) of the shared histogram bucket layout.
+#: One fixed layout for every histogram keeps ``merge`` a plain
+#: element-wise sum and the wire shape a bare list of counts.
+HISTOGRAM_BUCKET_BOUNDS: Tuple[float, ...] = _geometric_bounds()
 
 #: The label marker carried by the shared overflow child.
 OVERFLOW_LABEL = ("__overflow__", "true")
@@ -94,8 +114,14 @@ class Metric:
         return type(self)(self.name, self.description, max_label_sets=0)
 
     def children(self) -> Iterator[Tuple[LabelKey, "Metric"]]:
-        """The labelled children, in insertion order."""
-        return iter(self._children.items())
+        """The labelled children, in insertion order.
+
+        Iterates a snapshot taken under the children lock, so a live
+        scrape (``/v1/metrics``) never races concurrent label creation
+        into a ``dictionary changed size during iteration`` error.
+        """
+        with self._children_lock:
+            return iter(list(self._children.items()))
 
     # -- subclass hooks --------------------------------------------------
 
@@ -110,10 +136,12 @@ class Metric:
         out = {"type": self.kind, **self.value_dict()}
         if self.description:
             out["description"] = self.description
-        if self._children:
+        with self._children_lock:
+            children = list(self._children.items())
+        if children:
             out["labels"] = {
                 "{" + ",".join(f"{k}={v}" for k, v in key) + "}": child.value_dict()
-                for key, child in self._children.items()
+                for key, child in children
             }
         if self.labels_dropped:
             out["labels_dropped"] = self.labels_dropped
@@ -189,7 +217,14 @@ class GaugeMetric(Metric):
 
 
 class HistogramMetric(Metric):
-    """A stream summary: count, sum, min, max (mean derived)."""
+    """A stream summary: count, sum, min, max, and bucketed percentiles.
+
+    Observations additionally land in the shared geometric bucket layout
+    (:data:`HISTOGRAM_BUCKET_BOUNDS`, plus one overflow bucket), so
+    :meth:`percentile` can estimate p50/p95/p99 by linear interpolation
+    inside the containing bucket — bounded error (one bucket's width,
+    ±~47%) at O(len(bounds)) memory, never storing the stream.
+    """
 
     kind = "histogram"
 
@@ -199,6 +234,7 @@ class HistogramMetric(Metric):
         self.sum: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.buckets: List[int] = [0] * (len(HISTOGRAM_BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -208,10 +244,42 @@ class HistogramMetric(Metric):
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self.buckets[bisect.bisect_left(HISTOGRAM_BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the *q*-quantile (``0 < q <= 1``) from the buckets.
+
+        Interpolates linearly inside the containing bucket and clamps to
+        the observed ``[min, max]``, so single-observation histograms and
+        extreme quantiles report exact extremes rather than bucket edges.
+        """
+        if not self.count:
+            return None
+        if self.min is None or self.max is None:  # pragma: no cover - invariant
+            return None
+        rank = q * self.count
+        seen = 0.0
+        for index, bucket_count in enumerate(self.buckets):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= rank:
+                if index == 0:
+                    lower = 0.0
+                else:
+                    lower = HISTOGRAM_BUCKET_BOUNDS[index - 1]
+                if index < len(HISTOGRAM_BUCKET_BOUNDS):
+                    upper = HISTOGRAM_BUCKET_BOUNDS[index]
+                else:
+                    upper = self.max
+                fraction = (rank - seen) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            seen += bucket_count
+        return self.max
 
     def value_dict(self) -> Dict[str, Any]:
         return {
@@ -220,12 +288,23 @@ class HistogramMetric(Metric):
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": list(self.buckets),
         }
 
     def value_text(self) -> str:
         if not self.count:
             return "(no observations)"
         text = f"n={self.count} sum={self.sum:g} mean={self.mean:g}"
+        p50, p95, p99 = (
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+        )
+        if p50 is not None:
+            text += f" p50={p50:g} p95={p95:g} p99={p99:g}"
         if self.min is not None and self.max is not None:
             text += f" min={self.min:g} max={self.max:g}"
         return text
@@ -249,6 +328,8 @@ def _merge_metric(dst: Metric, src: Metric) -> None:
             dst.min = src.min
         if src.max is not None and (dst.max is None or src.max > dst.max):
             dst.max = src.max
+        for index, bucket_count in enumerate(src.buckets):
+            dst.buckets[index] += bucket_count
     for key, child in src.children():
         _merge_metric(dst.labels(**dict(key)), child)
     dst.labels_dropped += src.labels_dropped
@@ -307,12 +388,15 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def names(self) -> List[str]:
-        """Registered metric names, sorted."""
-        return sorted(self._metrics)
+        """Registered metric names, sorted (snapshot under the lock)."""
+        with self._lock:
+            return sorted(self._metrics)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready snapshot of every metric (sorted by name)."""
-        return {name: self._metrics[name].as_dict() for name in self.names()}
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        return {metric.name: metric.as_dict() for metric in metrics}
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold *other*'s metrics into this registry.
@@ -395,6 +479,14 @@ def _apply_values(metric: Metric, values: Dict[str, Any]) -> None:
             raw = values.get(field)
             if isinstance(raw, (int, float)):
                 setattr(metric, field, raw)
+        buckets = values.get("buckets")
+        if isinstance(buckets, list) and len(buckets) == len(metric.buckets):
+            metric.buckets = [int(b) if isinstance(b, (int, float)) else 0 for b in buckets]
+        elif metric.count and metric.max is not None:
+            # older senders (or hand-written payloads) without bucket data:
+            # approximate by dropping every observation at the max, which
+            # keeps percentile() defined and clamped to the true extremes
+            metric.buckets[bisect.bisect_left(HISTOGRAM_BUCKET_BOUNDS, metric.max)] += metric.count
 
 
 def registry_from_dict(payload: Dict[str, Any]) -> MetricsRegistry:

@@ -1,0 +1,213 @@
+"""Sampling profiler: collapsed stacks with negligible overhead.
+
+The span tracer answers "where did this *query* spend its time" at the
+granularity the code was instrumented; :class:`SamplingProfiler` answers
+"where is the *interpreter* actually executing" with no instrumentation
+at all, by sampling Python stacks at a fixed rate:
+
+* **signal mode** — ``signal.setitimer(ITIMER_PROF)`` delivers SIGPROF
+  on consumed CPU time; the handler walks the interrupted frame.  This
+  is the classic profiling clock (samples are CPU-proportional, sleeping
+  code is invisible) but only works on the main thread of a process
+  that allows signal handlers.
+* **thread mode** — a daemon thread wakes every period and snapshots the
+  target thread's frame via ``sys._current_frames()``.  Wall-clock
+  flavoured and slightly coarser, but works anywhere (worker threads,
+  the serve daemon, platforms without ``setitimer``).
+
+``mode="auto"`` picks signal mode when it can and falls back to the
+thread sampler.  Samples accumulate as collapsed stacks
+(``pkg.mod.outer;pkg.mod.inner NNN`` with values in microseconds of
+estimated time), the same format :func:`repro.obs.report.collapse_stacks`
+emits for spans, so both feed flamegraph.pl / speedscope unchanged.
+
+Surfaced as ``rpcheck flamegraph PROGRAM.rp --sample HZ`` and as the
+opt-in ``profile`` knob of the benchmark harness; default-off
+everywhere.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+from collections import Counter
+from types import FrameType
+from typing import Dict, List, Optional, Tuple
+
+#: Default sampling rate.  A prime, so the sampler does not phase-lock
+#: with code that does work on round-number periods.
+DEFAULT_HZ = 97
+
+#: Stack depth cap: deeper frames collapse into a ``...`` root.
+MAX_STACK_DEPTH = 64
+
+
+def _frame_label(frame: FrameType) -> str:
+    code = frame.f_code
+    name = getattr(code, "co_qualname", code.co_name)
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}.{name}"
+
+
+def _walk_stack(frame: Optional[FrameType]) -> Tuple[str, ...]:
+    stack: List[str] = []
+    while frame is not None and len(stack) < MAX_STACK_DEPTH:
+        stack.append(_frame_label(frame))
+        frame = frame.f_back
+    if frame is not None:
+        stack.append("...")
+    stack.reverse()
+    return tuple(stack)
+
+
+class SamplingProfiler:
+    """Collects collapsed stacks by periodic sampling.
+
+    Usage::
+
+        profiler = SamplingProfiler(hz=97)
+        with profiler:
+            run_workload()
+        for line in profiler.collapsed():
+            print(line)
+
+    ``samples`` maps stack tuples (outermost first) to hit counts;
+    :meth:`collapsed` renders them as flamegraph.pl input valued in
+    microseconds (hits x sampling period).  ``mode_used`` reports which
+    sampler actually ran (``"signal"`` or ``"thread"``).
+    """
+
+    def __init__(self, hz: int = DEFAULT_HZ, *, mode: str = "auto") -> None:
+        if hz <= 0:
+            raise ValueError(f"sampling rate must be positive, got {hz}")
+        if mode not in ("auto", "signal", "thread"):
+            raise ValueError(f"unknown profiler mode {mode!r}")
+        self.hz = hz
+        self.period = 1.0 / hz
+        self.mode = mode
+        self.mode_used: Optional[str] = None
+        self.samples: Counter = Counter()
+        self.sample_count = 0
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        self._running = False
+        self._previous_handler = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._target_thread_id: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _signal_available(self) -> bool:
+        return (
+            hasattr(signal, "setitimer")
+            and hasattr(signal, "SIGPROF")
+            and threading.current_thread() is threading.main_thread()
+        )
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling the calling thread."""
+        if self._running:
+            return self
+        self._running = True
+        self.started_at = time.perf_counter()
+        use_signal = self.mode == "signal" or (
+            self.mode == "auto" and self._signal_available()
+        )
+        if use_signal:
+            try:
+                self._previous_handler = signal.signal(
+                    signal.SIGPROF, self._on_signal
+                )
+                signal.setitimer(signal.ITIMER_PROF, self.period, self.period)
+                self.mode_used = "signal"
+                return self
+            except (ValueError, OSError, AttributeError):
+                # not the main thread after all, or no setitimer here
+                if self.mode == "signal":
+                    self._running = False
+                    raise
+        self._start_thread_sampler()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling (idempotent)."""
+        if not self._running:
+            return self
+        self._running = False
+        self.stopped_at = time.perf_counter()
+        if self.mode_used == "signal":
+            signal.setitimer(signal.ITIMER_PROF, 0.0, 0.0)
+            if self._previous_handler is not None:
+                signal.signal(signal.SIGPROF, self._previous_handler)
+                self._previous_handler = None
+        elif self._thread is not None:
+            self._stop_event.set()
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- samplers --------------------------------------------------------
+
+    def _on_signal(self, signum, frame) -> None:
+        if not self._running:
+            return
+        self.samples[_walk_stack(frame)] += 1
+        self.sample_count += 1
+
+    def _start_thread_sampler(self) -> None:
+        self.mode_used = "thread"
+        self._target_thread_id = threading.get_ident()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._thread_loop, name="rpcheck-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def _thread_loop(self) -> None:
+        while not self._stop_event.wait(self.period):
+            frame = sys._current_frames().get(self._target_thread_id)
+            if frame is None:
+                continue
+            self.samples[_walk_stack(frame)] += 1
+            self.sample_count += 1
+
+    # -- output ----------------------------------------------------------
+
+    def collapsed(self) -> List[str]:
+        """Collapsed-stack lines, values in µs (hits x period), sorted."""
+        period_us = self.period * 1e6
+        lines = [
+            f"{';'.join(stack)} {int(hits * period_us)}"
+            for stack, hits in self.samples.items()
+            if stack
+        ]
+        return sorted(lines)
+
+    def stats(self) -> Dict[str, object]:
+        """Sampler health: rate, mode, sample count, elapsed."""
+        elapsed = None
+        if self.started_at is not None:
+            end = self.stopped_at
+            if end is None:
+                end = time.perf_counter()
+            elapsed = end - self.started_at
+        return {
+            "hz": self.hz,
+            "mode": self.mode_used,
+            "samples": self.sample_count,
+            "distinct_stacks": len(self.samples),
+            "elapsed_seconds": elapsed,
+        }
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return f"SamplingProfiler(hz={self.hz}, {state}, {self.sample_count} samples)"

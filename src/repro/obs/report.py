@@ -192,6 +192,40 @@ def report_as_dict(
             for node in hot_spans(roots, top=top)
         ],
         "rollup": self_time_rollup(roots),
+        "latency": latency_percentiles(roots),
+    }
+
+
+def latency_percentiles(
+    roots: Iterable[SpanNode],
+) -> Dict[str, Dict[str, Any]]:
+    """Per-span-name wall-time percentiles, via histogram metrics.
+
+    Feeds every span's wall time into one
+    :class:`~repro.obs.metrics.HistogramMetric` per name, so the report
+    shows the same bucketed p50/p95/p99 estimates that live registries
+    (``--stats``, ``GET /v1/metrics``) expose — a 10000-iteration span
+    is summarised, not listed.
+    """
+    from .metrics import HistogramMetric
+
+    histograms: Dict[str, HistogramMetric] = {}
+    for root in roots:
+        for node in root.walk():
+            metric = histograms.get(node.name)
+            if metric is None:
+                metric = histograms[node.name] = HistogramMetric(node.name)
+            metric.observe(node.wall)
+    return {
+        name: {
+            "count": metric.count,
+            "mean": metric.mean,
+            "p50": metric.percentile(0.50),
+            "p95": metric.percentile(0.95),
+            "p99": metric.percentile(0.99),
+            "max": metric.max,
+        }
+        for name, metric in sorted(histograms.items())
     }
 
 
@@ -275,5 +309,13 @@ def render_report(
         lines.append(
             f"  {rank:>2}. {node.name:<30} self {node.self_wall * 1000:9.3f}ms  "
             f"wall {node.wall * 1000:9.3f}ms{_format_attrs(node.attrs, limit=40)}"
+        )
+    lines.append("")
+    lines.append("span wall-time percentiles (per name, ms):")
+    for name, row in latency_percentiles(roots).items():
+        lines.append(
+            f"  {name:<30} n={row['count']:<6} "
+            f"p50 {row['p50'] * 1000:9.3f}  p95 {row['p95'] * 1000:9.3f}  "
+            f"p99 {row['p99'] * 1000:9.3f}  max {row['max'] * 1000:9.3f}"
         )
     return "\n".join(lines)

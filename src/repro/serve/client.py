@@ -154,6 +154,16 @@ class ServeClient:
         """The daemon's :meth:`~repro.serve.pool.SessionPool.snapshot`."""
         return self._op("pool", "pool")
 
+    def stats(self) -> Dict[str, Any]:
+        """Daemon counters plus the merged metrics registry snapshot.
+
+        The ``metrics`` key is a :meth:`~repro.obs.MetricsRegistry.as_dict`
+        payload (rebuildable with :func:`~repro.obs.registry_from_dict`)
+        covering every pooled session, including per-worker
+        ``parallel.*{worker=i}`` series from sharded queries.
+        """
+        return self._op("stats", "stats")
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the daemon to exit (the daemon closes this connection)."""
         return self._op("shutdown", "shutdown")
@@ -190,7 +200,7 @@ def client_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "command",
         help="a procedure name (boundedness, analyze, node_reachable, ...) "
-        "or an op: ping, pool, shutdown",
+        "or an op: ping, pool, stats, shutdown",
     )
     parser.add_argument("--file", help="RP program file to analyse")
     parser.add_argument(
@@ -240,7 +250,7 @@ def client_main(argv: Optional[List[str]] = None) -> int:
 
 def _client_run(args) -> int:
     with ServeClient(args.socket) as client:
-        if args.command in ("ping", "pool", "shutdown"):
+        if args.command in ("ping", "pool", "stats", "shutdown"):
             payload = getattr(
                 client, {"pool": "pool_stats"}.get(args.command, args.command)
             )()

@@ -13,8 +13,11 @@ Transports
 * **Localhost HTTP** (optional): a minimal HTTP/1.1 front on
   ``127.0.0.1`` — ``POST /v1/analyze`` with a request JSON body returns
   the response JSON; ``GET /v1/ping`` and ``GET /v1/pool`` expose the
-  health and pool snapshots.  No streaming over HTTP; that is the unix
-  socket's job.
+  health and pool snapshots; ``GET /v1/metrics`` renders the merged
+  metrics of every pooled session (plus the daemon's own counters) as
+  Prometheus text exposition for scraping; ``GET /v1/runs[?tail=N]``
+  returns recent run-ledger entries.  No streaming over HTTP; that is
+  the unix socket's job.
 
 Scheduling
 ----------
@@ -53,9 +56,17 @@ import os
 import threading
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from urllib.parse import parse_qs, urlsplit
+
 from ..api import AnalysisRequest, AnalysisResponse, ApiError, execute
 from ..errors import RPError
-from ..obs import FlightRecorder, Ledger, default_ledger_path
+from ..obs import (
+    FlightRecorder,
+    Ledger,
+    MetricsRegistry,
+    default_ledger_path,
+    prometheus_exposition,
+)
 from ..obs.recorder import sink_scope
 from ..obs.sinks import Sink
 from ..robust import Budget, CancelToken
@@ -186,6 +197,57 @@ class ServeDaemon:
         with contextlib.suppress(OSError):
             os.unlink(self.socket_path)
 
+    # ------------------------------------------------------------------
+    # Introspection (shared by the stats op and GET /v1/metrics)
+    # ------------------------------------------------------------------
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """One merged registry: daemon counters + every pooled session.
+
+        Sessions keep mutating their registries while this reads them —
+        ``merge`` and the snapshot accessors are lock-guarded, so the
+        result is a consistent-enough scrape (each metric is read
+        atomically; cross-metric skew of an in-flight query is
+        acceptable for monitoring).  Includes the per-worker
+        ``parallel.*{worker=i}`` series folded in by sharded sessions.
+        """
+        merged = MetricsRegistry()
+        merged.counter("serve.served", "queries served since daemon start").inc(
+            self.served
+        )
+        merged.counter("serve.errors", "served queries that returned errors").inc(
+            self.errors
+        )
+        merged.gauge("serve.pool_schemes", "warm schemes in the pool").set(
+            len(self.pool)
+        )
+        for entry in self.pool.entries():
+            merged.merge(entry.session.metrics)
+        return merged
+
+    def _recent_runs(self, tail: int) -> Dict[str, Any]:
+        """Recent ledger entries, newest last (``GET /v1/runs``)."""
+        if self.ledger is None:
+            return {"ledger": None, "count": 0, "runs": []}
+        try:
+            entries = self.ledger.entries()
+        except (OSError, ValueError) as error:
+            return {
+                "ledger": self.ledger.path,
+                "count": 0,
+                "runs": [],
+                "error": str(error),
+            }
+        if tail > 0:
+            recent = entries[-tail:]
+        else:
+            recent = entries
+        return {
+            "ledger": self.ledger.path,
+            "count": len(entries),
+            "runs": recent,
+        }
+
     def request_shutdown(self) -> None:
         """Ask the daemon to stop (thread-safe; idempotent)."""
         loop, event = self._loop, self._shutdown
@@ -302,6 +364,20 @@ class ServeDaemon:
             return False
         if op == "pool":
             await self._send(writer, {"type": "pool", **self.pool.snapshot()})
+            return False
+        if op == "stats":
+            registry = await asyncio.to_thread(self.metrics_registry)
+            await self._send(
+                writer,
+                {
+                    "type": "stats",
+                    "pid": os.getpid(),
+                    "served": self.served,
+                    "errors": self.errors,
+                    "schemes": len(self.pool),
+                    "metrics": registry.as_dict(),
+                },
+            )
             return False
         if op == "shutdown":
             await self._send(writer, {"type": "shutdown"})
@@ -473,8 +549,9 @@ class ServeDaemon:
         me = asyncio.current_task()
         if me is not None:
             self._connections.add(me)
+        content_type = "application/json"
         try:
-            status, body = await self._http_dispatch(reader)
+            status, body, content_type = await self._http_dispatch(reader)
         except (asyncio.IncompleteReadError, ConnectionResetError, ValueError):
             status, body = 400, {"error": "malformed HTTP request"}
         except asyncio.CancelledError:
@@ -487,14 +564,17 @@ class ServeDaemon:
             return
         except Exception as error:  # pragma: no cover - defensive
             status, body = 500, {"error": repr(error)}
-        data = json.dumps(body, default=repr).encode("utf-8")
+        if isinstance(body, str):
+            data = body.encode("utf-8")
+        else:
+            data = json.dumps(body, default=repr).encode("utf-8")
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
             status, "Internal Server Error"
         )
         writer.write(
             (
                 f"HTTP/1.1 {status} {reason}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(data)}\r\n"
                 f"Connection: close\r\n\r\n"
             ).encode("ascii")
@@ -510,12 +590,20 @@ class ServeDaemon:
 
     async def _http_dispatch(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Any, str]:
+        """Route one request; returns (status, body, content type).
+
+        A ``str`` body is written verbatim (the Prometheus scrape); a
+        dict body is serialised as JSON.
+        """
+        json_type = "application/json"
         request_line = (await reader.readline()).decode("ascii", "replace")
         parts = request_line.split()
         if len(parts) < 2:
-            return 400, {"error": "malformed request line"}
-        method, path = parts[0].upper(), parts[1]
+            return 400, {"error": "malformed request line"}, json_type
+        method, target = parts[0].upper(), parts[1]
+        split = urlsplit(target)
+        path, query = split.path, parse_qs(split.query)
         content_length = 0
         while True:
             header = (await reader.readline()).decode("ascii", "replace")
@@ -530,17 +618,28 @@ class ServeDaemon:
                 "served": self.served,
                 "errors": self.errors,
                 "schemes": len(self.pool),
-            }
+            }, json_type
         if method == "GET" and path == "/v1/pool":
-            return 200, self.pool.snapshot()
+            return 200, self.pool.snapshot(), json_type
+        if method == "GET" and path == "/v1/metrics":
+            registry = await asyncio.to_thread(self.metrics_registry)
+            text = prometheus_exposition(registry)
+            return 200, text, "text/plain; version=0.0.4; charset=utf-8"
+        if method == "GET" and path == "/v1/runs":
+            try:
+                tail = int(query.get("tail", ["20"])[0])
+            except ValueError:
+                return 400, {"error": "tail must be an integer"}, json_type
+            body = await asyncio.to_thread(self._recent_runs, tail)
+            return 200, body, json_type
         if method == "POST" and path == "/v1/analyze":
             body = await reader.readexactly(content_length)
             try:
                 payload = json.loads(body)
             except ValueError:
-                return 400, {"error": "request body is not JSON"}
+                return 400, {"error": "request body is not JSON"}, json_type
             if not isinstance(payload, dict):
-                return 400, {"error": "request body is not an object"}
+                return 400, {"error": "request body is not an object"}, json_type
             try:
                 request = AnalysisRequest.from_json_dict(payload)
             except ApiError as error:
@@ -550,10 +649,10 @@ class ServeDaemon:
                     verdict="error",
                     error={"type": "ApiError", "message": str(error)},
                     request_id=payload.get("request_id"),
-                ).to_json_dict()
+                ).to_json_dict(), json_type
             response = await self._execute(request, CancelToken())
-            return 200, response.to_json_dict()
-        return 404, {"error": f"no route for {method} {path}"}
+            return 200, response.to_json_dict(), json_type
+        return 404, {"error": f"no route for {method} {path}"}, json_type
 
 
 # ----------------------------------------------------------------------

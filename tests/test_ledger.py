@@ -282,6 +282,23 @@ class TestFlightRecorder:
             "e9",
         ]
 
+    def test_wraparound_at_exactly_default_capacity(self):
+        # the boundary case: record number 512 must evict record 0, and
+        # not one record earlier or later
+        from repro.obs.recorder import DEFAULT_CAPACITY
+
+        assert DEFAULT_CAPACITY == 512
+        recorder = FlightRecorder()
+        for index in range(DEFAULT_CAPACITY):
+            recorder.emit({"type": "event", "name": f"e{index}"})
+        assert len(recorder) == DEFAULT_CAPACITY
+        names = [r["name"] for r in recorder.records()]
+        assert names[0] == "e0" and names[-1] == f"e{DEFAULT_CAPACITY - 1}"
+        recorder.emit({"type": "event", "name": "overflow"})
+        assert len(recorder) == DEFAULT_CAPACITY
+        names = [r["name"] for r in recorder.records()]
+        assert names[0] == "e1" and names[-1] == "overflow"
+
     def test_default_session_records_into_ambient_recorder(self):
         session = AnalysisSession(spawner_loop())
         assert find_recorder(session.tracer.sink) is ambient_recorder()
@@ -533,6 +550,56 @@ class TestLedgerCompaction:
         assert len(ledger.entries()) == 1
         with pytest.raises(ValueError):
             ledger.compact(0)
+
+    def test_compact_lock_is_per_path_not_per_instance(self, tmp_path):
+        # the closed race: compact() through one instance vs append()
+        # (LedgerSink.finish) through another on the same file — both
+        # must serialise on one shared lock
+        path = str(tmp_path / "ledger.jsonl")
+        writer, compactor = Ledger(path), Ledger(path)
+        assert writer._lock is compactor._lock
+        other = Ledger(str(tmp_path / "other.jsonl"))
+        assert other._lock is not writer._lock
+
+    def test_compact_never_drops_concurrent_finish(self, tmp_path):
+        """Deterministic interleave: while compact() sits between its
+        read and its ``os.replace``, a concurrent ``LedgerSink.finish``
+        through a *different* instance must block, not vanish."""
+        import time as time_module
+
+        path = str(tmp_path / "ledger.jsonl")
+        compactor = Ledger(path)
+        for _ in range(6):
+            compactor.append(_entry(spawner_loop()))
+        in_window = threading.Event()
+        real_entries = Ledger.entries
+
+        def stalled_entries():
+            result = real_entries(compactor)
+            in_window.set()
+            time_module.sleep(0.5)  # hold the read->replace window open
+            return result
+
+        compactor.entries = stalled_entries
+        result = {}
+
+        def compact():
+            result["compacted"] = compactor.compact(2)
+
+        thread = threading.Thread(target=compact)
+        thread.start()
+        assert in_window.wait(timeout=10)
+        # the "active run" racing the retention pass
+        sink = LedgerSink(Ledger(path), kind="analysis")
+        sink.emit({"type": "span", "id": 1, "name": "x", "start": 0.0, "wall": 0.1})
+        appended = sink.finish(scheme=mutex_pair(), outcome="ok")
+        thread.join(timeout=30)
+        assert result["compacted"] == (2, 4)
+        survivors = [e["run_id"] for e in Ledger(path).entries()]
+        assert appended["run_id"] in survivors, (
+            "compact() dropped the run appended while it held the lock"
+        )
+        assert len(survivors) == 3  # 2 kept by retention + the active run
 
     def test_history_compact_cli(self, tmp_path, capsys):
         path = str(tmp_path / "ledger.jsonl")

@@ -12,9 +12,12 @@ per query).
 
 import json
 import os
+import re
 import socket
 import threading
 import time
+import urllib.error
+import urllib.request
 import uuid
 
 import pytest
@@ -368,6 +371,138 @@ class TestEnsureExplored:
         larger = session.ensure_explored(500)
         assert larger is session.graph
         assert len(larger) >= 500 or larger.complete
+
+
+class TestIntrospection:
+    """The live-introspection surface: ``stats`` op, ``GET /v1/metrics``
+    (Prometheus text), ``GET /v1/runs`` — scraped while queries stream."""
+
+    PROM_SAMPLE = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.e+-]+(Inf|NaN)?$"
+    )
+
+    def _http_get(self, port, path):
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=30
+        ) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"),
+            )
+
+    @pytest.fixture()
+    def served_http(self):
+        tmp = _short_tmp()
+        sock = os.path.join(tmp, "s.sock")
+        ledger_path = os.path.join(tmp, "ledger.jsonl")
+        with daemon_in_thread(
+            sock,
+            ledger_path=ledger_path,
+            flight_dir=tmp,
+            concurrency=4,
+            http_port=0,
+        ) as daemon:
+            for scheme in FAMILIES.values():
+                daemon.pool.adopt(scheme)
+            yield daemon, sock, daemon.bound_http_port
+
+    def test_stats_op(self, served_http):
+        daemon, sock, _ = served_http
+        with ServeClient(sock) as client:
+            client.query(
+                "halts", fingerprint=scheme_fingerprint(FAMILIES["pipeline3"])
+            )
+            stats = client.stats()
+        assert stats["served"] >= 1
+        assert stats["schemes"] == len(FAMILIES)
+        assert "explore.states_discovered" in stats["metrics"]
+
+    def test_runs_endpoint_lists_serve_entries(self, served_http):
+        daemon, sock, port = served_http
+        with ServeClient(sock) as client:
+            client.query(
+                "halts", fingerprint=scheme_fingerprint(FAMILIES["widemix4"])
+            )
+        status, content_type, body = self._http_get(port, "/v1/runs?tail=5")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["count"] >= 1
+        assert payload["runs"][-1]["kind"] == "serve"
+
+    def test_runs_endpoint_rejects_bad_tail(self, served_http):
+        _, _, port = served_http
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._http_get(port, "/v1/runs?tail=bogus")
+        assert excinfo.value.code == 400
+
+    def test_metrics_scrape_while_queries_stream(self, served_http):
+        """The acceptance gate: /v1/metrics answers valid Prometheus —
+        including the per-worker ``parallel.*`` series — while sharded
+        queries are actively streaming through the daemon."""
+        daemon, sock, port = served_http
+        fingerprint = scheme_fingerprint(FAMILIES["grove2x3"])
+        stop = threading.Event()
+        failures = []
+
+        def stream_queries():
+            try:
+                while not stop.is_set():
+                    with ServeClient(sock) as client:
+                        client.query(
+                            "boundedness",
+                            fingerprint=fingerprint,
+                            workers=2,
+                            stream=True,
+                            on_event=lambda record: None,
+                        )
+            except Exception as error:  # noqa: BLE001 - reported below
+                failures.append(error)
+
+        thread = threading.Thread(target=stream_queries)
+        thread.start()
+        try:
+            deadline = time.time() + 60
+            worker_series = []
+            while time.time() < deadline:
+                status, content_type, body = self._http_get(port, "/v1/metrics")
+                assert status == 200
+                assert content_type.startswith("text/plain")
+                assert "version=0.0.4" in content_type
+                for line in body.splitlines():
+                    if not line or line.startswith("#"):
+                        continue
+                    assert self.PROM_SAMPLE.match(line), (
+                        f"invalid exposition line: {line!r}"
+                    )
+                assert "serve_served_total" in body
+                worker_series = [
+                    line
+                    for line in body.splitlines()
+                    if line.startswith("parallel_") and 'worker="' in line
+                ]
+                if worker_series:
+                    break
+                time.sleep(0.2)
+        finally:
+            stop.set()
+            thread.join(timeout=60)
+        assert not failures
+        assert worker_series, "no parallel.*{worker=i} series ever appeared"
+        workers_seen = {
+            match.group(1)
+            for line in worker_series
+            for match in [re.search(r'worker="([^"]+)"', line)]
+            if match
+        }
+        assert len(workers_seen) >= 2
+
+    def test_unknown_route_is_404(self, served_http):
+        _, _, port = served_http
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._http_get(port, "/v1/nope")
+        assert excinfo.value.code == 404
 
 
 class TestCleanShutdown:
