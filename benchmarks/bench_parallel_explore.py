@@ -12,7 +12,14 @@ This benchmark pins both halves of that claim:
 * **zero drift** — the ``workers=4`` run must discover the exact same
   states in the exact same order as the sequential run, and a battery of
   decision procedures (boundedness / halting / normedness) must return
-  identical verdict summaries on both.  Any mismatch fails the bench.
+  identical verdict summaries on both.  Any mismatch fails the bench;
+* **recovery overhead** — a ``workers=2`` arm with a seeded mid-run
+  worker ``SIGKILL`` (:class:`~repro.robust.ProcessFaultPlan`): the
+  supervisor detects the death, respawns the worker and replays the lost
+  window, and the whole disturbance must cost at most
+  ``MAX_RECOVERY_OVERHEAD`` x the undisturbed ``workers=2`` time — and
+  land on the byte-identical graph.  A run where the planned kill never
+  fires (so nothing was recovered) fails the bench.
 
 **Hardware-aware acceptance.**  Wall-clock speedup needs physical
 parallelism: with **4+ cores** the bar is ``workers=4`` at least
@@ -47,6 +54,7 @@ from repro.analysis import boundedness, halts, normed
 from repro.analysis.session import AnalysisSession
 from repro.errors import AnalysisBudgetExceeded
 from repro.obs.ledger import verdict_summary
+from repro.robust import ProcessFaultPlan, install_process_faults
 from repro.zoo import wide_mix
 
 #: Exploration size: large enough that successor computation dominates
@@ -66,6 +74,14 @@ MAX_CORE_BOUND_OVERHEAD = 3.5
 #: exploration size so each procedure answers from the shared graph).
 DRIFT_MAX_STATES = 2_000
 
+#: Recovery arm: SIGKILL worker 0 at exploration window 2 (early enough
+#: that most of the run happens after the respawn, so the arm measures
+#: steady-state cost with a recovered pool, not just the blip).
+RECOVERY_PLAN = ProcessFaultPlan(kill_at=((2, 0),), max_kills=1, immune=0)
+#: The disturbed ``workers=2`` run may cost at most this factor of the
+#: undisturbed one: detect + respawn + one-window replay stays < 10%.
+MAX_RECOVERY_OVERHEAD = 1.10
+
 
 def _cores() -> int:
     try:
@@ -83,11 +99,29 @@ def _explore(workers: int, max_states: int):
         session.close()
 
 
-def _verdict_battery(workers: int, max_states: int):
+def _explore_recovery(max_states: int):
+    """One ``workers=2`` exploration with a seeded worker kill."""
+    session = AnalysisSession(wide_mix(4), workers=2)
+    try:
+        install_process_faults(session, RECOVERY_PLAN)
+        graph = session.explore(max_states)
+        if session._worker_restarts < 1:
+            raise AssertionError(
+                "recovery arm measured nothing: the planned worker kill "
+                "never fired (exploration too small to reach window 2?)"
+            )
+        return len(graph.states), session.expanded_count
+    finally:
+        session.close()
+
+
+def _verdict_battery(workers: int, max_states: int, fault_plan=None):
     """Graph prefix + decision-procedure summaries for one worker count."""
     scheme = wide_mix(4)
     session = AnalysisSession(scheme, workers=workers)
     try:
+        if fault_plan is not None:
+            install_process_faults(session, fault_plan)
         graph = session.explore(max_states)
         states = [state.to_notation() for state in graph.states]
         verdicts = {}
@@ -127,6 +161,11 @@ def run(smoke: bool = False) -> tuple:
         )
         best[workers] = seconds
         sizes[workers] = outcome
+    recovery_seconds, recovery_size = harness.measure(
+        "wide_mix/workers2_recovery",
+        lambda: _explore_recovery(max_states),
+    )
+    sizes["2+kill"] = recovery_size
     if len(set(sizes.values())) != 1:
         raise AssertionError(
             f"worker arms disagree on exploration size: {sizes!r}"
@@ -136,11 +175,20 @@ def run(smoke: bool = False) -> tuple:
     drift_states = SMOKE_MAX_STATES if smoke else DRIFT_MAX_STATES
     seq_states, seq_verdicts = _verdict_battery(1, drift_states)
     par_states, par_verdicts = _verdict_battery(4, drift_states)
+    rec_states, rec_verdicts = _verdict_battery(
+        2, drift_states, fault_plan=RECOVERY_PLAN
+    )
     mismatches = []
     if seq_states != par_states:
         mismatches.append(
             f"state drift: {len(seq_states)} sequential vs "
             f"{len(par_states)} parallel states (or same count, "
+            f"different order)"
+        )
+    if seq_states != rec_states:
+        mismatches.append(
+            f"recovery drift: {len(rec_states)} states after a worker "
+            f"kill vs {len(seq_states)} sequential (or same count, "
             f"different order)"
         )
     for name in seq_verdicts:
@@ -149,6 +197,11 @@ def run(smoke: bool = False) -> tuple:
                 f"verdict drift on {name}: {seq_verdicts[name]!r} vs "
                 f"{par_verdicts[name]!r}"
             )
+        if seq_verdicts[name] != rec_verdicts[name]:
+            mismatches.append(
+                f"recovery verdict drift on {name}: "
+                f"{seq_verdicts[name]!r} vs {rec_verdicts[name]!r}"
+            )
     if mismatches:
         raise AssertionError("; ".join(mismatches))
 
@@ -156,6 +209,13 @@ def run(smoke: bool = False) -> tuple:
         str(workers): best[1] / best[workers] if best[workers] > 0 else None
         for workers in WORKER_ARMS
     }
+    recovery_overhead = (
+        recovery_seconds / best[2] if best[2] > 0 else None
+    )
+    recovery_ok = (
+        recovery_overhead is not None
+        and recovery_overhead <= MAX_RECOVERY_OVERHEAD
+    )
     if smoke:
         # the smoke workload is deliberately tiny, so fixed pool-spawn
         # cost dominates and any timing bar would measure startup, not
@@ -165,13 +225,21 @@ def run(smoke: bool = False) -> tuple:
         bar = "zero drift only (timing bar armed on the full run)"
     elif cores >= 4:
         mode = "multi-core"
-        within = speedups["4"] is not None and speedups["4"] >= MIN_SPEEDUP_AT_4
-        bar = f"workers=4 speedup >= {MIN_SPEEDUP_AT_4:g}x"
+        within = (
+            speedups["4"] is not None
+            and speedups["4"] >= MIN_SPEEDUP_AT_4
+            and recovery_ok
+        )
+        bar = (
+            f"workers=4 speedup >= {MIN_SPEEDUP_AT_4:g}x and recovery "
+            f"overhead <= {MAX_RECOVERY_OVERHEAD:g}x workers=2"
+        )
     else:
         mode = "core-bound"
-        within = best[4] <= MAX_CORE_BOUND_OVERHEAD * best[1]
+        within = best[4] <= MAX_CORE_BOUND_OVERHEAD * best[1] and recovery_ok
         bar = (
-            f"workers=4 <= {MAX_CORE_BOUND_OVERHEAD:g}x sequential "
+            f"workers=4 <= {MAX_CORE_BOUND_OVERHEAD:g}x sequential and "
+            f"recovery overhead <= {MAX_RECOVERY_OVERHEAD:g}x workers=2 "
             f"(only {cores} core(s): wall-clock speedup would measure "
             f"the scheduler, not the engine)"
         )
@@ -190,6 +258,16 @@ def run(smoke: bool = False) -> tuple:
                 "speedup_vs_sequential": speedups[str(workers)],
             }
             for workers in WORKER_ARMS
+        ]
+        + [
+            {
+                "workers": 2,
+                "arm": "recovery",
+                "seconds": recovery_seconds,
+                "states": recovery_size[0],
+                "expanded": recovery_size[1],
+                "overhead_vs_workers2": recovery_overhead,
+            }
         ],
         "drift": {
             "checked_states": len(seq_states),
@@ -203,6 +281,8 @@ def run(smoke: bool = False) -> tuple:
             "speedup_at_4": speedups["4"],
             "min_speedup_at_4": MIN_SPEEDUP_AT_4,
             "max_core_bound_overhead": MAX_CORE_BOUND_OVERHEAD,
+            "recovery_overhead": recovery_overhead,
+            "max_recovery_overhead": MAX_RECOVERY_OVERHEAD,
             "drift_mismatches": 0,
             "within_budget": bool(within),
         },
@@ -216,6 +296,13 @@ def main(argv=None) -> None:
     results, harness = run(smoke=smoke)
     acceptance = results["acceptance"]
     for cell in results["cells"]:
+        if cell.get("arm") == "recovery":
+            print(
+                f"workers={cell['workers']}+kill: {cell['seconds']:.3f}s "
+                f"({cell['states']} states, "
+                f"{cell['overhead_vs_workers2']:.2f}x vs undisturbed)"
+            )
+            continue
         speedup = cell["speedup_vs_sequential"]
         print(
             f"workers={cell['workers']}: {cell['seconds']:.3f}s "

@@ -1,0 +1,228 @@
+"""CI smoke check for serve-layer overload behaviour (PR 9).
+
+Boots a deliberately tiny daemon (``concurrency=1``, ``max_queue=2``),
+pins its one worker slot with a long exploration, then bursts more
+queries than the admission bound and holds the resilience layer to its
+contract:
+
+* **bounded admission** — exactly ``burst - max_queue`` of the burst is
+  shed with a structured ``overloaded`` rejection carrying a positive
+  ``retry_after`` hint; nothing hangs, nothing queues unboundedly;
+* **zero drift under pressure** — every *accepted* query (the pinned
+  occupier and the queued remainder of the burst) answers exactly what
+  a sequential in-process :func:`repro.api.execute` run answers;
+* **retry to completion** — re-issuing every shed query through the
+  client's retry loop (``max_retries`` high, jittered backoff seeded by
+  the daemon's ``retry_after``) lands every one of them, drift-free;
+* **health** — ``GET /v1/health`` answers 503 while saturated and 200
+  once the backlog drains.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/serve_overload_smoke.py
+
+Exits non-zero on any drift, miscounted shed, or unhealthy finish.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+import uuid
+from typing import Any, Dict, List, Optional
+
+from repro.api import AnalysisRequest, execute
+from repro.analysis import AnalysisSession
+from repro.obs import scheme_fingerprint
+from repro.serve import ServeClient, ServeOverloaded, daemon_in_thread
+from repro.zoo import mixed_grove, wide_mix
+
+#: One slot, two queue places: the third concurrent query is shed.
+CONCURRENCY = 1
+MAX_QUEUE = 2
+#: Burst size; ``BURST - MAX_QUEUE`` sheds are expected.
+BURST = 8
+#: The occupier: long enough (~10s one-core) to pin the slot while the
+#: whole burst arrives, heavy enough that it cannot short-circuit.
+OCCUPIER_CAP = 30_000
+QUICK_CAP = 400
+
+
+def _health(port: int) -> tuple:
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/v1/health", timeout=10
+        ) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    grove = mixed_grove(3, 3)
+    quick = wide_mix(3)
+    grove_fp = scheme_fingerprint(grove)
+    quick_fp = scheme_fingerprint(quick)
+
+    # oracles: the same two queries, sequentially, in this process
+    oracle_quick = execute(
+        AnalysisRequest(
+            procedure="halts", fingerprint=quick_fp,
+            params={"max_states": QUICK_CAP},
+        ),
+        scheme=quick,
+        session=AnalysisSession(quick),
+    ).comparable()
+    oracle_occupier = execute(
+        AnalysisRequest(
+            procedure="boundedness", fingerprint=grove_fp,
+            params={"max_states": OCCUPIER_CAP},
+        ),
+        scheme=grove,
+        session=AnalysisSession(grove),
+    ).comparable()
+
+    tmp = f"/tmp/rps-{uuid.uuid4().hex[:8]}"
+    os.makedirs(tmp, exist_ok=True)
+    socket_path = os.path.join(tmp, "s.sock")
+
+    failures: List[str] = []
+    accepted: List[Any] = []
+    sheds: List[float] = []
+    lock = threading.Lock()
+
+    with daemon_in_thread(
+        socket_path,
+        http_port=0,
+        concurrency=CONCURRENCY,
+        max_queue=MAX_QUEUE,
+        flight_dir=tmp,
+    ) as daemon:
+        daemon.pool.adopt(grove)
+        daemon.pool.adopt(quick)
+        port = daemon.bound_http_port
+
+        occupier_box: Dict[str, Any] = {}
+
+        def occupy() -> None:
+            try:
+                with ServeClient(socket_path, timeout=600.0) as client:
+                    occupier_box["response"] = client.query(
+                        "boundedness",
+                        fingerprint=grove_fp,
+                        max_states=OCCUPIER_CAP,
+                    )
+            except Exception as error:  # noqa: BLE001 - reported below
+                occupier_box["error"] = error
+
+        occupier = threading.Thread(target=occupy)
+        occupier.start()
+        deadline = time.monotonic() + 60
+        while daemon._pending < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        if daemon._pending < 1:
+            print("FAILURE    : occupier never started executing")
+            return 1
+
+        saturated_status: List[tuple] = []
+
+        def one(index: int) -> None:
+            try:
+                with ServeClient(
+                    socket_path, timeout=600.0, max_retries=0
+                ) as client:
+                    response = client.query(
+                        "halts",
+                        fingerprint=quick_fp,
+                        max_states=QUICK_CAP,
+                        request_id=f"burst-{index}",
+                    )
+                with lock:
+                    accepted.append(response.comparable())
+            except ServeOverloaded as overloaded:
+                with lock:
+                    sheds.append(overloaded.retry_after)
+            except Exception as error:  # noqa: BLE001 - reported below
+                with lock:
+                    failures.append(f"burst {index}: {error!r}")
+
+        threads = [
+            threading.Thread(target=one, args=(i,)) for i in range(BURST)
+        ]
+        for thread in threads:
+            thread.start()
+        # sample health while the slot is pinned and the queue is full
+        time.sleep(0.3)
+        saturated_status.append(_health(port))
+        for thread in threads:
+            thread.join()
+
+        # retry phase: every shed query, re-issued with a retry budget,
+        # must land once the backlog drains
+        retried: List[Any] = []
+        retries_spent = 0
+        for index in range(len(sheds)):
+            with ServeClient(
+                socket_path,
+                timeout=600.0,
+                max_retries=120,
+                backoff=0.2,
+                backoff_max=2.0,
+            ) as client:
+                response = client.query(
+                    "halts",
+                    fingerprint=quick_fp,
+                    max_states=QUICK_CAP,
+                    request_id=f"retry-{index}",
+                )
+                retried.append(response.comparable())
+                retries_spent += client.retries
+        occupier.join(timeout=600.0)
+        final_status, final_body = _health(port)
+        shed_counter = daemon.shed
+
+    expected_sheds = BURST - MAX_QUEUE
+    drift = [c for c in accepted + retried if c != oracle_quick]
+    if "error" in occupier_box:
+        failures.append(f"occupier: {occupier_box['error']!r}")
+    elif occupier_box["response"].comparable() != oracle_occupier:
+        failures.append("occupier drifted under shed traffic")
+
+    print(f"burst      : {BURST} queries at concurrency={CONCURRENCY}, "
+          f"max_queue={MAX_QUEUE}")
+    print(f"accepted   : {len(accepted)} answered from the queue")
+    print(f"shed       : {len(sheds)} structured rejections "
+          f"(daemon counter: {shed_counter}, "
+          f"retry_after hints: {sorted(set(round(s, 3) for s in sheds))})")
+    print(f"retried    : {len(retried)} shed queries landed "
+          f"({retries_spent} client retries spent)")
+    print(f"saturated  : health answered {saturated_status[0][0]} "
+          f"(ready={saturated_status[0][1].get('ready')})")
+    print(f"final      : health answered {final_status} "
+          f"(ready={final_body.get('ready')})")
+    print(f"drift      : {len(drift)} queries")
+    for failure in failures:
+        print(f"FAILURE    : {failure}")
+    ok = (
+        not failures
+        and not drift
+        and len(sheds) == expected_sheds
+        and len(accepted) == BURST - expected_sheds
+        and all(hint > 0 for hint in sheds)
+        and shed_counter >= expected_sheds
+        and len(retried) == expected_sheds
+        and saturated_status[0][0] == 503
+        and final_status == 200
+        and final_body.get("ready") is True
+    )
+    print(f"smoke      : {'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,24 @@ Start method: ``fork`` where available (Linux; ~3ms per worker), else
 variable.  Workers import nothing at runtime — everything they need is
 imported when this module loads — which keeps ``fork`` safe even when
 the pool is spawned from a threaded host like the serve daemon.
+
+**Supervision.**  A worker process dying (OOM kill, crash, operator
+mistake) or hanging mid-window does not fail the query.  The
+coordinator detects the failure — a liveness check on every wait-loop
+tick plus a per-window heartbeat deadline for hung-but-alive workers —
+drains the surviving messages of the other workers (announcements
+already on the wire register exactly once), respawns the failed worker
+and rebuilds its ref table from the coordinator's mirror, then replays
+the lost window.  Because expansions are applied strictly in frontier
+order, the applied prefix is untouched and the replayed remainder grows
+the *identical* graph: recovery is byte-for-byte invisible in states,
+verdicts, checkpoints and ``peak_frontier``.  After a bounded respawn
+budget (``AnalysisSession(max_worker_restarts=...)``, default
+``DEFAULT_MAX_WORKER_RESTARTS``) the session degrades to the sequential
+explorer instead — slower, never wrong, never a failed query — and the
+downgrade is recorded in metrics (``parallel.degraded``) and the run
+ledger.  Every recovery shows up as ``parallel.worker_restarts`` /
+``parallel.windows_replayed`` counters and a flight-recorder incident.
 """
 
 from __future__ import annotations
@@ -71,12 +89,16 @@ from ..core.semantics import MemoizingSemantics, Transition
 from ..core.serialize import scheme_from_dict, scheme_to_dict
 from ..errors import AnalysisError
 from ..obs.metrics import MetricsRegistry, registry_from_dict
+from ..obs.recorder import record_incident
 from .explore import DEFAULT_MAX_STATES, StateGraph
 
 __all__ = [
     "DEFAULT_CHUNK_STATES",
+    "DEFAULT_MAX_WORKER_RESTARTS",
+    "DEFAULT_WINDOW_HEARTBEAT",
     "START_METHOD_ENV",
     "WINDOW_CHUNKS_PER_WORKER",
+    "WorkerFailure",
     "WorkerPool",
     "default_start_method",
     "explore_parallel",
@@ -101,6 +123,31 @@ _WAIT_INTERVAL = 0.05
 
 #: Seconds to wait for a worker to exit cleanly before terminating it.
 _JOIN_TIMEOUT = 2.0
+
+#: Worker respawns a session tolerates before degrading to sequential
+#: exploration (override per session with ``max_worker_restarts=``).
+DEFAULT_MAX_WORKER_RESTARTS = 3
+
+#: Seconds of mid-window silence (no message from any worker while
+#: chunks are in flight) before in-flight workers are declared hung and
+#: respawned.  Generous on purpose: a real chunk takes milliseconds, so
+#: a minute of silence is a wedged process, not a slow one.
+DEFAULT_WINDOW_HEARTBEAT = 60.0
+
+
+class WorkerFailure(AnalysisError):
+    """One or more exploration workers died or hung mid-exploration.
+
+    Raised by :meth:`WorkerPool.check_alive` and the explore loop's
+    receive/dispatch paths; :func:`explore_parallel` catches it and
+    recovers (respawn + window replay) within the session's respawn
+    budget, so it only escapes to callers driving the pool directly.
+    ``indices`` names the failed workers.
+    """
+
+    def __init__(self, message: str, indices) -> None:
+        super().__init__(message)
+        self.indices: Tuple[int, ...] = tuple(indices)
 
 
 def default_start_method() -> str:
@@ -133,6 +180,7 @@ def _worker_main(connection, scheme_payload: Dict[str, Any], index: int) -> None
     Protocol (coordinator -> worker)::
 
         ("expand", round_id, chunk_id, [("s", HState) | ("r", ref), ...])
+        ("seed", [HState, ...])
         ("stop",)
 
     and back::
@@ -167,6 +215,13 @@ def _worker_main(connection, scheme_payload: Dict[str, Any], index: int) -> None
                 break
             if message[0] == "stop":
                 break
+            if message[0] == "seed":
+                # a respawned worker inherits its predecessor's ref table
+                # (the coordinator's mirror), so dispatch keeps sending
+                # previously-announced states as bare integers
+                by_ref = [semantics.intern(state) for state in message[1]]
+                refs = {state: ref for ref, state in enumerate(by_ref)}
+                continue
             _op, round_id, chunk_id, items = message
             try:
                 started = time.perf_counter()
@@ -287,17 +342,33 @@ class WorkerPool:
     ``ensure_explored`` already.
     """
 
-    def __init__(self, scheme, size: int, *, start_method: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        scheme,
+        size: int,
+        *,
+        start_method: Optional[str] = None,
+        heartbeat: Optional[float] = DEFAULT_WINDOW_HEARTBEAT,
+    ) -> None:
         if not isinstance(size, int) or isinstance(size, bool) or size < 1:
             raise AnalysisError(f"worker pool size must be a positive int, got {size!r}")
         self.scheme = scheme
         self.size = size
         self.start_method = start_method or default_start_method()
         self.closed = False
+        #: Per-window hang deadline (seconds of silence; ``None`` = off).
+        self.heartbeat = heartbeat
         #: Chunks executed by a worker outside its own signature shard.
         self.steals = 0
         #: Window-synchronous rounds run through this pool.
         self.rounds = 0
+        #: Workers respawned after a death or hang (see :meth:`respawn`).
+        self.restarts = 0
+        #: Optional :class:`~repro.robust.ProcessFaultPlan` (chaos hook);
+        #: consulted once per round by :meth:`inject_process_faults`.
+        self.fault_plan = None
+        #: SIGKILLs delivered on behalf of :attr:`fault_plan`.
+        self.chaos_kills = 0
         self.workers: List[_WorkerHandle] = []
         self._round_seq = itertools.count(1)
         #: canonical state -> (worker index, ref) of its first announcer;
@@ -305,23 +376,28 @@ class WorkerPool:
         self._origin: Dict[HState, Tuple[int, int]] = {}
         #: signature (interned, identity-keyed) -> shard index.
         self._shards: Dict[Signature, int] = {}
-        context = get_context(self.start_method)
-        payload = scheme_to_dict(scheme)
+        self._context = get_context(self.start_method)
+        self._payload = scheme_to_dict(scheme)
         try:
             for index in range(size):
-                ours, theirs = context.Pipe()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(theirs, payload, index),
-                    name=f"rpcheck-explore-{index}",
-                    daemon=True,
-                )
-                process.start()
-                theirs.close()
+                process, ours = self._spawn(index)
                 self.workers.append(_WorkerHandle(index, process, ours))
         except Exception:
             self.close()
             raise
+
+    def _spawn(self, index: int):
+        """Start one worker process; returns ``(process, connection)``."""
+        ours, theirs = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(theirs, self._payload, index),
+            name=f"rpcheck-explore-{index}",
+            daemon=True,
+        )
+        process.start()
+        theirs.close()
+        return process, ours
 
     # ------------------------------------------------------------------
 
@@ -364,31 +440,116 @@ class WorkerPool:
                 origin[canonical] = (handle.index, ref)
 
     def drain(self, semantics, registry: Optional[MetricsRegistry] = None) -> int:
-        """Consume pending messages from abandoned rounds (keep tables in sync)."""
+        """Consume pending messages from abandoned rounds (keep tables in sync).
+
+        Tolerates dead workers: a worker that died mid-``send`` leaves a
+        pipe that polls ready and then raises ``EOFError`` (or a
+        truncated-pickle ``OSError``) on ``recv`` — its surviving
+        complete messages before the break are still registered, so the
+        coordinator's ref-table mirror never desynchronises on the
+        respawn path.
+        """
         drained = 0
         for handle in self.workers:
             connection = handle.connection
-            while connection.poll():
-                message = connection.recv()
-                if message[0] == "result":
-                    self.register(handle, message[4], semantics)
-                    if registry is not None and message[5]:
-                        registry.merge(registry_from_dict(message[5]))
-                drained += 1
+            try:
+                while connection.poll():
+                    message = connection.recv()
+                    if message[0] == "result":
+                        self.register(handle, message[4], semantics)
+                        if registry is not None and message[5]:
+                            registry.merge(registry_from_dict(message[5]))
+                    drained += 1
+            except (EOFError, OSError):
+                continue  # dead worker; survivors' messages already mirrored
         return drained
 
-    def check_alive(self) -> None:
-        for handle in self.workers:
-            if not handle.process.is_alive():
-                raise AnalysisError(
-                    f"exploration worker {handle.index} died "
-                    f"(exit code {handle.process.exitcode})"
-                )
+    def check_alive(self, semantics=None, registry=None) -> None:
+        """Raise :class:`WorkerFailure` naming every dead worker.
+
+        When *semantics* is given, surviving result messages are drained
+        from **all** workers first (see :meth:`drain`), so in-flight
+        progress — states other workers announced while one died — is
+        registered exactly once before the recovery path takes over.
+        """
+        dead = [
+            handle
+            for handle in self.workers
+            if not handle.process.is_alive()
+        ]
+        if not dead:
+            return
+        if semantics is not None:
+            self.drain(semantics, registry)
+        detail = ", ".join(
+            f"{handle.index} (exit code {handle.process.exitcode})"
+            for handle in dead
+        )
+        raise WorkerFailure(
+            f"exploration worker(s) died: {detail}",
+            [handle.index for handle in dead],
+        )
+
+    def respawn(self, indices, semantics, registry=None) -> None:
+        """Replace the workers at *indices* with fresh processes.
+
+        Surviving messages are drained first, then each replacement is
+        seeded with its predecessor's announcement table (the
+        coordinator's mirror), so refs the coordinator already knows —
+        and will keep sending as bare integers — resolve identically in
+        the new process.  A hung-but-alive worker is SIGKILLed before
+        its slot is reused.
+        """
+        self.drain(semantics, registry)
+        for index in indices:
+            handle = self.workers[index]
+            process = handle.process
+            if process.is_alive():  # hung, not dead: reap it ourselves
+                process.kill()
+            process.join(_JOIN_TIMEOUT)
+            try:
+                handle.connection.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            handle.process, handle.connection = self._spawn(index)
+            if handle.table:
+                handle.connection.send(("seed", list(handle.table)))
+            self.restarts += 1
+
+    def inject_process_faults(self) -> Tuple[int, ...]:
+        """SIGKILL this round's victims per :attr:`fault_plan` (chaos hook).
+
+        Returns the indices killed.  No-op without a plan.  Victims are
+        killed *before* dispatch so the window exercises the real
+        detect/drain/respawn/replay path; the kill is waited on so the
+        liveness check cannot race a zombie that still reports alive.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return ()
+        remaining = plan.max_kills - self.chaos_kills
+        if remaining <= 0:
+            return ()
+        victims = plan.victims(self.rounds, self.size)[:remaining]
+        for index in victims:
+            process = self.workers[index].process
+            if process.is_alive():
+                process.kill()
+                process.join(_JOIN_TIMEOUT)
+                self.chaos_kills += 1
+        return victims
 
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Stop and reap every worker (idempotent)."""
+        """Stop and reap every worker (idempotent, bounded).
+
+        Escalation ladder per worker: cooperative ``("stop",)`` →
+        ``terminate()`` (SIGTERM) → ``kill()`` (SIGKILL), each given
+        ``_JOIN_TIMEOUT`` seconds — so shutdown is bounded even with a
+        wedged (e.g. SIGSTOPped) worker that ignores SIGTERM.
+        Connections are closed unconditionally.
+        """
         if self.closed:
             return
         self.closed = True
@@ -398,14 +559,19 @@ class WorkerPool:
             except (OSError, ValueError, BrokenPipeError):
                 pass
         for handle in self.workers:
-            handle.process.join(_JOIN_TIMEOUT)
-            if handle.process.is_alive():  # pragma: no cover - stuck worker
-                handle.process.terminate()
-                handle.process.join(_JOIN_TIMEOUT)
             try:
-                handle.connection.close()
-            except OSError:  # pragma: no cover - already gone
-                pass
+                handle.process.join(_JOIN_TIMEOUT)
+                if handle.process.is_alive():  # pragma: no cover - stuck worker
+                    handle.process.terminate()
+                    handle.process.join(_JOIN_TIMEOUT)
+                if handle.process.is_alive():  # pragma: no cover - wedged worker
+                    handle.process.kill()
+                    handle.process.join(_JOIN_TIMEOUT)
+            finally:
+                try:
+                    handle.connection.close()
+                except OSError:  # pragma: no cover - already gone
+                    pass
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -458,11 +624,18 @@ def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
     steals_counter = metrics.counter(
         "parallel.steals", "chunks executed outside their signature shard"
     )
+    metrics.counter(
+        "parallel.worker_restarts",
+        "exploration workers respawned after a death or hang",
+    )
+    metrics.counter(
+        "parallel.windows_replayed",
+        "frontier windows replayed after a worker failure",
+    )
     stopped = False
     next_progress = session._expanded + session._progress_interval
     window_cap = DEFAULT_CHUNK_STATES * pool.size * WINDOW_CHUNKS_PER_WORKER
-    connections = [handle.connection for handle in pool.workers]
-    by_connection = {handle.connection: handle for handle in pool.workers}
+    recover: Optional[WorkerFailure] = None
     try:
         with session.tracer.span(
             "session.explore",
@@ -478,10 +651,17 @@ def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
                         expanded=session._expanded,
                     )
                 pool.drain(semantics, metrics)
-                pool.check_alive()
+                pool.check_alive(semantics, metrics)
                 round_id = next(pool._round_seq)
                 pool.rounds += 1
                 rounds_counter.inc()
+                if pool.inject_process_faults():
+                    pool.check_alive(semantics, metrics)
+                # respawns swap pipes out, so the wait set is per-round
+                connections = [handle.connection for handle in pool.workers]
+                by_connection = {
+                    handle.connection: handle for handle in pool.workers
+                }
                 window = list(itertools.islice(queue, min(len(queue), window_cap)))
 
                 # shard by signature, then cut shards into chunks
@@ -525,9 +705,16 @@ def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
                             payload.append(("s", state))
                     chunk_id = next(chunk_seq)
                     chunk_positions[chunk_id] = positions
-                    pool.workers[worker].connection.send(
-                        ("expand", round_id, chunk_id, payload)
-                    )
+                    try:
+                        pool.workers[worker].connection.send(
+                            ("expand", round_id, chunk_id, payload)
+                        )
+                    except (OSError, ValueError) as exc:
+                        raise WorkerFailure(
+                            f"exploration worker {worker} unreachable at "
+                            f"dispatch: {exc}",
+                            [worker],
+                        )
                     inflight[worker] += 1
                     return True
 
@@ -538,27 +725,44 @@ def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
                 next_apply = 0
                 completed = 0
                 aborted = False
+                last_message = time.monotonic()
                 while completed < total_chunks and not aborted:
                     ready = _wait_ready(connections, _WAIT_INTERVAL)
                     if not ready:
                         # nothing arrived: keep the budget honest and
-                        # notice dead workers instead of hanging
+                        # notice dead or hung workers instead of hanging
                         if ambient is not None:
                             ambient.check(
                                 states=len(graph.states),
                                 frontier=len(queue),
                                 expanded=session._expanded,
                             )
-                        pool.check_alive()
+                        pool.check_alive(semantics, metrics)
+                        if (
+                            pool.heartbeat is not None
+                            and time.monotonic() - last_message > pool.heartbeat
+                        ):
+                            hung = [
+                                i for i in range(pool.size) if inflight[i] > 0
+                            ]
+                            if hung:
+                                raise WorkerFailure(
+                                    f"exploration worker(s) {hung} silent "
+                                    f"past the {pool.heartbeat:g}s window "
+                                    f"heartbeat",
+                                    hung,
+                                )
                         continue
+                    last_message = time.monotonic()
                     for connection in ready:
                         handle = by_connection[connection]
                         try:
                             message = connection.recv()
-                        except EOFError:
-                            raise AnalysisError(
+                        except (EOFError, OSError):
+                            raise WorkerFailure(
                                 f"exploration worker {handle.index} exited "
-                                f"mid-round"
+                                f"mid-round",
+                                [handle.index],
                             )
                         if message[0] == "error":
                             raise AnalysisError(
@@ -640,7 +844,10 @@ def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
                 states=len(graph.states),
                 expanded=session._expanded - expanded_before,
                 stopped=stopped,
+                worker_restarts=session._worker_restarts,
             )
+    except WorkerFailure as failure:
+        recover = failure
     finally:
         graph.complete = not queue
         graph.unexpanded = list(queue)
@@ -648,4 +855,69 @@ def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
             stats.explorations += 1
         stats.explore_seconds += time.perf_counter() - started
         session._sync_stats()
+    if recover is not None:
+        return _recover(session, pool, recover, max_states, stop_when=stop_when)
     return graph
+
+
+def _recover(session, pool, failure, max_states, *, stop_when):
+    """Respawn *failure*'s workers and replay, or degrade to sequential.
+
+    The coordinator applies expansions strictly in frontier order, so at
+    the moment of failure the applied prefix of the window has already
+    left the queue and the unapplied suffix is still on it — respawning
+    the dead workers (seeded with the coordinator's ref-table mirror)
+    and re-entering the explore loop re-windows exactly the lost work.
+    Recovery is therefore byte-identical to an undisturbed run.
+
+    Once the respawn budget is spent, the session finishes the query
+    **sequentially** on the same frontier instead of failing it; the
+    downgrade is visible in ``parallel.degraded``, the flight recorder,
+    and the run ledger's ``extra.worker_restarts``.
+    """
+    metrics = session.metrics
+    semantics = session.semantics
+    indices = sorted(set(failure.indices))
+    restart_limit = session.max_worker_restarts
+    if restart_limit is None:
+        restart_limit = DEFAULT_MAX_WORKER_RESTARTS
+    if session._worker_restarts + len(indices) > restart_limit:
+        record_incident(
+            session,
+            failure,
+            reason="parallel exploration degraded to sequential",
+            context={
+                "workers": indices,
+                "restarts": session._worker_restarts,
+                "restart_limit": restart_limit,
+            },
+        )
+        metrics.counter(
+            "parallel.degraded",
+            "sessions degraded to sequential exploration after exhausting "
+            "the worker-respawn budget",
+        ).inc()
+        session.close()  # reap the surviving workers
+        session._parallel_degraded = True
+        return session.explore(max_states, stop_when=stop_when)
+    record_incident(
+        session,
+        failure,
+        reason="exploration worker failure",
+        context={
+            "workers": indices,
+            "round": pool.rounds,
+            "restarts_before": session._worker_restarts,
+        },
+    )
+    pool.respawn(indices, semantics, metrics)
+    session._worker_restarts += len(indices)
+    metrics.counter(
+        "parallel.worker_restarts",
+        "exploration workers respawned after a death or hang",
+    ).inc(len(indices))
+    metrics.counter(
+        "parallel.windows_replayed",
+        "frontier windows replayed after a worker failure",
+    ).inc()
+    return explore_parallel(session, max_states, stop_when=stop_when)

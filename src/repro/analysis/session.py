@@ -250,6 +250,7 @@ class AnalysisSession:
         semantics: Optional[MemoizingSemantics] = None,
         budget: Optional[Any] = None,
         workers: int = 1,
+        max_worker_restarts: Optional[int] = None,
     ) -> None:
         self.scheme = scheme
         if semantics is not None and semantics.scheme is not scheme:
@@ -301,6 +302,24 @@ class AnalysisSession:
                 f"workers must be a positive int, got {workers!r}"
             )
         self._workers = workers
+        if max_worker_restarts is not None and (
+            not isinstance(max_worker_restarts, int)
+            or isinstance(max_worker_restarts, bool)
+            or max_worker_restarts < 0
+        ):
+            raise AnalysisError(
+                "max_worker_restarts must be None or a non-negative int, "
+                f"got {max_worker_restarts!r}"
+            )
+        #: Worker respawns tolerated before degrading to sequential
+        #: exploration; ``None`` uses the engine default
+        #: (:data:`repro.analysis.parallel.DEFAULT_MAX_WORKER_RESTARTS`).
+        self.max_worker_restarts = max_worker_restarts
+        #: Worker respawns performed on behalf of this session so far.
+        self._worker_restarts = 0
+        #: Set when the respawn budget ran out: exploration continues
+        #: sequentially until :attr:`workers` is assigned again.
+        self._parallel_degraded = False
         #: Lazily spawned repro.analysis.parallel.WorkerPool (workers > 1).
         self._pool = None
         self._frontier_gauge.set(len(self._queue))
@@ -497,6 +516,9 @@ class AnalysisSession:
             self._pool.close()
             self._pool = None
         self._workers = value
+        # an explicit worker-count assignment re-arms a session that
+        # degraded to sequential after exhausting its respawn budget
+        self._parallel_degraded = False
 
     def _ensure_pool(self):
         """The session's :class:`~repro.analysis.parallel.WorkerPool`."""
@@ -630,7 +652,7 @@ class AnalysisSession:
         overshoot rule, same stop-when semantics — and grows the same
         graph, state for state.
         """
-        if self._workers > 1:
+        if self._workers > 1 and not self._parallel_degraded:
             from .parallel import explore_parallel
 
             return explore_parallel(self, max_states, stop_when=stop_when)

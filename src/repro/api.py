@@ -637,6 +637,12 @@ def execute(
                 # per-worker attribution, so `rpcheck diff` can tell a
                 # parallelism win from an algorithmic one
                 extra["worker_expansions"] = expansions
+            restarts = metrics_snapshot.get("parallel.worker_restarts")
+            if isinstance(restarts, Mapping) and restarts.get("value"):
+                # worker deaths were survived; make the recovery auditable
+                extra["worker_restarts"] = int(restarts["value"])
+            if metrics_snapshot.get("parallel.degraded", {}).get("value"):
+                extra["parallel_degraded"] = True
             ledger.append(
                 make_entry(
                     kind=ledger_kind,

@@ -129,6 +129,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "identical verdicts — see docs/performance.md)",
     )
     parser.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker respawns tolerated before a sharded run degrades to "
+        "sequential exploration (default: engine default; see "
+        "docs/robustness.md)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print the analysis session's counters (states, caches, timings)",
@@ -646,6 +655,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             session = AnalysisSession.restore(
                 load_checkpoint(args.resume), scheme=scheme, tracer=tracer,
                 workers=args.workers,
+                max_worker_restarts=args.max_worker_restarts,
             )
         except (CheckpointError, RPError) as error:
             print(f"rpcheck: cannot resume from {args.resume}: {error}",
@@ -656,7 +666,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({len(session.graph)} states, {session.expanded_count} expanded)"
         )
     else:
-        session = AnalysisSession(scheme, tracer=tracer, workers=args.workers)
+        session = AnalysisSession(
+            scheme, tracer=tracer, workers=args.workers,
+            max_worker_restarts=args.max_worker_restarts,
+        )
 
     started_wall = time.perf_counter()
     started_cpu = time.process_time()
@@ -691,6 +704,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 expansions = worker_expansions(metrics_snapshot)
                 if expansions:
                     extra["worker_expansions"] = expansions
+                restarts = metrics_snapshot.get("parallel.worker_restarts", {})
+                if restarts.get("value"):
+                    extra["worker_restarts"] = int(restarts["value"])
+                if metrics_snapshot.get("parallel.degraded", {}).get("value"):
+                    extra["parallel_degraded"] = True
                 entry = ledger_sink.finish(
                     scheme=scheme,
                     procedures=procedures,

@@ -28,7 +28,13 @@ from ..errors import (
     FaultInjected,
 )
 from .budget import Budget, CancelToken, memory_bytes
-from .chaos import FAULT_KINDS, ChaosSemantics, FaultPlan
+from .chaos import (
+    FAULT_KINDS,
+    ChaosSemantics,
+    FaultPlan,
+    ProcessFaultPlan,
+    install_process_faults,
+)
 from .checkpoint import (
     CHECKPOINT_FORMAT,
     checkpoint_session,
@@ -59,4 +65,6 @@ __all__ = [
     "FaultPlan",
     "ChaosSemantics",
     "FAULT_KINDS",
+    "ProcessFaultPlan",
+    "install_process_faults",
 ]

@@ -23,7 +23,7 @@ into a **daemon**:
 See ``docs/serving.md`` for the protocol walkthrough.
 """
 
-from .client import ServeClient, client_main
+from .client import ServeClient, ServeError, ServeOverloaded, client_main
 from .daemon import ServeDaemon, daemon_in_thread, serve_main
 from .pool import PooledScheme, SessionPool
 
@@ -31,6 +31,8 @@ __all__ = [
     "PooledScheme",
     "ServeClient",
     "ServeDaemon",
+    "ServeError",
+    "ServeOverloaded",
     "SessionPool",
     "client_main",
     "daemon_in_thread",

@@ -12,12 +12,22 @@ three places at once.
 
 Blocking and thread-compatible, not thread-*safe*: one client per
 thread (each opens its own connection; the daemon multiplexes).
+
+Resilience: analysis queries are **idempotent** (same request, same
+answer — the differential gates pin it), so the client retries them.  A
+dropped connection — daemon restart, transient socket error — triggers
+reconnect-and-resend with jittered exponential backoff; a structured
+``overloaded`` rejection (the daemon shedding load, see
+docs/serving.md) is retried after the server's ``retry_after`` hint.
+``max_retries=0`` restores fail-fast behaviour.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from ..api import (
@@ -28,30 +38,101 @@ from ..api import (
     TraceOptions,
 )
 
-__all__ = ["ServeClient", "client_main"]
+__all__ = ["ServeClient", "ServeError", "ServeOverloaded", "client_main"]
 
 
 class ServeError(ApiError):
     """The daemon answered with a protocol-level error (or hung up)."""
 
 
+class ServeOverloaded(ServeError):
+    """The daemon shed this request at admission (queue full).
+
+    ``retry_after`` carries the daemon's backoff hint in seconds.
+    Raised to the caller only once the client's retry budget is spent
+    (or with ``max_retries=0``).
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class _ConnectionLost(ServeError):
+    """Internal: the transport died mid-exchange (retryable)."""
+
+
 class ServeClient:
     """One blocking NDJSON connection to a :class:`ServeDaemon`."""
 
-    def __init__(self, socket_path: str, *, timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        timeout: float = 120.0,
+        max_retries: int = 3,
+        backoff: float = 0.1,
+        backoff_max: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
         self.socket_path = str(socket_path)
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(self.socket_path)
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self.max_retries = max(0, max_retries)
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        #: Reconnect/overload retries performed over this client's life.
+        self.retries = 0
+        #: Optional MetricsRegistry mirroring retries as
+        #: ``serve.client_retries`` (ties client behaviour into the same
+        #: observability artefacts as the server-side counters).
+        self.metrics = metrics
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
 
     # ------------------------------------------------------------------
 
-    def close(self) -> None:
+    def _connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
         try:
-            self._file.close()
+            sock.connect(self.socket_path)
+        except OSError:
+            sock.close()
+            raise
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def _disconnect(self) -> None:
+        file, sock = self._file, self._sock
+        self._file = self._sock = None
+        try:
+            if file is not None:
+                file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._connect()
+
+    def _delay(self, attempt: int) -> float:
+        """Jittered exponential backoff for retry *attempt* (0-based)."""
+        base = min(self.backoff_max, self.backoff * (2**attempt))
+        return base * (0.5 + 0.5 * self._rng.random())
+
+    def close(self) -> None:
+        self._disconnect()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -73,7 +154,7 @@ class ServeClient:
     def _read_line(self) -> Dict[str, Any]:
         line = self._file.readline()
         if not line:
-            raise ServeError("daemon closed the connection")
+            raise _ConnectionLost("daemon closed the connection")
         payload = json.loads(line)
         if not isinstance(payload, dict):
             raise ServeError(f"daemon sent a non-object line: {payload!r}")
@@ -81,18 +162,12 @@ class ServeClient:
 
     # ------------------------------------------------------------------
 
-    def request(
+    def _exchange(
         self,
         request: AnalysisRequest,
-        *,
-        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]],
     ) -> AnalysisResponse:
-        """Send one :class:`AnalysisRequest`, return the typed response.
-
-        ``on_event`` receives each streamed ``record`` dict as it
-        arrives (only meaningful with ``trace.stream=True``); event
-        callback errors are the caller's problem — they propagate.
-        """
+        """One send/receive round trip (no retry)."""
         self._send_line(request.to_json_dict())
         while True:
             payload = self._read_line()
@@ -105,9 +180,54 @@ class ServeClient:
                 return AnalysisResponse.from_json_dict(
                     payload.get("response") or {}
                 )
+            if kind == "overloaded":
+                raise ServeOverloaded(
+                    str(payload.get("message") or "daemon overloaded"),
+                    float(payload.get("retry_after") or 0.0),
+                )
             if kind == "error":
                 raise ServeError(str(payload.get("message")))
             raise ServeError(f"unexpected line type {kind!r}")
+
+    def request(
+        self,
+        request: AnalysisRequest,
+        *,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> AnalysisResponse:
+        """Send one :class:`AnalysisRequest`, return the typed response.
+
+        ``on_event`` receives each streamed ``record`` dict as it
+        arrives (only meaningful with ``trace.stream=True``); event
+        callback errors are the caller's problem — they propagate.
+
+        Retries up to ``max_retries`` times: a lost connection
+        reconnects and resends (queries are idempotent; streamed events
+        may replay); an ``overloaded`` rejection waits out the larger of
+        the daemon's ``retry_after`` hint and the client's own jittered
+        exponential backoff, then resends on the same connection.
+        """
+        attempt = 0
+        while True:
+            try:
+                self._ensure_connected()
+                return self._exchange(request, on_event)
+            except ServeOverloaded as overloaded:
+                if attempt >= self.max_retries:
+                    raise
+                self._sleep(max(overloaded.retry_after, self._delay(attempt)))
+            except (_ConnectionLost, OSError):
+                self._disconnect()
+                if attempt >= self.max_retries:
+                    raise
+                self._sleep(self._delay(attempt))
+            attempt += 1
+            self.retries += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "serve.client_retries",
+                    "client-side reconnect/overload retries",
+                ).inc()
 
     def query(
         self,
@@ -138,6 +258,7 @@ class ServeClient:
     # ------------------------------------------------------------------
 
     def _op(self, op: str, expect: str) -> Dict[str, Any]:
+        self._ensure_connected()
         self._send_line({"op": op})
         payload = self._read_line()
         if payload.get("type") != expect:

@@ -74,6 +74,7 @@ from .pool import DEFAULT_MAX_ENTRIES, SessionPool
 
 __all__ = [
     "DEFAULT_CONCURRENCY",
+    "DEFAULT_MAX_QUEUE",
     "ServeDaemon",
     "daemon_in_thread",
     "serve_main",
@@ -81,6 +82,24 @@ __all__ = [
 
 #: Worker threads executing queries concurrently (per daemon).
 DEFAULT_CONCURRENCY = 4
+
+#: Queries allowed to wait for a worker before admission sheds load
+#: (``--max-queue``).  Bounds daemon memory and queue latency: request
+#: number ``concurrency + max_queue + 1`` gets a structured
+#: ``overloaded`` rejection instead of a silently growing queue.
+DEFAULT_MAX_QUEUE = 64
+
+#: Cancel reason installed by the per-query watchdog; ``_run_query``
+#: reaps the session's exploration worker pool when it sees it.
+_WATCHDOG_REASON = "query watchdog timeout"
+
+
+class _Overloaded(Exception):
+    """Admission rejected a request (queue at ``max_queue``)."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"admission queue full; retry after {retry_after}s")
+        self.retry_after = retry_after
 
 
 def _encode(payload: Dict[str, Any]) -> bytes:
@@ -124,6 +143,8 @@ class ServeDaemon:
         http_port: Optional[int] = None,
         pool_size: int = DEFAULT_MAX_ENTRIES,
         concurrency: int = DEFAULT_CONCURRENCY,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        query_timeout: Optional[float] = None,
         ledger_path: Optional[str] = None,
         flight_dir: Optional[str] = None,
     ) -> None:
@@ -132,12 +153,25 @@ class ServeDaemon:
         self.bound_http_port: Optional[int] = None
         self.pool = SessionPool(pool_size)
         self.concurrency = max(1, concurrency)
+        self.max_queue = max(0, max_queue)
+        #: Per-query wall-clock watchdog: past this many seconds the
+        #: query's cancel token fires and its session's worker pool is
+        #: reaped, so one stuck query cannot pin a worker thread forever.
+        self.query_timeout = query_timeout
         self.ledger = (
             Ledger(ledger_path) if ledger_path is not None else None
         )
         self.flight_dir = flight_dir
         self.served = 0
         self.errors = 0
+        #: Requests rejected at admission (queue full).
+        self.shed = 0
+        #: Queries whose watchdog fired (cancelled + pool reaped).
+        self.watchdog_reaped = 0
+        #: Queries admitted and not yet answered (executing + queued).
+        self._pending = 0
+        #: EWMA of recent query seconds — the ``retry_after`` basis.
+        self._recent_seconds = 0.1
         self._connections: "set[asyncio.Task]" = set()
         self._servers: List[asyncio.AbstractServer] = []
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -218,6 +252,16 @@ class ServeDaemon:
         merged.counter("serve.errors", "served queries that returned errors").inc(
             self.errors
         )
+        merged.counter(
+            "serve.shed", "requests rejected at admission (queue full)"
+        ).inc(self.shed)
+        merged.counter(
+            "serve.watchdog_reaped",
+            "queries cancelled by the per-query watchdog",
+        ).inc(self.watchdog_reaped)
+        merged.gauge(
+            "serve.queue_depth", "admitted queries waiting for a worker"
+        ).set(max(0, self._pending - self.concurrency))
         merged.gauge("serve.pool_schemes", "warm schemes in the pool").set(
             len(self.pool)
         )
@@ -424,7 +468,20 @@ class ServeDaemon:
                         )
                     )
 
-        response = await self._execute(request, token, deliver)
+        try:
+            response = await self._execute(request, token, deliver)
+        except _Overloaded as overloaded:
+            if not writer.is_closing():
+                await self._send(
+                    writer,
+                    {
+                        "type": "overloaded",
+                        "request_id": request.request_id,
+                        "retry_after": overloaded.retry_after,
+                        "message": str(overloaded),
+                    },
+                )
+            return
         if not writer.is_closing():
             await self._send(
                 writer, {"type": "response", "response": response.to_json_dict()}
@@ -465,14 +522,56 @@ class ServeDaemon:
         if deliver is not None:
             sinks = (_StreamSink(loop, deliver),)
         assert self._admission is not None
-        async with self._admission:  # FIFO: asyncio wakes waiters in order
-            response = await asyncio.to_thread(
-                self._run_query, request, budget, sinks
-            )
+        # Bounded admission: past ``concurrency`` executing plus
+        # ``max_queue`` waiting, shed instead of queueing — an explicit,
+        # immediate ``overloaded`` beats a silent ever-deeper queue.
+        if self._pending >= self.concurrency + self.max_queue:
+            self.shed += 1
+            raise _Overloaded(self._retry_after())
+        self._pending += 1
+        started = loop.time()
+        try:
+            async with self._admission:  # FIFO: asyncio wakes waiters in order
+                work = asyncio.ensure_future(
+                    asyncio.to_thread(self._run_query, request, budget, sinks)
+                )
+                if self.query_timeout is None:
+                    response = await work
+                else:
+                    try:
+                        response = await asyncio.wait_for(
+                            asyncio.shield(work), self.query_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        # reap, don't abandon: cancel cooperatively and
+                        # wait for the structured partial — the worker
+                        # thread unwinds at its next budget check even
+                        # with a wedged exploration pool (the wait loop
+                        # polls the budget), and _run_query closes that
+                        # pool on its way out
+                        token.cancel(_WATCHDOG_REASON)
+                        self.watchdog_reaped += 1
+                        response = await work
+        finally:
+            self._pending -= 1
+        # EWMA over answered queries: the basis for retry_after hints
+        elapsed = max(loop.time() - started, 1e-3)
+        self._recent_seconds += 0.2 * (elapsed - self._recent_seconds)
         self.served += 1
         if response.error is not None:
             self.errors += 1
         return response
+
+    def _retry_after(self) -> float:
+        """A shed response's backoff hint, from observed service time.
+
+        Estimates when a queue slot frees up: the whole backlog must
+        drain through ``concurrency`` workers at the recent per-query
+        pace.  Clamped to [0.05s, 10s] — a hint, not a promise.
+        """
+        backlog = max(1, self._pending - self.concurrency + 1)
+        estimate = self._recent_seconds * backlog / self.concurrency
+        return round(min(10.0, max(0.05, estimate)), 3)
 
     def _run_query(
         self,
@@ -527,14 +626,26 @@ class ServeDaemon:
                     # worker count never leaks into the next query
                     if request.workers is None:
                         entry.session.workers = 1
-                    return execute(
-                        request,
-                        scheme=entry.scheme,
-                        session=entry.session,
-                        budget=budget,
-                        ledger=self.ledger,
-                        ledger_kind="serve",
-                    )
+                    try:
+                        return execute(
+                            request,
+                            scheme=entry.scheme,
+                            session=entry.session,
+                            budget=budget,
+                            ledger=self.ledger,
+                            ledger_kind="serve",
+                        )
+                    finally:
+                        token = budget.cancel
+                        if token is not None and token.cancelled:
+                            # cancelled mid-query (watchdog timeout or
+                            # client hangup): the exploration worker
+                            # pool may be mid-window or the thing that
+                            # was stuck — reap it while still holding
+                            # the entry lock so no worker process
+                            # outlives its query (the session stays
+                            # pooled; the pool respawns lazily)
+                            entry.session.close()
             finally:
                 self.pool.checkin(entry)
 
@@ -568,9 +679,13 @@ class ServeDaemon:
             data = body.encode("utf-8")
         else:
             data = json.dumps(body, default=repr).encode("utf-8")
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
-            status, "Internal Server Error"
-        )
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            429: "Too Many Requests",
+            503: "Service Unavailable",
+        }.get(status, "Internal Server Error")
         writer.write(
             (
                 f"HTTP/1.1 {status} {reason}\r\n"
@@ -621,6 +736,19 @@ class ServeDaemon:
             }, json_type
         if method == "GET" and path == "/v1/pool":
             return 200, self.pool.snapshot(), json_type
+        if method == "GET" and path == "/v1/health":
+            # liveness is answering at all; readiness is having admission
+            # capacity — load balancers and probes read the status code
+            ready = self._pending < self.concurrency + self.max_queue
+            return (200 if ready else 503), {
+                "live": True,
+                "ready": ready,
+                "executing": min(self._pending, self.concurrency),
+                "queued": max(0, self._pending - self.concurrency),
+                "max_queue": self.max_queue,
+                "shed": self.shed,
+                "served": self.served,
+            }, json_type
         if method == "GET" and path == "/v1/metrics":
             registry = await asyncio.to_thread(self.metrics_registry)
             text = prometheus_exposition(registry)
@@ -650,7 +778,15 @@ class ServeDaemon:
                     error={"type": "ApiError", "message": str(error)},
                     request_id=payload.get("request_id"),
                 ).to_json_dict(), json_type
-            response = await self._execute(request, CancelToken())
+            try:
+                response = await self._execute(request, CancelToken())
+            except _Overloaded as overloaded:
+                return 429, {
+                    "error": "overloaded",
+                    "retry_after": overloaded.retry_after,
+                    "message": str(overloaded),
+                    "request_id": payload.get("request_id"),
+                }, json_type
             return 200, response.to_json_dict(), json_type
         return 404, {"error": f"no route for {method} {path}"}, json_type
 
@@ -726,6 +862,22 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         help=f"concurrent query workers (default {DEFAULT_CONCURRENCY})",
     )
     parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=DEFAULT_MAX_QUEUE,
+        help="admitted queries allowed to wait for a worker before load "
+        f"shedding kicks in (default {DEFAULT_MAX_QUEUE}; excess requests "
+        "get a structured 'overloaded' / HTTP 429 with retry_after)",
+    )
+    parser.add_argument(
+        "--query-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query watchdog: cancel a query and reap its worker pool "
+        "past this many seconds of wall clock (default: none)",
+    )
+    parser.add_argument(
         "--ledger",
         default=None,
         help="ledger file for kind=serve entries (default: $RPCHECK_LEDGER)",
@@ -741,6 +893,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         http_port=args.http_port,
         pool_size=args.pool_size,
         concurrency=args.concurrency,
+        max_queue=args.max_queue,
+        query_timeout=args.query_timeout,
         ledger_path=default_ledger_path(args.ledger),
         flight_dir=args.flight_dir,
     )

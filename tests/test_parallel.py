@@ -291,6 +291,54 @@ class TestWorkerPool:
         with pytest.raises(AnalysisError):
             session.workers = -3
 
+    def test_check_alive_drains_survivors_before_raising(self):
+        import signal
+
+        from repro.analysis.parallel import WorkerFailure
+        from repro.core.semantics import MemoizingSemantics
+
+        scheme = wide_mix(3)
+        probe = AnalysisSession(scheme)
+        probe.explore(4)
+        semantics = MemoizingSemantics(scheme)
+        roots = [semantics.intern(state) for state in probe.graph.states]
+        pool = WorkerPool(scheme, 2)
+        try:
+            survivor = pool.workers[1]
+            survivor.connection.send(
+                ("expand", 0, 0, [("s", state) for state in roots])
+            )
+            assert survivor.connection.poll(30.0), "survivor must answer"
+            victim = pool.workers[0].process
+            victim.kill()
+            victim.join()
+            with pytest.raises(WorkerFailure) as failure:
+                pool.check_alive(semantics)
+            assert list(failure.value.indices) == [0]
+            # the survivor's in-flight announcements were mirrored, not lost
+            assert len(survivor.table) > 0
+            assert not survivor.connection.poll()
+        finally:
+            pool.close()
+
+    def test_close_escalates_to_kill_for_wedged_worker(self, monkeypatch):
+        import signal
+        import time
+
+        import repro.analysis.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "_JOIN_TIMEOUT", 0.2)
+        pool = WorkerPool(wide_mix(3), 2)
+        processes = [handle.process for handle in pool.workers]
+        for process in processes:
+            os.kill(process.pid, signal.SIGSTOP)  # ignores stop and SIGTERM
+        started = time.monotonic()
+        pool.close()
+        assert time.monotonic() - started < 10.0, "shutdown must stay bounded"
+        for process in processes:
+            assert not process.is_alive()
+        pool.close()  # still idempotent after the escalation path
+
     def test_resizing_workers_respawns_pool_lazily(self):
         session = AnalysisSession(wide_mix(3), workers=WORKERS)
         try:

@@ -277,6 +277,56 @@ class TestCancellation:
         assert entry["procedures"]["boundedness"]["verdict"] == "partial"
         assert entry["procedures"]["boundedness"]["resource"] == "cancelled"
 
+    def test_disconnect_during_sharded_query_reaps_worker_pool(self, served):
+        """Hanging up on a ``workers=2`` query cancels it *and* reaps the
+        pooled session's exploration worker pool: no orphan processes."""
+        daemon, sock, ledger = served
+        scheme = mixed_grove(3, 3)  # big enough to still be running
+        pooled = daemon.pool.adopt(scheme)
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.connect(sock)
+        request = AnalysisRequest(
+            procedure="boundedness",
+            fingerprint=pooled.fingerprint,
+            params={"max_states": 2_000_000},
+            workers=2,
+            request_id="rq-hangup-par",
+        )
+        raw.sendall(json.dumps(request.to_json_dict()).encode() + b"\n")
+        deadline = time.time() + 30
+        workers = []
+        while time.time() < deadline and not workers:
+            pool = pooled.session._pool  # materialises once sharding starts
+            if pool is not None:
+                workers = [handle.process for handle in pool.workers]
+            else:
+                time.sleep(0.05)
+        assert len(workers) == 2, "sharded query never spun up its pool"
+        # shutdown(2), not just close(): the forked exploration workers
+        # inherited this (same-process) client fd, so a bare close would
+        # never send the FIN a real remote client's hangup sends
+        raw.shutdown(socket.SHUT_RDWR)
+        raw.close()  # hang up mid-window
+        deadline = time.time() + 30
+        entries = []
+        while time.time() < deadline and not entries:
+            entries = [
+                e
+                for e in ledger.entries()
+                if e["extra"].get("request_id") == "rq-hangup-par"
+            ]
+            time.sleep(0.1)
+        assert entries, "cancelled sharded query never reached the ledger"
+        entry = entries[0]
+        assert entry["outcome"] == "partial"
+        assert entry["procedures"]["boundedness"]["resource"] == "cancelled"
+        assert pooled.session._pool is None, "cancel must reap the pool"
+        deadline = time.time() + 30
+        while time.time() < deadline and any(p.is_alive() for p in workers):
+            time.sleep(0.05)
+        for process in workers:
+            assert not process.is_alive(), "orphaned exploration worker"
+
 
 class TestRequestIsolation:
     def test_overlapping_faulting_requests_get_disjoint_bundles(self, served):
