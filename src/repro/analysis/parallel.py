@@ -49,6 +49,20 @@ into the session registry, so ``parallel.states_expanded{worker=i}``,
 worker cache hit rates and per-chunk busy seconds land in the same
 artefacts as every other metric.
 
+**Tracing.**  When the session's tracer is on, every window opens a
+``parallel.window`` span under ``session.explore`` and each dispatched
+chunk carries the window's ``traceparent`` to its worker, which runs a
+buffering :class:`~repro.obs.tracer.Tracer` around the expansion (a
+``parallel.chunk`` span with per-shard steal/exchange events) and ships
+the finished records back with its result.  The coordinator buffers the
+shipped records until the window **commits**, then re-bases their span
+ids into its own tracer's id space and re-parents them under the window
+span — one trace covers coordinator and workers with correct OTLP
+parent links, and a window replayed after a worker death traces its
+chunks exactly once (the abandoned attempt's payloads are voided with
+its rows).  With tracing off the dispatch messages say so and workers
+skip every tracing allocation, keeping the <5% overhead bar.
+
 Start method: ``fork`` where available (Linux; ~3ms per worker), else
 ``spawn``; override with the ``RP_PARALLEL_START`` environment
 variable.  Workers import nothing at runtime — everything they need is
@@ -76,6 +90,7 @@ ledger.  Every recovery shows up as ``parallel.worker_restarts`` /
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import os
 import time
@@ -90,6 +105,8 @@ from ..core.serialize import scheme_from_dict, scheme_to_dict
 from ..errors import AnalysisError
 from ..obs.metrics import MetricsRegistry, registry_from_dict
 from ..obs.recorder import record_incident
+from ..obs.sinks import MemorySink
+from ..obs.tracer import TraceContext, Tracer, trace_context
 from .explore import DEFAULT_MAX_STATES, StateGraph
 
 __all__ = [
@@ -179,13 +196,15 @@ def _worker_main(connection, scheme_payload: Dict[str, Any], index: int) -> None
 
     Protocol (coordinator -> worker)::
 
-        ("expand", round_id, chunk_id, [("s", HState) | ("r", ref), ...])
+        ("expand", round_id, chunk_id, [("s", HState) | ("r", ref), ...],
+         trace_info)
         ("seed", [HState, ...])
         ("stop",)
 
     and back::
 
-        ("result", round_id, chunk_id, rows, announced, metrics_dict)
+        ("result", round_id, chunk_id, rows, announced, metrics_dict,
+         trace_payload)
         ("error", round_id, chunk_id, message)
 
     where ``rows[i]`` lists ``(label, ref, rule, node, path, branch)``
@@ -193,6 +212,16 @@ def _worker_main(connection, scheme_payload: Dict[str, Any], index: int) -> None
     pairs for states this worker ships for the first time — refs are
     allocated densely per worker, so both sides mirror one append-only
     table and every repeat crosses the pipe as a single integer.
+
+    ``trace_info`` is ``None`` when the coordinator's tracer is off
+    (the worker then pays nothing for tracing and ships
+    ``trace_payload=None``); otherwise it is a dict carrying the
+    propagated ``traceparent`` plus this chunk's shard and stolen flag,
+    and the worker runs a buffering :class:`~repro.obs.tracer.Tracer`
+    around the expansion — a ``parallel.chunk`` span with a per-shard
+    ``parallel.exchange`` event — shipping the finished records back as
+    ``trace_payload = {"anchor": <epoch - perf_counter>, "records":
+    [...]}`` for the coordinator to re-base into its own span-id space.
     """
     import signal
 
@@ -222,7 +251,8 @@ def _worker_main(connection, scheme_payload: Dict[str, Any], index: int) -> None
                 by_ref = [semantics.intern(state) for state in message[1]]
                 refs = {state: ref for ref, state in enumerate(by_ref)}
                 continue
-            _op, round_id, chunk_id, items = message
+            _op, round_id, chunk_id, items = message[:4]
+            trace_info = message[4] if len(message) > 4 else None
             try:
                 started = time.perf_counter()
                 hits_before = semantics.cache_hits
@@ -230,32 +260,68 @@ def _worker_main(connection, scheme_payload: Dict[str, Any], index: int) -> None
                 announced: List[Tuple[int, HState]] = []
                 rows = []
                 fired = 0
-                for kind, payload in items:
-                    if kind == "r":
-                        state = by_ref[payload]
-                    else:
-                        state = semantics.intern(payload)
-                    row = []
-                    for transition in semantics.successors(state):
-                        target = transition.target
-                        ref = refs.get(target)
-                        if ref is None:
-                            ref = len(by_ref)
-                            refs[target] = ref
-                            by_ref.append(target)
-                            announced.append((ref, target))
-                        row.append(
-                            (
-                                transition.label,
-                                ref,
-                                transition.rule,
-                                transition.node,
-                                transition.path,
-                                transition.branch,
+                trace_sink = tracer = None
+                with contextlib.ExitStack() as stack:
+                    if trace_info is not None:
+                        trace_sink = MemorySink()
+                        tracer = Tracer(trace_sink)
+                        stack.enter_context(
+                            trace_context(
+                                TraceContext.from_traceparent(
+                                    trace_info.get("traceparent")
+                                )
                             )
                         )
-                    fired += len(row)
-                    rows.append(row)
+                        chunk_span = stack.enter_context(
+                            tracer.span(
+                                "parallel.chunk",
+                                worker=index,
+                                round=round_id,
+                                chunk=chunk_id,
+                                shard=trace_info.get("shard"),
+                                states=len(items),
+                                stolen=bool(trace_info.get("stolen")),
+                            )
+                        )
+                    for kind, payload in items:
+                        if kind == "r":
+                            state = by_ref[payload]
+                        else:
+                            state = semantics.intern(payload)
+                        row = []
+                        for transition in semantics.successors(state):
+                            target = transition.target
+                            ref = refs.get(target)
+                            if ref is None:
+                                ref = len(by_ref)
+                                refs[target] = ref
+                                by_ref.append(target)
+                                announced.append((ref, target))
+                            row.append(
+                                (
+                                    transition.label,
+                                    ref,
+                                    transition.rule,
+                                    transition.node,
+                                    transition.path,
+                                    transition.branch,
+                                )
+                            )
+                        fired += len(row)
+                        rows.append(row)
+                    if trace_info is not None:
+                        tracer.event(
+                            "parallel.exchange",
+                            shard=trace_info.get("shard"),
+                            refs=len(announced),
+                        )
+                        chunk_span.set(announced=len(announced), transitions=fired)
+                trace_payload = None
+                if trace_sink is not None:
+                    trace_payload = {
+                        "anchor": time.time() - time.perf_counter(),
+                        "records": trace_sink.snapshot(),
+                    }
                 registry = MetricsRegistry()
                 registry.counter(
                     "parallel.states_expanded",
@@ -278,7 +344,15 @@ def _worker_main(connection, scheme_payload: Dict[str, Any], index: int) -> None
                     "per-chunk worker busy time",
                 ).labels(worker=label).observe(time.perf_counter() - started)
                 connection.send(
-                    ("result", round_id, chunk_id, rows, announced, registry.as_dict())
+                    (
+                        "result",
+                        round_id,
+                        chunk_id,
+                        rows,
+                        announced,
+                        registry.as_dict(),
+                        trace_payload,
+                    )
                 )
             except Exception as error:  # ship the failure, then die
                 try:
@@ -423,8 +497,9 @@ class WorkerPool:
 
         Runs for stale (abandoned-round) messages too — announcement
         tables are append-only and shared across rounds, so every
-        message must extend them even when its successor rows are
-        discarded.
+        message must extend them even when its successor rows (and any
+        chunk trace payload: a replayed window re-traces its chunks, so
+        the stale spans must be voided with the rows) are discarded.
         """
         table = handle.table
         origin = self._origin
@@ -589,6 +664,74 @@ class WorkerPool:
 # ----------------------------------------------------------------------
 
 
+def _flush_window_trace(tracer, window_span, batches, coord_anchor) -> None:
+    """Re-base worker chunk records into the coordinator's trace.
+
+    Worker tracers allocate span ids from 1 in their own processes, so
+    shipped records cannot be emitted as-is: each batch's span ids are
+    remapped onto a freshly reserved block of the coordinator tracer's
+    id space (:meth:`~repro.obs.tracer.Tracer.reserve_ids`), in-batch
+    ``parent`` links and event ``span`` references are rewritten through
+    the same mapping, batch roots are re-parented under the enclosing
+    ``parallel.window`` span, and every record adopts the window's
+    :class:`~repro.obs.tracer.TraceContext` — so one trace spans
+    coordinator and workers with consistent OTLP ids.  Worker clocks are
+    aligned by shifting ``start``/``time`` by the difference of the two
+    processes' epoch anchors.
+
+    Called only after a window *commits*: batches from a window
+    abandoned by a worker failure are dropped with the window's rows,
+    which is what makes replayed windows trace exactly once.
+    """
+    trace = window_span.trace
+    sink = tracer.sink
+    for batch in batches:
+        records = batch.get("records") or []
+        shift = float(batch.get("anchor", coord_anchor)) - coord_anchor
+        span_records = [r for r in records if r.get("type") == "span"]
+        base = tracer.reserve_ids(len(span_records))
+        mapping = {}
+        for offset, record in enumerate(span_records):
+            mapping[record.get("id")] = base + offset
+        for record in records:
+            record = dict(record)
+            kind = record.get("type")
+            if kind == "span":
+                record["id"] = mapping[record["id"]]
+                parent = record.get("parent")
+                record["parent"] = (
+                    mapping.get(parent, window_span.span_id)
+                    if parent is not None
+                    else window_span.span_id
+                )
+                record["start"] = float(record.get("start") or 0.0) + shift
+                record.pop("remote_parent", None)
+                record["trace"] = trace.trace_id
+                record["span_base"] = trace.span_base
+            elif kind == "event":
+                record["span"] = mapping.get(
+                    record.get("span"), window_span.span_id
+                )
+                record["time"] = float(record.get("time") or 0.0) + shift
+            else:
+                continue
+            sink.emit(record)
+
+
+def _chunk_wall(batch) -> Tuple[float, Optional[int], Optional[int]]:
+    """(wall seconds, worker, shard) of a shipped chunk's root span."""
+    for record in batch.get("records") or ():
+        if record.get("type") == "span" and record.get("name") == "parallel.chunk":
+            attrs = record.get("attrs") or {}
+            wall = record.get("wall")
+            return (
+                float(wall) if isinstance(wall, (int, float)) else 0.0,
+                attrs.get("worker"),
+                attrs.get("shard"),
+            )
+    return 0.0, None, None
+
+
 def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
     """Grow *session*'s shared graph with its worker pool.
 
@@ -636,8 +779,11 @@ def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
     next_progress = session._expanded + session._progress_interval
     window_cap = DEFAULT_CHUNK_STATES * pool.size * WINDOW_CHUNKS_PER_WORKER
     recover: Optional[WorkerFailure] = None
+    tracer = session.tracer
+    tracing = tracer.enabled
+    coord_anchor = time.time() - time.perf_counter()
     try:
-        with session.tracer.span(
+        with tracer.span(
             "session.explore",
             budget=budget,
             resumed=expanded_before > 0,
@@ -678,168 +824,230 @@ def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
                     total_chunks += len(chunks)
                     pending.append(chunks)
 
-                chunk_seq = itertools.count()
-                chunk_positions: Dict[int, List[int]] = {}
-                inflight = [0] * pool.size
-                results: List[Optional[Tuple[List[HState], list]]] = [None] * len(window)
-                origin = pool._origin
+                steals_before = pool.steals
+                apply_seconds = 0.0
+                #: chunk trace payloads buffered until the window commits
+                #: (a replayed window must trace its chunks exactly once,
+                #: so nothing is emitted while a worker could still die)
+                span_batches: List[Dict[str, Any]] = []
+                slowest: Tuple[float, Any, Any] = (0.0, None, None)
+                with tracer.span(
+                    "parallel.window",
+                    round=round_id,
+                    window=len(window),
+                    chunks=total_chunks,
+                ) as window_span:
+                    wire = (
+                        window_span.trace.child(
+                            window_span.span_id
+                        ).to_traceparent()
+                        if tracing
+                        else None
+                    )
+                    chunk_seq = itertools.count()
+                    chunk_positions: Dict[int, List[int]] = {}
+                    inflight = [0] * pool.size
+                    results: List[Optional[Tuple[List[HState], list]]] = [None] * len(window)
+                    origin = pool._origin
 
-                def dispatch(worker: int) -> bool:
-                    """Hand one chunk to *worker* (own shard, else steal)."""
-                    source = worker
-                    if not pending[source]:
-                        candidates = [i for i in range(pool.size) if pending[i]]
-                        if not candidates:
-                            return False
-                        source = max(candidates, key=lambda i: len(pending[i]))
-                        pool.steals += 1
-                        steals_counter.inc()
-                    positions = pending[source].popleft()
-                    payload = []
-                    for position in positions:
-                        state = window[position]
-                        known = origin.get(state)
-                        if known is not None and known[0] == worker:
-                            payload.append(("r", known[1]))
-                        else:
-                            payload.append(("s", state))
-                    chunk_id = next(chunk_seq)
-                    chunk_positions[chunk_id] = positions
-                    try:
-                        pool.workers[worker].connection.send(
-                            ("expand", round_id, chunk_id, payload)
-                        )
-                    except (OSError, ValueError) as exc:
-                        raise WorkerFailure(
-                            f"exploration worker {worker} unreachable at "
-                            f"dispatch: {exc}",
-                            [worker],
-                        )
-                    inflight[worker] += 1
-                    return True
-
-                for worker in range(pool.size):
-                    while inflight[worker] < _MAX_INFLIGHT and dispatch(worker):
-                        pass
-
-                next_apply = 0
-                completed = 0
-                aborted = False
-                last_message = time.monotonic()
-                while completed < total_chunks and not aborted:
-                    ready = _wait_ready(connections, _WAIT_INTERVAL)
-                    if not ready:
-                        # nothing arrived: keep the budget honest and
-                        # notice dead or hung workers instead of hanging
-                        if ambient is not None:
-                            ambient.check(
-                                states=len(graph.states),
-                                frontier=len(queue),
-                                expanded=session._expanded,
+                    def dispatch(worker: int) -> bool:
+                        """Hand one chunk to *worker* (own shard, else steal)."""
+                        source = worker
+                        if not pending[source]:
+                            candidates = [i for i in range(pool.size) if pending[i]]
+                            if not candidates:
+                                return False
+                            source = max(candidates, key=lambda i: len(pending[i]))
+                            pool.steals += 1
+                            steals_counter.inc()
+                            tracer.event(
+                                "parallel.steal", shard=source, worker=worker
                             )
-                        pool.check_alive(semantics, metrics)
-                        if (
-                            pool.heartbeat is not None
-                            and time.monotonic() - last_message > pool.heartbeat
-                        ):
-                            hung = [
-                                i for i in range(pool.size) if inflight[i] > 0
-                            ]
-                            if hung:
-                                raise WorkerFailure(
-                                    f"exploration worker(s) {hung} silent "
-                                    f"past the {pool.heartbeat:g}s window "
-                                    f"heartbeat",
-                                    hung,
-                                )
-                        continue
-                    last_message = time.monotonic()
-                    for connection in ready:
-                        handle = by_connection[connection]
+                        positions = pending[source].popleft()
+                        payload = []
+                        for position in positions:
+                            state = window[position]
+                            known = origin.get(state)
+                            if known is not None and known[0] == worker:
+                                payload.append(("r", known[1]))
+                            else:
+                                payload.append(("s", state))
+                        chunk_id = next(chunk_seq)
+                        chunk_positions[chunk_id] = positions
+                        trace_info = (
+                            {
+                                "traceparent": wire,
+                                "shard": source,
+                                "stolen": source != worker,
+                            }
+                            if wire is not None
+                            else None
+                        )
                         try:
-                            message = connection.recv()
-                        except (EOFError, OSError):
+                            pool.workers[worker].connection.send(
+                                ("expand", round_id, chunk_id, payload, trace_info)
+                            )
+                        except (OSError, ValueError) as exc:
                             raise WorkerFailure(
-                                f"exploration worker {handle.index} exited "
-                                f"mid-round",
-                                [handle.index],
+                                f"exploration worker {worker} unreachable at "
+                                f"dispatch: {exc}",
+                                [worker],
                             )
-                        if message[0] == "error":
-                            raise AnalysisError(
-                                f"exploration worker {handle.index} failed: "
-                                f"{message[3]}"
-                            )
-                        _op, rid, chunk_id, rows, announced, worker_metrics = message
-                        pool.register(handle, announced, semantics)
-                        if worker_metrics:
-                            metrics.merge(registry_from_dict(worker_metrics))
-                        if rid != round_id:
-                            continue  # abandoned round: rows are void
-                        inflight[handle.index] -= 1
-                        completed += 1
-                        for position, row in zip(
-                            chunk_positions.pop(chunk_id), rows
-                        ):
-                            results[position] = (handle.table, row)
-                        if not aborted and not stopped:
-                            while (
-                                inflight[handle.index] < _MAX_INFLIGHT
-                                and dispatch(handle.index)
-                            ):
-                                pass
+                        inflight[worker] += 1
+                        return True
 
-                    # apply every ready expansion, strictly in frontier
-                    # order — this is the sequential loop, verbatim
-                    while next_apply < len(window) and results[next_apply] is not None:
-                        if stopped or len(graph.states) >= budget:
-                            aborted = True
-                            break
-                        if ambient is not None:
-                            ambient.check(
-                                states=len(graph.states),
-                                frontier=len(queue),
-                                expanded=session._expanded,
-                            )
-                        table, row = results[next_apply]
-                        state = window[next_apply]
-                        popped = queue.popleft()
-                        if popped is not state:  # pragma: no cover - invariant
-                            raise AnalysisError(
-                                "parallel frontier desynchronised from the "
-                                "shared graph (coordinator bug)"
-                            )
-                        out = graph.edges[index[state]]
-                        cached: List[Transition] = []
-                        for label, ref, rule, node, path, branch in row:
-                            target = table[ref]
-                            transition = Transition(
-                                state, label, target, rule, node, path, branch
-                            )
-                            out.append(transition)
-                            cached.append(transition)
-                            stats.transitions_fired += 1
-                            if target not in index:
-                                graph._add_state(target, transition)
-                                queue.append(target)
-                                if (
-                                    stop_when is not None
-                                    and not stopped
-                                    and stop_when(target)
+                    for worker in range(pool.size):
+                        while inflight[worker] < _MAX_INFLIGHT and dispatch(worker):
+                            pass
+
+                    next_apply = 0
+                    completed = 0
+                    aborted = False
+                    last_message = time.monotonic()
+                    while completed < total_chunks and not aborted:
+                        ready = _wait_ready(connections, _WAIT_INTERVAL)
+                        if not ready:
+                            # nothing arrived: keep the budget honest and
+                            # notice dead or hung workers instead of hanging
+                            if ambient is not None:
+                                ambient.check(
+                                    states=len(graph.states),
+                                    frontier=len(queue),
+                                    expanded=session._expanded,
+                                )
+                            pool.check_alive(semantics, metrics)
+                            if (
+                                pool.heartbeat is not None
+                                and time.monotonic() - last_message > pool.heartbeat
+                            ):
+                                hung = [
+                                    i for i in range(pool.size) if inflight[i] > 0
+                                ]
+                                if hung:
+                                    raise WorkerFailure(
+                                        f"exploration worker(s) {hung} silent "
+                                        f"past the {pool.heartbeat:g}s window "
+                                        f"heartbeat",
+                                        hung,
+                                    )
+                            continue
+                        last_message = time.monotonic()
+                        for connection in ready:
+                            handle = by_connection[connection]
+                            try:
+                                message = connection.recv()
+                            except (EOFError, OSError):
+                                raise WorkerFailure(
+                                    f"exploration worker {handle.index} exited "
+                                    f"mid-round",
+                                    [handle.index],
+                                )
+                            if message[0] == "error":
+                                raise AnalysisError(
+                                    f"exploration worker {handle.index} failed: "
+                                    f"{message[3]}"
+                                )
+                            (
+                                _op,
+                                rid,
+                                chunk_id,
+                                rows,
+                                announced,
+                                worker_metrics,
+                                chunk_trace,
+                            ) = message
+                            pool.register(handle, announced, semantics)
+                            if worker_metrics:
+                                metrics.merge(registry_from_dict(worker_metrics))
+                            if rid != round_id:
+                                continue  # abandoned round: rows (and spans) are void
+                            inflight[handle.index] -= 1
+                            completed += 1
+                            if chunk_trace is not None:
+                                span_batches.append(chunk_trace)
+                                wall, c_worker, c_shard = _chunk_wall(chunk_trace)
+                                if wall > slowest[0]:
+                                    slowest = (wall, c_worker, c_shard)
+                            for position, row in zip(
+                                chunk_positions.pop(chunk_id), rows
+                            ):
+                                results[position] = (handle.table, row)
+                            if not aborted and not stopped:
+                                while (
+                                    inflight[handle.index] < _MAX_INFLIGHT
+                                    and dispatch(handle.index)
                                 ):
-                                    stopped = True
-                        # adopt the rows into the coordinator's successor
-                        # cache so post-exploration queries replay them
-                        if state in semantics._successors:
-                            semantics.cache_hits += 1
-                        else:
-                            semantics._successors[state] = cached
-                            semantics.cache_misses += 1
-                        session._expanded += 1
-                        frontier_gauge.set(len(queue))
-                        if session._expanded >= next_progress:
-                            next_progress += session._progress_interval
-                            session._sample_progress(started)
-                        next_apply += 1
+                                    pass
+
+                        # apply every ready expansion, strictly in frontier
+                        # order — this is the sequential loop, verbatim
+                        apply_started = time.perf_counter()
+                        while next_apply < len(window) and results[next_apply] is not None:
+                            if stopped or len(graph.states) >= budget:
+                                aborted = True
+                                break
+                            if ambient is not None:
+                                ambient.check(
+                                    states=len(graph.states),
+                                    frontier=len(queue),
+                                    expanded=session._expanded,
+                                )
+                            table, row = results[next_apply]
+                            state = window[next_apply]
+                            popped = queue.popleft()
+                            if popped is not state:  # pragma: no cover - invariant
+                                raise AnalysisError(
+                                    "parallel frontier desynchronised from the "
+                                    "shared graph (coordinator bug)"
+                                )
+                            out = graph.edges[index[state]]
+                            cached: List[Transition] = []
+                            for label, ref, rule, node, path, branch in row:
+                                target = table[ref]
+                                transition = Transition(
+                                    state, label, target, rule, node, path, branch
+                                )
+                                out.append(transition)
+                                cached.append(transition)
+                                stats.transitions_fired += 1
+                                if target not in index:
+                                    graph._add_state(target, transition)
+                                    queue.append(target)
+                                    if (
+                                        stop_when is not None
+                                        and not stopped
+                                        and stop_when(target)
+                                    ):
+                                        stopped = True
+                            # adopt the rows into the coordinator's successor
+                            # cache so post-exploration queries replay them
+                            if state in semantics._successors:
+                                semantics.cache_hits += 1
+                            else:
+                                semantics._successors[state] = cached
+                                semantics.cache_misses += 1
+                            session._expanded += 1
+                            frontier_gauge.set(len(queue))
+                            if session._expanded >= next_progress:
+                                next_progress += session._progress_interval
+                                session._sample_progress(started)
+                            next_apply += 1
+                        apply_seconds += time.perf_counter() - apply_started
+
+                    window_span.set(
+                        steals=pool.steals - steals_before,
+                        apply_seconds=apply_seconds,
+                        applied=next_apply,
+                        slowest_chunk_seconds=slowest[0],
+                        slowest_worker=slowest[1],
+                        slowest_shard=slowest[2],
+                    )
+                # the window committed: its chunk spans are final — re-base
+                # them into the coordinator's id space under the window span
+                if tracing and span_batches:
+                    _flush_window_trace(
+                        tracer, window_span, span_batches, coord_anchor
+                    )
             span.set(
                 states=len(graph.states),
                 expanded=session._expanded - expanded_before,
@@ -856,11 +1064,25 @@ def explore_parallel(session, max_states=None, *, stop_when=None) -> StateGraph:
         stats.explore_seconds += time.perf_counter() - started
         session._sync_stats()
     if recover is not None:
-        return _recover(session, pool, recover, max_states, stop_when=stop_when)
+        # recovery re-enters explore and opens a new root span; chain it
+        # into this exploration's trace (parented under the failed
+        # explore span) so a replayed run still exports as ONE trace
+        resume_trace = None
+        trace_obj = getattr(span, "trace", None)
+        if trace_obj is not None:
+            resume_trace = trace_obj.child(span.span_id)
+        return _recover(
+            session,
+            pool,
+            recover,
+            max_states,
+            stop_when=stop_when,
+            resume_trace=resume_trace,
+        )
     return graph
 
 
-def _recover(session, pool, failure, max_states, *, stop_when):
+def _recover(session, pool, failure, max_states, *, stop_when, resume_trace=None):
     """Respawn *failure*'s workers and replay, or degrade to sequential.
 
     The coordinator applies expansions strictly in frontier order, so at
@@ -899,7 +1121,8 @@ def _recover(session, pool, failure, max_states, *, stop_when):
         ).inc()
         session.close()  # reap the surviving workers
         session._parallel_degraded = True
-        return session.explore(max_states, stop_when=stop_when)
+        with trace_context(resume_trace):
+            return session.explore(max_states, stop_when=stop_when)
     record_incident(
         session,
         failure,
@@ -920,4 +1143,5 @@ def _recover(session, pool, failure, max_states, *, stop_when):
         "parallel.windows_replayed",
         "frontier windows replayed after a worker failure",
     ).inc()
-    return explore_parallel(session, max_states, stop_when=stop_when)
+    with trace_context(resume_trace):
+        return explore_parallel(session, max_states, stop_when=stop_when)

@@ -52,6 +52,7 @@ from .analysis import (
 from .core.scheme import RPScheme
 from .errors import AnalysisBudgetExceeded, BudgetExhausted, RPError
 from .obs.ledger import make_entry, new_run_id, scheme_fingerprint, verdict_summary
+from .obs.tracer import TraceContext, trace_context
 
 __all__ = [
     "REQUEST_SCHEMA",
@@ -191,6 +192,13 @@ class AnalysisRequest:
     #: server's default, which is the sequential path).  Honored by
     #: :func:`execute` and the serve daemon; see docs/performance.md.
     workers: Optional[int] = None
+    #: Propagated distributed-trace context (W3C-shaped:
+    #: ``00-<32 hex trace id>-<16 hex parent span id>-01``; an all-zero
+    #: parent field means "trace id only").  When set, the server's root
+    #: span for this query joins the caller's trace instead of minting a
+    #: fresh one — see :class:`repro.obs.TraceContext` and
+    #: docs/serving.md.  Optional and additive to ``rpcheck-request/1``.
+    traceparent: Optional[str] = None
 
     def validate(self) -> "AnalysisRequest":
         """Raise :class:`ApiError` on structural problems; returns self."""
@@ -211,6 +219,10 @@ class AnalysisRequest:
             or self.workers < 1
         ):
             raise ApiError(f"workers must be a positive int, got {self.workers!r}")
+        if self.traceparent is not None and not isinstance(self.traceparent, str):
+            raise ApiError(
+                f"traceparent must be a string, got {self.traceparent!r}"
+            )
         return self
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -224,6 +236,7 @@ class AnalysisRequest:
             "trace": self.trace.as_dict(),
             "request_id": self.request_id,
             "workers": self.workers,
+            "traceparent": self.traceparent,
         }
 
     @classmethod
@@ -246,6 +259,7 @@ class AnalysisRequest:
             trace=TraceOptions.from_dict(trace) if trace is not None else TraceOptions(),
             request_id=payload.get("request_id"),
             workers=payload.get("workers"),
+            traceparent=payload.get("traceparent"),
         ).validate()
 
 
@@ -283,6 +297,10 @@ class AnalysisResponse:
     run_id: Optional[str] = None
     request_id: Optional[str] = None
     elapsed_seconds: float = 0.0
+    #: Echo of the request's propagated trace context (``None`` when the
+    #: caller sent none) — lets a client confirm its query joined the
+    #: intended trace.  Excluded from :meth:`comparable` by design.
+    traceparent: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -306,6 +324,7 @@ class AnalysisResponse:
             "run_id": self.run_id,
             "request_id": self.request_id,
             "elapsed_seconds": self.elapsed_seconds,
+            "traceparent": self.traceparent,
         }
 
     @classmethod
@@ -332,6 +351,7 @@ class AnalysisResponse:
             run_id=payload.get("run_id"),
             request_id=payload.get("request_id"),
             elapsed_seconds=float(payload.get("elapsed_seconds") or 0.0),
+            traceparent=payload.get("traceparent"),
         )
 
     def comparable(self) -> Dict[str, Any]:
@@ -550,6 +570,7 @@ def execute(
             run_id=rid,
             request_id=request.request_id,
             elapsed_seconds=time.perf_counter() - started_wall,
+            traceparent=request.traceparent,
         )
     owns_session = session is None
     if owns_session:
@@ -569,7 +590,14 @@ def execute(
     outcome = "ok"
     run_error: Optional[BaseException] = None
     try:
-        result = PROCEDURES[request.procedure](subject, sess, live_budget, params)
+        # join the caller's distributed trace (no-op without a
+        # traceparent): any root span the procedure opens — the daemon's
+        # serve.query wrapper, or a bare phase span for direct callers —
+        # adopts the propagated trace id and remote parent
+        with trace_context(TraceContext.from_traceparent(request.traceparent)):
+            result = PROCEDURES[request.procedure](
+                subject, sess, live_budget, params
+            )
         fields = _verdict_fields(request.procedure, result)
         if fields["verdict"] == "unknown":
             outcome = "partial"
@@ -614,6 +642,7 @@ def execute(
         procedure=request.procedure,
         run_id=rid,
         request_id=request.request_id,
+        traceparent=request.traceparent,
         scheme={
             "name": subject.name,
             "nodes": len(subject),

@@ -76,12 +76,23 @@ def _attributes(attrs: Optional[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return [{"key": str(k), "value": _attr_value(v)} for k, v in attrs.items()]
 
 
-def _span_id(raw: Any) -> str:
-    """A 16-hex-digit OTLP span id from a tracer's integer span id."""
+def _span_id(raw: Any, base: Any = None) -> str:
+    """A 16-hex-digit OTLP span id from a tracer's integer span id.
+
+    *base* is the :class:`~repro.obs.tracer.TraceContext` ``span_base``
+    (a random 64-bit offset) when the record carries one: it keeps the
+    small sequential per-tracer ids of different processes from
+    colliding inside one distributed trace.
+    """
     try:
         value = int(raw)
     except (TypeError, ValueError):
         value = 0
+    if base is not None:
+        try:
+            value += int(base)
+        except (TypeError, ValueError):
+            pass
     return format(value & 0xFFFFFFFFFFFFFFFF, "016x")
 
 
@@ -108,9 +119,10 @@ def otlp_span(
     cpu = record.get("cpu")
     if cpu is not None:
         attrs["repro.cpu_seconds"] = cpu
+    base = record.get("span_base")
     span: Dict[str, Any] = {
-        "traceId": trace_id,
-        "spanId": _span_id(record.get("id")),
+        "traceId": str(record.get("trace") or trace_id),
+        "spanId": _span_id(record.get("id"), base),
         "name": str(record.get("name", "")),
         "kind": 1,  # SPAN_KIND_INTERNAL
         "startTimeUnixNano": _nanos(start),
@@ -119,7 +131,11 @@ def otlp_span(
     }
     parent = record.get("parent")
     if parent is not None:
-        span["parentSpanId"] = _span_id(parent)
+        span["parentSpanId"] = _span_id(parent, base)
+    elif record.get("remote_parent"):
+        # a propagated TraceContext named a cross-process parent: the
+        # span is a local root but not a trace root
+        span["parentSpanId"] = str(record["remote_parent"])
     if events:
         span["events"] = [
             {
@@ -249,6 +265,14 @@ class OtlpJsonSink(Sink):
     append-friendly for offline shipment) or an ``http(s)://`` URL
     (each batch POSTed with ``Content-Type: application/json``, the
     OTLP/HTTP transport).
+
+    Trace identity comes from the records themselves: every span record
+    a :class:`~repro.obs.tracer.Tracer` emits carries the trace id of
+    its root span's :class:`~repro.obs.tracer.TraceContext` (minted
+    fresh per root span, or propagated in over a ``traceparent`` field),
+    so concurrent daemon queries export as distinct traces through one
+    shared sink.  ``self.trace_id`` survives only as the fallback for
+    hand-built records without trace info.
 
     Events arrive from the tracer *before* their owning span closes, so
     they are staged by span id and attached when the span record lands;

@@ -195,7 +195,7 @@ class SinkScope:
     incident bundles.
     """
 
-    __slots__ = ("recorder", "sinks", "dump_dir")
+    __slots__ = ("recorder", "sinks", "dump_dir", "context")
 
     def __init__(
         self,
@@ -203,10 +203,15 @@ class SinkScope:
         *,
         sinks: Tuple[Sink, ...] = (),
         dump_dir: Optional[str] = None,
+        context: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.recorder = recorder if recorder is not None else FlightRecorder()
         self.sinks = tuple(sinks)
         self.dump_dir = dump_dir
+        #: Ambient identification merged into every incident bundle's
+        #: ``context`` (the serve daemon stamps ``request_id`` here, so a
+        #: bundle is traceable back to the query that produced it).
+        self.context = dict(context) if context else {}
 
     def emit(self, record: Dict[str, Any]) -> None:
         self.recorder.emit(record)
@@ -237,6 +242,7 @@ def sink_scope(
     *,
     sinks: Tuple[Sink, ...] = (),
     dump_dir: Optional[str] = None,
+    context: Optional[Dict[str, Any]] = None,
 ) -> Iterator[SinkScope]:
     """Install a :class:`SinkScope` for the duration of the ``with`` body.
 
@@ -244,7 +250,7 @@ def sink_scope(
     across ``await`` points, and into worker threads entered via
     ``contextvars.copy_context()`` / ``asyncio.to_thread``.
     """
-    scope = SinkScope(recorder, sinks=sinks, dump_dir=dump_dir)
+    scope = SinkScope(recorder, sinks=sinks, dump_dir=dump_dir, context=context)
     token = _SCOPE.set(scope)
     try:
         yield scope
@@ -357,6 +363,10 @@ def record_incident(
             )
         if not target:
             return None
+        if scope is not None and scope.context:
+            # scope identification (e.g. the serve request_id) underlies
+            # the caller's explicit context, which wins on key clashes
+            context = {**scope.context, **(context or {})}
         metrics = None
         registry = getattr(session, "metrics", None)
         if registry is not None:

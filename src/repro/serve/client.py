@@ -28,6 +28,7 @@ import json
 import random
 import socket
 import time
+import uuid
 from typing import Any, Callable, Dict, List, Optional
 
 from ..api import (
@@ -37,6 +38,7 @@ from ..api import (
     BudgetSpec,
     TraceOptions,
 )
+from ..obs.tracer import TraceContext, current_span
 
 __all__ = ["ServeClient", "ServeError", "ServeOverloaded", "client_main"]
 
@@ -240,9 +242,18 @@ class ServeClient:
         on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
         request_id: Optional[str] = None,
         workers: Optional[int] = None,
+        traceparent: Optional[str] = None,
         **params: Any,
     ) -> AnalysisResponse:
-        """Convenience wrapper building the request from keyword arguments."""
+        """Convenience wrapper building the request from keyword arguments.
+
+        Every query carries a ``request_id`` (minted here when the
+        caller omits one) and a ``traceparent``: if the calling thread
+        is inside a local span, its trace context is propagated so the
+        daemon's spans join this process's trace; otherwise a fresh
+        trace id is minted client-side so the whole server-side query
+        still shares one trace.
+        """
         request = AnalysisRequest(
             procedure=procedure,
             source=source,
@@ -250,10 +261,19 @@ class ServeClient:
             params=params,
             budget=budget,
             trace=TraceOptions(stream=stream),
-            request_id=request_id,
+            request_id=request_id or uuid.uuid4().hex,
             workers=workers,
+            traceparent=traceparent or self._mint_traceparent(),
         )
         return self.request(request, on_event=on_event)
+
+    @staticmethod
+    def _mint_traceparent() -> str:
+        """The caller's trace context as a wire header (or a fresh one)."""
+        span = current_span()
+        if span is not None and getattr(span, "trace", None) is not None:
+            return span.trace.child(span.span_id).to_traceparent()
+        return TraceContext().to_traceparent()
 
     # ------------------------------------------------------------------
 

@@ -51,9 +51,11 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
 import json
 import os
 import threading
+import uuid
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from urllib.parse import parse_qs, urlsplit
@@ -69,6 +71,7 @@ from ..obs import (
 )
 from ..obs.recorder import sink_scope
 from ..obs.sinks import Sink
+from ..obs.tracer import TraceContext, trace_context
 from ..robust import Budget, CancelToken
 from .pool import DEFAULT_MAX_ENTRIES, SessionPool
 
@@ -106,6 +109,19 @@ def _encode(payload: Dict[str, Any]) -> bytes:
     return json.dumps(payload, separators=(",", ":"), default=repr).encode(
         "utf-8"
     ) + b"\n"
+
+
+def _ensure_request_id(request: AnalysisRequest) -> AnalysisRequest:
+    """Mint a request id when the caller omitted one.
+
+    Every served query carries an id — it is stamped on the query's root
+    span, echoed in the response, tagged on streamed event lines, and
+    written into flight-recorder incident bundles, so one identifier
+    correlates all four artefacts.
+    """
+    if request.request_id:
+        return request
+    return dataclasses.replace(request, request_id=uuid.uuid4().hex)
 
 
 class _StreamSink(Sink):
@@ -452,6 +468,7 @@ class ServeDaemon:
                 writer, {"type": "response", "response": response.to_json_dict()}
             )
             return
+        request = _ensure_request_id(request)
         deliver: Optional[Callable[[Dict[str, Any]], None]] = None
         if request.trace.stream:
             request_id = request.request_id
@@ -583,10 +600,17 @@ class ServeDaemon:
 
         Runs under a fresh :func:`sink_scope` so this request's tracer
         records, flight-recorder ring and incident bundles are disjoint
-        from every concurrently executing request's.
+        from every concurrently executing request's; the scope carries
+        the ``request_id`` so any incident bundle names its query.
         """
         with sink_scope(
-            FlightRecorder(), sinks=sinks, dump_dir=self.flight_dir
+            FlightRecorder(),
+            sinks=sinks,
+            dump_dir=self.flight_dir,
+            context={
+                "request_id": request.request_id,
+                "procedure": request.procedure,
+            },
         ):
             if request.fingerprint is not None:
                 entry = self.pool.get(request.fingerprint)
@@ -627,14 +651,27 @@ class ServeDaemon:
                     if request.workers is None:
                         entry.session.workers = 1
                     try:
-                        return execute(
-                            request,
-                            scheme=entry.scheme,
-                            session=entry.session,
-                            budget=budget,
-                            ledger=self.ledger,
-                            ledger_kind="serve",
-                        )
+                        # the query's root span: joins the client's trace
+                        # when the request carried a traceparent (else
+                        # mints a fresh trace), and parents everything
+                        # the procedure opens — explore, windows, worker
+                        # chunks — into one serve-to-worker span tree
+                        with trace_context(
+                            TraceContext.from_traceparent(request.traceparent)
+                        ), entry.session.tracer.span(
+                            "serve.query",
+                            procedure=request.procedure,
+                            request_id=request.request_id,
+                            workers=request.workers or 1,
+                        ):
+                            return execute(
+                                request,
+                                scheme=entry.scheme,
+                                session=entry.session,
+                                budget=budget,
+                                ledger=self.ledger,
+                                ledger_kind="serve",
+                            )
                     finally:
                         token = budget.cancel
                         if token is not None and token.cancelled:
@@ -778,6 +815,7 @@ class ServeDaemon:
                     error={"type": "ApiError", "message": str(error)},
                     request_id=payload.get("request_id"),
                 ).to_json_dict(), json_type
+            request = _ensure_request_id(request)
             try:
                 response = await self._execute(request, CancelToken())
             except _Overloaded as overloaded:
